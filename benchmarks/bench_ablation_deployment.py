@@ -1,0 +1,72 @@
+"""Ablation A4 — deployment-parameter sweeps of the chr14 mapping.
+
+Sweeps the Section III/IV deployment knobs the paper fixes (chips = 10,
+Pd = 2) and the scan-imbalance calibration, showing where the knees
+are: chips scale near-linearly until the Euler walk's serial fraction
+dominates (Amdahl), and Pd behaves per Fig. 10.
+"""
+
+from dataclasses import replace
+
+from conftest import emit
+
+from repro.eval.execution import ExecutionModel, MappingConfig
+from repro.eval.workloads import chr14_workload
+from repro.platforms import pim_assembler
+
+
+def run_sweeps():
+    platform = pim_assembler()
+    workload = chr14_workload(16)
+    base = MappingConfig()
+
+    chips = {
+        n: ExecutionModel(workload, replace(base, chips=n)).run(platform)
+        for n in (5, 10, 20, 40)
+    }
+    pd = {
+        n: ExecutionModel(
+            workload, replace(base, parallelism_degree=n)
+        ).run(platform)
+        for n in (1, 2, 4, 8)
+    }
+    scan = {
+        f: ExecutionModel(
+            workload, replace(base, scan_overhead=f)
+        ).run(platform)
+        for f in (1.0, 2.4, 4.0)
+    }
+    return chips, pd, scan
+
+
+def test_ablation_deployment_sweeps(benchmark):
+    chips, pd, scan = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+
+    body = ["  chips sweep:"]
+    body += [f"    M={n:>2}: {r.total_time_s:6.1f}s" for n, r in chips.items()]
+    body += ["  Pd sweep:"]
+    body += [f"    Pd={n}: {r.total_time_s:6.1f}s" for n, r in pd.items()]
+    body += ["  scan-imbalance sweep:"]
+    body += [
+        f"    x{f:3.1f}: hashmap {r.stage('hashmap').time_s:6.1f}s"
+        for f, r in scan.items()
+    ]
+    emit("Ablation — deployment parameters (k=16)", "\n".join(body))
+
+    # more chips -> faster; slightly super-linear on the hashmap (more
+    # table sub-arrays shorten every scan) but bounded by the serial
+    # Euler walk overall
+    times = [chips[n].total_time_s for n in (5, 10, 20, 40)]
+    assert times == sorted(times, reverse=True)
+    speedup_5_to_40 = times[0] / times[-1]
+    assert 1.5 < speedup_5_to_40 < 12.0
+
+    # Pd helps the parallel stages only
+    pd_times = [pd[n].total_time_s for n in (1, 2, 4, 8)]
+    assert pd_times == sorted(pd_times, reverse=True)
+
+    # scan imbalance directly scales the hashmap stage
+    assert (
+        scan[4.0].stage("hashmap").time_s
+        > scan[1.0].stage("hashmap").time_s * 2.0
+    )

@@ -1,0 +1,50 @@
+"""Ablation A1 — the correlated data partitioning (Fig. 6).
+
+DESIGN.md calls out the correlated partitioning as the mechanism that
+keeps queries local (one row move per query, mostly overlapped).  This
+ablation runs P-A *without* it — queries shuttle between sub-arrays
+like on the baselines (Ambit-class movement CAL) — and quantifies what
+the mapping buys: lower MBR and a faster hashmap stage.
+"""
+
+from conftest import emit
+
+from repro.eval.execution import ExecutionModel, IN_DRAM_TRANSFER_CAL
+from repro.eval.workloads import chr14_workload
+from repro.platforms import pim_assembler
+
+
+def run_ablation(k: int = 16):
+    platform = pim_assembler()
+    with_mapping = ExecutionModel(chr14_workload(k)).run(platform)
+    ablated_cal = dict(IN_DRAM_TRANSFER_CAL)
+    ablated_cal["P-A"] = dict(IN_DRAM_TRANSFER_CAL["Ambit"])
+    without_mapping = ExecutionModel(
+        chr14_workload(k), transfer_cal=ablated_cal
+    ).run(platform)
+    return with_mapping, without_mapping
+
+
+def test_ablation_correlated_mapping(benchmark):
+    with_mapping, without_mapping = benchmark(run_ablation)
+
+    emit(
+        "Ablation — correlated partitioning (k=16)",
+        "\n".join(
+            [
+                f"  with mapping   : total {with_mapping.total_time_s:6.1f}s"
+                f"  MBR {with_mapping.memory_bottleneck_ratio:5.1%}",
+                f"  without mapping: total {without_mapping.total_time_s:6.1f}s"
+                f"  MBR {without_mapping.memory_bottleneck_ratio:5.1%}",
+                f"  slowdown       : "
+                f"{without_mapping.total_time_s / with_mapping.total_time_s:.2f}x",
+            ]
+        ),
+    )
+
+    # removing the mapping must visibly raise data movement and time
+    assert (
+        without_mapping.memory_bottleneck_ratio
+        > 2.0 * with_mapping.memory_bottleneck_ratio
+    )
+    assert without_mapping.total_time_s > 1.15 * with_mapping.total_time_s

@@ -1,0 +1,61 @@
+"""Ablation A5 — technology scaling of the sensing mechanisms.
+
+The paper's reliability section predicts: "By scaling down the
+transistor size, the process variation effect is expected to get
+worse."  This bench sweeps a technology-scale factor (shrinking the
+storage capacitor faster than the wire-dominated bit line) at a fixed
+±15% variation and shows TRA's error rate climbing while the two-row
+activation — whose compute-node margin does not depend on the bit-line
+divider — stays ahead at every node.
+"""
+
+from conftest import emit
+
+from repro.dram.margins import scaling_study
+
+
+def test_ablation_technology_scaling(benchmark):
+    points = benchmark.pedantic(
+        scaling_study, kwargs={"trials": 10_000}, rounds=1, iterations=1
+    )
+
+    rows = [
+        f"  scale {p.scale:3.1f}: Cs={p.cell_capacitance_f * 1e15:4.1f} fF  "
+        f"TRA margin {p.tra_margin * 1000:4.1f} mV err {p.tra_error_percent:5.2f}%  |  "
+        f"2-row err {p.two_row_error_percent:5.2f}%"
+        for p in points
+    ]
+    emit("Ablation — technology scaling (±15% variation)", "\n".join(rows))
+
+    tra_errors = [p.tra_error_percent for p in points]
+    assert tra_errors == sorted(tra_errors), "TRA must worsen with scaling"
+    assert tra_errors[-1] > 1.5 * tra_errors[0]
+    for p in points:
+        assert p.two_row_error_percent < p.tra_error_percent
+        assert p.two_row_margin > p.tra_margin
+
+
+def test_extension_retention_residency(benchmark):
+    """Extension — refresh relaxation vs a resident chr14 hash table.
+
+    At the nominal 64 ms refresh the resident table is safe for the
+    whole run; refresh-relaxation power optimisations push it toward
+    certain corruption — resident PIM data wants ECC or scrubbing
+    before any such scheme.
+    """
+    from repro.dram.retention import residency_study
+
+    points = benchmark.pedantic(residency_study, rounds=1, iterations=1)
+    rows = [
+        f"  refresh {p.refresh_interval_s * 1000:6.0f} ms: "
+        f"expected upsets {p.expected_upsets:8.4f}  "
+        f"P(any) {p.table_upset_probability:6.4f}  "
+        f"{'NEEDS ECC/scrub' if p.needs_protection else 'safe'}"
+        for p in points
+    ]
+    emit("Extension — resident-table retention (chr14 run)", "\n".join(rows))
+
+    assert not points[0].needs_protection  # nominal refresh is safe
+    probs = [p.table_upset_probability for p in points]
+    assert probs == sorted(probs)
+    assert probs[-1] > 0.25

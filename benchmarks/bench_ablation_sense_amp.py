@@ -1,0 +1,57 @@
+"""Ablation A2 — the single-cycle X(N)OR sense amplifier.
+
+The reconfigurable SA is the paper's core circuit contribution: XNOR2
+in 1 compute cycle instead of Ambit's 7-cycle sequence.  This ablation
+swaps only the XNOR cycle count on an otherwise-identical platform and
+measures the end-to-end assembly impact — isolating the SA's
+contribution from the mapping and the addition path.
+"""
+
+from conftest import emit
+
+from repro.eval.execution import ExecutionModel
+from repro.eval.workloads import chr14_workload
+from repro.platforms import InDramPlatform
+from repro.platforms.params import (
+    PIM_ASSEMBLER_CYCLES,
+    PIM_ASSEMBLER_POWER,
+    PimCycleCosts,
+)
+
+
+def variant(xnor_cycles: float) -> InDramPlatform:
+    return InDramPlatform(
+        name="P-A",  # keep the P-A transfer/mapping CALs
+        cycles=PimCycleCosts(
+            xnor_cycles=xnor_cycles,
+            add_cycles_per_bit=PIM_ASSEMBLER_CYCLES.add_cycles_per_bit,
+            add_stage_cycles_per_bit=PIM_ASSEMBLER_CYCLES.add_stage_cycles_per_bit,
+        ),
+        power=PIM_ASSEMBLER_POWER,
+    )
+
+
+def run_sweep():
+    model = ExecutionModel(chr14_workload(16))
+    return {
+        cycles: model.run(variant(cycles)) for cycles in (3.0, 5.0, 7.0, 9.0)
+    }
+
+
+def test_ablation_xnor_cycles(benchmark):
+    results = benchmark(run_sweep)
+
+    rows = [
+        f"  XNOR={cycles:>3.0f} cycles: total {r.total_time_s:6.1f}s"
+        f"  (hashmap {r.stage('hashmap').time_s:5.1f}s)"
+        for cycles, r in results.items()
+    ]
+    emit("Ablation — XNOR cycle count (k=16)", "\n".join(rows))
+
+    times = [r.total_time_s for r in results.values()]
+    assert times == sorted(times), "more cycles must cost more time"
+    # the 7-cycle (Ambit-class) SA on P-A's own mapping is ~1.5-2.5x
+    # slower: the SA contributes roughly that share of the speed-up,
+    # the mapping the rest.
+    slowdown = results[7.0].total_time_s / results[3.0].total_time_s
+    assert 1.3 < slowdown < 2.5

@@ -1,0 +1,22 @@
+"""E4 — Section II-B area overhead: the ~5% claim.
+
+Counts the add-on transistors (SA add-ons, MRD, controller) and checks
+the paper's arithmetic: 51 equivalent DRAM rows per 1024-row sub-array
+~= 5% of chip area.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.eval.area_report import run_area_study
+
+
+def test_area_overhead(benchmark):
+    study = benchmark(run_area_study)
+    emit("Area overhead (Section II-B)", "\n".join(study.breakdown_lines()))
+
+    assert study.within_claim
+    assert study.report.equivalent_rows == 51
+    assert study.report.sa_transistors == 50 * 256
+    assert study.report.mrd_transistors == 16
+    assert study.report.overhead_percent == pytest.approx(4.98, abs=0.05)

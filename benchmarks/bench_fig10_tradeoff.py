@@ -1,0 +1,26 @@
+"""E7 — Fig. 10: power/delay trade-off vs parallelism degree.
+
+Sweeps Pd over {1, 2, 4, 8} at k = 16 and k = 32 and asserts the
+paper's shape: delay falls and power rises with Pd, and the optimum
+(energy-delay product) sits at Pd ~= 2.
+"""
+
+from conftest import emit
+
+from repro.eval.tables import format_tradeoff
+from repro.eval.tradeoffs import run_tradeoff_sweep
+from repro.mapping.parallelism import PAPER_PD_VALUES
+
+
+def test_fig10_tradeoff(benchmark):
+    sweep = benchmark.pedantic(run_tradeoff_sweep, rounds=1, iterations=1)
+    emit("Fig. 10 — power/delay vs Pd", format_tradeoff(sweep))
+
+    for k in (16, 32):
+        series = sweep.series(k)
+        delays = [p.delay_s for p in series]
+        powers = [p.power_w for p in series]
+        assert [p.pd for p in series] == list(PAPER_PD_VALUES)
+        assert delays == sorted(delays, reverse=True)
+        assert powers == sorted(powers)
+        assert sweep.optimum_pd(k) == 2

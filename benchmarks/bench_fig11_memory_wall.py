@@ -1,0 +1,35 @@
+"""E8/E9 — Fig. 11: memory-bottleneck and resource-utilisation ratios.
+
+Asserts the paper's shapes: P-A spends <~16% of time on data transfer
+(~9% at k=16) and achieves the highest RUR (~65% at k=16); the GPU's
+MBR climbs to ~70% at k=32 with the lowest RUR; the PIM baselines give
+>45% RUR at k=16.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.eval.memory_wall import run_memory_wall_study
+from repro.eval.tables import format_memory_wall
+
+
+def test_fig11_memory_wall(benchmark):
+    study = benchmark.pedantic(run_memory_wall_study, rounds=1, iterations=1)
+    emit("Fig. 11 — MBR / RUR", format_memory_wall(study))
+
+    # Fig. 11a annotations
+    assert study.point("P-A", 16).mbr_percent == pytest.approx(9.0, abs=3.0)
+    assert study.point("P-A", 32).mbr_percent == pytest.approx(16.0, abs=3.0)
+    assert study.point("GPU", 32).mbr_percent == pytest.approx(70.0, abs=5.0)
+
+    # Fig. 11b shapes
+    assert study.point("P-A", 16).rur_percent == pytest.approx(65.0, abs=4.0)
+    for name in ("P-A", "Ambit", "D3", "D1"):
+        assert study.point(name, 16).rur_percent > 45.0
+    for k in (16, 32):
+        pa_mbr = study.point("P-A", k).mbr
+        pa_rur = study.point("P-A", k).rur
+        gpu_rur = study.point("GPU", k).rur
+        for name in study.platforms():
+            assert study.point(name, k).mbr >= pa_mbr
+            assert gpu_rur <= study.point(name, k).rur <= pa_rur

@@ -1,0 +1,29 @@
+"""E1 — Fig. 3a: transient simulation of the in-memory XNOR2 op.
+
+Regenerates the four input-pattern waveforms and checks the figure's
+claim: the cell/bit-line charges to Vdd when DiDj in {00, 11} and
+discharges to GND when DiDj in {01, 10}, within one cycle.
+"""
+
+from conftest import emit
+
+from repro.eval.transient import run_transient_study
+
+
+def test_fig3a_transient(benchmark):
+    study = benchmark(run_transient_study)
+
+    rows = []
+    for pattern, final, expected in study.summary_rows():
+        rail = "Vdd" if expected > 0 else "GND"
+        rows.append(
+            f"  DiDj={pattern}:  BL settles to {final:5.3f} V "
+            f"(expected rail {rail})"
+        )
+    emit("Fig. 3a — XNOR2 transient (final BL voltages)", "\n".join(rows))
+
+    assert study.all_patterns_correct
+    assert study.final_bl("00") > 0.99 * study.vdd
+    assert study.final_bl("11") > 0.99 * study.vdd
+    assert study.final_bl("01") < 0.01 * study.vdd
+    assert study.final_bl("10") < 0.01 * study.vdd

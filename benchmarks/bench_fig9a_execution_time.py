@@ -1,0 +1,71 @@
+"""E5/E11 — Fig. 9a: chr14 execution-time breakdown.
+
+Regenerates the per-stage (hashmap / deBruijn / traverse) times for
+GPU, P-A, Ambit, D3 and D1 at k in {16, 22, 26, 32} and asserts the
+paper's claims:
+
+* hashmap dominates the GPU run (>60%);
+* P-A's hashmap speed-up over GPU grows from ~5.2x (k=16) to ~9.8x
+  (k=32);
+* the PIM baselines are ~2.5-2.9x slower than P-A on average;
+* deBruijn+traverse (PIM_Add / MEM_insert heavy) is ~4x faster on P-A
+  than GPU.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.eval.execution import ExecutionModel
+from repro.eval.tables import format_execution, format_speedups
+from repro.eval.workloads import chr14_workload
+from repro.platforms import assembly_platforms
+
+
+def run_fig9a():
+    results = {}
+    platforms = assembly_platforms()
+    for k in (16, 22, 26, 32):
+        model = ExecutionModel(chr14_workload(k))
+        results[k] = {p.name: model.run(p) for p in platforms}
+    return results
+
+
+def test_fig9a_execution_time(benchmark, chr14_results):
+    results = benchmark.pedantic(run_fig9a, rounds=1, iterations=1)
+
+    body = []
+    for k, res in results.items():
+        ordered = [res[n] for n in ("GPU", "P-A", "Ambit", "D3", "D1")]
+        body.append(format_execution(ordered))
+        body.append("      " + format_speedups(ordered))
+    emit("Fig. 9a — execution time breakdown (s)", "\n".join(body))
+
+    # hashmap speed-up trend
+    hm = {
+        k: res["GPU"].stage("hashmap").time_s / res["P-A"].stage("hashmap").time_s
+        for k, res in results.items()
+    }
+    assert hm[16] == pytest.approx(5.2, rel=0.1)
+    assert hm[32] == pytest.approx(9.8, rel=0.1)
+    assert hm[16] < hm[22] < hm[26] < hm[32]
+
+    # GPU stage shares
+    for k, res in results.items():
+        gpu = res["GPU"]
+        assert gpu.stage("hashmap").time_s / gpu.total_time_s > 0.6
+
+    # PIM baselines ~2.5-2.9x slower on average
+    for name, target in (("Ambit", 2.9), ("D3", 2.5), ("D1", 2.8)):
+        avg = sum(
+            res[name].total_time_s / res["P-A"].total_time_s
+            for res in results.values()
+        ) / len(results)
+        assert avg == pytest.approx(target, rel=0.25), name
+
+    # graph stages: ~4.2x faster on P-A (averaged across k)
+    dbtv = [
+        (res["GPU"].stage("debruijn").time_s + res["GPU"].stage("traverse").time_s)
+        / (res["P-A"].stage("debruijn").time_s + res["P-A"].stage("traverse").time_s)
+        for res in results.values()
+    ]
+    assert sum(dbtv) / len(dbtv) == pytest.approx(4.2, rel=0.4)

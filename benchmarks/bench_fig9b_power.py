@@ -1,0 +1,41 @@
+"""E6 — Fig. 9b: chr14 power consumption per platform and k.
+
+Asserts the paper's power claims: P-A averages ~38.4 W across the
+three procedures, ~7.5x below the GPU and ~2.8x below the best PIM
+baseline, and is the lowest-power platform at every k.
+"""
+
+import pytest
+from conftest import emit
+
+
+def test_fig9b_power(benchmark, chr14_results):
+    def collect():
+        return {
+            k: {name: r.average_power_w for name, r in res.items()}
+            for k, res in chr14_results.items()
+        }
+
+    powers = benchmark(collect)
+
+    rows = [f"{'k':>4}" + "".join(f" {n:>8}" for n in ("GPU", "P-A", "Ambit", "D3", "D1"))]
+    for k, per in powers.items():
+        rows.append(
+            f"{k:>4}"
+            + "".join(f" {per[n]:7.1f}W" for n in ("GPU", "P-A", "Ambit", "D3", "D1"))
+        )
+    emit("Fig. 9b — power consumption (W)", "\n".join(rows))
+
+    pa_avg = sum(per["P-A"] for per in powers.values()) / len(powers)
+    gpu_avg = sum(per["GPU"] for per in powers.values()) / len(powers)
+    assert pa_avg == pytest.approx(38.4, rel=0.05)
+    assert gpu_avg / pa_avg == pytest.approx(7.5, rel=0.1)
+
+    best_pim_avg = min(
+        sum(per[name] for per in powers.values()) / len(powers)
+        for name in ("Ambit", "D3", "D1")
+    )
+    assert best_pim_avg / pa_avg == pytest.approx(2.8, rel=0.1)
+
+    for per in powers.values():
+        assert per["P-A"] == min(per.values())

@@ -1,0 +1,50 @@
+"""E10 — the abstract's headline claims, aggregated.
+
+"PIM-Assembler achieves on average 8.4x and 2.3x higher throughput for
+performing bulk bit-wise XNOR-based comparison operations compared with
+CPU and recent processing-in-DRAM platforms ... it reduces the
+execution time and power by ~5x and ~7.5x compared to GPU."
+"""
+
+import pytest
+from conftest import emit
+
+from repro.eval.throughput import headline_ratios
+
+
+def test_headline_claims(benchmark, fig3b_sweep, chr14_results):
+    def collect():
+        ratios = headline_ratios(fig3b_sweep)
+        exec_ratio = sum(
+            res["GPU"].total_time_s / res["P-A"].total_time_s
+            for res in chr14_results.values()
+        ) / len(chr14_results)
+        power_ratio = sum(
+            res["GPU"].average_power_w / res["P-A"].average_power_w
+            for res in chr14_results.values()
+        ) / len(chr14_results)
+        return ratios, exec_ratio, power_ratio
+
+    ratios, exec_ratio, power_ratio = benchmark(collect)
+
+    emit(
+        "Headline claims (paper -> measured)",
+        "\n".join(
+            [
+                f"  XNOR throughput vs CPU    :  8.4x -> {ratios['xnor_vs_cpu']:.2f}x",
+                f"  XNOR throughput vs Ambit  :  2.3x -> {ratios['xnor_vs_ambit']:.2f}x",
+                f"  XNOR throughput vs D1     :  1.9x -> {ratios['xnor_vs_d1']:.2f}x",
+                f"  XNOR throughput vs D3     :  3.7x -> {ratios['xnor_vs_d3']:.2f}x",
+                f"  chr14 execution vs GPU    :  ~5x  -> {exec_ratio:.2f}x",
+                f"  chr14 power vs GPU        :  7.5x -> {power_ratio:.2f}x",
+            ]
+        ),
+    )
+
+    assert ratios["xnor_vs_cpu"] == pytest.approx(8.4, rel=0.02)
+    assert ratios["xnor_vs_ambit"] == pytest.approx(2.33, rel=0.02)
+    assert ratios["xnor_vs_d1"] == pytest.approx(1.9, rel=0.02)
+    assert ratios["xnor_vs_d3"] == pytest.approx(3.7, rel=0.02)
+    # "~5x" execution: our model lands mildly above (see EXPERIMENTS.md)
+    assert 4.0 < exec_ratio < 8.0
+    assert power_ratio == pytest.approx(7.5, rel=0.1)

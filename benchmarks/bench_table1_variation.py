@@ -1,0 +1,24 @@
+"""E3 — Table I: process-variation Monte Carlo (10,000 trials/level).
+
+Regenerates the TRA-vs-two-row error table and asserts the paper's
+qualitative claims: clean at +/-5%, TRA failing first at +/-10%, and
+two-row activation strictly more robust at every level.
+"""
+
+from conftest import emit
+
+from repro.eval.reliability import format_table, run_reliability_table
+
+
+def test_table1_process_variation(benchmark):
+    table = benchmark.pedantic(
+        run_reliability_table, kwargs={"trials": 10_000}, rounds=1, iterations=1
+    )
+    emit("Table I — process variation (error %)", format_table(table))
+
+    assert table.all_orderings_hold
+    assert table.row(5.0).tra_error_percent < 0.1
+    assert table.row(5.0).two_row_error_percent < 0.1
+    assert table.row(10.0).two_row_error_percent < 0.25
+    assert table.row(10.0).tra_error_percent > table.row(10.0).two_row_error_percent
+    assert table.row(30.0).tra_error_percent > 10.0

@@ -1,0 +1,37 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_*.py`` regenerates one paper artefact (table or figure):
+it benchmarks the kernel that produces the data, asserts the paper's
+qualitative shape, and prints the same rows/series the paper plots
+(visible with ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print an experiment artefact under a recognisable banner."""
+    bar = "=" * max(8, len(title))
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")
+
+
+@pytest.fixture(scope="session")
+def fig3b_sweep():
+    from repro.eval.throughput import run_throughput_sweep
+
+    return run_throughput_sweep()
+
+
+@pytest.fixture(scope="session")
+def chr14_results():
+    """Fig. 9 inputs: every platform x every k, computed once."""
+    from repro.eval.execution import ExecutionModel
+    from repro.eval.workloads import chr14_workload
+    from repro.platforms import assembly_platforms
+
+    results = {}
+    platforms = assembly_platforms()
+    for k in (16, 22, 26, 32):
+        model = ExecutionModel(chr14_workload(k))
+        results[k] = {p.name: model.run(p) for p in platforms}
+    return results

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Paper-scale performance model: the chromosome-14 evaluation.
+
+Reproduces every Section IV comparison analytically — the same
+operation-count formulas the functional simulator obeys, fed through
+the per-platform timing models:
+
+* Fig. 9a: execution-time breakdown (hashmap / deBruijn / traverse)
+  for k in {16, 22, 26, 32} on GPU, P-A, Ambit, D3 and D1;
+* Fig. 9b: power consumption of the same runs;
+* Fig. 10: the power/delay trade-off against the parallelism degree;
+* Fig. 11: memory-bottleneck and resource-utilisation ratios.
+
+Run:
+    python examples/chr14_performance_model.py
+"""
+
+from repro.eval import (
+    chr14_workload,
+    run_all,
+    run_memory_wall_study,
+    run_tradeoff_sweep,
+)
+from repro.eval.tables import (
+    format_execution,
+    format_memory_wall,
+    format_speedups,
+    format_tradeoff,
+)
+from repro.genome import CHR14_READ_COUNT, CHR14_READ_LENGTH
+from repro.platforms import assembly_platforms
+
+
+def main() -> None:
+    print("=== chromosome-14 workload (paper Section IV) ===")
+    print(f"reads: {CHR14_READ_COUNT:,} x {CHR14_READ_LENGTH} bp")
+    w16 = chr14_workload(16)
+    print(
+        f"k=16: {w16.total_kmers / 1e9:.2f} G queries, "
+        f"{w16.unique_kmers / 1e6:.0f} M distinct k-mers, "
+        f"footprint ~{w16.total_bytes / 1e9:.1f} GB"
+    )
+
+    platforms = assembly_platforms()
+    print("\n=== Fig. 9a/9b: execution time and power ===")
+    for k in (16, 22, 26, 32):
+        results = run_all(platforms, chr14_workload(k))
+        print(format_execution(results))
+        print("      " + format_speedups(results))
+
+    print("\n=== Fig. 10: power/delay vs parallelism degree ===")
+    print(format_tradeoff(run_tradeoff_sweep()))
+
+    print("\n=== Fig. 11: memory wall (MBR) and utilisation (RUR) ===")
+    print(format_memory_wall(run_memory_wall_study()))
+
+    print(
+        "\npaper headline checks: P-A hashmap speed-up over GPU grows "
+        "~5.2x (k=16) -> ~9.8x (k=32); P-A power ~38 W vs GPU ~7.5x "
+        "higher; optimum Pd ~= 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Reliability study: Table I and the Fig. 3a transient, behaviourally.
+
+Part 1 reruns the 10,000-trial Monte-Carlo process-variation study at
+every variation level the paper reports, comparing Ambit's triple-row
+activation against PIM-Assembler's two-row activation.
+
+Part 2 draws the XNOR2 transient waveforms (ASCII) for all four input
+patterns, showing the bit line regenerating to Vdd when Di = Dj and to
+GND otherwise — the Fig. 3a behaviour.
+
+Run:
+    python examples/reliability_study.py
+"""
+
+from repro.eval.reliability import format_table, run_reliability_table
+from repro.eval.transient import run_transient_study
+
+
+def ascii_plot(times, values, vdd: float, width: int = 64, height: int = 8) -> str:
+    """Tiny ASCII line plot of one waveform."""
+    rows = [[" "] * width for _ in range(height)]
+    n = len(values)
+    for col in range(width):
+        idx = int(col * (n - 1) / (width - 1))
+        level = values[idx] / vdd
+        row = height - 1 - int(round(level * (height - 1)))
+        row = min(max(row, 0), height - 1)
+        rows[row][col] = "*"
+    lines = []
+    for i, row in enumerate(rows):
+        label = "Vdd" if i == 0 else ("GND" if i == height - 1 else "   ")
+        lines.append(f"{label} |" + "".join(row))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("=== Table I: process variation (10,000 Monte-Carlo trials) ===")
+    table = run_reliability_table(trials=10_000)
+    print(format_table(table))
+    print(
+        "\nordering (2-row activation more robust than TRA at every "
+        f"level): {'HOLDS' if table.all_orderings_hold else 'VIOLATED'}"
+    )
+
+    print("\n=== Fig. 3a: XNOR2 transient (BL voltage) ===")
+    study = run_transient_study()
+    for pattern, expected in [(p, study.expected_bl(p)) for p in sorted(study.waveforms)]:
+        wave = study.waveforms[pattern]
+        rail = "Vdd" if expected > 0 else "GND"
+        print(f"\nDiDj = {pattern}  (XNOR2 -> BL regenerates to {rail})")
+        print(ascii_plot(wave.time_ns, wave.traces["BL"], study.vdd))
+    print(
+        "\nall four patterns settle to the correct rail: "
+        f"{study.all_patterns_correct}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Full resequencing workflow: paired reads -> correction -> assembly
+-> mate-pair scaffolding.
+
+A realistic end-to-end pipeline built entirely from this library's
+extensions around the paper's core:
+
+1. simulate a paired-end library (400 bp inserts, 0.5% errors) from a
+   repeat-bearing synthetic chromosome;
+2. spectrally correct the reads (k-mer spectrum repair);
+3. assemble the corrected left+right mates with the bidirected
+   (strand-aware) pipeline — the right mates are reverse-strand;
+4. scaffold the contigs with the mate-pair links, estimating gaps.
+
+Run:
+    python examples/resequencing_workflow.py
+"""
+
+from repro.assembly import (
+    assemble_bidirected,
+    correct_reads,
+    evaluate_assembly,
+    scaffold_assembly,
+)
+from repro.genome import PairedReadSimulator, all_reads, synthetic_chromosome
+
+
+def main() -> None:
+    genome_length = 4_000
+    insert_mean = 450
+
+    print("=== resequencing workflow ===")
+    reference = synthetic_chromosome(genome_length, seed=77)
+    print(f"reference : {genome_length} bp, GC {reference.gc_content():.1%}")
+
+    simulator = PairedReadSimulator(
+        read_length=80,
+        insert_mean=insert_mean,
+        insert_sd=35,
+        seed=78,
+        error_rate=0.005,
+    )
+    pairs = simulator.sample(
+        reference, simulator.pairs_for_coverage(genome_length, 35)
+    )
+    reads = all_reads(pairs)
+    print(f"library   : {len(pairs)} pairs x 2 x 80 bp, 0.5% error rate")
+
+    print("\n[1/3] spectral error correction ...")
+    correction = correct_reads(reads, k=15, solid_threshold=4)
+    print(
+        f"  repaired {correction.corrected_bases} bases in "
+        f"{correction.corrected_reads} reads "
+        f"({correction.kmer_lookups} k-mer lookups — PIM_XNOR-class work)"
+    )
+
+    print("\n[2/3] bidirected assembly (strand-mixed mates) ...")
+    contigs = assemble_bidirected(
+        correction.reads, k=21, min_count=3, min_contig_length=100
+    )
+    report = evaluate_assembly(contigs, reference)
+    print(f"  {report}")
+
+    print("\n[3/3] mate-pair scaffolding ...")
+    scaffolds = scaffold_assembly(
+        contigs, pairs, insert_mean=insert_mean, min_links=3
+    )
+    print(f"  {len(contigs)} contigs -> {len(scaffolds)} scaffolds")
+    for scaffold in scaffolds[:5]:
+        print(
+            f"    {scaffold.name}: {len(scaffold)} bp "
+            f"({len(scaffold.members)} contigs, "
+            f"{scaffold.gap_bases} N-gap bases)"
+        )
+
+    longest = max(scaffolds, key=len)
+    recovered = len(longest) / genome_length
+    print(f"\nlongest scaffold spans {recovered:.0%} of the reference")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Contig spelling: turning graph paths back into sequences.
+
+A path of edges ``(n0 -> n1 -> ... -> nm)`` over (k-1)-mer nodes spells
+the sequence ``n0`` followed by the last base of every subsequent node
+— the standard de Bruijn path-to-sequence rule (paper Fig. 5c's
+Contig-I/II/III example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.assembly.debruijn import DeBruijnGraph, Edge
+from repro.assembly.euler import eulerian_paths, unitigs
+from repro.genome.sequence import DnaSequence
+
+
+@dataclass(frozen=True)
+class Contig:
+    """One assembled contig."""
+
+    name: str
+    sequence: DnaSequence
+    edge_count: int
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def spell_path(graph: DeBruijnGraph, path: list[Edge]) -> DnaSequence:
+    """Spell the sequence of a non-empty edge path."""
+    if not path:
+        raise ValueError("cannot spell an empty path")
+    for prev, nxt in zip(path, path[1:]):
+        if prev.target != nxt.source:
+            raise ValueError("edges do not form a connected path")
+    first = graph.node_sequence(path[0].source)
+    codes = [np.asarray(first.codes)]
+    for edge in path:
+        node = graph.node_sequence(edge.target)
+        codes.append(np.asarray(node.codes[-1:]))
+    return DnaSequence(np.concatenate(codes))
+
+
+def contigs_from_paths(
+    graph: DeBruijnGraph,
+    paths: list[list[Edge]],
+    min_length: int = 0,
+    prefix: str = "contig",
+) -> list[Contig]:
+    """Spell every path and keep those of at least ``min_length`` bases."""
+    contigs = []
+    for path in paths:
+        if not path:
+            continue
+        sequence = spell_path(graph, path)
+        if len(sequence) >= min_length:
+            contigs.append(
+                Contig(
+                    name=f"{prefix}{len(contigs)}",
+                    sequence=sequence,
+                    edge_count=len(path),
+                )
+            )
+    contigs.sort(key=len, reverse=True)
+    return [
+        Contig(name=f"{prefix}{i}", sequence=c.sequence, edge_count=c.edge_count)
+        for i, c in enumerate(contigs)
+    ]
+
+
+def assemble_contigs(
+    graph: DeBruijnGraph,
+    mode: str = "unitig",
+    min_length: int = 0,
+) -> list[Contig]:
+    """Contig generation from a de Bruijn graph.
+
+    Args:
+        graph: the k-mer graph.
+        mode: ``"unitig"`` (maximal non-branching paths; robust to
+            repeats) or ``"euler"`` (one Eulerian trail per component,
+            the paper's traversal; requires trail feasibility).
+        min_length: drop contigs shorter than this many bases.
+    """
+    if mode == "unitig":
+        paths = unitigs(graph)
+    elif mode == "euler":
+        paths = eulerian_paths(graph)
+    else:
+        raise ValueError(f"unknown contig mode {mode!r}")
+    return contigs_from_paths(graph, paths, min_length=min_length)

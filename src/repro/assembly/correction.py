@@ -1,0 +1,198 @@
+"""k-mer-spectrum read error correction (pre-assembly extension).
+
+Frequency filtering (``min_count``) *drops* erroneous k-mers; spectral
+correction *repairs* the reads instead, preserving coverage.  The
+classic scheme (Euler-SR / Quake family):
+
+1. count k-mers over the read set; k-mers with frequency >=
+   ``solid_threshold`` are **solid** (real), the rest **weak** (likely
+   error-tainted);
+2. a read position covered only by weak k-mers is suspect; try the
+   three alternative bases and accept a substitution iff it makes
+   every k-mer covering that position solid and it is the *unique*
+   base that does so;
+3. reads with more than ``max_corrections`` suspect positions are left
+   untouched (likely chimeric or low-quality).
+
+Correction is itself a comparison-heavy k-mer workload — precisely the
+PIM_XNOR-class computation PIM-Assembler accelerates — so the module
+reports the number of k-mer lookups it performed, which plugs into the
+same operation-count performance model as the hashmap stage.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.genome.kmer import packed_kmers_array
+from repro.genome.reads import Read
+from repro.genome.sequence import DnaSequence
+
+
+@dataclass(frozen=True)
+class CorrectionResult:
+    """Outcome of correcting one read set."""
+
+    reads: list[Read]
+    corrected_reads: int
+    corrected_bases: int
+    abandoned_reads: int
+    kmer_lookups: int
+
+    @property
+    def total_reads(self) -> int:
+        return len(self.reads)
+
+
+@dataclass
+class SpectralCorrector:
+    """k-mer-spectrum substitution corrector.
+
+    Attributes:
+        k: k-mer length of the spectrum.
+        solid_threshold: minimum frequency for a k-mer to count as
+            solid (>= 2 removes singletons; higher for deep coverage).
+        max_corrections: give up on reads needing more substitutions.
+    """
+
+    k: int
+    solid_threshold: int = 3
+    max_corrections: int = 3
+    _lookups: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.k <= 1:
+            raise ValueError("k must be at least 2")
+        if self.solid_threshold <= 0:
+            raise ValueError("solid_threshold must be positive")
+        if self.max_corrections <= 0:
+            raise ValueError("max_corrections must be positive")
+
+    # ----- spectrum ----------------------------------------------------------
+
+    def build_spectrum(self, reads: Iterable[Read]) -> set[int]:
+        """The solid k-mer set of a read collection."""
+        counts: Counter = Counter()
+        for read in reads:
+            for packed in packed_kmers_array(read.sequence, self.k).tolist():
+                counts[packed] += 1
+        return {
+            packed
+            for packed, count in counts.items()
+            if count >= self.solid_threshold
+        }
+
+    # ----- per-read correction ---------------------------------------------------
+
+    def _weak_positions(
+        self, codes: np.ndarray, solid: set[int]
+    ) -> list[int]:
+        """Base positions covered by no solid k-mer."""
+        n = codes.size
+        if n < self.k:
+            return []
+        packed = packed_kmers_array(DnaSequence(codes), self.k)
+        self._lookups += packed.size
+        solid_mask = np.fromiter(
+            (int(p) in solid for p in packed), dtype=bool, count=packed.size
+        )
+        covered = np.zeros(n, dtype=bool)
+        for i in np.nonzero(solid_mask)[0]:
+            covered[i : i + self.k] = True
+        return [int(i) for i in np.nonzero(~covered)[0]]
+
+    def _position_fixed(
+        self, codes: np.ndarray, position: int, solid: set[int]
+    ) -> bool:
+        """True iff every k-mer covering ``position`` is solid."""
+        n = codes.size
+        lo = max(0, position - self.k + 1)
+        hi = min(position, n - self.k)
+        for start in range(lo, hi + 1):
+            window = DnaSequence(codes[start : start + self.k])
+            self._lookups += 1
+            packed = int(packed_kmers_array(window, self.k)[0])
+            if packed not in solid:
+                return False
+        return True
+
+    def correct_read(self, read: Read, solid: set[int]) -> tuple[Read, int]:
+        """Attempt correction; returns (read, substitutions made).
+
+        Returns the original read with 0 substitutions when nothing is
+        suspect, when a suspect position has no unique fix, or when the
+        repair budget is exceeded.
+        """
+        codes = read.sequence.codes.copy()
+        weak = self._weak_positions(codes, solid)
+        if not weak:
+            return read, 0
+        if len(weak) > self.max_corrections * self.k:
+            return read, 0  # too damaged; likely more than substitutions
+
+        substitutions = 0
+        for position in weak:
+            if self._position_fixed(codes, position, solid):
+                continue  # repaired by an earlier substitution
+            original = codes[position]
+            candidates = []
+            for base in range(4):
+                if base == original:
+                    continue
+                codes[position] = base
+                if self._position_fixed(codes, position, solid):
+                    candidates.append(base)
+            if len(candidates) == 1:
+                codes[position] = candidates[0]
+                substitutions += 1
+                if substitutions > self.max_corrections:
+                    return read, 0
+            else:
+                codes[position] = original
+
+        if substitutions == 0:
+            return read, 0
+        corrected = Read(
+            name=read.name,
+            sequence=DnaSequence(codes),
+            start=read.start,
+            reverse=read.reverse,
+        )
+        return corrected, substitutions
+
+    # ----- read-set correction ------------------------------------------------------
+
+    def correct(self, reads: Sequence[Read]) -> CorrectionResult:
+        """Correct a read set against its own spectrum."""
+        self._lookups = 0
+        solid = self.build_spectrum(reads)
+        out: list[Read] = []
+        corrected_reads = corrected_bases = abandoned = 0
+        for read in reads:
+            fixed, n_subs = self.correct_read(read, solid)
+            out.append(fixed)
+            if n_subs > 0:
+                corrected_reads += 1
+                corrected_bases += n_subs
+            elif self._weak_positions(fixed.sequence.codes, solid):
+                abandoned += 1
+        return CorrectionResult(
+            reads=out,
+            corrected_reads=corrected_reads,
+            corrected_bases=corrected_bases,
+            abandoned_reads=abandoned,
+            kmer_lookups=self._lookups,
+        )
+
+
+def correct_reads(
+    reads: Sequence[Read],
+    k: int = 15,
+    solid_threshold: int = 3,
+) -> CorrectionResult:
+    """One-call spectral correction with default budgets."""
+    return SpectralCorrector(k=k, solid_threshold=solid_threshold).correct(reads)

@@ -1,0 +1,174 @@
+"""Stage 2a — de Bruijn graph construction (paper Fig. 5c).
+
+The reconstructed ``DeBruijn(Hashmap, k)`` procedure: for every k-mer
+in the hash table, ``node_1 = k_mer[0 .. k-2]`` and ``node_2 =
+k_mer[1 .. k-1]`` become vertices and ``(node_1, node_2)`` an edge.
+Nodes are (k-1)-mers stored as packed integers; each distinct k-mer
+contributes one edge carrying its observed frequency as an attribute
+(frequencies below ``min_count`` can be dropped — the standard
+error-filtering knob).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.genome.alphabet import BITS_PER_BASE
+from repro.genome.kmer import unpack_kmer
+from repro.genome.sequence import DnaSequence
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One de Bruijn edge: an observed k-mer linking two (k-1)-mers."""
+
+    source: int
+    target: int
+    kmer: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("edge count must be positive")
+
+
+@dataclass
+class DeBruijnGraph:
+    """A de Bruijn multigraph over packed (k-1)-mer node keys."""
+
+    k: int
+    _adjacency: dict[int, list[Edge]] = field(default_factory=dict)
+    _in_degree: Counter = field(default_factory=Counter)
+    _out_degree: Counter = field(default_factory=Counter)
+    _edge_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ValueError("de Bruijn construction needs k >= 2")
+
+    # ----- construction -----------------------------------------------------
+
+    @property
+    def node_bases(self) -> int:
+        """Bases per node label (k - 1)."""
+        return self.k - 1
+
+    def split_kmer(self, packed_kmer: int) -> tuple[int, int]:
+        """(prefix node, suffix node) of a packed k-mer."""
+        node_bits = BITS_PER_BASE * self.node_bases
+        mask = (1 << node_bits) - 1
+        prefix = packed_kmer >> BITS_PER_BASE
+        suffix = packed_kmer & mask
+        return prefix, suffix
+
+    def add_kmer(self, packed_kmer: int, count: int = 1) -> Edge:
+        """MEM_insert of one k-mer's nodes and edge."""
+        source, target = self.split_kmer(packed_kmer)
+        edge = Edge(source=source, target=target, kmer=packed_kmer, count=count)
+        self._adjacency.setdefault(source, []).append(edge)
+        self._adjacency.setdefault(target, [])
+        self._out_degree[source] += 1
+        self._in_degree[target] += 1
+        self._edge_count += 1
+        return edge
+
+    @classmethod
+    def from_counts(
+        cls,
+        counts: Mapping[int, int],
+        k: int,
+        min_count: int = 1,
+    ) -> "DeBruijnGraph":
+        """Build the graph from a hash table of k-mer frequencies."""
+        if min_count <= 0:
+            raise ValueError("min_count must be positive")
+        graph = cls(k=k)
+        for packed, count in sorted(counts.items()):
+            if count >= min_count:
+                graph.add_kmer(packed, count)
+        return graph
+
+    # ----- queries ----------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        return self._edge_count
+
+    def nodes(self) -> Iterator[int]:
+        return iter(self._adjacency)
+
+    def edges(self) -> Iterator[Edge]:
+        for out_edges in self._adjacency.values():
+            yield from out_edges
+
+    def out_edges(self, node: int) -> list[Edge]:
+        return list(self._adjacency.get(node, []))
+
+    def out_degree(self, node: int) -> int:
+        return self._out_degree.get(node, 0)
+
+    def in_degree(self, node: int) -> int:
+        return self._in_degree.get(node, 0)
+
+    def node_sequence(self, node: int) -> DnaSequence:
+        """Decode a node key back into its (k-1)-mer."""
+        return unpack_kmer(node, self.node_bases)
+
+    def has_node(self, node: int) -> bool:
+        return node in self._adjacency
+
+    # ----- structure analysis --------------------------------------------------------
+
+    def degree_imbalance(self) -> dict[int, int]:
+        """node -> out_degree - in_degree (Euler path endpoints)."""
+        imbalance: dict[int, int] = {}
+        for node in self._adjacency:
+            delta = self.out_degree(node) - self.in_degree(node)
+            if delta:
+                imbalance[node] = delta
+        return imbalance
+
+    def connected_components(self) -> list[set[int]]:
+        """Weakly connected components (undirected reachability)."""
+        undirected: dict[int, set[int]] = defaultdict(set)
+        for node in self._adjacency:
+            undirected.setdefault(node, set())
+        for edge in self.edges():
+            undirected[edge.source].add(edge.target)
+            undirected[edge.target].add(edge.source)
+        seen: set[int] = set()
+        components: list[set[int]] = []
+        for start in undirected:
+            if start in seen:
+                continue
+            stack = [start]
+            component: set[int] = set()
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                stack.extend(undirected[node] - component)
+            seen |= component
+            components.append(component)
+        return components
+
+    def is_branching(self, node: int) -> bool:
+        """True if the node is not a simple pass-through (1 in, 1 out)."""
+        return not (self.in_degree(node) == 1 and self.out_degree(node) == 1)
+
+
+def build_graph_from_sequences(
+    sequences: Iterable[DnaSequence], k: int, min_count: int = 1
+) -> DeBruijnGraph:
+    """Convenience: software count + graph build in one step."""
+    from repro.genome.kmer import count_kmers
+
+    counts = count_kmers(list(sequences), k)
+    return DeBruijnGraph.from_counts(counts, k=k, min_count=min_count)

@@ -1,0 +1,243 @@
+"""Stage 2b — graph traversal: Eulerian paths and unitigs.
+
+The paper's ``Traverse(G)`` procedure computes every vertex's in/out
+degree with bulk ``PIM_Add`` operations, picks the start vertex, and
+runs Fleury's algorithm for the Euler path.  This module implements:
+
+* :func:`eulerian_path` — Hierholzer's algorithm (linear time; the
+  production traversal),
+* :func:`fleury_path` — Fleury's algorithm exactly as the paper's
+  pseudo-code names it (quadratic; kept for fidelity and used by the
+  tests as a cross-check on small graphs),
+* :func:`unitigs` — maximal non-branching paths, the contig-safe
+  decomposition used when the graph has ambiguous branching (repeats).
+
+All of them consume :class:`~repro.assembly.debruijn.DeBruijnGraph`
+and treat each distinct k-mer as one traversable edge.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterator
+
+from repro.assembly.debruijn import DeBruijnGraph, Edge
+
+
+def find_start_node(graph: DeBruijnGraph, component: set[int]) -> int:
+    """The Euler-path start vertex of one component.
+
+    A node with ``out - in == 1`` if one exists (open trail), otherwise
+    any node with outgoing edges (closed tour).
+    """
+    start_candidates = [
+        node
+        for node in component
+        if graph.out_degree(node) - graph.in_degree(node) == 1
+    ]
+    if start_candidates:
+        return min(start_candidates)
+    with_out = [n for n in component if graph.out_degree(n) > 0]
+    if not with_out:
+        raise ValueError("component has no edges")
+    return min(with_out)
+
+
+def has_eulerian_path(graph: DeBruijnGraph, component: set[int]) -> bool:
+    """Euler-trail feasibility test for one weakly connected component."""
+    plus_one = minus_one = 0
+    for node in component:
+        delta = graph.out_degree(node) - graph.in_degree(node)
+        if delta == 1:
+            plus_one += 1
+        elif delta == -1:
+            minus_one += 1
+        elif delta != 0:
+            return False
+    return (plus_one, minus_one) in ((0, 0), (1, 1))
+
+
+def eulerian_path(graph: DeBruijnGraph, component: set[int] | None = None) -> list[Edge]:
+    """Hierholzer's algorithm over one component (default: whole graph).
+
+    Raises:
+        ValueError: if the component admits no Eulerian trail.
+    """
+    if component is None:
+        components = graph.connected_components()
+        if len(components) != 1:
+            raise ValueError(
+                f"graph has {len(components)} components; traverse each "
+                "separately (see eulerian_paths)"
+            )
+        component = components[0]
+    if not has_eulerian_path(graph, component):
+        raise ValueError("component has no Eulerian trail")
+
+    next_index: dict[int, int] = defaultdict(int)
+    out_lists = {node: graph.out_edges(node) for node in component}
+    start = find_start_node(graph, component)
+
+    stack: list[int] = [start]
+    edge_stack: list[Edge] = []
+    trail: list[Edge] = []
+    while stack:
+        node = stack[-1]
+        edges = out_lists.get(node, [])
+        if next_index[node] < len(edges):
+            edge = edges[next_index[node]]
+            next_index[node] += 1
+            stack.append(edge.target)
+            edge_stack.append(edge)
+        else:
+            stack.pop()
+            if edge_stack:
+                trail.append(edge_stack.pop())
+    trail.reverse()
+
+    total_edges = sum(len(graph.out_edges(n)) for n in component)
+    if len(trail) != total_edges:
+        raise ValueError("component is not edge-connected; no single trail")
+    return trail
+
+
+def eulerian_paths(graph: DeBruijnGraph) -> list[list[Edge]]:
+    """One Eulerian trail per weakly connected component."""
+    trails = []
+    for component in graph.connected_components():
+        if any(graph.out_degree(n) for n in component):
+            trails.append(eulerian_path(graph, component))
+    return trails
+
+
+def fleury_path(graph: DeBruijnGraph, component: set[int] | None = None) -> list[Edge]:
+    """Fleury's algorithm (paper Fig. 5c names it explicitly).
+
+    Never crosses a bridge unless forced.  O(E^2); intended for small
+    graphs and as a test oracle against :func:`eulerian_path`.
+    """
+    if component is None:
+        components = graph.connected_components()
+        if len(components) != 1:
+            raise ValueError("fleury_path expects a single component")
+        component = components[0]
+    if not has_eulerian_path(graph, component):
+        raise ValueError("component has no Eulerian trail")
+
+    remaining: dict[int, list[Edge]] = {
+        node: graph.out_edges(node) for node in component
+    }
+    used: set[int] = set()  # id()s of consumed Edge objects
+
+    # Pre-index reverse adjacency for the undirected reachability.
+    reverse: dict[int, list[Edge]] = defaultdict(list)
+    for node in component:
+        for edge in remaining[node]:
+            reverse[edge.target].append(edge)
+
+    def undirected_reach(start: int) -> int:
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for edge in remaining.get(node, []) + reverse.get(node, []):
+                if id(edge) in used:
+                    continue
+                for nxt in (edge.target, edge.source):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+        return len(seen)
+
+    node = find_start_node(graph, component)
+    trail: list[Edge] = []
+    total_edges = sum(len(remaining[n]) for n in component)
+    for _ in range(total_edges):
+        candidates = [e for e in remaining[node] if id(e) not in used]
+        if not candidates:
+            raise ValueError("stuck before consuming every edge")
+        chosen = None
+        if len(candidates) == 1:
+            chosen = candidates[0]
+        else:
+            before = undirected_reach(node)
+            for edge in candidates:
+                used.add(id(edge))
+                after = undirected_reach(node)
+                used.discard(id(edge))
+                if after >= before - 1 and after >= 1:
+                    # not a bridge (removal keeps the rest reachable)
+                    if after == before:
+                        chosen = edge
+                        break
+            if chosen is None:
+                chosen = candidates[0]
+        used.add(id(chosen))
+        trail.append(chosen)
+        node = chosen.target
+    return trail
+
+
+def unitigs(graph: DeBruijnGraph) -> list[list[Edge]]:
+    """Maximal non-branching paths (the contig-safe decomposition).
+
+    Every edge appears in exactly one unitig.  Paths start at branching
+    nodes (or cycle entry points) and extend while the interior nodes
+    are simple (in = out = 1).
+    """
+    consumed: set[int] = set()
+    paths: list[list[Edge]] = []
+
+    def extend_from(edge: Edge) -> list[Edge]:
+        path = [edge]
+        consumed.add(id(edge))
+        node = edge.target
+        while not graph.is_branching(node):
+            nxt = [e for e in graph.out_edges(node) if id(e) not in consumed]
+            if not nxt:
+                break
+            follow = nxt[0]
+            if follow.target == follow.source and graph.out_degree(node) == 1:
+                pass  # self-loop at a simple node; still consume it
+            path.append(follow)
+            consumed.add(id(follow))
+            node = follow.target
+            if node == edge.source and not graph.is_branching(node):
+                break  # closed an isolated cycle
+        return path
+
+    # First pass: paths starting at branching nodes.
+    for node in graph.nodes():
+        if graph.is_branching(node):
+            for edge in graph.out_edges(node):
+                if id(edge) not in consumed:
+                    paths.append(extend_from(edge))
+    # Second pass: isolated simple cycles.
+    for node in graph.nodes():
+        for edge in graph.out_edges(node):
+            if id(edge) not in consumed:
+                paths.append(extend_from(edge))
+    return paths
+
+
+def degree_table(graph: DeBruijnGraph) -> dict[int, tuple[int, int]]:
+    """node -> (in_degree, out_degree): the quantity the paper's
+    traversal computes with bulk PIM_Add over adjacency rows (Fig. 8)."""
+    return {
+        node: (graph.in_degree(node), graph.out_degree(node))
+        for node in graph.nodes()
+    }
+
+
+def path_edge_multiset(path: list[Edge]) -> Counter:
+    """Multiset of k-mers along a path (test invariant helper)."""
+    return Counter(edge.kmer for edge in path)
+
+
+def iter_path_nodes(path: list[Edge]) -> Iterator[int]:
+    """Nodes visited along a path, including the start node."""
+    if not path:
+        return
+    yield path[0].source
+    for edge in path:
+        yield edge.target

@@ -1,0 +1,263 @@
+"""Stage 1 — k-mer analysis: the PIM-friendly Hashmap procedure.
+
+This is the paper's reconstructed ``Hashmap(S, k)`` (Fig. 5b) running on
+the functional simulator:
+
+* every k-mer of the input is written to the sub-array's **temp row**
+  (``MEM_insert``),
+* a **parallel in-memory comparison** (``PIM_XNOR`` + the DPU's AND
+  unit, Fig. 7) checks it against stored k-mer rows,
+* on a hit, the frequency counter in the value region is updated
+  (``PIM_Add``-class update; counter fields are 8-bit packed, so the
+  non-bulk variant runs on the MAT's DPU),
+* on a miss, the temp row is RowCloned into the next free k-mer row and
+  its counter set to 1.
+
+K-mers are distributed over sub-arrays by a hash partition — the
+paper's *correlated partitioning*, which keeps every query local to one
+sub-array and lets different sub-arrays serve different queries
+concurrently.
+
+:class:`SoftwareKmerCounter` is the golden model (a plain dict); the
+test suite asserts the PIM path produces identical tables.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.isa import RowAddress
+from repro.core.platform import PimAssembler
+from repro.genome.kmer import iter_kmers, kmer_to_row_bits, pack_kmer
+from repro.genome.reads import Read
+from repro.genome.sequence import DnaSequence
+from repro.mapping.hashing import kmer_partition
+from repro.mapping.kmer_layout import KmerLayout, scaled_layout
+
+__all__ = [
+    "PimKmerCounter",
+    "SoftwareKmerCounter",
+    "kmer_partition",
+]
+
+
+@dataclass
+class _SubarrayTable:
+    """Host-side metadata of one sub-array's table region."""
+
+    key: tuple[int, int, int]
+    layout: KmerLayout
+    occupied: int = 0
+
+
+class SoftwareKmerCounter:
+    """Golden-model k-mer counter (plain dictionary)."""
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self._counts: Counter = Counter()
+
+    def add_sequence(self, sequence: DnaSequence) -> None:
+        for kmer in iter_kmers(sequence, self.k):
+            self._counts[pack_kmer(kmer)] += 1
+
+    def add_reads(self, reads: Iterable[Read]) -> None:
+        for read in reads:
+            self.add_sequence(read.sequence)
+
+    def counts(self) -> Counter:
+        return Counter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class PimKmerCounter:
+    """The Hashmap procedure on the PIM-Assembler functional simulator.
+
+    Args:
+        pim: the platform instance (owns timing/energy accounting).
+        k: k-mer length; ``2k`` must fit one row (k <= 128 bases at 256
+            columns).
+        subarray_keys: which sub-arrays hold table partitions; defaults
+            to every sub-array of the device.
+        saturating: clamp counters at the 8-bit maximum instead of
+            raising (real hardware saturates; the golden-model
+            comparison requires counts below the limit).
+    """
+
+    def __init__(
+        self,
+        pim: PimAssembler,
+        k: int,
+        subarray_keys: Sequence[tuple[int, int, int]] | None = None,
+        saturating: bool = True,
+    ) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        geometry = pim.geometry.bank.mat.subarray
+        layout = scaled_layout(geometry)
+        if k > layout.max_kmer_bases:
+            raise ValueError(
+                f"k={k} needs {2 * k} bit lines; rows have {geometry.cols}"
+            )
+        self.pim = pim
+        self.k = k
+        self.saturating = saturating
+        keys = (
+            list(subarray_keys)
+            if subarray_keys is not None
+            else list(pim.device.subarray_keys())
+        )
+        if not keys:
+            raise ValueError("at least one sub-array is required")
+        self._tables = [_SubarrayTable(key=key, layout=layout) for key in keys]
+        #: per-partition slot -> packed k-mer (host shadow for readback
+        #: ordering only; matching is done in-memory).
+        self._slot_keys: list[list[int]] = [[] for _ in keys]
+        self._valid_bits = 2 * k
+        self._mask = np.zeros(geometry.cols, dtype=np.uint8)
+        self._mask[: self._valid_bits] = 1
+
+    # ----- addressing helpers ---------------------------------------------------
+
+    def _addr(self, table: _SubarrayTable, row: int) -> RowAddress:
+        bank, mat, sub = table.key
+        return RowAddress(bank=bank, mat=mat, subarray=sub, row=row)
+
+    @property
+    def partitions(self) -> int:
+        return len(self._tables)
+
+    @property
+    def layout(self) -> KmerLayout:
+        return self._tables[0].layout
+
+    # ----- the Hashmap procedure ---------------------------------------------------
+
+    def add_kmer(self, kmer: DnaSequence) -> None:
+        """One iteration of the Hashmap loop (Fig. 5b)."""
+        if len(kmer) != self.k:
+            raise ValueError(f"expected a {self.k}-mer, got {len(kmer)} bases")
+        packed = pack_kmer(kmer)
+        table = self._tables[kmer_partition(packed, self.partitions)]
+        ctrl = self.pim.controller
+        layout = table.layout
+
+        # MEM_insert the query into the temp region.
+        temp = self._addr(table, layout.temp_row(0))
+        bits = kmer_to_row_bits(kmer, self.pim.row_bits)
+        ctrl.write_row(temp, bits)
+
+        # Parallel in-memory comparison against the occupied k-mer rows
+        # (PIM_XNOR + DPU AND reduce, Fig. 7); the scan stops at the
+        # first match, as the DPU's outcome gates the next command.
+        match_slot = ctrl.compare_scan(
+            temp,
+            start_row=layout.kmer_row(0) if table.occupied else 0,
+            n_rows=table.occupied,
+            valid_bits=self._valid_bits,
+        )
+
+        if match_slot is not None:
+            self._increment(table, match_slot)
+        else:
+            self._insert_new(table, temp, packed)
+
+    def add_sequence(self, sequence: DnaSequence) -> None:
+        for kmer in iter_kmers(sequence, self.k):
+            self.add_kmer(kmer)
+
+    def add_reads(self, reads: Iterable[Read]) -> None:
+        for read in reads:
+            self.add_sequence(read.sequence)
+
+    # ----- table updates ---------------------------------------------------------------
+
+    def _insert_new(
+        self, table: _SubarrayTable, temp: RowAddress, packed: int
+    ) -> None:
+        """MEM_insert(k_mer, 1): claim the next free slot."""
+        layout = table.layout
+        if table.occupied >= layout.kmer_rows:
+            raise MemoryError(
+                f"sub-array {table.key} k-mer region full "
+                f"({layout.kmer_rows} slots)"
+            )
+        slot = table.occupied
+        ctrl = self.pim.controller
+        ctrl.copy(temp, self._addr(table, layout.kmer_row(slot)))
+        self._write_counter(table, slot, 1)
+        table.occupied += 1
+        index = self._tables.index(table)
+        self._slot_keys[index].append(packed)
+
+    def _increment(self, table: _SubarrayTable, slot: int) -> None:
+        """New_freq = PIM_Add(k_mer, 1); MEM_insert(k_mer, New_freq).
+
+        Counter fields are 8-bit packed (32 per value row), so the
+        update is the DPU's non-bulk read-modify-write path.
+        """
+        current = self._read_counter(table, slot)
+        if current >= table.layout.counter_max:
+            if self.saturating:
+                return
+            raise OverflowError(
+                f"counter for slot {slot} exceeded "
+                f"{table.layout.counter_max}"
+            )
+        new_value = self.pim.controller.dpu_scalar_add(
+            table.key, current, 1, bits=table.layout.counter_bits
+        )
+        self._write_counter(table, slot, new_value)
+
+    # ----- counter field access -----------------------------------------------------------
+
+    def _read_counter(self, table: _SubarrayTable, slot: int) -> int:
+        row, bit = table.layout.value_position(slot)
+        data = self.pim.controller.read_row(self._addr(table, row))
+        field = data[bit : bit + table.layout.counter_bits]
+        return int(field @ (1 << np.arange(table.layout.counter_bits)))
+
+    def _write_counter(self, table: _SubarrayTable, slot: int, value: int) -> None:
+        layout = table.layout
+        if not 0 <= value <= layout.counter_max:
+            raise ValueError(f"counter value {value} out of range")
+        row, bit = layout.value_position(slot)
+        addr = self._addr(table, row)
+        sub = self.pim.device.subarray_at(table.key)
+        data = sub.read_row(row)  # host shadow read for the RMW merge
+        bits = (value >> np.arange(layout.counter_bits)) & 1
+        data[bit : bit + layout.counter_bits] = bits.astype(np.uint8)
+        self.pim.controller.write_row(addr, data)
+
+    # ----- readback --------------------------------------------------------------------------
+
+    def counts(self) -> Counter:
+        """Read the full table back as {packed k-mer: frequency}."""
+        out: Counter = Counter()
+        for index, table in enumerate(self._tables):
+            for slot in range(table.occupied):
+                out[self._slot_keys[index][slot]] = self._read_counter(table, slot)
+        return out
+
+    def stored_kmer(self, partition: int, slot: int) -> DnaSequence:
+        """Decode a stored k-mer row straight from memory (for tests)."""
+        table = self._tables[partition]
+        row = self.pim.controller.read_row(
+            self._addr(table, table.layout.kmer_row(slot))
+        )
+        return DnaSequence.from_bits(row[: self._valid_bits])
+
+    def __len__(self) -> int:
+        return sum(t.occupied for t in self._tables)
+
+    @property
+    def occupancy(self) -> list[int]:
+        return [t.occupied for t in self._tables]

@@ -1,0 +1,219 @@
+"""Mate-pair scaffolding — the full stage-3 extension.
+
+The paper leaves scaffolding as future work; the greedy overlap joiner
+(:mod:`repro.assembly.scaffold`) closes exact-overlap gaps, but real
+scaffolding uses **paired-end links**: when a pair's two mates map to
+different contigs, the insert size bounds the contigs' distance and
+relative orientation.  This module implements the classic pipeline:
+
+1. **map** both mates of every pair onto the contigs (exact substring
+   index on both strands — adequate for simulated reads);
+2. **link**: pairs whose mates land on two different contigs vote for
+   an (order, orientation, gap) between them;
+3. **chain**: links supported by at least ``min_links`` pairs form a
+   contig graph; confident simple paths become scaffolds, with ``N``
+   runs of the estimated gap size between members.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.assembly.contigs import Contig
+from repro.genome.paired import ReadPair
+from repro.genome.sequence import DnaSequence
+
+
+@dataclass(frozen=True)
+class MateHit:
+    """Where one mate landed: contig index, offset, strand."""
+
+    contig: int
+    offset: int
+    reverse: bool
+
+
+@dataclass(frozen=True)
+class ContigLink:
+    """An inferred adjacency: ``first`` precedes ``second``.
+
+    Attributes:
+        first, second: contig indices in scaffold order.
+        gap: estimated unsequenced bases between them (>= 0 after
+            clamping; mate inserts bound it).
+        support: number of read pairs voting for this link.
+    """
+
+    first: int
+    second: int
+    gap: int
+    support: int
+
+
+@dataclass(frozen=True)
+class MateScaffold:
+    """One scaffold: ordered contigs joined with ``N``-gap runs."""
+
+    name: str
+    members: tuple[str, ...]
+    sequence_with_gaps: str
+
+    def __len__(self) -> int:
+        return len(self.sequence_with_gaps)
+
+    @property
+    def gap_bases(self) -> int:
+        return self.sequence_with_gaps.count("N")
+
+
+class _ContigIndex:
+    """Exact-substring locator over contigs (both strands)."""
+
+    def __init__(self, contigs: Sequence[Contig], probe_length: int) -> None:
+        if probe_length <= 0:
+            raise ValueError("probe_length must be positive")
+        self.probe_length = probe_length
+        self._texts = [str(c.sequence) for c in contigs]
+
+    def locate(self, read: DnaSequence) -> MateHit | None:
+        """Find the unique contig containing the read's prefix probe."""
+        text = str(read)[: self.probe_length]
+        if len(text) < self.probe_length:
+            return None
+        rc_text = str(DnaSequence(text).reverse_complement())
+        hit: MateHit | None = None
+        for index, contig_text in enumerate(self._texts):
+            offset = contig_text.find(text)
+            if offset != -1:
+                if hit is not None:
+                    return None  # ambiguous: probe occurs in two places
+                hit = MateHit(contig=index, offset=offset, reverse=False)
+            rc_offset = contig_text.find(rc_text)
+            if rc_offset != -1:
+                if hit is not None:
+                    return None
+                hit = MateHit(contig=index, offset=rc_offset, reverse=True)
+        return hit
+
+
+def link_contigs(
+    contigs: Sequence[Contig],
+    pairs: Sequence[ReadPair],
+    insert_mean: int,
+    min_links: int = 3,
+    probe_length: int = 25,
+) -> list[ContigLink]:
+    """Derive supported contig adjacencies from mate pairs.
+
+    Only the canonical forward-forward configuration is chained (left
+    mate forward on contig A, right mate reverse-complemented on
+    contig B — i.e. its RC probe matches B forward): the configuration
+    uniquely implied by our paired simulator.  Links below ``min_links``
+    support are dropped as noise.
+    """
+    if insert_mean <= 0:
+        raise ValueError("insert_mean must be positive")
+    if min_links <= 0:
+        raise ValueError("min_links must be positive")
+    index = _ContigIndex(contigs, probe_length)
+    votes: dict[tuple[int, int], list[int]] = defaultdict(list)
+
+    for pair in pairs:
+        left = index.locate(pair.left.sequence)
+        right = index.locate(pair.right.sequence)
+        if left is None or right is None:
+            continue
+        if left.contig == right.contig:
+            continue
+        if left.reverse or not right.reverse:
+            continue  # non-canonical configuration; skip
+        # gap estimate: insert covers left-tail + gap + right-head
+        left_tail = len(contigs[left.contig].sequence) - left.offset
+        right_head = right.offset + len(pair.right)
+        gap = pair.insert_size - left_tail - right_head
+        votes[(left.contig, right.contig)].append(gap)
+
+    links = []
+    for (first, second), gaps in votes.items():
+        if len(gaps) < min_links:
+            continue
+        gaps.sort()
+        median_gap = gaps[len(gaps) // 2]
+        links.append(
+            ContigLink(
+                first=first,
+                second=second,
+                gap=max(0, median_gap),
+                support=len(gaps),
+            )
+        )
+    links.sort(key=lambda l: -l.support)
+    return links
+
+
+def build_scaffolds(
+    contigs: Sequence[Contig],
+    links: Sequence[ContigLink],
+) -> list[MateScaffold]:
+    """Chain contigs along unambiguous links into gap-aware scaffolds.
+
+    Links are consumed best-supported first; a contig joins at most one
+    predecessor and one successor (conflicting links are skipped), so
+    the result is a set of simple paths.
+    """
+    successor: dict[int, ContigLink] = {}
+    predecessor: dict[int, int] = {}
+    for link in links:
+        if link.first in successor or link.second in predecessor:
+            continue  # would branch; keep the better-supported link
+        successor[link.first] = link
+        predecessor[link.second] = link.first
+
+    scaffolds: list[MateScaffold] = []
+    used: set[int] = set()
+    starts = [i for i in range(len(contigs)) if i not in predecessor]
+    for start in starts:
+        if start in used:
+            continue
+        members = [contigs[start].name]
+        chunks = [str(contigs[start].sequence)]
+        used.add(start)
+        node = start
+        while node in successor:
+            link = successor[node]
+            node = link.second
+            if node in used:
+                break
+            chunks.append("N" * link.gap)
+            chunks.append(str(contigs[node].sequence))
+            members.append(contigs[node].name)
+            used.add(node)
+        scaffolds.append(
+            MateScaffold(
+                name=f"scaffold{len(scaffolds)}",
+                members=tuple(members),
+                sequence_with_gaps="".join(chunks),
+            )
+        )
+    scaffolds.sort(key=len, reverse=True)
+    return [
+        MateScaffold(
+            name=f"scaffold{i}",
+            members=s.members,
+            sequence_with_gaps=s.sequence_with_gaps,
+        )
+        for i, s in enumerate(scaffolds)
+    ]
+
+
+def scaffold_assembly(
+    contigs: Sequence[Contig],
+    pairs: Sequence[ReadPair],
+    insert_mean: int,
+    min_links: int = 3,
+) -> list[MateScaffold]:
+    """One-call mate-pair scaffolding: map, link, chain."""
+    links = link_contigs(contigs, pairs, insert_mean, min_links=min_links)
+    return build_scaffolds(contigs, links)

@@ -1,0 +1,120 @@
+"""Assembly quality metrics: N50, genome fraction, identity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.assembly.contigs import Contig
+from repro.genome.sequence import DnaSequence
+
+
+def total_length(contigs: Sequence[Contig]) -> int:
+    return sum(len(c) for c in contigs)
+
+
+def nx_length(contigs: Sequence[Contig], fraction: float) -> int:
+    """Generalised Nx: the length L such that contigs >= L cover at
+    least ``fraction`` of the total assembly length (N50 = Nx(0.5))."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    if not contigs:
+        return 0
+    lengths = sorted((len(c) for c in contigs), reverse=True)
+    threshold = fraction * sum(lengths)
+    running = 0
+    for length in lengths:
+        running += length
+        if running >= threshold:
+            return length
+    return lengths[-1]
+
+
+def n50(contigs: Sequence[Contig]) -> int:
+    return nx_length(contigs, 0.5)
+
+
+def largest_contig(contigs: Sequence[Contig]) -> int:
+    return max((len(c) for c in contigs), default=0)
+
+
+def genome_fraction(
+    contigs: Sequence[Contig], reference: DnaSequence, both_strands: bool = True
+) -> float:
+    """Fraction of reference bases covered by exactly-matching contigs.
+
+    Every contig is located in the reference by exact substring search
+    (adequate for the error-free simulated reads of the paper's setup);
+    covered intervals are unioned.
+    """
+    if not len(reference):
+        raise ValueError("reference must be non-empty")
+    ref_text = str(reference)
+    search_spaces = [ref_text]
+    if both_strands:
+        search_spaces.append(str(reference.reverse_complement()))
+    covered = [False] * len(ref_text)
+    for contig in contigs:
+        text = str(contig.sequence)
+        for space_index, space in enumerate(search_spaces):
+            start = space.find(text)
+            while start != -1:
+                if space_index == 0:
+                    lo, hi = start, start + len(text)
+                else:
+                    hi = len(ref_text) - start
+                    lo = hi - len(text)
+                for i in range(lo, hi):
+                    covered[i] = True
+                start = space.find(text, start + 1)
+    return sum(covered) / len(covered)
+
+
+def misassembled_contigs(
+    contigs: Sequence[Contig], reference: DnaSequence, both_strands: bool = True
+) -> list[Contig]:
+    """Contigs that do not occur verbatim anywhere in the reference."""
+    ref_text = str(reference)
+    spaces = [ref_text]
+    if both_strands:
+        spaces.append(str(reference.reverse_complement()))
+    missing = []
+    for contig in contigs:
+        text = str(contig.sequence)
+        if not any(text in space for space in spaces):
+            missing.append(contig)
+    return missing
+
+
+@dataclass(frozen=True)
+class AssemblyReport:
+    """Summary statistics of one assembly run."""
+
+    num_contigs: int
+    total_length: int
+    n50: int
+    largest: int
+    genome_fraction: float
+    misassemblies: int
+
+    def __str__(self) -> str:
+        return (
+            f"contigs={self.num_contigs} total={self.total_length}bp "
+            f"N50={self.n50} largest={self.largest} "
+            f"genome_fraction={self.genome_fraction:.1%} "
+            f"misassemblies={self.misassemblies}"
+        )
+
+
+def evaluate_assembly(
+    contigs: Sequence[Contig], reference: DnaSequence
+) -> AssemblyReport:
+    """Compute the full report against a known reference."""
+    return AssemblyReport(
+        num_contigs=len(contigs),
+        total_length=total_length(contigs),
+        n50=n50(contigs),
+        largest=largest_contig(contigs),
+        genome_fraction=genome_fraction(contigs, reference),
+        misassemblies=len(misassembled_contigs(contigs, reference)),
+    )

@@ -1,0 +1,165 @@
+"""The end-to-end PIM-Assembler pipeline (paper Fig. 5a).
+
+Orchestrates the three stages on the functional simulator with the
+per-stage phase accounting the paper's Fig. 9 breakdown uses:
+
+1. ``hashmap``  — k-mer analysis on the PIM hash table,
+2. ``debruijn`` — graph construction from the table,
+3. ``traverse`` — in/out-degree computation (bulk PIM_Add over the
+   adjacency mapping) and path traversal,
+
+plus the optional scaffolding extension (stage 3 of Fig. 5a, the
+paper's future work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.assembly.contigs import Contig, assemble_contigs
+from repro.assembly.debruijn import DeBruijnGraph
+from repro.assembly.hashmap import PimKmerCounter
+from repro.assembly.scaffold import Scaffold, greedy_scaffold
+from repro.core.platform import PimAssembler
+from repro.core.stats import PhaseTotals
+from repro.genome.reads import Read
+from repro.genome.sequence import DnaSequence
+from repro.mapping.adjacency import degree_vectors_pim
+
+
+@dataclass(frozen=True)
+class AssemblyResult:
+    """Contigs plus the stage-level accounting of the run."""
+
+    contigs: list[Contig]
+    scaffolds: list[Scaffold]
+    graph: DeBruijnGraph
+    kmer_table_size: int
+    hashmap: PhaseTotals
+    debruijn: PhaseTotals
+    traverse: PhaseTotals
+
+    @property
+    def total_time_ns(self) -> float:
+        return self.hashmap.time_ns + self.debruijn.time_ns + self.traverse.time_ns
+
+    @property
+    def total_energy_nj(self) -> float:
+        return (
+            self.hashmap.energy_nj
+            + self.debruijn.energy_nj
+            + self.traverse.energy_nj
+        )
+
+
+class PimPipeline:
+    """De novo assembly on the PIM-Assembler functional simulator.
+
+    Args:
+        pim: platform instance (a small device is fine for functional
+            runs; see :meth:`PimAssembler.small`).
+        k: k-mer length.
+        min_count: k-mer frequency threshold for graph edges.
+        contig_mode: ``"unitig"`` (default) or ``"euler"``.
+        scaffold: also run the greedy scaffolding extension.
+    """
+
+    def __init__(
+        self,
+        pim: PimAssembler,
+        k: int,
+        min_count: int = 1,
+        contig_mode: str = "unitig",
+        scaffold: bool = False,
+        min_contig_length: int = 0,
+        simplify: bool = False,
+    ) -> None:
+        if k <= 1:
+            raise ValueError("assembly needs k >= 2")
+        self.pim = pim
+        self.k = k
+        self.min_count = min_count
+        self.contig_mode = contig_mode
+        self.scaffold = scaffold
+        self.min_contig_length = min_contig_length
+        self.simplify = simplify
+
+    def run(self, reads: "Iterable[Read] | Sequence[DnaSequence]") -> AssemblyResult:
+        """Assemble a read set end to end."""
+        pim = self.pim
+
+        with pim.phase("hashmap"):
+            counter = PimKmerCounter(pim, self.k)
+            for item in reads:
+                sequence = item.sequence if isinstance(item, Read) else item
+                counter.add_sequence(sequence)
+            counts = counter.counts()
+
+        with pim.phase("debruijn"):
+            graph = DeBruijnGraph.from_counts(
+                counts, k=self.k, min_count=self.min_count
+            )
+            if self.simplify:
+                from repro.assembly.simplify import simplify_graph
+
+                graph, _ = simplify_graph(graph)
+
+        with pim.phase("traverse"):
+            # Degree computation through the PIM adjacency mapping
+            # (bulk PIM_Add, Fig. 8) — the in-memory portion of the
+            # traversal — followed by the path walk.
+            degree_vectors_pim(pim, graph)
+            contigs = assemble_contigs(
+                graph, mode=self.contig_mode, min_length=self.min_contig_length
+            )
+
+        scaffolds: list[Scaffold] = []
+        if self.scaffold and contigs:
+            scaffolds = greedy_scaffold(contigs)
+
+        return AssemblyResult(
+            contigs=contigs,
+            scaffolds=scaffolds,
+            graph=graph,
+            kmer_table_size=len(counter),
+            hashmap=pim.stats.totals("hashmap"),
+            debruijn=pim.stats.totals("debruijn"),
+            traverse=pim.stats.totals("traverse"),
+        )
+
+
+def _sized_device(reads: Sequence, k: int) -> PimAssembler:
+    """Size a functional device so the hash table cannot overflow.
+
+    Distinct k-mers are bounded by the total k-mer positions (and by
+    4^k); sub-arrays are lazy, so over-provisioning costs only the
+    slots actually touched.
+    """
+    from repro.mapping.kmer_layout import scaled_layout
+    from repro.dram.geometry import SubArrayGeometry
+
+    total = 0
+    for item in reads:
+        sequence = item.sequence if isinstance(item, Read) else item
+        total += max(0, len(sequence) - k + 1)
+    bound = max(64, min(total, 4**min(k, 30)))
+    cols = max(64, 2 * ((2 * k + 7) // 8 * 4))  # k-mer must fit a row
+    geometry = SubArrayGeometry(rows=512, cols=cols, compute_rows=8)
+    per_subarray = scaled_layout(geometry).kmer_rows
+    subarrays = max(8, -(-int(1.1 * bound) // per_subarray))
+    return PimAssembler.small(subarrays=subarrays, rows=512, cols=cols)
+
+
+def assemble_with_pim(
+    reads: "Iterable[Read] | Sequence[DnaSequence]",
+    k: int,
+    pim: PimAssembler | None = None,
+    **kwargs,
+) -> AssemblyResult:
+    """Convenience one-call assembly; sizes a device to the read set
+    when none is supplied."""
+    read_list = list(reads)
+    pim = pim or _sized_device(read_list, k)
+    pipeline = PimPipeline(pim, k=k, **kwargs)
+    return pipeline.run(read_list)

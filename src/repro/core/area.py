@@ -1,0 +1,87 @@
+"""Area-overhead model (paper Section II-B, "Area Overhead").
+
+The paper counts three cost sources on top of a commodity DRAM chip and
+expresses them in *equivalent DRAM rows* (one 256-column row ~ 256
+cell transistors):
+
+1. **SA add-ons** — ~50 extra transistors per sense amplifier, one SA
+   per bit line: ``50 x 256`` transistors per sub-array.
+2. **Modified row decoder** — two extra transistors in each compute
+   row's word-line driver buffer chain: ``2 x 8 = 16`` transistors.
+3. **Controller** — enable-bit drivers and sequencing, a small budget
+   per sub-array.
+
+Total: "51 DRAM rows (51 x 256 transistors) per sub-array, at the most,
+which can be interpreted as ~5% of DRAM chip area" (51 / 1024 = 4.98 %).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.dram.geometry import SubArrayGeometry
+
+
+@dataclass(frozen=True)
+class AreaParameters:
+    """Transistor budgets of the add-on circuits."""
+
+    #: extra transistors per reconfigurable SA (two inverters, AND, XOR,
+    #: D-latch, 4:1 MUX and enable gating) — the paper's ~50.
+    sa_addon_transistors: int = 50
+    #: extra transistors per modified word-line driver.
+    mrd_transistors_per_row: int = 2
+    #: controller budget per sub-array (enable-bit drivers, decode).
+    ctrl_transistors: int = 240
+
+    def __post_init__(self) -> None:
+        for name in (
+            "sa_addon_transistors",
+            "mrd_transistors_per_row",
+            "ctrl_transistors",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Breakdown of the add-on transistor cost for one sub-array."""
+
+    sa_transistors: int
+    mrd_transistors: int
+    ctrl_transistors: int
+    equivalent_rows: int
+    overhead_fraction: float
+
+    @property
+    def total_transistors(self) -> int:
+        return self.sa_transistors + self.mrd_transistors + self.ctrl_transistors
+
+    @property
+    def overhead_percent(self) -> float:
+        return 100.0 * self.overhead_fraction
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Computes the chip-area overhead of PIM-Assembler's additions."""
+
+    geometry: SubArrayGeometry = field(default_factory=SubArrayGeometry)
+    params: AreaParameters = field(default_factory=AreaParameters)
+
+    def report(self) -> AreaReport:
+        g, p = self.geometry, self.params
+        sa = p.sa_addon_transistors * g.cols
+        mrd = p.mrd_transistors_per_row * g.compute_rows
+        ctrl = p.ctrl_transistors
+        total = sa + mrd + ctrl
+        equivalent_rows = math.ceil(total / g.cols)
+        return AreaReport(
+            sa_transistors=sa,
+            mrd_transistors=mrd,
+            ctrl_transistors=ctrl,
+            equivalent_rows=equivalent_rows,
+            overhead_fraction=equivalent_rows / g.rows,
+        )

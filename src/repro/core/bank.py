@@ -1,0 +1,35 @@
+"""A bank: a grid of MATs routed in an H-tree manner (lazy storage)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mat import Mat
+from repro.dram.geometry import BankGeometry
+
+
+@dataclass
+class Bank:
+    """One bank of the PIM-Assembler hierarchy."""
+
+    geometry: BankGeometry = field(default_factory=BankGeometry)
+
+    def __post_init__(self) -> None:
+        self._mats: dict[int, Mat] = {}
+
+    def mat(self, index: int) -> Mat:
+        if not 0 <= index < self.geometry.num_mats:
+            raise IndexError(
+                f"MAT index {index} out of range 0..{self.geometry.num_mats - 1}"
+            )
+        if index not in self._mats:
+            self._mats[index] = Mat(self.geometry.mat)
+        return self._mats[index]
+
+    @property
+    def num_mats(self) -> int:
+        return self.geometry.num_mats
+
+    @property
+    def instantiated_mats(self) -> int:
+        return len(self._mats)

@@ -1,0 +1,542 @@
+"""PIM-Assembler's memory controller (Ctrl).
+
+The controller is the single component that *issues commands*: it
+executes ISA instructions against device state (functional view) and
+charges their latency/energy to the :class:`~repro.core.stats.StatsLedger`
+(timed view).  Higher layers — the platform facade and the assembly
+mapping — only ever talk to the controller, exactly as software talks to
+the real chip through the three AAP instruction types.
+
+Gang execution
+==============
+
+PIM-Assembler's throughput comes from every (bank, MAT) pair executing
+the same command on its own sub-array simultaneously.  The controller
+models this with *gangs*: a list of same-shape instructions executed in
+one time slot.  Wall-clock time is charged once, energy once per member.
+
+Addition protocol
+=================
+
+Per-bit ripple addition is the 2-cycle pair the paper describes:
+
+1. **Sum cycle** — two-row activation of ``a_i``/``b_i``; the add-on XOR
+   gate combines their XOR2 with the D-latch contents (the carry left by
+   the *previous* bit's TRA), producing ``sum_i = a_i ^ b_i ^ c_{i-1}``.
+2. **Carry cycle** — TRA over ``a_i``, ``b_i`` and the carry row
+   (holding ``c_{i-1}``), producing ``c_i = maj(a_i, b_i, c_{i-1})``,
+   captured both in the carry row and the latch.
+
+Hence an m-bit add costs exactly ``2 * m`` row cycles — the figure the
+paper quotes for the traversal-stage degree computation (Fig. 8).  The
+3:2 carry-save compression used to reduce many 1-bit rows costs one
+extra latch-load cycle (3 cycles per compression); the steady-state
+2-cycle claim is the per-bit pair above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.device import Device
+from repro.core.energy import EnergyParameters, DEFAULT_ENERGY
+from repro.core.isa import (
+    AapCompute2,
+    AapCompute3,
+    AapCopy,
+    RowAddress,
+    SAOp,
+)
+from repro.core.faults import FaultModel
+from repro.core.stats import StatsLedger
+from repro.core.timing import TimingParameters, DEFAULT_TIMING
+
+
+@dataclass
+class Controller:
+    """Executes AAP command streams against a :class:`Device`."""
+
+    device: Device
+    ledger: StatsLedger = field(default_factory=StatsLedger)
+    timing: TimingParameters = DEFAULT_TIMING
+    energy: EnergyParameters = DEFAULT_ENERGY
+    #: optional process-variation fault injection (see repro.core.faults)
+    faults: FaultModel | None = None
+
+    def __post_init__(self) -> None:
+        self._trace = None
+
+    def _apply_faults(
+        self, sub, des_row: int, result, mechanism: str
+    ):
+        """Corrupt an in-memory op's output per the fault model."""
+        if self.faults is None or not self.faults.enabled:
+            return result
+        corrupted = self.faults.corrupt(result, mechanism)
+        if corrupted is not result:
+            sub.write_row(des_row, corrupted)
+        return corrupted
+
+    # ----- tracing ------------------------------------------------------------
+
+    def attach_trace(self, trace) -> None:
+        """Record subsequent commands into a
+        :class:`repro.core.trace.CommandTrace` (None detaches)."""
+        self._trace = trace
+
+    def _record_trace(
+        self,
+        mnemonic: str,
+        subarray: tuple[int, int, int],
+        rows: tuple[int, ...],
+        payload: np.ndarray | None = None,
+    ) -> None:
+        if self._trace is not None:
+            self._trace.record(mnemonic, subarray, rows, payload)
+
+    # ----- accounting helpers ----------------------------------------------
+
+    def _charge(self, mnemonic: str, time_ns: float, energy_nj: float, gang: int = 1) -> None:
+        self.ledger.record(
+            mnemonic, time_ns=time_ns, energy_nj=energy_nj * gang, count=gang
+        )
+
+    # ----- single-instruction execution --------------------------------------
+
+    def copy(self, src: RowAddress, des: RowAddress) -> None:
+        """Type-1 AAP: RowClone ``src`` into ``des`` (same sub-array)."""
+        instr = AapCopy(src=src, des=des)
+        self.device.validate_address(src)
+        self.device.validate_address(des)
+        sub = self.device.subarray_at(src)
+        sub.rowclone(src.row, des.row)
+        self._record_trace(instr.mnemonic, src.subarray_key, (src.row, des.row))
+        self._charge(instr.mnemonic, self.timing.t_aap, self.energy.e_aap_copy)
+
+    def compute2(
+        self,
+        src1: RowAddress,
+        src2: RowAddress,
+        des: RowAddress,
+        op: SAOp = SAOp.XNOR2,
+    ) -> np.ndarray:
+        """Type-2 AAP: two-row activation compute; returns the result row."""
+        instr = AapCompute2(src1=src1, src2=src2, des=des, op=op)
+        for addr in (src1, src2, des):
+            self.device.validate_address(addr)
+        sub = self.device.subarray_at(src1)
+        result = sub.compute2(src1.row, src2.row, des.row, op)
+        result = self._apply_faults(sub, des.row, result, "compute2")
+        self._record_trace(
+            instr.mnemonic, src1.subarray_key, (src1.row, src2.row, des.row)
+        )
+        self._charge(instr.mnemonic, self.timing.t_aap, self.energy.e_compute2)
+        return result
+
+    def tra_carry(
+        self,
+        src1: RowAddress,
+        src2: RowAddress,
+        src3: RowAddress,
+        des: RowAddress,
+    ) -> np.ndarray:
+        """Type-3 AAP: TRA majority -> des (and the SA latch)."""
+        instr = AapCompute3(src1=src1, src2=src2, src3=src3, des=des)
+        for addr in (src1, src2, src3, des):
+            self.device.validate_address(addr)
+        sub = self.device.subarray_at(src1)
+        result = sub.tra_carry(src1.row, src2.row, src3.row, des.row)
+        result = self._apply_faults(sub, des.row, result, "tra")
+        self._record_trace(
+            instr.mnemonic,
+            src1.subarray_key,
+            (src1.row, src2.row, src3.row, des.row),
+        )
+        self._charge(instr.mnemonic, self.timing.t_aap, self.energy.e_tra)
+        return result
+
+    def sum_cycle(
+        self, src1: RowAddress, src2: RowAddress, des: RowAddress
+    ) -> np.ndarray:
+        """Latch-assisted sum: ``des = src1 ^ src2 ^ latch``."""
+        for addr in (src1, src2, des):
+            self.device.validate_address(addr)
+        if not (src1.same_subarray(src2) and src1.same_subarray(des)):
+            raise ValueError("sum-cycle operands must share a sub-array")
+        sub = self.device.subarray_at(src1)
+        result = sub.sum_cycle(src1.row, src2.row, des.row)
+        result = self._apply_faults(sub, des.row, result, "sum")
+        self._record_trace("SUM", src1.subarray_key, (src1.row, src2.row, des.row))
+        self._charge("SUM", self.timing.t_aap, self.energy.e_sum_cycle)
+        return result
+
+    def load_latch(self, src: RowAddress) -> None:
+        """Capture one row into the SA latch (one row cycle)."""
+        self.device.validate_address(src)
+        sub = self.device.subarray_at(src)
+        sub.sa.load_latch(sub.read_row(src.row))
+        self._record_trace("LATCH_LD", src.subarray_key, (src.row,))
+        self._charge("LATCH_LD", self.timing.t_ap, self.energy.e_activate)
+
+    def clear_latch(self, subarray_key: tuple[int, int, int]) -> None:
+        """Reset the carry latch (precharge-time side effect; free)."""
+        self.device.subarray_at(subarray_key).sa.clear_latch()
+
+    def write_row(self, des: RowAddress, bits: np.ndarray) -> None:
+        """Host write through the global row buffer."""
+        self.device.validate_address(des)
+        mat = self.device.mat_at(des.bank, des.mat)
+        arr = np.asarray(bits, dtype=np.uint8)
+        mat.grb.load(arr)
+        self.device.subarray_at(des).write_row(des.row, mat.grb.read())
+        self._record_trace("MEM_WR", des.subarray_key, (des.row,), payload=arr)
+        self._charge("MEM_WR", self.timing.t_write_row, self.energy.e_write_row)
+
+    def read_row(self, src: RowAddress) -> np.ndarray:
+        """Host read through the global row buffer."""
+        self.device.validate_address(src)
+        mat = self.device.mat_at(src.bank, src.mat)
+        mat.grb.load(self.device.subarray_at(src).read_row(src.row))
+        self._record_trace("MEM_RD", src.subarray_key, (src.row,))
+        self._charge("MEM_RD", self.timing.t_read_row, self.energy.e_read_row)
+        return mat.grb.read()
+
+    # ----- DPU path -----------------------------------------------------------
+
+    def dpu_match(
+        self, result_row: RowAddress, mask: np.ndarray | None = None
+    ) -> bool:
+        """AND-reduce a PIM_XNOR result row: True iff rows matched.
+
+        Args:
+            result_row: row holding the XNOR2 output.
+            mask: optional validity mask (1 where the comparison is
+                meaningful, e.g. the 2k bits of a k-mer).
+        """
+        self.device.validate_address(result_row)
+        mat = self.device.mat_at(result_row.bank, result_row.mat)
+        bits = self.device.subarray_at(result_row).read_row(result_row.row)
+        if mask is None:
+            outcome = mat.dpu.and_reduce(bits)
+        else:
+            outcome = mat.dpu.masked_and_reduce(bits, mask)
+        self._charge("DPU", self.timing.t_dpu_clk, self.energy.e_dpu_op)
+        return bool(outcome)
+
+    def dpu_scalar_add(
+        self,
+        subarray_key: tuple[int, int, int],
+        a: int,
+        b: int,
+        bits: int = 8,
+    ) -> int:
+        """Non-bulk add on the MAT's DPU (counter increments etc.)."""
+        bank, mat_index, _ = subarray_key
+        mat = self.device.mat_at(bank, mat_index)
+        result = mat.dpu.scalar_add(a, b, bits=bits)
+        self._charge("DPU", self.timing.t_dpu_clk, self.energy.e_dpu_op)
+        return result
+
+    def dpu_popcount(self, row: RowAddress) -> int:
+        self.device.validate_address(row)
+        mat = self.device.mat_at(row.bank, row.mat)
+        bits = self.device.subarray_at(row).read_row(row.row)
+        count = mat.dpu.popcount(bits)
+        self._charge("DPU", self.timing.t_dpu_clk, self.energy.e_dpu_op)
+        return count
+
+    # ----- gang (SIMD) execution ----------------------------------------------
+
+    def gang_compute2(
+        self,
+        ops: Sequence[tuple[RowAddress, RowAddress, RowAddress]],
+        op: SAOp = SAOp.XNOR2,
+    ) -> list[np.ndarray]:
+        """Execute the same two-row compute across many sub-arrays at once.
+
+        All member operations occupy distinct sub-arrays and run in one
+        command slot: time charged once, energy per member.
+        """
+        if not ops:
+            raise ValueError("gang must be non-empty")
+        keys = {src1.subarray_key for src1, _, _ in ops}
+        if len(keys) != len(ops):
+            raise ValueError("gang members must live in distinct sub-arrays")
+        results = []
+        for src1, src2, des in ops:
+            AapCompute2(src1=src1, src2=src2, des=des, op=op)  # validate
+            sub = self.device.subarray_at(src1)
+            results.append(sub.compute2(src1.row, src2.row, des.row, op))
+        self._charge(
+            "AAP2", self.timing.t_aap, self.energy.e_compute2, gang=len(ops)
+        )
+        return results
+
+    def gang_copy(self, ops: Sequence[tuple[RowAddress, RowAddress]]) -> None:
+        """RowClone across many sub-arrays in one command slot."""
+        if not ops:
+            raise ValueError("gang must be non-empty")
+        keys = {src.subarray_key for src, _ in ops}
+        if len(keys) != len(ops):
+            raise ValueError("gang members must live in distinct sub-arrays")
+        for src, des in ops:
+            AapCopy(src=src, des=des)  # validate
+            self.device.subarray_at(src).rowclone(src.row, des.row)
+        self._charge(
+            "AAP1", self.timing.t_aap, self.energy.e_aap_copy, gang=len(ops)
+        )
+
+    # ----- compound operations -------------------------------------------------
+
+    def xnor_rows(
+        self,
+        a: RowAddress,
+        b: RowAddress,
+        des: RowAddress,
+        staged: bool = False,
+    ) -> np.ndarray:
+        """Full PIM_XNOR: stage operands into compute rows, then compute.
+
+        Args:
+            a, b: operand rows (any rows of one sub-array).
+            des: destination row.
+            staged: when True the operands are assumed to already sit in
+                compute rows x1/x2 (e.g. the temp row of the hash-table
+                layout), skipping the two staging RowClones.
+
+        Returns:
+            The XNOR2 row (1 where bits agree).
+        """
+        if not (a.same_subarray(b) and a.same_subarray(des)):
+            raise ValueError("PIM_XNOR operands must share a sub-array")
+        if staged:
+            return self.compute2(a, b, des, SAOp.XNOR2)
+        sub = self.device.subarray_at(a)
+        x1 = a.with_row(sub.compute_row(1))
+        x2 = a.with_row(sub.compute_row(2))
+        self.copy(a, x1)
+        self.copy(b, x2)
+        return self.compute2(x1, x2, des, SAOp.XNOR2)
+
+    def compare_scan(
+        self,
+        temp: RowAddress,
+        start_row: int,
+        n_rows: int,
+        valid_bits: int | None = None,
+    ) -> int | None:
+        """Sequential PIM_XNOR scan of a row block against a query row.
+
+        The hardware protocol of Fig. 6/7: the temp row is RowCloned
+        into compute row x1 once; then for each candidate row the
+        controller RowClones it into x2, fires the two-row-activation
+        XNOR into x3 and lets the DPU's AND unit decide.  The scan
+        stops at the first match (the DPU outcome gates the next
+        command).
+
+        Functionally this is evaluated vectorised over the whole block;
+        the ledger is charged exactly what the sequential hardware
+        sequence would issue: 1 staging AAP + per scanned row
+        (1 AAP copy + 1 AAP compute + 1 DPU op).
+
+        Args:
+            temp: the query row.
+            start_row: first candidate row (physical index).
+            n_rows: number of candidate rows.
+            valid_bits: compare only the first ``valid_bits`` columns.
+
+        Returns:
+            The matching slot offset (0-based from ``start_row``), or
+            ``None`` when no row matches.
+        """
+        if n_rows < 0:
+            raise ValueError("n_rows must be non-negative")
+        self.device.validate_address(temp)
+        sub = self.device.subarray_at(temp)
+        x1 = sub.compute_row(1)
+        x2 = sub.compute_row(2)
+        x3 = sub.compute_row(3)
+
+        # Stage the query into x1 (one AAP), mirroring xnor_rows.
+        sub.rowclone(temp.row, x1)
+        self._record_trace("AAP1", temp.subarray_key, (temp.row, x1))
+        self._charge("AAP1", self.timing.t_aap, self.energy.e_aap_copy)
+        if n_rows == 0:
+            return None
+
+        query = sub.read_row(x1)
+        block = sub.read_rows(start_row, start_row + n_rows)
+        width = query.size if valid_bits is None else valid_bits
+        matches = (block[:, :width] == query[:width]).all(axis=1)
+        if self.faults is not None and self.faults.enabled:
+            # Each scanned row's XNOR result can flip bits: a true
+            # match is missed when any of the `width` result bits
+            # flips; a mismatch becomes a false match only when every
+            # differing bit flips (probability rate^hamming).
+            rate = self.faults.compute2_rate
+            if rate > 0.0:
+                rng = self.faults._rng
+                hamming = (block[:, :width] != query[:width]).sum(axis=1)
+                miss = matches & (
+                    rng.random(n_rows) > (1.0 - rate) ** width
+                )
+                false_hit = (~matches) & (
+                    rng.random(n_rows) < rate ** np.maximum(hamming, 1)
+                )
+                matches = (matches & ~miss) | false_hit
+        hit = int(np.argmax(matches)) if matches.any() else None
+        scanned = n_rows if hit is None else hit + 1
+
+        # Leave the machine state as the sequential scan would: the
+        # last candidate in x2 and its XNOR result in x3.
+        last = start_row + scanned - 1
+        sub.rowclone(last, x2)
+        sub.compute2(x1, x2, x3, SAOp.XNOR2)
+
+        if self._trace is not None:
+            key = temp.subarray_key
+            for offset in range(scanned):
+                row = start_row + offset
+                self._record_trace("AAP1", key, (row, x2))
+                self._record_trace("AAP2", key, (x1, x2, x3))
+                self._record_trace("DPU", key, (x3,))
+
+        self.ledger.record(
+            "AAP1",
+            time_ns=scanned * self.timing.t_aap,
+            energy_nj=scanned * self.energy.e_aap_copy,
+            count=scanned,
+        )
+        self.ledger.record(
+            "AAP2",
+            time_ns=scanned * self.timing.t_aap,
+            energy_nj=scanned * self.energy.e_compute2,
+            count=scanned,
+        )
+        self.ledger.record(
+            "DPU",
+            time_ns=scanned * self.timing.t_dpu_clk,
+            energy_nj=scanned * self.energy.e_dpu_op,
+            count=scanned,
+        )
+        return hit
+
+    def ripple_add(
+        self,
+        a_rows: Sequence[RowAddress],
+        b_rows: Sequence[RowAddress],
+        sum_rows: Sequence[RowAddress],
+        carry_row: RowAddress,
+    ) -> None:
+        """Bit-serial addition of two bit-plane words: 2 cycles per bit.
+
+        ``a_rows``/``b_rows``/``sum_rows`` list the bit planes LSB first;
+        each row holds that bit position for 256 independent words (one
+        per column).  ``carry_row`` is scratch; it must start at zero
+        (the controller clears it) and ends holding the carry out of the
+        MSB.
+        """
+        if not (len(a_rows) == len(b_rows) == len(sum_rows)):
+            raise ValueError("operand bit-plane lists must have equal length")
+        if not a_rows:
+            raise ValueError("ripple_add needs at least one bit plane")
+        key = a_rows[0].subarray_key
+        for addr in (*a_rows, *b_rows, *sum_rows, carry_row):
+            if addr.subarray_key != key:
+                raise ValueError("ripple_add operands must share a sub-array")
+        sub = self.device.subarray_at(carry_row)
+        sub.write_row(carry_row.row, np.zeros(sub.cols, dtype=np.uint8))
+        sub.sa.clear_latch()
+        for a_i, b_i, s_i in zip(a_rows, b_rows, sum_rows):
+            self.sum_cycle(a_i, b_i, s_i)
+            self.tra_carry(a_i, b_i, carry_row, carry_row)
+
+    def compress_3to2(
+        self,
+        r1: RowAddress,
+        r2: RowAddress,
+        r3: RowAddress,
+        sum_des: RowAddress,
+        carry_des: RowAddress,
+    ) -> None:
+        """Carry-save 3:2 compression of three rows (Fig. 8's C/S step).
+
+        Costs 3 cycles: one latch load (capture ``r3`` as the incoming
+        carry), one sum cycle, one TRA carry cycle.
+        """
+        self.load_latch(r3)
+        self.sum_cycle(r1, r2, sum_des)
+        self.tra_carry(r1, r2, r3, carry_des)
+
+    # ----- extended operations ---------------------------------------------------
+
+    def init_row(self, des: RowAddress, value: int = 0) -> None:
+        """Initialise a row to all-0 or all-1.
+
+        Hardware realisation: a RowClone from one of the two reserved
+        constant rows every Ambit-class design keeps (one AAP) — hence
+        the AAP1 cost, not a host write.
+        """
+        if value not in (0, 1):
+            raise ValueError("init value must be 0 or 1")
+        self.device.validate_address(des)
+        sub = self.device.subarray_at(des)
+        fill = np.full(sub.cols, value, dtype=np.uint8)
+        sub.write_row(des.row, fill)
+        self._record_trace("AAP1", des.subarray_key, (des.row, des.row))
+        self._charge("AAP1", self.timing.t_aap, self.energy.e_aap_copy)
+
+    def not_row(self, src: RowAddress, des: RowAddress) -> np.ndarray:
+        """Bit-wise NOT via the reconfigurable SA: ``NOT a = XNOR(a, 0)``.
+
+        Costs one init (AAP1) of a zero compute row plus one staging
+        copy and one compute cycle — cheaper than Ambit's dual-row NOT
+        gadget, another dividend of the X(N)OR-native SA.
+        """
+        if not src.same_subarray(des):
+            raise ValueError("not_row operands must share a sub-array")
+        sub = self.device.subarray_at(src)
+        x1 = src.with_row(sub.compute_row(1))
+        x2 = src.with_row(sub.compute_row(2))
+        self.copy(src, x1)
+        self.init_row(x2, 0)
+        return self.compute2(x1, x2, des, SAOp.XNOR2)
+
+    def move_row(self, src: RowAddress, des: RowAddress) -> None:
+        """Inter-sub-array row move through the shared GRB.
+
+        Same-sub-array moves degenerate to a RowClone; cross-sub-array
+        moves ride the MAT's global row buffer (read + write, the
+        routing traffic the Fig. 11 memory-wall study counts).
+        """
+        self.device.validate_address(src)
+        self.device.validate_address(des)
+        if src.same_subarray(des):
+            self.copy(src, des)
+            return
+        data = self.device.subarray_at(src).read_row(src.row)
+        mat = self.device.mat_at(des.bank, des.mat)
+        mat.grb.load(data)
+        self.device.subarray_at(des).write_row(des.row, mat.grb.read())
+        self._record_trace("MEM_RD", src.subarray_key, (src.row,))
+        self._record_trace("MEM_WR", des.subarray_key, (des.row,), payload=data)
+        self._charge("MEM_RD", self.timing.t_read_row, self.energy.e_read_row)
+        self._charge("MEM_WR", self.timing.t_write_row, self.energy.e_write_row)
+
+    def xor3_rows(
+        self,
+        r1: RowAddress,
+        r2: RowAddress,
+        r3: RowAddress,
+        des: RowAddress,
+    ) -> np.ndarray:
+        """Three-input XOR (parity) via latch-assisted sum: 2 cycles.
+
+        ``des = r1 ^ r2 ^ r3`` — the sum output of a full adder, used
+        by parity checks over row groups.
+        """
+        self.load_latch(r3)
+        return self.sum_cycle(r1, r2, des)

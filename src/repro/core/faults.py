@@ -1,0 +1,115 @@
+"""Fault injection: process-variation errors inside the functional sim.
+
+Table I quantifies per-bit sensing error rates for the two in-memory
+mechanisms; this module pushes those rates into the *functional*
+simulator, so their application-level consequences (corrupt hash
+tables, broken contigs) become observable — the bridge between the
+circuit study and the assembly workload.
+
+A :class:`FaultModel` holds per-mechanism bit-flip probabilities:
+
+* ``compute2`` faults hit two-row-activation outputs (XNOR & friends);
+* ``tra`` faults hit triple-row-activation majority outputs;
+* ``sum`` faults hit the latch-assisted sum path (same add-on circuitry
+  as compute2, so it defaults to the same rate).
+
+Rates can be set directly or derived from the Table I Monte-Carlo
+engine at a given variation level (:meth:`FaultModel.from_variation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dram.variation import MonteCarloSense, VariationSpec
+
+
+@dataclass
+class FaultModel:
+    """Per-mechanism bit-flip probabilities for in-memory operations.
+
+    Attributes:
+        compute2_rate: flip probability per output bit of a two-row
+            activation.
+        tra_rate: flip probability per output bit of a TRA majority.
+        sum_rate: flip probability per output bit of a sum cycle
+            (defaults to ``compute2_rate`` when negative).
+        seed: RNG seed (faults are reproducible).
+    """
+
+    compute2_rate: float = 0.0
+    tra_rate: float = 0.0
+    sum_rate: float = -1.0
+    seed: int = 0xFA17
+
+    def __post_init__(self) -> None:
+        if self.sum_rate < 0:
+            self.sum_rate = self.compute2_rate
+        for name in ("compute2_rate", "tra_rate", "sum_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+        self._injected = 0
+
+    @classmethod
+    def from_variation(
+        cls,
+        percent: float,
+        trials: int = 10_000,
+        seed: int = 0xFA17,
+    ) -> "FaultModel":
+        """Derive rates from the Table I Monte-Carlo model.
+
+        The Monte-Carlo error percentages are per-operation outcomes
+        over random operand patterns — exactly the per-bit flip
+        probability of a bulk row operation.
+        """
+        engine = MonteCarloSense(seed=seed)
+        spec = VariationSpec(percent=percent)
+        two_row = engine.run_two_row(spec, trials).error_percent / 100.0
+        tra = engine.run_tra(spec, trials).error_percent / 100.0
+        return cls(compute2_rate=two_row, tra_rate=tra, seed=seed)
+
+    # ----- injection -----------------------------------------------------------
+
+    @property
+    def injected_faults(self) -> int:
+        """Total bit flips injected so far."""
+        return self._injected
+
+    @property
+    def enabled(self) -> bool:
+        return max(self.compute2_rate, self.tra_rate, self.sum_rate) > 0.0
+
+    def corrupt(self, bits: np.ndarray, mechanism: str) -> np.ndarray:
+        """Flip each bit independently at the mechanism's rate."""
+        rates = {
+            "compute2": self.compute2_rate,
+            "tra": self.tra_rate,
+            "sum": self.sum_rate,
+        }
+        try:
+            rate = rates[mechanism]
+        except KeyError:
+            raise ValueError(f"unknown mechanism {mechanism!r}") from None
+        if rate <= 0.0:
+            return bits
+        flips = self._rng.random(bits.shape) < rate
+        if not flips.any():
+            return bits
+        self._injected += int(flips.sum())
+        return (bits ^ flips.astype(bits.dtype)).astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Outcome summary of a fault-injection run (used by studies)."""
+
+    variation_percent: float
+    mechanism_rates: dict[str, float] = field(default_factory=dict)
+    injected_faults: int = 0
+    table_errors: int = 0
+    assembly_correct: bool = True

@@ -1,0 +1,190 @@
+"""The AAP instruction set of PIM-Assembler.
+
+The paper's "Software Support" section defines three instruction types,
+differing only in the number of activated source rows:
+
+* ``AAP(src, des, size)`` — type 1: RowClone-style copy.
+* ``AAP(src1, src2, des, size)`` — type 2: two-row activation; the
+  reconfigurable SA produces XNOR2 (or NOR/NAND/XOR/AND/OR, depending on
+  the MUX selectors) and writes it to the destination row.
+* ``AAP(src1, src2, src3, des, size)`` — type 3: Ambit-style TRA; the
+  majority of the three sources (the addition carry) lands on the
+  destination.
+
+Sizes must be a multiple of the DRAM row size; otherwise the application
+pads with dummy data (the mapping layer in :mod:`repro.mapping` is
+responsible for that padding).
+
+This module defines the address space and the instruction dataclasses;
+:mod:`repro.core.controller` executes them against sub-array state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SAOp(enum.Enum):
+    """Operations selectable through the reconfigurable SA's output MUX."""
+
+    XNOR2 = "xnor2"
+    XOR2 = "xor2"
+    NOR2 = "nor2"
+    NAND2 = "nand2"
+    AND2 = "and2"
+    OR2 = "or2"
+
+
+@dataclass(frozen=True, order=True)
+class RowAddress:
+    """Physical address of one sub-array row.
+
+    The hierarchy mirrors :class:`repro.dram.geometry.DeviceGeometry`:
+    ``bank -> mat -> subarray -> row``.
+    """
+
+    bank: int
+    mat: int
+    subarray: int
+    row: int
+
+    def __post_init__(self) -> None:
+        for name in ("bank", "mat", "subarray", "row"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def with_row(self, row: int) -> "RowAddress":
+        return RowAddress(self.bank, self.mat, self.subarray, row)
+
+    @property
+    def subarray_key(self) -> tuple[int, int, int]:
+        """Identity of the containing sub-array (for locality checks)."""
+        return (self.bank, self.mat, self.subarray)
+
+    def same_subarray(self, other: "RowAddress") -> bool:
+        return self.subarray_key == other.subarray_key
+
+
+@dataclass(frozen=True)
+class AapCopy:
+    """Type-1 AAP: copy ``src`` row to ``des`` row (RowClone FPM)."""
+
+    src: RowAddress
+    des: RowAddress
+
+    def __post_init__(self) -> None:
+        if not self.src.same_subarray(self.des):
+            raise ValueError(
+                "type-1 AAP copies within one sub-array; use the global "
+                "row buffer path (MemRead/MemWrite) across sub-arrays"
+            )
+
+    mnemonic = "AAP1"
+
+
+@dataclass(frozen=True)
+class AapCompute2:
+    """Type-2 AAP: two-row activation compute into ``des``."""
+
+    src1: RowAddress
+    src2: RowAddress
+    des: RowAddress
+    op: SAOp = SAOp.XNOR2
+
+    def __post_init__(self) -> None:
+        if not (
+            self.src1.same_subarray(self.src2)
+            and self.src1.same_subarray(self.des)
+        ):
+            raise ValueError("type-2 AAP operands must share a sub-array")
+        if self.src1.row == self.src2.row:
+            raise ValueError("type-2 AAP requires two distinct source rows")
+
+    mnemonic = "AAP2"
+
+
+@dataclass(frozen=True)
+class AapCompute3:
+    """Type-3 AAP: triple-row activation; majority(src1..3) -> des."""
+
+    src1: RowAddress
+    src2: RowAddress
+    src3: RowAddress
+    des: RowAddress
+
+    def __post_init__(self) -> None:
+        sources = (self.src1, self.src2, self.src3)
+        if not all(s.same_subarray(self.des) for s in sources):
+            raise ValueError("type-3 AAP operands must share a sub-array")
+        rows = {s.row for s in sources}
+        if len(rows) != 3:
+            raise ValueError("type-3 AAP requires three distinct source rows")
+
+    mnemonic = "AAP3"
+
+
+@dataclass(frozen=True)
+class SumCycle:
+    """The latch-assisted sum cycle: des = src1 ^ src2 ^ latched_carry.
+
+    This models the add-on XOR gate consuming the D-latch contents (the
+    carry produced by a preceding :class:`AapCompute3`) together with a
+    fresh two-row activation of the addend rows.
+    """
+
+    src1: RowAddress
+    src2: RowAddress
+    carry: RowAddress
+    des: RowAddress
+
+    def __post_init__(self) -> None:
+        operands = (self.src1, self.src2, self.carry)
+        if not all(s.same_subarray(self.des) for s in operands):
+            raise ValueError("sum-cycle operands must share a sub-array")
+
+    mnemonic = "SUM"
+
+
+@dataclass(frozen=True)
+class MemWrite:
+    """Write one row of data from the host through the global row buffer."""
+
+    des: RowAddress
+
+    mnemonic = "MEM_WR"
+
+
+@dataclass(frozen=True)
+class MemRead:
+    """Read one row of data to the host through the global row buffer."""
+
+    src: RowAddress
+
+    mnemonic = "MEM_RD"
+
+
+@dataclass(frozen=True)
+class DpuOp:
+    """A MAT-level DPU operation over one sense-amplifier stripe.
+
+    ``kind`` is one of ``and_reduce`` / ``or_reduce`` / ``popcount`` /
+    ``scalar_add`` — the simple non-bulk bit-wise ops the paper assigns
+    to the low-overhead Digital Processing Unit.
+    """
+
+    subarray: tuple[int, int, int]
+    kind: str
+
+    VALID_KINDS = ("and_reduce", "or_reduce", "popcount", "scalar_add")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.VALID_KINDS:
+            raise ValueError(f"unknown DPU op kind: {self.kind!r}")
+
+    mnemonic = "DPU"
+
+
+Instruction = (
+    AapCopy | AapCompute2 | AapCompute3 | SumCycle | MemWrite | MemRead | DpuOp
+)

@@ -1,0 +1,80 @@
+"""A MAT: a grid of computational sub-arrays with shared GRD/GRB + DPU.
+
+Sub-arrays are instantiated lazily: a full default device holds 32 768
+sub-arrays (~8.6 GB of functional state), but any realistic functional
+run touches only a handful.  Untouched sub-arrays hold all-zero bits by
+definition, so laziness is observationally equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dpu import Dpu
+from repro.core.subarray import SubArray
+from repro.dram.geometry import MatGeometry
+
+
+@dataclass
+class GlobalRowBuffer:
+    """The MAT-shared row buffer through which host reads/writes travel."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+        self._data = np.zeros(self.width, dtype=np.uint8)
+        self._valid = False
+
+    def load(self, bits: np.ndarray) -> None:
+        arr = np.asarray(bits, dtype=np.uint8)
+        if arr.shape != (self.width,):
+            raise ValueError(f"GRB expects shape ({self.width},)")
+        self._data = arr.copy()
+        self._valid = True
+
+    def read(self) -> np.ndarray:
+        if not self._valid:
+            raise RuntimeError("global row buffer read before load")
+        return self._data.copy()
+
+    @property
+    def valid(self) -> bool:
+        return self._valid
+
+    def invalidate(self) -> None:
+        self._valid = False
+
+
+@dataclass
+class Mat:
+    """One MAT of the PIM-Assembler hierarchy (lazy sub-array storage)."""
+
+    geometry: MatGeometry = field(default_factory=MatGeometry)
+
+    def __post_init__(self) -> None:
+        self._subarrays: dict[int, SubArray] = {}
+        self.dpu = Dpu(width=self.geometry.subarray.cols)
+        self.grb = GlobalRowBuffer(width=self.geometry.subarray.cols)
+
+    def subarray(self, index: int) -> SubArray:
+        if not 0 <= index < self.geometry.num_subarrays:
+            raise IndexError(
+                f"sub-array index {index} out of range "
+                f"0..{self.geometry.num_subarrays - 1}"
+            )
+        if index not in self._subarrays:
+            self._subarrays[index] = SubArray(self.geometry.subarray)
+        return self._subarrays[index]
+
+    @property
+    def num_subarrays(self) -> int:
+        return self.geometry.num_subarrays
+
+    @property
+    def instantiated_subarrays(self) -> int:
+        """How many sub-arrays have actually been touched (for tests)."""
+        return len(self._subarrays)

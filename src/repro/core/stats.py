@@ -1,0 +1,146 @@
+"""Cycle / energy accounting ledger.
+
+Every primitive the functional simulator executes reports itself here,
+so that benchmarks can read wall-clock time, energy and command mixes
+without instrumenting the algorithms.  The ledger supports hierarchical
+*phases* (e.g. ``hashmap`` / ``debruijn`` / ``traverse``) matching the
+per-stage breakdowns of the paper's Fig. 9.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class PhaseTotals:
+    """Aggregate time/energy/commands of one phase (or of the whole run)."""
+
+    time_ns: float = 0.0
+    energy_nj: float = 0.0
+    commands: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def time_s(self) -> float:
+        return self.time_ns * 1e-9
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy_nj * 1e-9
+
+    @property
+    def total_commands(self) -> int:
+        return sum(self.commands.values())
+
+    def average_power_w(self, background_w: float = 0.0) -> float:
+        """Dynamic average power over the phase duration, plus background."""
+        if self.time_ns <= 0:
+            return background_w
+        return self.energy_nj / self.time_ns + background_w
+
+
+class StatsLedger:
+    """Accumulates command events, grouped by phase.
+
+    The ledger is intentionally additive-only; algorithms never read it
+    back to make decisions, preserving the separation between the
+    functional and the timed views of the simulator.
+    """
+
+    ROOT_PHASE = "total"
+
+    def __init__(self) -> None:
+        self._time_ns: dict[str, float] = defaultdict(float)
+        self._energy_nj: dict[str, float] = defaultdict(float)
+        self._commands: dict[str, Counter] = defaultdict(Counter)
+        self._phase_stack: list[str] = []
+
+    @property
+    def current_phase(self) -> str | None:
+        return self._phase_stack[-1] if self._phase_stack else None
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute all events inside the block to ``name`` (and total)."""
+        if not name or name == self.ROOT_PHASE:
+            raise ValueError("phase name must be non-empty and not 'total'")
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    def record(
+        self,
+        command: str,
+        time_ns: float,
+        energy_nj: float,
+        count: int = 1,
+    ) -> None:
+        """Record ``count`` occurrences of a command.
+
+        Args:
+            command: command mnemonic (e.g. ``"AAP2"``, ``"DPU_AND"``).
+            time_ns: wall-clock contribution of *all* ``count`` events
+                combined (callers pre-multiply so that parallel sub-array
+                execution can be expressed as count=N, time of one).
+            energy_nj: total energy of all events combined.
+            count: number of command instances issued.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if time_ns < 0 or energy_nj < 0:
+            raise ValueError("time and energy must be non-negative")
+        targets = [self.ROOT_PHASE]
+        targets.extend(self._phase_stack)
+        for name in targets:
+            self._time_ns[name] += time_ns
+            self._energy_nj[name] += energy_nj
+            self._commands[name][command] += count
+
+    def totals(self, phase: str | None = None) -> PhaseTotals:
+        """Aggregates for a phase (default: whole run)."""
+        name = phase or self.ROOT_PHASE
+        return PhaseTotals(
+            time_ns=self._time_ns.get(name, 0.0),
+            energy_nj=self._energy_nj.get(name, 0.0),
+            commands=dict(self._commands.get(name, Counter())),
+        )
+
+    def phases(self) -> list[str]:
+        """All phases that recorded at least one event (excl. total)."""
+        return sorted(n for n in self._time_ns if n != self.ROOT_PHASE)
+
+    def command_count(self, command: str, phase: str | None = None) -> int:
+        name = phase or self.ROOT_PHASE
+        return self._commands.get(name, Counter()).get(command, 0)
+
+    def merge(self, other: "StatsLedger") -> None:
+        """Fold another ledger's events into this one (phase-wise)."""
+        for name, t in other._time_ns.items():
+            self._time_ns[name] += t
+        for name, e in other._energy_nj.items():
+            self._energy_nj[name] += e
+        for name, counter in other._commands.items():
+            self._commands[name].update(counter)
+
+    def reset(self) -> None:
+        self._time_ns.clear()
+        self._energy_nj.clear()
+        self._commands.clear()
+
+    def summary(self) -> str:
+        """Human-readable multi-line report (used by examples)."""
+        lines = []
+        order = [self.ROOT_PHASE] + self.phases()
+        for name in order:
+            totals = self.totals(None if name == self.ROOT_PHASE else name)
+            lines.append(
+                f"{name:>12}: {totals.time_ns/1e3:12.3f} us "
+                f"{totals.energy_nj:12.3f} nJ "
+                f"{totals.total_commands:10d} cmds"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Functional model of one computational sub-array.
+
+A sub-array is a ``rows x cols`` bit matrix plus one stripe of
+reconfigurable sense amplifiers.  Rows split into:
+
+* **data rows** ``0 .. data_rows-1`` — operand storage behind the
+  regular row decoder;
+* **compute rows** ``x1 .. x8`` (physical rows ``data_rows .. rows-1``)
+  — behind the 3:8 modified row decoder (MRD) that can raise two or
+  three word lines at once.
+
+The sub-array is *purely functional*: it mutates bits and returns
+results; all timing/energy accounting lives in
+:class:`repro.core.controller.Controller`, which is the only component
+that issues operations in the real machine, too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.isa import SAOp
+from repro.core.sense_amplifier import SenseAmplifierArray
+from repro.dram.geometry import SubArrayGeometry
+
+
+@dataclass
+class SubArray:
+    """State and bit-level behaviour of one computational sub-array."""
+
+    geometry: SubArrayGeometry = field(default_factory=SubArrayGeometry)
+
+    def __post_init__(self) -> None:
+        self._bits = np.zeros(
+            (self.geometry.rows, self.geometry.cols), dtype=np.uint8
+        )
+        self.sa = SenseAmplifierArray(columns=self.geometry.cols)
+
+    # ----- row addressing -------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        return self.geometry.rows
+
+    @property
+    def cols(self) -> int:
+        return self.geometry.cols
+
+    def compute_row(self, index: int) -> int:
+        """Physical row number of compute row ``x{index}`` (1-based)."""
+        if not 1 <= index <= self.geometry.compute_rows:
+            raise ValueError(
+                f"compute row index must be in 1..{self.geometry.compute_rows}"
+            )
+        return self.geometry.data_rows + index - 1
+
+    def is_compute_row(self, row: int) -> bool:
+        return self.geometry.data_rows <= row < self.geometry.rows
+
+    def _check_row(self, row: int) -> int:
+        if not 0 <= row < self.geometry.rows:
+            raise IndexError(f"row {row} out of range 0..{self.geometry.rows - 1}")
+        return row
+
+    def _check_bits(self, bits: np.ndarray) -> np.ndarray:
+        arr = np.asarray(bits, dtype=np.uint8)
+        if arr.shape != (self.geometry.cols,):
+            raise ValueError(
+                f"row data must have shape ({self.geometry.cols},), got {arr.shape}"
+            )
+        if not np.isin(arr, (0, 1)).all():
+            raise ValueError("row data must be 0/1 bits")
+        return arr
+
+    # ----- memory behaviour -------------------------------------------------
+
+    def write_row(self, row: int, bits: np.ndarray) -> None:
+        self._bits[self._check_row(row)] = self._check_bits(bits)
+
+    def read_row(self, row: int) -> np.ndarray:
+        return self._bits[self._check_row(row)].copy()
+
+    def read_rows(self, start: int, stop: int) -> np.ndarray:
+        """Copy of a contiguous row block ``[start, stop)``."""
+        self._check_row(start)
+        if stop < start or stop > self.geometry.rows:
+            raise IndexError(f"row range [{start}, {stop}) out of bounds")
+        return self._bits[start:stop].copy()
+
+    def rowclone(self, src: int, des: int) -> None:
+        """In-sub-array copy via back-to-back activation (AAP type 1)."""
+        self._bits[self._check_row(des)] = self._bits[self._check_row(src)]
+
+    # ----- compute behaviour --------------------------------------------------
+
+    def compute2(self, src1: int, src2: int, des: int, op: SAOp) -> np.ndarray:
+        """Two-row activation: ``des = op(src1, src2)``; returns the result.
+
+        In hardware the sources must have been RowCloned into compute
+        rows; the controller enforces that protocol — the functional
+        model accepts any row pair so unit tests can probe it directly.
+        """
+        result = self.sa.compute2(
+            self._bits[self._check_row(src1)],
+            self._bits[self._check_row(src2)],
+            op,
+        )
+        self._bits[self._check_row(des)] = result
+        return result.copy()
+
+    def tra_carry(self, src1: int, src2: int, src3: int, des: int) -> np.ndarray:
+        """Triple-row activation: majority -> des, and into the SA latch."""
+        rows = {self._check_row(src1), self._check_row(src2), self._check_row(src3)}
+        if len(rows) != 3:
+            raise ValueError("TRA requires three distinct rows")
+        result = self.sa.carry(
+            self._bits[src1], self._bits[src2], self._bits[src3]
+        )
+        self._bits[self._check_row(des)] = result
+        return result.copy()
+
+    def sum_cycle(self, src1: int, src2: int, des: int) -> np.ndarray:
+        """Latch-assisted sum: ``des = src1 ^ src2 ^ latch``."""
+        result = self.sa.sum_with_latch(
+            self._bits[self._check_row(src1)],
+            self._bits[self._check_row(src2)],
+        )
+        self._bits[self._check_row(des)] = result
+        return result.copy()
+
+    # ----- whole-array views (testing / debugging) ---------------------------
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the full bit matrix."""
+        return self._bits.copy()
+
+    def clear(self) -> None:
+        self._bits.fill(0)
+        self.sa.clear_latch()

@@ -1,0 +1,203 @@
+"""Command-trace recording and analysis.
+
+A :class:`CommandTrace` captures the exact AAP command stream the
+controller issues — the same artefact a memory-controller RTL test
+bench would consume.  Uses:
+
+* **debugging** — inspect what an algorithm actually issued;
+* **verification** — replay a trace against a fresh device and check
+  the final state matches (`replay`), proving the trace is a complete
+  description of the computation;
+* **analysis** — command-mix histograms, per-sub-array load, bank-level
+  conflict estimation (`TraceAnalysis`).
+
+Recording is opt-in (`Controller.attach_trace`) so the default
+simulator carries no overhead.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.controller import Controller
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded command.
+
+    Attributes:
+        index: issue order.
+        mnemonic: command name (``AAP1``, ``AAP2``, ``AAP3``, ``SUM``,
+            ``LATCH_LD``, ``MEM_WR``, ``MEM_RD``, ``DPU``).
+        subarray: (bank, mat, subarray) the command targets.
+        rows: row operands in issue order (sources first, then the
+            destination, where applicable).
+        payload: row data for ``MEM_WR`` commands (bit tuple), else
+            ``None`` — exactly the information needed for replay.
+    """
+
+    index: int
+    mnemonic: str
+    subarray: tuple[int, int, int]
+    rows: tuple[int, ...]
+    payload: tuple[int, ...] | None = None
+
+    def __str__(self) -> str:
+        rows = ",".join(str(r) for r in self.rows)
+        return f"#{self.index} {self.mnemonic} @{self.subarray} rows[{rows}]"
+
+
+class CommandTrace:
+    """An append-only record of issued commands."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._entries: list[TraceEntry] = []
+        self._capacity = capacity
+
+    def record(
+        self,
+        mnemonic: str,
+        subarray: tuple[int, int, int],
+        rows: tuple[int, ...],
+        payload: np.ndarray | None = None,
+    ) -> None:
+        if self._capacity is not None and len(self._entries) >= self._capacity:
+            raise OverflowError(
+                f"trace capacity ({self._capacity} commands) exceeded"
+            )
+        self._entries.append(
+            TraceEntry(
+                index=len(self._entries),
+                mnemonic=mnemonic,
+                subarray=subarray,
+                rows=rows,
+                payload=tuple(int(b) for b in payload) if payload is not None else None,
+            )
+        )
+
+    # ----- access ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> TraceEntry:
+        return self._entries[index]
+
+    def entries(self, mnemonic: str | None = None) -> list[TraceEntry]:
+        if mnemonic is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.mnemonic == mnemonic]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ----- serialisation ------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Human-readable trace dump, one command per line."""
+        return "\n".join(str(e) for e in self._entries)
+
+
+@dataclass(frozen=True)
+class TraceAnalysis:
+    """Aggregate statistics of one trace."""
+
+    command_mix: Counter
+    subarray_load: Counter
+    bank_load: Counter
+
+    @property
+    def total_commands(self) -> int:
+        return sum(self.command_mix.values())
+
+    @property
+    def busiest_subarray(self) -> tuple[tuple[int, int, int], int] | None:
+        if not self.subarray_load:
+            return None
+        key, count = self.subarray_load.most_common(1)[0]
+        return key, count
+
+    def load_imbalance(self) -> float:
+        """max/mean sub-array load (1.0 = perfectly balanced)."""
+        if not self.subarray_load:
+            return 1.0
+        loads = list(self.subarray_load.values())
+        return max(loads) / (sum(loads) / len(loads))
+
+
+def analyse(trace: CommandTrace) -> TraceAnalysis:
+    """Compute the command-mix and load statistics of a trace."""
+    mix: Counter = Counter()
+    sub_load: Counter = Counter()
+    bank_load: Counter = Counter()
+    for entry in trace:
+        mix[entry.mnemonic] += 1
+        sub_load[entry.subarray] += 1
+        bank_load[entry.subarray[0]] += 1
+    return TraceAnalysis(
+        command_mix=mix, subarray_load=sub_load, bank_load=bank_load
+    )
+
+
+def replay(trace: CommandTrace, controller: "Controller") -> None:
+    """Re-issue a recorded trace against a (fresh) controller.
+
+    Only state-changing commands are replayed; ``MEM_RD`` and ``DPU``
+    entries are skipped (they do not mutate array state).  After
+    replay, the device state must equal the state after the original
+    run — the invariant the trace tests assert.
+
+    Raises:
+        ValueError: on a mnemonic replay does not understand.
+    """
+    from repro.core.isa import RowAddress, SAOp
+
+    for entry in trace:
+        bank, mat, sub = entry.subarray
+
+        def addr(row: int) -> RowAddress:
+            return RowAddress(bank=bank, mat=mat, subarray=sub, row=row)
+
+        if entry.mnemonic == "AAP1":
+            controller.copy(addr(entry.rows[0]), addr(entry.rows[1]))
+        elif entry.mnemonic == "AAP2":
+            controller.compute2(
+                addr(entry.rows[0]),
+                addr(entry.rows[1]),
+                addr(entry.rows[2]),
+                SAOp.XNOR2,
+            )
+        elif entry.mnemonic == "AAP3":
+            controller.tra_carry(
+                addr(entry.rows[0]),
+                addr(entry.rows[1]),
+                addr(entry.rows[2]),
+                addr(entry.rows[3]),
+            )
+        elif entry.mnemonic == "SUM":
+            controller.sum_cycle(
+                addr(entry.rows[0]), addr(entry.rows[1]), addr(entry.rows[2])
+            )
+        elif entry.mnemonic == "LATCH_LD":
+            controller.load_latch(addr(entry.rows[0]))
+        elif entry.mnemonic == "MEM_WR":
+            if entry.payload is None:
+                raise ValueError(f"MEM_WR entry #{entry.index} lacks payload")
+            controller.write_row(
+                addr(entry.rows[0]), np.array(entry.payload, dtype=np.uint8)
+            )
+        elif entry.mnemonic in ("MEM_RD", "DPU"):
+            continue
+        else:
+            raise ValueError(f"cannot replay mnemonic {entry.mnemonic!r}")

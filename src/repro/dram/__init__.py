@@ -1,0 +1,86 @@
+"""Analog-behavioural DRAM substrate for PIM-Assembler.
+
+This package models the *electrical* layer of the PIM-Assembler platform:
+DRAM cells, bit-line charge sharing, the reconfigurable sense amplifier's
+shifted-VTC inverters, process variation, and transient waveforms.
+
+It intentionally knows nothing about genome assembly or even about memory
+commands; it answers questions of the form "if these cells are activated
+onto this bit line, what voltage does the sense amplifier see, and which
+logic value does it resolve to?".  The architectural layer
+(:mod:`repro.core`) builds the functional simulator on top of the *ideal*
+answers, while the reliability study (Table I of the paper) re-asks the
+same questions under Monte-Carlo component variation.
+
+The model corresponds to Section II-A and Figures 2-4 of the paper; its
+fidelity substitutions relative to the authors' Cadence Spectre + 45 nm
+NCSU PDK setup are documented in ``DESIGN.md``.
+"""
+
+from repro.dram.geometry import (
+    SubArrayGeometry,
+    MatGeometry,
+    BankGeometry,
+    DeviceGeometry,
+    default_geometry,
+)
+from repro.dram.cell import CellParameters, NoiseSources
+from repro.dram.charge_sharing import (
+    share_voltage,
+    two_row_share,
+    triple_row_share,
+    ChargeShareResult,
+)
+from repro.dram.sense_voltage import (
+    InverterVTC,
+    ReconfigurableSenseVoltages,
+    SenseDecision,
+)
+from repro.dram.variation import (
+    VariationSpec,
+    MonteCarloSense,
+    VariationResult,
+    run_variation_table,
+)
+from repro.dram.margins import (
+    MarginReport,
+    ScalingPoint,
+    margin_report,
+    scaling_study,
+)
+from repro.dram.retention import (
+    ResidencyPoint,
+    RetentionModel,
+    residency_study,
+)
+from repro.dram.waveform import TransientWaveform, xnor2_transient
+
+__all__ = [
+    "SubArrayGeometry",
+    "MatGeometry",
+    "BankGeometry",
+    "DeviceGeometry",
+    "default_geometry",
+    "CellParameters",
+    "NoiseSources",
+    "share_voltage",
+    "two_row_share",
+    "triple_row_share",
+    "ChargeShareResult",
+    "InverterVTC",
+    "ReconfigurableSenseVoltages",
+    "SenseDecision",
+    "VariationSpec",
+    "MonteCarloSense",
+    "VariationResult",
+    "run_variation_table",
+    "TransientWaveform",
+    "xnor2_transient",
+    "MarginReport",
+    "ScalingPoint",
+    "margin_report",
+    "scaling_study",
+    "ResidencyPoint",
+    "RetentionModel",
+    "residency_study",
+]

@@ -1,0 +1,116 @@
+"""DRAM cell electrical parameters and noise-source inventory.
+
+Nominal values follow the Rambus DRAM power model (the source the paper
+cites for its Monte-Carlo cell parameters) scaled to a 45 nm-class
+commodity DRAM:
+
+* cell storage capacitance ``Cs`` ~ 22 fF,
+* bit-line capacitance ``Cb`` ~ 85 fF,
+* supply ``Vdd`` = 1.0 V (the NCSU FreePDK45 nominal core supply used for
+  the sense-amplifier add-on circuits).
+
+The :class:`NoiseSources` dataclass names the parasitic couplings of the
+paper's Fig. 4 — word-line-to-bit-line coupling ``Cwbl``, bit-line to
+substrate ``Cs`` (the figure's glossary re-uses the symbol), and bit-line
+to adjacent bit-line cross-talk ``Ccross`` — which enter the variation
+study as additive voltage disturbances on the sensed level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CellParameters:
+    """Electrical constants of a DRAM cell / bit-line pair.
+
+    Attributes:
+        cell_capacitance_f: storage capacitor, farads.
+        bitline_capacitance_f: bit-line parasitic capacitance, farads.
+        vdd: supply voltage, volts.
+        precharge_fraction: bit-line precharge level as a fraction of Vdd
+            (standard half-Vdd precharge).
+        retention_degradation: fraction of a stored ``1``'s charge lost to
+            leakage by the time it is sensed (worst case within the
+            refresh window).  Applied as a derating on the stored level.
+    """
+
+    cell_capacitance_f: float = 22e-15
+    bitline_capacitance_f: float = 85e-15
+    vdd: float = 1.0
+    precharge_fraction: float = 0.5
+    retention_degradation: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.cell_capacitance_f <= 0 or self.bitline_capacitance_f <= 0:
+            raise ValueError("capacitances must be positive")
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if not 0 <= self.precharge_fraction <= 1:
+            raise ValueError("precharge_fraction must be within [0, 1]")
+        if not 0 <= self.retention_degradation < 1:
+            raise ValueError("retention_degradation must be within [0, 1)")
+
+    @property
+    def precharge_voltage(self) -> float:
+        return self.precharge_fraction * self.vdd
+
+    def stored_voltage(self, bit: int) -> float:
+        """Voltage on the cell capacitor for a stored logic value.
+
+        A stored ``1`` is derated by ``retention_degradation`` to model
+        leakage between the last refresh and the activation that senses
+        the cell.
+        """
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        if bit == 0:
+            return 0.0
+        return self.vdd * (1.0 - self.retention_degradation)
+
+    @property
+    def transfer_ratio(self) -> float:
+        """Single-cell charge-transfer ratio Cs / (Cs + Cb).
+
+        This is the classic DRAM sensing figure of merit: the fraction of
+        the cell's full swing that appears on the bit line after a normal
+        one-row activation.
+        """
+        cs = self.cell_capacitance_f
+        return cs / (cs + self.bitline_capacitance_f)
+
+
+@dataclass(frozen=True)
+class NoiseSources:
+    """Parasitic couplings of the paper's Fig. 4, as voltage disturbances.
+
+    Each value is the worst-case disturbance amplitude injected on the
+    sensed bit-line voltage, expressed as a fraction of Vdd.  They are
+    treated as independent zero-mean contributions in the Monte-Carlo
+    study (:mod:`repro.dram.variation`).
+
+    Attributes:
+        wordline_bitline: WL-BL coupling (``Cwbl``) kick during activation.
+        bitline_substrate: BL-substrate capacitance mismatch effect.
+        bitline_crosstalk: adjacent-BL cross-talk (``Ccross``) while the
+            neighbouring column swings rail-to-rail.
+    """
+
+    wordline_bitline: float = 0.01
+    bitline_substrate: float = 0.005
+    bitline_crosstalk: float = 0.01
+
+    def __post_init__(self) -> None:
+        for name in ("wordline_bitline", "bitline_substrate", "bitline_crosstalk"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def total_rms(self) -> float:
+        """Root-sum-square of the independent disturbance amplitudes."""
+        return (
+            self.wordline_bitline**2
+            + self.bitline_substrate**2
+            + self.bitline_crosstalk**2
+        ) ** 0.5

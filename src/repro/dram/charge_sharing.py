@@ -1,0 +1,191 @@
+"""Multi-row activation charge-sharing arithmetic.
+
+This module answers the purely capacitive question at the heart of both
+PIM-Assembler's two-row activation and Ambit's triple-row activation
+(TRA): *when several cells dump their charge onto a shared node, what
+voltage results?*
+
+Two sharing topologies appear in the paper:
+
+1. **Bit-line sharing** (used by TRA and by ordinary reads): the cells
+   share charge with the half-Vdd-precharged bit line, so the result is
+
+   ``V = (Cb * Vpre + sum(Cs_i * V_i)) / (Cb + sum(Cs_i))``
+
+   The sense margin is the deviation of ``V`` from the SA reference
+   (Vdd/2), which for TRA is small — roughly
+   ``(Vdd/2) * Cs / (Cb + 3 Cs)`` — and is why TRA is the reliability
+   bottleneck of prior processing-in-DRAM designs (Table I).
+
+2. **Decoupled compute-node sharing** (PIM-Assembler's two-row scheme):
+   the add-on sense amplifier connects the two activated compute-row
+   cells to the inverter inputs through a node whose parasitic load is
+   negligible next to the cell capacitors, so the shared voltage is the
+   capacitance-weighted mean of the stored levels:
+
+   ``V = sum(Cs_i * V_i) / sum(Cs_i)  ~=  n * Vdd / C``
+
+   with ``n`` the number of 1-cells and ``C`` the number of unit
+   capacitors — exactly the expression in Section II-A.  The resulting
+   levels {0, Vdd/2, Vdd} sit a full Vdd/4 away from the shifted inverter
+   thresholds, which is the source of the scheme's robustness advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dram.cell import CellParameters
+
+
+@dataclass(frozen=True)
+class ChargeShareResult:
+    """Outcome of one charge-sharing event.
+
+    Attributes:
+        voltage: resulting node voltage, volts.
+        ones: number of participating cells that stored logic 1.
+        cells: number of participating cells.
+        margin: distance from the nearest decision threshold the caller
+            supplied, volts (``None`` when no threshold was supplied).
+    """
+
+    voltage: float
+    ones: int
+    cells: int
+    margin: float | None = None
+
+    def with_margin(self, thresholds: Sequence[float]) -> "ChargeShareResult":
+        """Return a copy annotated with the minimum threshold distance."""
+        if not thresholds:
+            raise ValueError("thresholds must be non-empty")
+        margin = min(abs(self.voltage - t) for t in thresholds)
+        return ChargeShareResult(self.voltage, self.ones, self.cells, margin)
+
+
+def share_voltage(
+    cell_voltages: Sequence[float],
+    cell_capacitances: Sequence[float],
+    extra_capacitance: float = 0.0,
+    extra_voltage: float = 0.0,
+) -> float:
+    """Capacitive charge-sharing among arbitrary nodes.
+
+    Args:
+        cell_voltages: pre-share voltage on each cell capacitor.
+        cell_capacitances: capacitance of each cell (same length).
+        extra_capacitance: an additional node (e.g. the bit line) that
+            participates in the share.
+        extra_voltage: that node's pre-share voltage (e.g. the precharge
+            level).
+
+    Returns:
+        The common voltage after charge redistribution (charge
+        conservation over ideal capacitors).
+    """
+    if len(cell_voltages) != len(cell_capacitances):
+        raise ValueError("voltages and capacitances must align")
+    if not cell_voltages and extra_capacitance == 0.0:
+        raise ValueError("nothing to share")
+    if any(c <= 0 for c in cell_capacitances) or extra_capacitance < 0:
+        raise ValueError("capacitances must be positive")
+    charge = extra_capacitance * extra_voltage
+    total = extra_capacitance
+    for v, c in zip(cell_voltages, cell_capacitances):
+        charge += v * c
+        total += c
+    return charge / total
+
+
+def two_row_share(
+    di: int,
+    dj: int,
+    params: CellParameters | None = None,
+    compute_node_capacitance: float = 0.0,
+) -> ChargeShareResult:
+    """PIM-Assembler's two-row activation onto the decoupled compute node.
+
+    Args:
+        di, dj: the logic values stored in compute rows ``x1`` and ``x2``.
+        params: electrical constants (defaults are the 45 nm nominals).
+        compute_node_capacitance: parasitic load of the add-on SA input
+            node, farads.  The nominal design keeps this negligible; the
+            variation study perturbs it.
+
+    Returns:
+        The shared voltage, nominally ``n * Vdd / 2`` for ``n`` stored 1s.
+    """
+    params = params or CellParameters()
+    for bit in (di, dj):
+        if bit not in (0, 1):
+            raise ValueError("operand bits must be 0 or 1")
+    cs = params.cell_capacitance_f
+    voltage = share_voltage(
+        [params.stored_voltage(di), params.stored_voltage(dj)],
+        [cs, cs],
+        extra_capacitance=compute_node_capacitance,
+        extra_voltage=0.0,
+    )
+    return ChargeShareResult(voltage=voltage, ones=di + dj, cells=2)
+
+
+def triple_row_share(
+    bits: Sequence[int],
+    params: CellParameters | None = None,
+) -> ChargeShareResult:
+    """Ambit-style triple-row activation onto the precharged bit line.
+
+    Used by PIM-Assembler only for the carry (majority-of-3) step of
+    in-memory addition; the resulting sense margin is the quantity the
+    Table I reliability comparison is about.
+
+    Args:
+        bits: exactly three stored logic values.
+        params: electrical constants.
+
+    Returns:
+        The bit-line voltage after the share.  Majority(bits) == 1 iff
+        the voltage exceeds the Vdd/2 sense reference (nominally).
+    """
+    params = params or CellParameters()
+    if len(bits) != 3:
+        raise ValueError("TRA activates exactly three rows")
+    if any(b not in (0, 1) for b in bits):
+        raise ValueError("operand bits must be 0 or 1")
+    cs = params.cell_capacitance_f
+    voltage = share_voltage(
+        [params.stored_voltage(b) for b in bits],
+        [cs, cs, cs],
+        extra_capacitance=params.bitline_capacitance_f,
+        extra_voltage=params.precharge_voltage,
+    )
+    return ChargeShareResult(voltage=voltage, ones=sum(bits), cells=3)
+
+
+def tra_nominal_margin(params: CellParameters | None = None) -> float:
+    """Worst-case TRA sense margin (volts) over all 3-bit patterns.
+
+    The tightest patterns are the 2-vs-1 splits; with ideal cells the
+    margin is ``(Vdd/2 - 0) * Cs / (Cb + 3 Cs)`` on either side of the
+    reference.  Retention derating makes the 1-heavy side slightly worse,
+    which this function captures by evaluating all patterns.
+    """
+    params = params or CellParameters()
+    reference = params.precharge_voltage
+    margins = []
+    for pattern in range(8):
+        bits = [(pattern >> i) & 1 for i in range(3)]
+        result = triple_row_share(bits, params)
+        margins.append(abs(result.voltage - reference))
+    return min(margins)
+
+
+def two_row_nominal_levels(params: CellParameters | None = None) -> tuple[float, float, float]:
+    """The three nominal compute-node levels (n = 0, 1, 2 stored ones)."""
+    params = params or CellParameters()
+    return (
+        two_row_share(0, 0, params).voltage,
+        two_row_share(1, 0, params).voltage,
+        two_row_share(1, 1, params).voltage,
+    )

@@ -1,0 +1,121 @@
+"""Sense-margin analysis and technology-scaling study.
+
+The paper closes its reliability section with: "By scaling down the
+transistor size, the process variation effect is expected to get
+worse."  This module quantifies that expectation within our model:
+
+* :func:`margin_report` — the nominal sense margins of the two
+  mechanisms and their sensitivity to the Cs/Cb ratio;
+* :func:`scaling_study` — sweep a technology-scaling factor (smaller
+  nodes shrink the storage capacitor faster than the bit line) and
+  report the Monte-Carlo error rates at a fixed variation level, for
+  TRA and two-row activation.
+
+The qualitative expectations the tests pin down: TRA's margin shrinks
+with Cs (its signal is the Cs/(Cb+3Cs) divider) so its error rate
+climbs steeply; two-row activation's compute-node margin is
+Cb-independent, so it degrades only through the threshold-variation
+channel and stays ahead at every node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dram.cell import CellParameters
+from repro.dram.charge_sharing import tra_nominal_margin, two_row_nominal_levels
+from repro.dram.variation import MonteCarloSense, VariationSpec
+
+
+@dataclass(frozen=True)
+class MarginReport:
+    """Nominal margins of the two sensing mechanisms, volts."""
+
+    tra_margin: float
+    two_row_margin: float
+    cs_over_cb: float
+
+    @property
+    def margin_ratio(self) -> float:
+        """two-row / TRA margin — the robustness headroom."""
+        if self.tra_margin <= 0:
+            return float("inf")
+        return self.two_row_margin / self.tra_margin
+
+
+def two_row_margin(params: CellParameters | None = None) -> float:
+    """Worst-case distance of the compute-node levels to the shifted
+    thresholds (nominally Vdd/4; retention derates the top level)."""
+    params = params or CellParameters()
+    levels = two_row_nominal_levels(params)
+    thresholds = (0.25 * params.vdd, 0.75 * params.vdd)
+    return min(abs(level - t) for level in levels for t in thresholds)
+
+
+def margin_report(params: CellParameters | None = None) -> MarginReport:
+    params = params or CellParameters()
+    return MarginReport(
+        tra_margin=tra_nominal_margin(params),
+        two_row_margin=two_row_margin(params),
+        cs_over_cb=params.cell_capacitance_f / params.bitline_capacitance_f,
+    )
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One technology node of the scaling study."""
+
+    scale: float
+    cell_capacitance_f: float
+    tra_margin: float
+    two_row_margin: float
+    tra_error_percent: float
+    two_row_error_percent: float
+
+
+def scaled_cell(
+    scale: float, base: CellParameters | None = None
+) -> CellParameters:
+    """Cell parameters at a relative technology scale.
+
+    Storage capacitance shrinks ~linearly with feature size (trench/
+    stack height limits), while the bit line — whose capacitance is
+    wire-dominated — shrinks more slowly (~sqrt of the scale).
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    base = base or CellParameters()
+    return replace(
+        base,
+        cell_capacitance_f=base.cell_capacitance_f * scale,
+        bitline_capacitance_f=base.bitline_capacitance_f * scale**0.5,
+    )
+
+
+def scaling_study(
+    scales: tuple[float, ...] = (1.0, 0.8, 0.6, 0.4),
+    variation_percent: float = 15.0,
+    trials: int = 10_000,
+    seed: int = 0x5CA1E,
+) -> list[ScalingPoint]:
+    """Error rates vs technology scale at a fixed variation level."""
+    if not scales:
+        raise ValueError("at least one scale is required")
+    points = []
+    for scale in scales:
+        params = scaled_cell(scale)
+        engine = MonteCarloSense(params=params, seed=seed)
+        spec = VariationSpec(percent=variation_percent)
+        tra = engine.run_tra(spec, trials)
+        two_row = engine.run_two_row(spec, trials)
+        points.append(
+            ScalingPoint(
+                scale=scale,
+                cell_capacitance_f=params.cell_capacitance_f,
+                tra_margin=tra_nominal_margin(params),
+                two_row_margin=two_row_margin(params),
+                tra_error_percent=tra.error_percent,
+                two_row_error_percent=two_row.error_percent,
+            )
+        )
+    return points

@@ -1,0 +1,153 @@
+"""Data-retention modelling for long-resident PIM data structures.
+
+A conventional DRAM row is rewritten constantly; PIM-Assembler's hash
+table instead *resides* in the arrays for the whole assembly run
+(tens of seconds), so retention behaviour matters in a way it does not
+for a cache-like use.  This module models it:
+
+* per-cell retention times follow the classic two-population model —
+  a lognormal main population (seconds to minutes) plus a small
+  "leaky" tail — and a cell loses its bit if it is not refreshed
+  within its retention time;
+* the refresh interval (tREFW, 64 ms nominal) bounds the unrefreshed
+  window, so the per-cell upset probability per window is the tail
+  mass of the retention distribution below tREFW;
+* a *table upset* happens when any occupied cell of the k-mer table
+  upsets during the residency.
+
+:func:`residency_study` sweeps refresh intervals and reports upset
+probabilities for a table of a given size and residency — showing the
+safety margin of nominal refresh and how aggressive refresh-relaxation
+schemes (a common DRAM power optimisation) would endanger a resident
+PIM table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """Two-population lognormal retention-time model.
+
+    Attributes:
+        main_median_s: median retention of the main population (64 s is
+            a typical 45 nm-class figure; the 64 ms refresh window sits
+            three orders of magnitude below it).
+        main_sigma: lognormal shape of the main population.
+        leaky_fraction: *residual* share of cells in the leaky tail —
+            after manufacturer repair/remapping, what remains are the
+            variable-retention-time (VRT) cells.
+        leaky_median_s: median retention of the residual leaky cells.
+        leaky_sigma: lognormal shape of the leaky population.
+    """
+
+    main_median_s: float = 64.0
+    main_sigma: float = 0.4
+    leaky_fraction: float = 2e-10
+    leaky_median_s: float = 0.5
+    leaky_sigma: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.main_median_s <= 0 or self.leaky_median_s <= 0:
+            raise ValueError("medians must be positive")
+        if self.main_sigma <= 0 or self.leaky_sigma <= 0:
+            raise ValueError("sigmas must be positive")
+        if not 0.0 <= self.leaky_fraction <= 1.0:
+            raise ValueError("leaky_fraction must be within [0, 1]")
+
+    @staticmethod
+    def _lognormal_cdf(x: float, median: float, sigma: float) -> float:
+        if x <= 0:
+            return 0.0
+        z = (math.log(x) - math.log(median)) / (sigma * math.sqrt(2.0))
+        return 0.5 * (1.0 + math.erf(z))
+
+    def upset_probability_per_window(self, refresh_interval_s: float) -> float:
+        """P(cell retention < refresh window), mixed over populations."""
+        if refresh_interval_s <= 0:
+            raise ValueError("refresh_interval_s must be positive")
+        main = self._lognormal_cdf(
+            refresh_interval_s, self.main_median_s, self.main_sigma
+        )
+        leaky = self._lognormal_cdf(
+            refresh_interval_s, self.leaky_median_s, self.leaky_sigma
+        )
+        return (1.0 - self.leaky_fraction) * main + self.leaky_fraction * leaky
+
+    def cell_failure_probability(
+        self, refresh_interval_s: float, residency_s: float
+    ) -> float:
+        """P(one cell loses its bit during the residency).
+
+        Retention is a per-cell property: a cell fails iff its
+        retention time is below its unrefreshed exposure — the refresh
+        window, capped by the residency itself for very short runs.
+        """
+        if refresh_interval_s <= 0 or residency_s <= 0:
+            raise ValueError("intervals must be positive")
+        exposure = min(refresh_interval_s, residency_s)
+        return self.upset_probability_per_window(exposure)
+
+    def table_upset_probability(
+        self,
+        table_bits: int,
+        residency_s: float,
+        refresh_interval_s: float = 0.064,
+    ) -> float:
+        """P(any occupied bit upsets while the table is resident)."""
+        if table_bits <= 0:
+            raise ValueError("table_bits must be positive")
+        p = self.cell_failure_probability(refresh_interval_s, residency_s)
+        if p >= 1.0:
+            return 1.0
+        # log-space survival to avoid underflow at tiny probabilities
+        return 1.0 - math.exp(table_bits * math.log1p(-p))
+
+
+@dataclass(frozen=True)
+class ResidencyPoint:
+    """One refresh-interval point of the residency study."""
+
+    refresh_interval_s: float
+    per_bit_per_window: float
+    table_upset_probability: float
+    expected_upsets: float
+
+    @property
+    def needs_protection(self) -> bool:
+        """True when the run expects at least one upset — the point at
+        which a resident table needs ECC or per-run scrubbing."""
+        return self.expected_upsets >= 1.0
+
+
+def residency_study(
+    table_bits: int = 88_000_000 * 34,  # chr14 table: keys + counters
+    residency_s: float = 25.0,  # the P-A chr14 run time
+    refresh_intervals_s: tuple[float, ...] = (0.064, 0.256, 1.024, 4.096),
+    model: RetentionModel | None = None,
+) -> list[ResidencyPoint]:
+    """Upset probability vs refresh interval for a resident table.
+
+    The expected shape (asserted by tests): negligible risk at the
+    nominal 64 ms window, rising through relaxed-refresh settings, and
+    effectively certain corruption once the window approaches the leaky
+    population's retention.
+    """
+    model = model or RetentionModel()
+    points = []
+    for interval in refresh_intervals_s:
+        per_bit = model.cell_failure_probability(interval, residency_s)
+        points.append(
+            ResidencyPoint(
+                refresh_interval_s=interval,
+                per_bit_per_window=per_bit,
+                table_upset_probability=model.table_upset_probability(
+                    table_bits, residency_s, interval
+                ),
+                expected_upsets=table_bits * per_bit,
+            )
+        )
+    return points

@@ -1,0 +1,161 @@
+"""Shifted-VTC inverters and the analog decision path of the new SA.
+
+PIM-Assembler's reconfigurable sense amplifier (paper Fig. 2) adds two
+inverters with deliberately shifted voltage-transfer characteristics to
+the standard cross-coupled pair:
+
+* a **low-Vs** inverter (high-Vth NMOS / low-Vth PMOS) whose switching
+  voltage sits at ~Vdd/4 — it amplifies deviation from 1/4 Vdd, so its
+  output is the **NOR2** of the two shared compute cells;
+* a **high-Vs** inverter (low-Vth NMOS / high-Vth PMOS) switching at
+  ~3/4 Vdd — its output is the **NAND2**.
+
+A CMOS AND gate with one inverted input combines them into **XOR2**
+(= NAND & NOT NOR), and the 4:1 output MUX places XOR2 / XNOR2 onto the
+bit-line pair.  This module evaluates that analog chain for given node
+voltages and (possibly perturbed) thresholds; the architectural simulator
+uses the ideal outcome, the Monte-Carlo study the perturbed one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dram.cell import CellParameters
+from repro.dram.charge_sharing import triple_row_share, two_row_share
+
+
+@dataclass(frozen=True)
+class InverterVTC:
+    """A static CMOS inverter with an engineered switching voltage.
+
+    Attributes:
+        switching_voltage: input level at which the output crosses mid
+            rail (``Vs`` in the paper's Fig. 2b).
+        vdd: supply rail.
+        gain: small-signal gain magnitude around the switching point;
+            only used when an analog (non-saturated) output is requested.
+    """
+
+    switching_voltage: float
+    vdd: float = 1.0
+    gain: float = 20.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.switching_voltage < self.vdd:
+            raise ValueError("switching voltage must lie inside the rails")
+        if self.gain <= 0:
+            raise ValueError("gain must be positive")
+
+    def digital(self, vin: float) -> int:
+        """Hard decision: 1 when the input is below the switching point."""
+        return 1 if vin < self.switching_voltage else 0
+
+    def analog(self, vin: float) -> float:
+        """Smooth VTC (logistic approximation) for waveform plotting."""
+        x = self.gain * (self.switching_voltage - vin) / self.vdd
+        return self.vdd / (1.0 + math.exp(-2.0 * x))
+
+
+def low_vs_inverter(params: CellParameters | None = None) -> InverterVTC:
+    """NOR-detecting inverter, nominal Vs = Vdd/4."""
+    params = params or CellParameters()
+    return InverterVTC(switching_voltage=0.25 * params.vdd, vdd=params.vdd)
+
+
+def high_vs_inverter(params: CellParameters | None = None) -> InverterVTC:
+    """NAND-detecting inverter, nominal Vs = 3 Vdd/4."""
+    params = params or CellParameters()
+    return InverterVTC(switching_voltage=0.75 * params.vdd, vdd=params.vdd)
+
+
+def normal_vs_inverter(params: CellParameters | None = None) -> InverterVTC:
+    """The ordinary SA inverter, Vs = Vdd/2 (memory read reference)."""
+    params = params or CellParameters()
+    return InverterVTC(switching_voltage=0.5 * params.vdd, vdd=params.vdd)
+
+
+@dataclass(frozen=True)
+class SenseDecision:
+    """All logic outcomes the reconfigurable SA derives from one share.
+
+    ``nor2``/``nand2`` come straight from the two inverters; ``xor2`` is
+    the add-on AND gate's output (NAND & !NOR); ``xnor2`` its complement
+    as driven onto the complementary bit line by the MUX.
+    """
+
+    nor2: int
+    nand2: int
+
+    @property
+    def xor2(self) -> int:
+        return self.nand2 & (1 - self.nor2)
+
+    @property
+    def xnor2(self) -> int:
+        return 1 - self.xor2
+
+    @property
+    def and2(self) -> int:
+        """AND2 = NOT NAND2 — available for free, used by the DPU path."""
+        return 1 - self.nand2
+
+    @property
+    def or2(self) -> int:
+        """OR2 = NOT NOR2."""
+        return 1 - self.nor2
+
+
+@dataclass(frozen=True)
+class ReconfigurableSenseVoltages:
+    """The analog decision path: inverters + AND gate + MUX.
+
+    This object is deliberately tiny so the Monte-Carlo engine can stamp
+    thousands of perturbed instances cheaply.
+    """
+
+    low_vs: InverterVTC
+    high_vs: InverterVTC
+
+    @classmethod
+    def nominal(cls, params: CellParameters | None = None) -> "ReconfigurableSenseVoltages":
+        params = params or CellParameters()
+        return cls(low_vs=low_vs_inverter(params), high_vs=high_vs_inverter(params))
+
+    def decide(self, node_voltage: float) -> SenseDecision:
+        """Resolve the shared compute-node voltage into logic outputs.
+
+        The low-Vs inverter outputs 1 only when the node is below Vdd/4
+        (both cells stored 0 -> NOR2); the high-Vs inverter outputs 0
+        only when the node is above 3Vdd/4 (both stored 1 -> NAND2 = 0).
+        """
+        return SenseDecision(
+            nor2=self.low_vs.digital(node_voltage),
+            nand2=self.high_vs.digital(node_voltage),
+        )
+
+    def xnor2(self, di: int, dj: int, params: CellParameters | None = None) -> int:
+        """End-to-end nominal XNOR2 of two stored bits via charge sharing."""
+        result = two_row_share(di, dj, params)
+        return self.decide(result.voltage).xnor2
+
+
+def tra_majority(
+    bits: tuple[int, int, int] | list[int],
+    params: CellParameters | None = None,
+    reference: float | None = None,
+) -> int:
+    """Majority-of-3 as sensed by the standard SA after a TRA share.
+
+    Args:
+        bits: the three stored logic values.
+        params: electrical constants.
+        reference: the SA decision threshold; defaults to the precharge
+            level (Vdd/2).  The variation study perturbs it.
+    """
+    params = params or CellParameters()
+    if reference is None:
+        reference = params.precharge_voltage
+    share = triple_row_share(list(bits), params)
+    return 1 if share.voltage > reference else 0

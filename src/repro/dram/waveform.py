@@ -1,0 +1,182 @@
+"""Transient waveforms of the in-memory XNOR2 operation (paper Fig. 3a).
+
+The paper's Fig. 3a shows Spectre transients of the two-row-activation
+XNOR2: the bit-line pair precharged to Vdd/2, the word lines of compute
+rows x1/x2 pulsing, the charge-sharing dip/bump, and the sense
+amplification driving the bit line to the XNOR2 rail — cells recharge to
+Vdd for Di Dj in {00, 11} and discharge to GND for {01, 10}.
+
+This module synthesises the equivalent behavioural waveforms from RC
+first-order dynamics.  The three phases are:
+
+1. ``precharge``  — BL/BLB held at Vdd/2.
+2. ``share``      — WLx1/WLx2 rise; the compute node settles
+   exponentially to the charge-sharing level from
+   :func:`repro.dram.charge_sharing.two_row_share`.
+3. ``sense``      — the enabled reconfigurable SA regeneratively drives
+   BL to the XNOR2 rail and BLB to its complement.
+
+Timebase and time constants are taken from the timing model
+(:mod:`repro.core.timing` nominal activation values) so the waveform is
+consistent with the cycle accounting used everywhere else.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dram.cell import CellParameters
+from repro.dram.charge_sharing import two_row_share
+from repro.dram.sense_voltage import ReconfigurableSenseVoltages
+
+
+@dataclass(frozen=True)
+class TransientPhases:
+    """Phase boundaries of one XNOR2 cycle, in nanoseconds."""
+
+    precharge_ns: float = 5.0
+    share_ns: float = 15.0
+    sense_ns: float = 15.0
+    #: RC settling constant of the charge-sharing phase.
+    share_tau_ns: float = 2.0
+    #: regeneration constant of the cross-coupled sense phase.
+    sense_tau_ns: float = 1.5
+
+    @property
+    def total_ns(self) -> float:
+        return self.precharge_ns + self.share_ns + self.sense_ns
+
+
+@dataclass
+class TransientWaveform:
+    """A named set of sampled traces over a common timebase."""
+
+    time_ns: np.ndarray
+    traces: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def add(self, name: str, values: np.ndarray) -> None:
+        if values.shape != self.time_ns.shape:
+            raise ValueError("trace length must match the timebase")
+        self.traces[name] = values
+
+    def at(self, name: str, t_ns: float) -> float:
+        """Sample a trace at (the nearest point to) a given time."""
+        idx = int(np.argmin(np.abs(self.time_ns - t_ns)))
+        return float(self.traces[name][idx])
+
+    def final(self, name: str) -> float:
+        return float(self.traces[name][-1])
+
+
+def _exp_settle(t: np.ndarray, start: float, target: float, tau: float) -> np.ndarray:
+    return target + (start - target) * np.exp(-t / tau)
+
+
+def xnor2_transient(
+    di: int,
+    dj: int,
+    params: CellParameters | None = None,
+    phases: TransientPhases | None = None,
+    samples_per_ns: float = 10.0,
+) -> TransientWaveform:
+    """Synthesise the Fig. 3a transient for one input pattern.
+
+    Args:
+        di, dj: logic values stored in compute rows x1 and x2.
+        params: cell electrical constants.
+        phases: phase durations / time constants.
+        samples_per_ns: sampling density of the output traces.
+
+    Returns:
+        A :class:`TransientWaveform` with traces ``WLx1``, ``WLx2``,
+        ``node`` (shared compute node), ``BL`` (carries XNOR2), and
+        ``BLB`` (carries XOR2).
+    """
+    params = params or CellParameters()
+    phases = phases or TransientPhases()
+    sa = ReconfigurableSenseVoltages.nominal(params)
+
+    share_level = two_row_share(di, dj, params).voltage
+    decision = sa.decide(share_level)
+    bl_rail = params.vdd if decision.xnor2 else 0.0
+    blb_rail = params.vdd - bl_rail
+
+    n = max(2, int(round(phases.total_ns * samples_per_ns)))
+    time_ns = np.linspace(0.0, phases.total_ns, n)
+    wave = TransientWaveform(time_ns=time_ns)
+
+    t_share = phases.precharge_ns
+    t_sense = phases.precharge_ns + phases.share_ns
+
+    wl = np.where((time_ns >= t_share), params.vdd, 0.0)
+    wave.add("WLx1", wl.copy())
+    wave.add("WLx2", wl.copy())
+
+    node = np.empty_like(time_ns)
+    bl = np.empty_like(time_ns)
+    blb = np.empty_like(time_ns)
+    pre = params.precharge_voltage
+
+    pre_mask = time_ns < t_share
+    share_mask = (time_ns >= t_share) & (time_ns < t_sense)
+    sense_mask = time_ns >= t_sense
+
+    node[pre_mask] = pre
+    bl[pre_mask] = pre
+    blb[pre_mask] = pre
+
+    ts = time_ns[share_mask] - t_share
+    node[share_mask] = _exp_settle(ts, pre, share_level, phases.share_tau_ns)
+    bl[share_mask] = pre
+    blb[share_mask] = pre
+
+    te = time_ns[sense_mask] - t_sense
+    node_at_sense = share_level if share_mask.any() else pre
+    node[sense_mask] = _exp_settle(te, node_at_sense, bl_rail, phases.sense_tau_ns)
+    bl[sense_mask] = _exp_settle(te, pre, bl_rail, phases.sense_tau_ns)
+    blb[sense_mask] = _exp_settle(te, pre, blb_rail, phases.sense_tau_ns)
+
+    wave.add("node", node)
+    wave.add("BL", bl)
+    wave.add("BLB", blb)
+    return wave
+
+
+def xnor2_transient_suite(
+    params: CellParameters | None = None,
+    phases: TransientPhases | None = None,
+) -> dict[str, TransientWaveform]:
+    """All four input patterns of Fig. 3a, keyed by ``"DiDj"`` string."""
+    suite = {}
+    for di in (0, 1):
+        for dj in (0, 1):
+            suite[f"{di}{dj}"] = xnor2_transient(di, dj, params, phases)
+    return suite
+
+
+def settling_error(wave: TransientWaveform, trace: str, target: float) -> float:
+    """|final - target| of a trace — convergence check used in tests."""
+    if trace not in wave.traces:
+        raise KeyError(trace)
+    return abs(wave.final(trace) - target)
+
+
+def cycle_time_ns(phases: TransientPhases | None = None) -> float:
+    """Total XNOR2 cycle duration implied by the waveform phases."""
+    phases = phases or TransientPhases()
+    return phases.total_ns
+
+
+def is_settled(
+    wave: TransientWaveform,
+    trace: str,
+    target: float,
+    tolerance: float = 1e-3,
+) -> bool:
+    """Whether a trace has regenerated to within ``tolerance`` of a rail."""
+    return settling_error(wave, trace, target) <= tolerance or math.isclose(
+        wave.final(trace), target, abs_tol=tolerance
+    )

@@ -1,0 +1,101 @@
+"""Experiment harness: one module per paper table/figure.
+
+=====================  ========================================
+module                 paper artefact
+=====================  ========================================
+``transient``          Fig. 3a (XNOR2 transient)
+``throughput``         Fig. 3b (raw XNOR/add throughput)
+``reliability``        Table I (process variation)
+``area_report``        Section II-B area overhead (~5 %)
+``execution``          Fig. 9a/9b (chr14 time & power)
+``tradeoffs``          Fig. 10 (power/delay vs Pd)
+``memory_wall``        Fig. 11a/11b (MBR / RUR)
+``workloads``          the micro-benchmark & chr14 job models
+``tables``             text rendering of every artefact
+=====================  ========================================
+"""
+
+from repro.eval.area_report import (
+    PAPER_AREA_OVERHEAD_PERCENT,
+    AreaStudy,
+    run_area_study,
+)
+from repro.eval.export import export_all
+from repro.eval.execution import (
+    ACTIVE_FRACTION,
+    STAGES,
+    ExecutionModel,
+    ExecutionResult,
+    MappingConfig,
+    StageResult,
+    run_all,
+)
+from repro.eval.memory_wall import (
+    FIG11_K_VALUES,
+    MemoryWallPoint,
+    MemoryWallStudy,
+    run_memory_wall_study,
+)
+from repro.eval.reliability import (
+    ReliabilityRow,
+    ReliabilityTable,
+    format_table,
+    run_reliability_table,
+)
+from repro.eval.throughput import (
+    FIG3B_PLATFORMS,
+    ThroughputSweep,
+    headline_ratios,
+    run_throughput_sweep,
+)
+from repro.eval.tradeoffs import (
+    TradeoffPoint,
+    TradeoffStudy,
+    TradeoffSweep,
+    run_tradeoff_sweep,
+)
+from repro.eval.transient import TransientStudy, run_transient_study
+from repro.eval.workloads import (
+    MICROBENCH_VECTOR_BITS,
+    AssemblyWorkload,
+    MicrobenchWorkload,
+    chr14_workload,
+    scaled_workload,
+)
+
+__all__ = [
+    "export_all",
+    "PAPER_AREA_OVERHEAD_PERCENT",
+    "AreaStudy",
+    "run_area_study",
+    "ACTIVE_FRACTION",
+    "STAGES",
+    "ExecutionModel",
+    "ExecutionResult",
+    "MappingConfig",
+    "StageResult",
+    "run_all",
+    "FIG11_K_VALUES",
+    "MemoryWallPoint",
+    "MemoryWallStudy",
+    "run_memory_wall_study",
+    "ReliabilityRow",
+    "ReliabilityTable",
+    "format_table",
+    "run_reliability_table",
+    "FIG3B_PLATFORMS",
+    "ThroughputSweep",
+    "headline_ratios",
+    "run_throughput_sweep",
+    "TradeoffPoint",
+    "TradeoffStudy",
+    "TradeoffSweep",
+    "run_tradeoff_sweep",
+    "TransientStudy",
+    "run_transient_study",
+    "MICROBENCH_VECTOR_BITS",
+    "AssemblyWorkload",
+    "MicrobenchWorkload",
+    "chr14_workload",
+    "scaled_workload",
+]

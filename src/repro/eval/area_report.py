@@ -1,0 +1,41 @@
+"""Area-overhead experiment (paper Section II-B, ~5 % claim)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.area import AreaModel, AreaReport
+from repro.dram.geometry import SubArrayGeometry
+
+#: The paper's claim, percent of DRAM chip area.
+PAPER_AREA_OVERHEAD_PERCENT: float = 5.0
+
+
+@dataclass(frozen=True)
+class AreaStudy:
+    """The full area accounting alongside the paper's claim."""
+
+    report: AreaReport
+    paper_percent: float = PAPER_AREA_OVERHEAD_PERCENT
+
+    @property
+    def within_claim(self) -> bool:
+        """True when the modelled overhead is at or below ~5 %."""
+        return self.report.overhead_percent <= self.paper_percent + 0.25
+
+    def breakdown_lines(self) -> list[str]:
+        r = self.report
+        return [
+            f"SA add-on transistors : {r.sa_transistors:6d}",
+            f"MRD transistors       : {r.mrd_transistors:6d}",
+            f"Ctrl transistors      : {r.ctrl_transistors:6d}",
+            f"Total                 : {r.total_transistors:6d}"
+            f"  (= {r.equivalent_rows} rows x 256)",
+            f"Chip-area overhead    : {r.overhead_percent:5.2f} %"
+            f"  (paper: ~{self.paper_percent:.0f} %)",
+        ]
+
+
+def run_area_study(geometry: SubArrayGeometry | None = None) -> AreaStudy:
+    model = AreaModel(geometry=geometry or SubArrayGeometry())
+    return AreaStudy(report=model.report())

@@ -1,0 +1,139 @@
+"""CSV export of every experiment artefact.
+
+Plot-ready data files for external tooling: one writer per paper
+artefact, all sharing a tiny CSV helper (stdlib ``csv``; no plotting
+dependencies).  ``export_all`` drops the full set into a directory —
+what a downstream user regenerating the paper's figures consumes.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.eval.execution import ExecutionResult
+from repro.eval.memory_wall import MemoryWallStudy
+from repro.eval.reliability import ReliabilityTable
+from repro.eval.throughput import ThroughputSweep
+from repro.eval.tradeoffs import TradeoffSweep
+
+
+def _write(path: Path, header: Sequence[str], rows: Sequence[Sequence]) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="ascii") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_throughput(sweep: ThroughputSweep, path: "str | Path") -> Path:
+    """Fig. 3b: platform, operation, vector_bits, bits_per_second."""
+    rows = [
+        (p.platform, p.operation, p.vector_bits, f"{p.bits_per_second:.6g}")
+        for p in sweep.points
+    ]
+    return _write(
+        Path(path),
+        ("platform", "operation", "vector_bits", "bits_per_second"),
+        rows,
+    )
+
+
+def export_reliability(table: ReliabilityTable, path: "str | Path") -> Path:
+    """Table I: variation level vs error percentages (+ paper values)."""
+    rows = [
+        (
+            row.variation_percent,
+            f"{row.tra_error_percent:.4f}",
+            f"{row.two_row_error_percent:.4f}",
+            row.paper_tra,
+            row.paper_two_row,
+        )
+        for row in table.rows
+    ]
+    return _write(
+        Path(path),
+        (
+            "variation_percent",
+            "tra_error_percent",
+            "two_row_error_percent",
+            "paper_tra",
+            "paper_two_row",
+        ),
+        rows,
+    )
+
+
+def export_execution(
+    results: Sequence[ExecutionResult], path: "str | Path"
+) -> Path:
+    """Fig. 9a/9b: per-platform per-stage times and power."""
+    rows = []
+    for result in results:
+        for stage in result.stages:
+            rows.append(
+                (
+                    result.platform,
+                    result.k,
+                    stage.name,
+                    f"{stage.time_s:.6g}",
+                    f"{stage.transfer_s:.6g}",
+                    f"{stage.power_w:.6g}",
+                )
+            )
+    return _write(
+        Path(path),
+        ("platform", "k", "stage", "time_s", "transfer_s", "power_w"),
+        rows,
+    )
+
+
+def export_tradeoff(sweep: TradeoffSweep, path: "str | Path") -> Path:
+    """Fig. 10: k, Pd, delay, power."""
+    rows = [
+        (p.k, p.pd, f"{p.delay_s:.6g}", f"{p.power_w:.6g}")
+        for p in sweep.points
+    ]
+    return _write(Path(path), ("k", "pd", "delay_s", "power_w"), rows)
+
+
+def export_memory_wall(study: MemoryWallStudy, path: "str | Path") -> Path:
+    """Fig. 11: platform, k, MBR, RUR."""
+    rows = [
+        (p.platform, p.k, f"{p.mbr:.6g}", f"{p.rur:.6g}")
+        for p in study.points
+    ]
+    return _write(Path(path), ("platform", "k", "mbr", "rur"), rows)
+
+
+def export_all(directory: "str | Path") -> list[Path]:
+    """Regenerate every artefact and write the full CSV set."""
+    from repro.eval.execution import run_all
+    from repro.eval.memory_wall import run_memory_wall_study
+    from repro.eval.reliability import run_reliability_table
+    from repro.eval.throughput import run_throughput_sweep
+    from repro.eval.tradeoffs import run_tradeoff_sweep
+    from repro.eval.workloads import chr14_workload
+    from repro.platforms import assembly_platforms
+
+    directory = Path(directory)
+    written = [
+        export_throughput(run_throughput_sweep(), directory / "fig3b_throughput.csv"),
+        export_reliability(
+            run_reliability_table(), directory / "table1_variation.csv"
+        ),
+        export_tradeoff(run_tradeoff_sweep(), directory / "fig10_tradeoff.csv"),
+        export_memory_wall(
+            run_memory_wall_study(), directory / "fig11_memory_wall.csv"
+        ),
+    ]
+    platforms = assembly_platforms()
+    execution = []
+    for k in (16, 22, 26, 32):
+        execution.extend(run_all(platforms, chr14_workload(k)))
+    written.append(
+        export_execution(execution, directory / "fig9_execution.csv")
+    )
+    return written

@@ -1,0 +1,92 @@
+"""Fig. 11 — Memory Bottleneck Ratio and Resource Utilisation Ratio.
+
+Derives both metrics from the same execution results as Fig. 9:
+
+* **MBR** — the share of run time in which computation waits on data
+  (host I/O, GRB routing, off-chip traffic);
+* **RUR** — compute-busy share times the fraction of compute resources
+  active.
+
+The expected shape: P-A lowest MBR (~9 % at k=16, under ~16 % at
+k=32) and highest RUR (~65 % at k=16); GPU's MBR climbs to ~70 % at
+k=32 with the lowest RUR; the PIM baselines sit in between (> 45 %
+RUR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.execution import ExecutionModel, ExecutionResult, MappingConfig
+from repro.eval.workloads import chr14_workload
+from repro.platforms.base import Platform
+from repro.platforms.registry import assembly_platforms
+
+#: k values the paper plots in Fig. 11.
+FIG11_K_VALUES: tuple[int, ...] = (16, 32)
+
+
+@dataclass(frozen=True)
+class MemoryWallPoint:
+    """One platform x k bar of Fig. 11a/b."""
+
+    platform: str
+    k: int
+    mbr: float
+    rur: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mbr <= 1.0:
+            raise ValueError("mbr must be within [0, 1]")
+        if not 0.0 <= self.rur <= 1.0:
+            raise ValueError("rur must be within [0, 1]")
+
+    @property
+    def mbr_percent(self) -> float:
+        return 100.0 * self.mbr
+
+    @property
+    def rur_percent(self) -> float:
+        return 100.0 * self.rur
+
+
+@dataclass(frozen=True)
+class MemoryWallStudy:
+    points: tuple[MemoryWallPoint, ...]
+
+    def point(self, platform: str, k: int) -> MemoryWallPoint:
+        for p in self.points:
+            if p.platform == platform and p.k == k:
+                return p
+        raise KeyError((platform, k))
+
+    def platforms(self) -> list[str]:
+        seen = []
+        for p in self.points:
+            if p.platform not in seen:
+                seen.append(p.platform)
+        return seen
+
+
+def point_from_result(result: ExecutionResult) -> MemoryWallPoint:
+    return MemoryWallPoint(
+        platform=result.platform,
+        k=result.k,
+        mbr=min(1.0, result.memory_bottleneck_ratio),
+        rur=min(1.0, result.resource_utilisation_ratio),
+    )
+
+
+def run_memory_wall_study(
+    platforms: list[Platform] | None = None,
+    k_values: tuple[int, ...] = FIG11_K_VALUES,
+    mapping: MappingConfig | None = None,
+) -> MemoryWallStudy:
+    """Regenerate Fig. 11a/11b."""
+    platforms = platforms if platforms is not None else assembly_platforms()
+    points = []
+    for k in k_values:
+        model = ExecutionModel(chr14_workload(k), mapping or MappingConfig())
+        for platform in platforms:
+            points.append(point_from_result(model.run(platform)))
+    return MemoryWallStudy(points=tuple(points))

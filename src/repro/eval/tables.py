@@ -1,0 +1,102 @@
+"""Text rendering of every experiment's rows/series.
+
+Benchmarks call these to print the same shapes the paper's figures
+show; EXPERIMENTS.md is generated from the same functions so the two
+never drift apart.
+"""
+
+from __future__ import annotations
+
+from repro.eval.execution import ExecutionResult
+from repro.eval.memory_wall import MemoryWallStudy
+from repro.eval.throughput import FIG3B_PLATFORMS, ThroughputSweep
+from repro.eval.tradeoffs import TradeoffSweep
+
+
+def format_throughput(sweep: ThroughputSweep) -> str:
+    """Fig. 3b as a table: platforms x (op, vector length)."""
+    ops = ("xnor", "add")
+    lengths = sorted({p.vector_bits for p in sweep.points})
+    header = f"{'platform':>9}"
+    for op in ops:
+        for bits in lengths:
+            header += f" {op}@2^{bits.bit_length() - 1:>2}"
+    lines = [header + "   (Tbit/s)"]
+    for name in FIG3B_PLATFORMS:
+        row = f"{name:>9}"
+        for op in ops:
+            for bits in lengths:
+                points = [
+                    p
+                    for p in sweep.series(name, op)
+                    if p.vector_bits == bits
+                ]
+                row += f" {points[0].tbits_per_second:8.3f}" if points else " " * 9
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_execution(results: list[ExecutionResult]) -> str:
+    """Fig. 9a-style breakdown for one k."""
+    if not results:
+        return "(no results)"
+    k = results[0].k
+    lines = [
+        f"k={k}  {'platform':>8} {'hashmap':>9} {'debruijn':>9} "
+        f"{'traverse':>9} {'total':>9} {'power':>7}"
+    ]
+    for r in results:
+        lines.append(
+            f"      {r.platform:>8} "
+            f"{r.stage('hashmap').time_s:9.1f} "
+            f"{r.stage('debruijn').time_s:9.1f} "
+            f"{r.stage('traverse').time_s:9.1f} "
+            f"{r.total_time_s:9.1f} "
+            f"{r.average_power_w:6.1f}W"
+        )
+    return "\n".join(lines)
+
+
+def format_speedups(results: list[ExecutionResult], baseline: str = "P-A") -> str:
+    """Execution-time ratios vs a baseline platform."""
+    base = next((r for r in results if r.platform == baseline), None)
+    if base is None:
+        raise KeyError(baseline)
+    parts = []
+    for r in results:
+        if r.platform == baseline:
+            continue
+        parts.append(f"{r.platform}/{baseline}={r.total_time_s / base.total_time_s:.2f}x")
+    return "  ".join(parts)
+
+
+def format_tradeoff(sweep: TradeoffSweep) -> str:
+    """Fig. 10 as (Pd, delay, power) series per k."""
+    lines = [f"{'k':>4} {'Pd':>4} {'delay(s)':>10} {'power(W)':>10}"]
+    ks = sorted({p.k for p in sweep.points})
+    for k in ks:
+        for point in sweep.series(k):
+            lines.append(
+                f"{point.k:>4} {point.pd:>4} "
+                f"{point.delay_s:>10.2f} {point.power_w:>10.1f}"
+            )
+        lines.append(f"     optimum Pd (EDP) = {sweep.optimum_pd(k)}")
+    return "\n".join(lines)
+
+
+def format_memory_wall(study: MemoryWallStudy) -> str:
+    """Fig. 11a/b as MBR/RUR percentages per platform and k."""
+    ks = sorted({p.k for p in study.points})
+    lines = [
+        f"{'platform':>9}"
+        + "".join(f"  MBR@k={k:>2}" for k in ks)
+        + "".join(f"  RUR@k={k:>2}" for k in ks)
+    ]
+    for name in study.platforms():
+        row = f"{name:>9}"
+        for k in ks:
+            row += f" {study.point(name, k).mbr_percent:8.1f}%"
+        for k in ks:
+            row += f" {study.point(name, k).rur_percent:8.1f}%"
+        lines.append(row)
+    return "\n".join(lines)

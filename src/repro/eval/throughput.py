@@ -1,0 +1,76 @@
+"""Fig. 3b — raw throughput of bulk XNOR2 and addition.
+
+Sweeps the micro-benchmark vector lengths over every platform and
+reports the same bar groups the paper plots, plus the headline ratios
+quoted in the abstract (P-A vs CPU 8.4x; vs Ambit 2.3x, D1 1.9x,
+D3 3.7x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.workloads import MicrobenchWorkload
+from repro.platforms.base import Platform, ThroughputPoint
+from repro.platforms.registry import microbenchmark_platforms
+
+#: Plot order of the paper's Fig. 3b.
+FIG3B_PLATFORMS: tuple[str, ...] = ("CPU", "GPU", "HMC", "Ambit", "D1", "D3", "P-A")
+
+
+@dataclass(frozen=True)
+class ThroughputSweep:
+    """All Fig. 3b data points."""
+
+    points: tuple[ThroughputPoint, ...]
+
+    def series(self, platform: str, operation: str) -> list[ThroughputPoint]:
+        return [
+            p
+            for p in self.points
+            if p.platform == platform and p.operation == operation
+        ]
+
+    def average_bps(self, platform: str, operation: str) -> float:
+        series = self.series(platform, operation)
+        if not series:
+            raise KeyError(f"no data for {platform}/{operation}")
+        return sum(p.bits_per_second for p in series) / len(series)
+
+    def ratio(self, operation: str, numerator: str, denominator: str) -> float:
+        """Average throughput ratio between two platforms."""
+        return self.average_bps(numerator, operation) / self.average_bps(
+            denominator, operation
+        )
+
+
+def run_throughput_sweep(
+    platforms: list[Platform] | None = None,
+    workload: MicrobenchWorkload | None = None,
+) -> ThroughputSweep:
+    """Evaluate every platform on every vector length and both ops."""
+    platforms = platforms if platforms is not None else microbenchmark_platforms()
+    workload = workload or MicrobenchWorkload()
+    points = []
+    for platform in platforms:
+        for bits in workload.vector_bits:
+            points.append(platform.throughput_point("xnor", bits))
+            points.append(
+                platform.throughput_point("add", bits, workload.word_bits)
+            )
+    return ThroughputSweep(points=tuple(points))
+
+
+def headline_ratios(sweep: ThroughputSweep | None = None) -> dict[str, float]:
+    """The abstract's throughput claims, as computed by this model."""
+    sweep = sweep or run_throughput_sweep()
+    pim_ratios = {
+        name: sweep.ratio("xnor", "P-A", name) for name in ("Ambit", "D1", "D3")
+    }
+    return {
+        "xnor_vs_cpu": sweep.ratio("xnor", "P-A", "CPU"),
+        "xnor_vs_ambit": pim_ratios["Ambit"],
+        "xnor_vs_d1": pim_ratios["D1"],
+        "xnor_vs_d3": pim_ratios["D3"],
+        "xnor_vs_pim_avg": sum(pim_ratios.values()) / len(pim_ratios),
+    }

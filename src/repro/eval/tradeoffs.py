@@ -1,0 +1,80 @@
+"""Fig. 10 — power/delay trade-off vs parallelism degree (Pd).
+
+Sweeps Pd over {1, 2, 4, 8} for k = 16 and k = 32: the base delay comes
+from the same chr14 execution model as Fig. 9 evaluated at Pd = 1, and
+the Pd scaling follows :class:`repro.mapping.parallelism.ParallelismModel`
+(delay shrinks sub-linearly, power grows linearly; the energy-delay
+optimum sits at Pd ~= 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.eval.execution import ExecutionModel, MappingConfig
+from repro.eval.workloads import chr14_workload
+from repro.mapping.parallelism import PAPER_PD_VALUES, ParallelismModel
+from repro.platforms.registry import pim_assembler
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One (Pd, k) point of Fig. 10."""
+
+    k: int
+    pd: int
+    delay_s: float
+    power_w: float
+
+    @property
+    def energy_j(self) -> float:
+        return self.delay_s * self.power_w
+
+
+@dataclass(frozen=True)
+class TradeoffSweep:
+    points: tuple[TradeoffPoint, ...]
+    model: ParallelismModel
+
+    def series(self, k: int) -> list[TradeoffPoint]:
+        return sorted(
+            (p for p in self.points if p.k == k), key=lambda p: p.pd
+        )
+
+    def optimum_pd(self, k: int) -> int:
+        """Pd minimising the energy-delay product for one k."""
+        series = self.series(k)
+        if not series:
+            raise KeyError(k)
+        return min(series, key=lambda p: p.power_w * p.delay_s**2).pd
+
+
+@dataclass
+class TradeoffStudy:
+    """Runs the Fig. 10 sweep."""
+
+    k_values: tuple[int, ...] = (16, 32)
+    pd_values: tuple[int, ...] = PAPER_PD_VALUES
+    parallelism: ParallelismModel = field(default_factory=ParallelismModel)
+    mapping: MappingConfig = field(default_factory=MappingConfig)
+
+    def run(self) -> TradeoffSweep:
+        platform = pim_assembler()
+        points = []
+        for k in self.k_values:
+            base_mapping = replace(self.mapping, parallelism_degree=1)
+            base = ExecutionModel(chr14_workload(k), base_mapping).run(platform)
+            for pd in self.pd_values:
+                points.append(
+                    TradeoffPoint(
+                        k=k,
+                        pd=pd,
+                        delay_s=self.parallelism.delay(base.total_time_s, pd),
+                        power_w=self.parallelism.power(pd),
+                    )
+                )
+        return TradeoffSweep(points=tuple(points), model=self.parallelism)
+
+
+def run_tradeoff_sweep(**kwargs) -> TradeoffSweep:
+    return TradeoffStudy(**kwargs).run()

@@ -1,0 +1,62 @@
+"""Fig. 3a — transient simulation of the in-memory XNOR2 operation.
+
+Wraps :mod:`repro.dram.waveform` into the experiment artefact: the four
+input patterns' waveforms plus the checks the paper's figure supports —
+the bit line regenerates to Vdd for agreeing inputs (Di Dj in
+{00, 11}) and to GND for disagreeing inputs, within the cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.cell import CellParameters
+from repro.dram.waveform import (
+    TransientPhases,
+    TransientWaveform,
+    xnor2_transient_suite,
+)
+
+
+@dataclass(frozen=True)
+class TransientStudy:
+    """The Fig. 3a artefact: four labelled waveforms."""
+
+    waveforms: dict[str, TransientWaveform]
+    vdd: float
+    tolerance: float = 0.01
+
+    def final_bl(self, pattern: str) -> float:
+        return self.waveforms[pattern].final("BL")
+
+    def expected_bl(self, pattern: str) -> float:
+        """XNOR2 rail: Vdd when the two bits agree, 0 otherwise."""
+        di, dj = int(pattern[0]), int(pattern[1])
+        return self.vdd if di == dj else 0.0
+
+    def pattern_settles_correctly(self, pattern: str) -> bool:
+        return abs(self.final_bl(pattern) - self.expected_bl(pattern)) <= (
+            self.tolerance * self.vdd
+        )
+
+    @property
+    def all_patterns_correct(self) -> bool:
+        return all(self.pattern_settles_correctly(p) for p in self.waveforms)
+
+    def summary_rows(self) -> list[tuple[str, float, float]]:
+        """(pattern, final BL voltage, expected rail) per input pattern."""
+        return [
+            (p, self.final_bl(p), self.expected_bl(p))
+            for p in sorted(self.waveforms)
+        ]
+
+
+def run_transient_study(
+    params: CellParameters | None = None,
+    phases: TransientPhases | None = None,
+) -> TransientStudy:
+    params = params or CellParameters()
+    return TransientStudy(
+        waveforms=xnor2_transient_suite(params, phases),
+        vdd=params.vdd,
+    )

@@ -1,0 +1,172 @@
+"""Workload models for the evaluation harness.
+
+Two workloads drive everything:
+
+* :class:`MicrobenchWorkload` — the Fig. 3b bulk-op vectors
+  (2^27 / 2^28 / 2^29 bits);
+* :class:`AssemblyWorkload` — the Section IV chromosome-14 job
+  (45,711,162 reads x 101 bp sampled from an ~88 Mbp chromosome,
+  k in {16, 22, 26, 32}).
+
+:class:`AssemblyWorkload` converts the dataset parameters into the
+*operation counts* each stage performs — total k-mer queries, expected
+distinct k-mers, duplicate fraction, graph sizes and memory footprint.
+The same formulas govern the functional simulator, which is how the
+analytic model is validated at small scale (see
+``tests/eval/test_workloads.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.genome.reference import (
+    CHR14_LENGTH,
+    CHR14_READ_COUNT,
+    CHR14_READ_LENGTH,
+)
+
+#: Fig. 3b vector lengths, bits.
+MICROBENCH_VECTOR_BITS: tuple[int, ...] = (2**27, 2**28, 2**29)
+
+
+@dataclass(frozen=True)
+class MicrobenchWorkload:
+    """Bulk bit-wise operation micro-benchmark (Fig. 3b)."""
+
+    vector_bits: tuple[int, ...] = MICROBENCH_VECTOR_BITS
+    word_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.vector_bits:
+            raise ValueError("at least one vector length is required")
+        if any(v <= 0 for v in self.vector_bits):
+            raise ValueError("vector lengths must be positive")
+        if self.word_bits <= 0:
+            raise ValueError("word_bits must be positive")
+
+
+@dataclass(frozen=True)
+class AssemblyWorkload:
+    """Operation-count model of a de novo assembly job.
+
+    Attributes:
+        genome_length: assemblable reference length, bases.
+        read_count: number of short reads.
+        read_length: bases per read.
+        k: k-mer length.
+        unique_saturation: controls how the distinct-k-mer count
+            approaches the genome length as k grows: small k collapses
+            repeats, large k resolves them.  The distinct count is
+            ``genome_length * (1 - a * exp(-b * k))`` with ``a`` fixed
+            at 0.55 and ``b = unique_saturation``.
+    """
+
+    genome_length: int = CHR14_LENGTH
+    read_count: int = CHR14_READ_COUNT
+    read_length: int = CHR14_READ_LENGTH
+    k: int = 16
+    unique_saturation: float = 0.06
+
+    def __post_init__(self) -> None:
+        if min(self.genome_length, self.read_count, self.read_length) <= 0:
+            raise ValueError("workload parameters must be positive")
+        if not 1 < self.k <= self.read_length:
+            raise ValueError("k must satisfy 1 < k <= read_length")
+        if self.unique_saturation <= 0:
+            raise ValueError("unique_saturation must be positive")
+
+    # ----- stage-1 counts ----------------------------------------------------
+
+    @property
+    def kmers_per_read(self) -> int:
+        return self.read_length - self.k + 1
+
+    @property
+    def total_kmers(self) -> int:
+        """N_k: hash-table queries issued by the hashmap stage."""
+        return self.read_count * self.kmers_per_read
+
+    @property
+    def coverage(self) -> float:
+        """Mean per-base read coverage of the genome."""
+        return self.read_count * self.read_length / self.genome_length
+
+    @property
+    def unique_kmers(self) -> int:
+        """Expected distinct k-mers (the hash-table size).
+
+        Bounded by both the genome's k-mer positions and the 4^k key
+        space; the repeat-collapse factor models how shorter k-mers
+        coincide across repeat copies.
+        """
+        positions = self.genome_length - self.k + 1
+        collapse = 1.0 - 0.55 * math.exp(-self.unique_saturation * self.k)
+        expected = positions * collapse
+        if self.k < 32:
+            expected = min(expected, float(4**self.k))
+        return max(1, int(expected))
+
+    @property
+    def duplicate_queries(self) -> int:
+        """Queries that hit an existing table entry (increments)."""
+        return max(0, self.total_kmers - self.unique_kmers)
+
+    @property
+    def duplicate_fraction(self) -> float:
+        return self.duplicate_queries / self.total_kmers
+
+    # ----- stage-2/3 counts ----------------------------------------------------
+
+    @property
+    def graph_nodes(self) -> int:
+        """Distinct (k-1)-mers; marginally below the distinct k-mers."""
+        return max(1, int(self.unique_kmers * 0.99))
+
+    @property
+    def graph_edges(self) -> int:
+        """One edge per distinct k-mer."""
+        return self.unique_kmers
+
+    # ----- memory -----------------------------------------------------------------
+
+    @property
+    def reads_bytes(self) -> int:
+        """2-bit-packed read storage."""
+        return self.read_count * self.read_length // 4
+
+    @property
+    def table_bytes(self) -> int:
+        """Hash-table footprint: key rows (2k bits padded to a row is
+        the sub-array view; host-visible footprint is key + counter)."""
+        key_bytes = -(-2 * self.k // 8)
+        return self.unique_kmers * (key_bytes + 1)
+
+    @property
+    def graph_bytes(self) -> int:
+        """Adjacency storage: two node keys per edge."""
+        node_bytes = -(-2 * (self.k - 1) // 8)
+        return self.graph_edges * 2 * node_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.reads_bytes + self.table_bytes + self.graph_bytes
+
+
+def chr14_workload(k: int = 16) -> AssemblyWorkload:
+    """The paper's Section IV job for one k value."""
+    return AssemblyWorkload(k=k)
+
+
+def scaled_workload(
+    scale: float, k: int, read_length: int = CHR14_READ_LENGTH
+) -> AssemblyWorkload:
+    """A linearly scaled-down chr14 job (for functional cross-checks)."""
+    if scale <= 0 or scale > 1:
+        raise ValueError("scale must be in (0, 1]")
+    genome = max(read_length * 2, int(CHR14_LENGTH * scale))
+    reads = max(1, int(CHR14_READ_COUNT * scale))
+    return AssemblyWorkload(
+        genome_length=genome, read_count=reads, read_length=read_length, k=k
+    )

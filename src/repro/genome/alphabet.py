@@ -1,0 +1,131 @@
+"""The DNA alphabet and its 2-bit encoding.
+
+The paper's Fig. 7 fixes the binary code used inside the memory rows::
+
+    Base  T  G  A  C
+    Code 00 01 10 11
+
+(each row of a sub-array stores up to 128 bases x 2 bits = 256 bit
+lines).  This module provides scalar and vectorised conversions between
+characters, 2-bit codes and packed bit vectors, plus complementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bases ordered by their 2-bit code (paper Fig. 7): code(T)=0, code(G)=1,
+#: code(A)=2, code(C)=3.
+BASES: str = "TGAC"
+
+#: Number of bits per base.
+BITS_PER_BASE: int = 2
+
+_CHAR_TO_CODE = {c: i for i, c in enumerate(BASES)}
+_COMPLEMENT = {"A": "T", "T": "A", "C": "G", "G": "C"}
+
+#: code -> complementary code (A<->T is 2<->0, C<->G is 3<->1).
+COMPLEMENT_CODE = np.array(
+    [_CHAR_TO_CODE[_COMPLEMENT[BASES[i]]] for i in range(4)], dtype=np.uint8
+)
+
+
+def is_valid_sequence(text: str) -> bool:
+    """True iff every character is one of A/C/G/T (upper case)."""
+    return all(c in _CHAR_TO_CODE for c in text)
+
+
+def encode_base(base: str) -> int:
+    """2-bit code of one base character."""
+    try:
+        return _CHAR_TO_CODE[base]
+    except KeyError:
+        raise ValueError(f"invalid base {base!r}; expected one of {BASES}") from None
+
+
+def decode_base(code: int) -> str:
+    """Base character of one 2-bit code."""
+    if not 0 <= code < 4:
+        raise ValueError(f"invalid base code {code}; expected 0..3")
+    return BASES[code]
+
+
+def complement_base(base: str) -> str:
+    try:
+        return _COMPLEMENT[base]
+    except KeyError:
+        raise ValueError(f"invalid base {base!r}") from None
+
+
+def encode(text: str) -> np.ndarray:
+    """Sequence string -> array of 2-bit codes (uint8)."""
+    if not text:
+        return np.zeros(0, dtype=np.uint8)
+    raw = np.frombuffer(text.encode("ascii"), dtype=np.uint8)
+    codes = np.full(raw.shape, 255, dtype=np.uint8)
+    for char, code in _CHAR_TO_CODE.items():
+        codes[raw == ord(char)] = code
+    if (codes == 255).any():
+        bad = text[int(np.argmax(codes == 255))]
+        raise ValueError(f"invalid base {bad!r} in sequence")
+    return codes
+
+
+def decode(codes: np.ndarray) -> str:
+    """Array of 2-bit codes -> sequence string."""
+    arr = np.asarray(codes, dtype=np.uint8)
+    if arr.size == 0:
+        return ""
+    if (arr >= 4).any():
+        raise ValueError("base codes must be in 0..3")
+    lut = np.frombuffer(BASES.encode("ascii"), dtype=np.uint8)
+    return lut[arr].tobytes().decode("ascii")
+
+
+def codes_to_bits(codes: np.ndarray, msb_first: bool = True) -> np.ndarray:
+    """2-bit codes -> flat 0/1 bit vector (2 bits per base).
+
+    ``msb_first`` matches the row layout of Fig. 7 (the high bit of each
+    base code occupies the earlier bit line).
+    """
+    arr = np.asarray(codes, dtype=np.uint8)
+    if (arr >= 4).any():
+        raise ValueError("base codes must be in 0..3")
+    hi = (arr >> 1) & 1
+    lo = arr & 1
+    pair = (hi, lo) if msb_first else (lo, hi)
+    return np.stack(pair, axis=-1).reshape(-1).astype(np.uint8)
+
+
+def bits_to_codes(bits: np.ndarray, msb_first: bool = True) -> np.ndarray:
+    """Flat 0/1 bit vector -> 2-bit codes (inverse of codes_to_bits)."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.size % 2 != 0:
+        raise ValueError("bit vector length must be even (2 bits per base)")
+    if not np.isin(arr, (0, 1)).all():
+        raise ValueError("bit vector must contain only 0/1")
+    pairs = arr.reshape(-1, 2)
+    if msb_first:
+        return (pairs[:, 0] << 1 | pairs[:, 1]).astype(np.uint8)
+    return (pairs[:, 1] << 1 | pairs[:, 0]).astype(np.uint8)
+
+
+def encode_to_bits(text: str, msb_first: bool = True) -> np.ndarray:
+    """Sequence string -> flat bit vector, the row-storage format."""
+    return codes_to_bits(encode(text), msb_first=msb_first)
+
+
+def decode_from_bits(bits: np.ndarray, msb_first: bool = True) -> str:
+    """Flat bit vector -> sequence string."""
+    return decode(bits_to_codes(bits, msb_first=msb_first))
+
+
+def reverse_complement(text: str) -> str:
+    """Reverse complement of a sequence string."""
+    return "".join(complement_base(c) for c in reversed(text))
+
+
+def reverse_complement_codes(codes: np.ndarray) -> np.ndarray:
+    """Reverse complement in code space (vectorised)."""
+    arr = np.asarray(codes, dtype=np.uint8)
+    return COMPLEMENT_CODE[arr[::-1]]

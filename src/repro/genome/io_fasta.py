@@ -1,0 +1,179 @@
+"""Minimal FASTA / FASTQ reading and writing.
+
+Only the features the pipeline needs: multi-record FASTA with wrapped
+lines, and four-line FASTQ records with dummy qualities for simulated
+reads.  Sequences containing characters outside A/C/G/T (e.g. the ``N``
+runs of real references) can be split on invalid characters via
+:func:`read_fasta_contigs`, mirroring how assemblers treat ``N`` gaps.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.genome.alphabet import is_valid_sequence
+from repro.genome.sequence import DnaSequence
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA record: ``>name description`` plus a sequence."""
+
+    name: str
+    sequence: str
+    description: str = ""
+
+    def to_dna(self) -> DnaSequence:
+        return DnaSequence(self.sequence)
+
+
+def _open(path: "str | Path | TextIO", mode: str) -> TextIO:
+    if isinstance(path, (str, Path)):
+        return open(path, mode, encoding="ascii")
+    return path
+
+
+def parse_fasta(stream: TextIO) -> Iterator[FastaRecord]:
+    """Yield records from an open FASTA stream."""
+    name: str | None = None
+    description = ""
+    chunks: list[str] = []
+    for raw_line in stream:
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                yield FastaRecord(name, "".join(chunks), description)
+            header = line[1:].split(None, 1)
+            if not header:
+                raise ValueError("FASTA header without a name")
+            name = header[0]
+            description = header[1] if len(header) > 1 else ""
+            chunks = []
+        else:
+            if name is None:
+                raise ValueError("FASTA sequence data before any header")
+            chunks.append(line.upper())
+    if name is not None:
+        yield FastaRecord(name, "".join(chunks), description)
+
+
+def read_fasta(path: "str | Path | TextIO") -> list[FastaRecord]:
+    """Read all records of a FASTA file (or open stream)."""
+    stream = _open(path, "r")
+    try:
+        return list(parse_fasta(stream))
+    finally:
+        if not isinstance(path, io.TextIOBase):
+            stream.close()
+
+
+def read_fasta_contigs(path: "str | Path | TextIO") -> list[DnaSequence]:
+    """Read FASTA and split every record on non-ACGT characters.
+
+    Real references contain ``N`` gap runs; assembly treats each
+    ACGT-only stretch as an independent contiguous region.
+    """
+    contigs: list[DnaSequence] = []
+    for record in read_fasta(path):
+        current: list[str] = []
+        for char in record.sequence:
+            if char in "ACGT":
+                current.append(char)
+            elif current:
+                contigs.append(DnaSequence("".join(current)))
+                current = []
+        if current:
+            contigs.append(DnaSequence("".join(current)))
+    return contigs
+
+
+def write_fasta(
+    path: "str | Path | TextIO",
+    records: Iterable[FastaRecord],
+    width: int = 70,
+) -> None:
+    """Write records as wrapped FASTA."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    stream = _open(path, "w")
+    try:
+        for record in records:
+            header = f">{record.name}"
+            if record.description:
+                header += f" {record.description}"
+            stream.write(header + "\n")
+            seq = record.sequence
+            for i in range(0, len(seq), width):
+                stream.write(seq[i : i + width] + "\n")
+    finally:
+        if not isinstance(path, io.TextIOBase):
+            stream.close()
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ record (qualities default to maximum for simulation)."""
+
+    name: str
+    sequence: str
+    quality: str = ""
+
+    def __post_init__(self) -> None:
+        if self.quality and len(self.quality) != len(self.sequence):
+            raise ValueError("quality string length must match the sequence")
+
+    def effective_quality(self) -> str:
+        return self.quality or "I" * len(self.sequence)
+
+
+def parse_fastq(stream: TextIO) -> Iterator[FastqRecord]:
+    """Yield records from an open FASTQ stream."""
+    while True:
+        header = stream.readline()
+        if not header:
+            return
+        header = header.strip()
+        if not header:
+            continue
+        if not header.startswith("@"):
+            raise ValueError(f"malformed FASTQ header: {header!r}")
+        sequence = stream.readline().strip().upper()
+        plus = stream.readline().strip()
+        quality = stream.readline().strip()
+        if not plus.startswith("+"):
+            raise ValueError("malformed FASTQ record (missing '+')")
+        if len(quality) != len(sequence):
+            raise ValueError("FASTQ quality length mismatch")
+        yield FastqRecord(header[1:].split()[0], sequence, quality)
+
+
+def read_fastq(path: "str | Path | TextIO") -> list[FastqRecord]:
+    stream = _open(path, "r")
+    try:
+        return list(parse_fastq(stream))
+    finally:
+        if not isinstance(path, io.TextIOBase):
+            stream.close()
+
+
+def write_fastq(path: "str | Path | TextIO", records: Iterable[FastqRecord]) -> None:
+    stream = _open(path, "w")
+    try:
+        for record in records:
+            stream.write(f"@{record.name}\n{record.sequence}\n+\n")
+            stream.write(record.effective_quality() + "\n")
+    finally:
+        if not isinstance(path, io.TextIOBase):
+            stream.close()
+
+
+def validate_records(records: Iterable[FastaRecord]) -> None:
+    """Raise if any record contains non-ACGT characters."""
+    for record in records:
+        if not is_valid_sequence(record.sequence):
+            raise ValueError(f"record {record.name!r} contains non-ACGT bases")

@@ -1,0 +1,151 @@
+"""Paired-end read simulation.
+
+The paper's sampler draws single-end reads; real libraries are
+paired-end — two reads from the ends of one insert, the right mate on
+the reverse strand.  Mate pairs are what makes scaffolding (assembly
+stage 3, the paper's future work) possible, so this module is the data
+substrate for the :mod:`repro.assembly.mate_scaffold` extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.genome.alphabet import COMPLEMENT_CODE
+from repro.genome.reads import Read
+from repro.genome.sequence import DnaSequence
+
+
+@dataclass(frozen=True)
+class ReadPair:
+    """One paired-end fragment: forward left mate, reverse right mate.
+
+    ``insert_size`` is the outer distance (left start to right end on
+    the reference).
+    """
+
+    name: str
+    left: Read
+    right: Read
+    insert_size: int
+
+    def __post_init__(self) -> None:
+        if self.insert_size < len(self.left) or self.insert_size < len(self.right):
+            raise ValueError("insert must be at least one read long")
+
+    @property
+    def gap(self) -> int:
+        """Unsequenced bases between the two mates (can be negative
+        when the mates overlap)."""
+        return self.insert_size - len(self.left) - len(self.right)
+
+
+@dataclass(frozen=True)
+class PairedReadSimulator:
+    """Uniform paired-end sampler.
+
+    Attributes:
+        read_length: bases per mate.
+        insert_mean: mean outer insert size.
+        insert_sd: standard deviation of the insert size (Gaussian,
+            clamped so the insert always fits both mates).
+        seed: RNG seed.
+        error_rate: per-base substitution probability on both mates.
+    """
+
+    read_length: int = 101
+    insert_mean: int = 400
+    insert_sd: float = 40.0
+    seed: int = 4242
+    error_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.read_length <= 0:
+            raise ValueError("read_length must be positive")
+        if self.insert_mean < self.read_length:
+            raise ValueError("insert_mean must be at least read_length")
+        if self.insert_sd < 0:
+            raise ValueError("insert_sd must be non-negative")
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ValueError("error_rate must be in [0, 1)")
+
+    def pairs_for_coverage(self, genome_length: int, coverage: float) -> int:
+        """Pair count achieving a mean per-base *read* coverage."""
+        if genome_length <= 0 or coverage <= 0:
+            raise ValueError("genome_length and coverage must be positive")
+        bases_per_pair = 2 * self.read_length
+        return max(1, int(round(coverage * genome_length / bases_per_pair)))
+
+    def sample(self, reference: DnaSequence, count: int) -> list[ReadPair]:
+        return list(self.iter_sample(reference, count))
+
+    def iter_sample(
+        self, reference: DnaSequence, count: int
+    ) -> Iterator[ReadPair]:
+        """Lazily sample ``count`` read pairs.
+
+        Raises:
+            ValueError: if the reference cannot fit the mean insert.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if len(reference) < self.insert_mean:
+            raise ValueError(
+                f"reference ({len(reference)} bp) shorter than the mean "
+                f"insert ({self.insert_mean} bp)"
+            )
+        rng = np.random.default_rng(self.seed)
+        codes = reference.codes
+        n = len(reference)
+        for i in range(count):
+            insert = int(round(rng.normal(self.insert_mean, self.insert_sd)))
+            insert = max(self.read_length, min(insert, n))
+            start = int(rng.integers(0, n - insert + 1))
+
+            left_codes = codes[start : start + self.read_length].copy()
+            right_lo = start + insert - self.read_length
+            right_window = codes[right_lo : right_lo + self.read_length]
+            right_codes = COMPLEMENT_CODE[right_window[::-1]].copy()
+
+            if self.error_rate > 0.0:
+                left_codes = self._apply_errors(rng, left_codes)
+                right_codes = self._apply_errors(rng, right_codes)
+
+            yield ReadPair(
+                name=f"pair{i}",
+                left=Read(
+                    name=f"pair{i}/1",
+                    sequence=DnaSequence(left_codes),
+                    start=start,
+                ),
+                right=Read(
+                    name=f"pair{i}/2",
+                    sequence=DnaSequence(right_codes),
+                    start=right_lo,
+                    reverse=True,
+                ),
+                insert_size=insert,
+            )
+
+    def _apply_errors(
+        self, rng: np.random.Generator, codes: np.ndarray
+    ) -> np.ndarray:
+        mask = rng.random(codes.size) < self.error_rate
+        if not mask.any():
+            return codes
+        out = codes.copy()
+        shifts = rng.integers(1, 4, size=int(mask.sum())).astype(np.uint8)
+        out[mask] = (out[mask] + shifts) % 4
+        return out
+
+
+def all_reads(pairs: list[ReadPair]) -> list[Read]:
+    """Flatten pairs into the single-end read list assemblers consume."""
+    reads: list[Read] = []
+    for pair in pairs:
+        reads.append(pair.left)
+        reads.append(pair.right)
+    return reads

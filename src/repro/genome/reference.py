@@ -1,0 +1,155 @@
+"""Synthetic reference genomes (the chromosome-14 surrogate).
+
+The paper samples 45,711,162 reads of length 101 from human
+chromosome 14 (NCBI).  Offline we substitute a *seeded synthetic
+chromosome* with the statistics that matter to the assembly pipeline:
+
+* configurable length (chr14's assemblable portion is ~88 Mbp),
+* human-like GC content (~41 % for chr14),
+* a controllable **repeat structure** — tandem repeats and dispersed
+  (transposon-like) repeats — because repeats are what make de Bruijn
+  graphs branch and are therefore the property that drives graph shape
+  and traversal behaviour.
+
+Functional runs use small scales (kbp-Mbp) where exact reconstruction
+can be checked; the paper-scale performance model only consumes the
+*parameters* (length, read count/length, k), not the bases themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.genome.alphabet import encode
+from repro.genome.sequence import DnaSequence
+
+#: Assemblable (non-N) length of human chromosome 14, base pairs.
+CHR14_LENGTH: int = 88_000_000
+
+#: GC fraction of human chromosome 14.
+CHR14_GC: float = 0.41
+
+#: Read set of the paper's Section IV setup.
+CHR14_READ_COUNT: int = 45_711_162
+CHR14_READ_LENGTH: int = 101
+
+
+@dataclass(frozen=True)
+class RepeatSpec:
+    """Repeat structure of a synthetic chromosome.
+
+    Attributes:
+        dispersed_fraction: fraction of the genome covered by copies of
+            dispersed repeat elements (SINE/LINE-like).
+        dispersed_element_length: length of each dispersed element.
+        dispersed_family_count: number of distinct element families.
+        tandem_fraction: fraction covered by tandem repeats.
+        tandem_unit_length: repeat-unit length of tandem arrays.
+    """
+
+    dispersed_fraction: float = 0.10
+    dispersed_element_length: int = 300
+    dispersed_family_count: int = 4
+    tandem_fraction: float = 0.02
+    tandem_unit_length: int = 12
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dispersed_fraction < 1.0:
+            raise ValueError("dispersed_fraction must be in [0, 1)")
+        if not 0.0 <= self.tandem_fraction < 1.0:
+            raise ValueError("tandem_fraction must be in [0, 1)")
+        if self.dispersed_fraction + self.tandem_fraction >= 1.0:
+            raise ValueError("repeat fractions must sum below 1")
+        if self.dispersed_element_length <= 0 or self.tandem_unit_length <= 0:
+            raise ValueError("repeat lengths must be positive")
+        if self.dispersed_family_count <= 0:
+            raise ValueError("dispersed_family_count must be positive")
+
+
+def _random_codes(rng: np.random.Generator, n: int, gc_content: float) -> np.ndarray:
+    """Draw 2-bit codes with a given GC fraction (codes: T,G,A,C)."""
+    if n < 0:
+        raise ValueError("length must be non-negative")
+    at = (1.0 - gc_content) / 2.0
+    gc = gc_content / 2.0
+    # code order is T, G, A, C
+    probs = np.array([at, gc, at, gc])
+    return rng.choice(4, size=n, p=probs).astype(np.uint8)
+
+
+def synthetic_chromosome(
+    length: int,
+    seed: int = 14,
+    gc_content: float = CHR14_GC,
+    repeats: RepeatSpec | None = None,
+) -> DnaSequence:
+    """Generate a seeded synthetic chromosome.
+
+    The backbone is i.i.d. bases at the requested GC content; dispersed
+    repeat elements and tandem arrays are then stamped over it at random
+    positions, so the k-mer spectrum shows the repeat-induced
+    multiplicity real chromosomes have.
+
+    Args:
+        length: total length in bases.
+        seed: RNG seed (same seed -> identical chromosome).
+        gc_content: fraction of G/C bases in the random backbone.
+        repeats: repeat structure; ``None`` uses the defaults.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    if not 0.0 < gc_content < 1.0:
+        raise ValueError("gc_content must be in (0, 1)")
+    repeats = repeats or RepeatSpec()
+    rng = np.random.default_rng(seed)
+    codes = _random_codes(rng, length, gc_content)
+
+    # Dispersed repeat families.
+    element_len = min(repeats.dispersed_element_length, length)
+    if repeats.dispersed_fraction > 0 and element_len > 0:
+        families = [
+            _random_codes(rng, element_len, gc_content)
+            for _ in range(repeats.dispersed_family_count)
+        ]
+        target = int(length * repeats.dispersed_fraction)
+        copies = max(0, target // element_len)
+        for _ in range(copies):
+            family = families[int(rng.integers(len(families)))]
+            start = int(rng.integers(0, max(1, length - element_len)))
+            codes[start : start + element_len] = family[: length - start]
+
+    # Tandem arrays.
+    unit_len = min(repeats.tandem_unit_length, length)
+    if repeats.tandem_fraction > 0 and unit_len > 0:
+        target = int(length * repeats.tandem_fraction)
+        array_len = unit_len * 20
+        arrays = max(0, target // array_len)
+        for _ in range(arrays):
+            unit = _random_codes(rng, unit_len, gc_content)
+            start = int(rng.integers(0, max(1, length - array_len)))
+            stop = min(length, start + array_len)
+            reps = -(-(stop - start) // unit_len)
+            codes[start:stop] = np.tile(unit, reps)[: stop - start]
+
+    return DnaSequence(codes)
+
+
+def chr14_surrogate(scale: float = 1.0, seed: int = 14) -> DnaSequence:
+    """The chromosome-14 stand-in, optionally scaled down.
+
+    ``scale=1.0`` gives the full 88 Mbp surrogate (only needed by the
+    paper-scale analytic model, which never materialises it);
+    functional runs use e.g. ``scale=1e-4`` (8.8 kbp).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    length = max(1000, int(CHR14_LENGTH * scale))
+    return synthetic_chromosome(length, seed=seed)
+
+
+def from_string(text: str) -> DnaSequence:
+    """Convenience validator for literal test sequences."""
+    encode(text)  # raises on invalid bases
+    return DnaSequence(text)

@@ -1,0 +1,126 @@
+"""Immutable DNA sequence objects backed by 2-bit code arrays."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.genome import alphabet
+
+
+class DnaSequence:
+    """An immutable DNA sequence stored as 2-bit codes.
+
+    Construction validates the alphabet once; all derived views (slices,
+    k-mers, bit vectors) are cheap NumPy operations.
+
+    >>> s = DnaSequence("ACGT")
+    >>> s.reverse_complement()
+    DnaSequence('ACGT')
+    >>> len(s[1:3])
+    2
+    """
+
+    __slots__ = ("_codes",)
+
+    def __init__(self, sequence: "str | np.ndarray | DnaSequence") -> None:
+        if isinstance(sequence, DnaSequence):
+            self._codes = sequence._codes
+        elif isinstance(sequence, str):
+            self._codes = alphabet.encode(sequence)
+        else:
+            arr = np.asarray(sequence, dtype=np.uint8)
+            if arr.ndim != 1:
+                raise ValueError("code array must be 1-D")
+            if arr.size and (arr >= 4).any():
+                raise ValueError("base codes must be in 0..3")
+            self._codes = arr.copy()
+        self._codes.setflags(write=False)
+
+    # ----- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_codes(cls, codes: np.ndarray) -> "DnaSequence":
+        return cls(codes)
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray) -> "DnaSequence":
+        """Inverse of :meth:`to_bits` (the sub-array row format)."""
+        return cls(alphabet.bits_to_codes(bits))
+
+    # ----- views ----------------------------------------------------------------
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Read-only 2-bit code array."""
+        return self._codes
+
+    def to_bits(self) -> np.ndarray:
+        """Flat 0/1 vector, 2 bits per base — the row storage format."""
+        return alphabet.codes_to_bits(self._codes)
+
+    def __str__(self) -> str:
+        return alphabet.decode(self._codes)
+
+    def __repr__(self) -> str:
+        text = str(self)
+        shown = text if len(text) <= 40 else text[:37] + "..."
+        return f"DnaSequence('{shown}')"
+
+    # ----- sequence protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._codes.size)
+
+    def __getitem__(self, index: "int | slice") -> "str | DnaSequence":
+        if isinstance(index, slice):
+            return DnaSequence(self._codes[index])
+        return alphabet.decode_base(int(self._codes[index]))
+
+    def __iter__(self) -> Iterator[str]:
+        for code in self._codes:
+            yield alphabet.decode_base(int(code))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, str):
+            return str(self) == other
+        if isinstance(other, DnaSequence):
+            return (
+                self._codes.size == other._codes.size
+                and bool((self._codes == other._codes).all())
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._codes.tobytes())
+
+    def __add__(self, other: "DnaSequence | str") -> "DnaSequence":
+        other_seq = other if isinstance(other, DnaSequence) else DnaSequence(other)
+        return DnaSequence(np.concatenate([self._codes, other_seq._codes]))
+
+    # ----- biology ---------------------------------------------------------------------
+
+    def reverse_complement(self) -> "DnaSequence":
+        return DnaSequence(alphabet.reverse_complement_codes(self._codes))
+
+    def gc_content(self) -> float:
+        """Fraction of G/C bases (0 for the empty sequence)."""
+        if not len(self):
+            return 0.0
+        g = alphabet.encode_base("G")
+        c = alphabet.encode_base("C")
+        return float(np.isin(self._codes, (g, c)).mean())
+
+    def kmers(self, k: int) -> Iterator["DnaSequence"]:
+        """All overlapping k-mers, left to right."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        for i in range(len(self) - k + 1):
+            yield DnaSequence(self._codes[i : i + k])
+
+    def kmer_count(self, k: int) -> int:
+        """Number of overlapping k-mers (0 if the sequence is shorter)."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        return max(0, len(self) - k + 1)

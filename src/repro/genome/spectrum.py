@@ -1,0 +1,132 @@
+"""k-mer spectrum analysis: histograms, genome-size estimation,
+error-threshold detection.
+
+The frequency histogram of a read set's k-mers has a characteristic
+shape: a spike at frequency 1-2 (sequencing errors: each error creates
+up to k novel k-mers) and a peak near the read coverage (genomic
+k-mers).  From it one can estimate, without a reference:
+
+* the **error threshold** — the valley between the two modes, which is
+  the right ``min_count`` / ``solid_threshold`` for filtering and
+  correction;
+* the **coverage peak** — the genomic mode;
+* the **genome size** — total genomic k-mers divided by the coverage
+  peak (the standard k-mer-based estimator).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.genome.kmer import packed_kmers_array
+from repro.genome.reads import Read
+from repro.genome.sequence import DnaSequence
+
+
+@dataclass(frozen=True)
+class SpectrumAnalysis:
+    """Derived properties of one k-mer spectrum."""
+
+    k: int
+    histogram: dict[int, int]
+    error_threshold: int
+    coverage_peak: int
+    genome_size_estimate: int
+
+    @property
+    def distinct_kmers(self) -> int:
+        return sum(self.histogram.values())
+
+    @property
+    def total_kmers(self) -> int:
+        return sum(f * n for f, n in self.histogram.items())
+
+    def solid_fraction(self) -> float:
+        """Fraction of distinct k-mers at/above the error threshold."""
+        if not self.distinct_kmers:
+            return 0.0
+        solid = sum(
+            n for f, n in self.histogram.items() if f >= self.error_threshold
+        )
+        return solid / self.distinct_kmers
+
+
+def kmer_histogram(
+    reads: "Iterable[Read] | Iterable[DnaSequence]", k: int
+) -> dict[int, int]:
+    """frequency -> number of distinct k-mers with that frequency."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    counts: Counter = Counter()
+    for item in reads:
+        sequence = item.sequence if isinstance(item, Read) else item
+        for packed in packed_kmers_array(sequence, k).tolist():
+            counts[packed] += 1
+    histogram: Counter = Counter()
+    for frequency in counts.values():
+        histogram[frequency] += 1
+    return dict(sorted(histogram.items()))
+
+
+def find_error_threshold(histogram: dict[int, int]) -> int:
+    """The valley between the error spike and the coverage peak.
+
+    Walk frequencies upward from 1; the threshold is the first local
+    minimum (the frequency where the count stops falling).  Falls back
+    to 2 for degenerate (error-free) histograms.
+    """
+    if not histogram:
+        return 2
+    frequencies = sorted(histogram)
+    previous = histogram[frequencies[0]]
+    for frequency in frequencies[1:]:
+        current = histogram[frequency]
+        if current > previous:
+            return frequency
+        previous = current
+    return 2
+
+
+def find_coverage_peak(histogram: dict[int, int], threshold: int) -> int:
+    """The modal frequency at/above the error threshold."""
+    candidates = {
+        f: n for f, n in histogram.items() if f >= max(2, threshold)
+    }
+    if not candidates:
+        return max(histogram, default=1)
+    return max(candidates, key=lambda f: (candidates[f], f))
+
+
+def analyse_spectrum(
+    reads: "Iterable[Read] | Iterable[DnaSequence]", k: int
+) -> SpectrumAnalysis:
+    """Full spectrum analysis of a read set."""
+    histogram = kmer_histogram(reads, k)
+    threshold = find_error_threshold(histogram)
+    peak = find_coverage_peak(histogram, threshold)
+    genomic_kmers = sum(
+        f * n for f, n in histogram.items() if f >= threshold
+    )
+    size = genomic_kmers // max(1, peak)
+    return SpectrumAnalysis(
+        k=k,
+        histogram=histogram,
+        error_threshold=threshold,
+        coverage_peak=peak,
+        genome_size_estimate=size,
+    )
+
+
+def format_histogram(histogram: dict[int, int], width: int = 50) -> str:
+    """ASCII rendering of a spectrum (for examples and reports)."""
+    if not histogram:
+        return "(empty spectrum)"
+    top = max(histogram.values())
+    lines = []
+    for frequency in sorted(histogram):
+        count = histogram[frequency]
+        bar = "#" * max(1, int(width * count / top))
+        lines.append(f"{frequency:>5}x {count:>8} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Adjacency-matrix mapping and bulk degree computation (paper Fig. 8).
+
+The traversal stage needs every vertex's in/out degree.  The paper maps
+the (sub-)graph's adjacency matrix onto consecutive sub-array rows and
+sums them with parallel in-memory addition: "PIM-Assembler takes every
+three rows to perform a parallel in-memory addition ... results written
+back to the reserved space ... then multi-bit addition of resultant
+data ... concluded after 2 x m cycles".
+
+That is a carry-save (Wallace) reduction in bit-plane space:
+
+* every adjacency row is a weight-0 bit plane of column-wise partial
+  sums;
+* a 3:2 compression turns three weight-w planes into one weight-w sum
+  plane and one weight-(w+1) carry plane (:meth:`Controller.compress_3to2`);
+* when at most two planes remain per weight, a final bit-serial ripple
+  add (2 cycles/bit) produces the degree vector.
+
+:func:`wallace_column_sum` implements exactly that schedule on the
+functional simulator; :func:`degree_vectors_pim` applies it to a de
+Bruijn graph chunk by chunk (each chunk covers up to one row width of
+vertices, the ``n <= f = min(a, b)`` allocation rule of Section III).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.core.isa import RowAddress
+
+if TYPE_CHECKING:  # import cycle: assembly.pipeline uses this module
+    from repro.assembly.debruijn import DeBruijnGraph
+from repro.core.platform import PimAssembler
+
+
+class _ScratchRows:
+    """Free-list of physical data rows inside one scratch sub-array."""
+
+    def __init__(self, pim: PimAssembler, subarray_key: tuple[int, int, int]) -> None:
+        self.pim = pim
+        self.key = subarray_key
+        sub = pim.device.subarray_at(subarray_key)
+        self._free = list(range(sub.geometry.data_rows - 1, -1, -1))
+
+    def take(self) -> RowAddress:
+        if not self._free:
+            raise MemoryError(f"scratch sub-array {self.key} exhausted")
+        bank, mat, sub = self.key
+        return RowAddress(bank=bank, mat=mat, subarray=sub, row=self._free.pop())
+
+    def give(self, address: RowAddress) -> None:
+        self._free.append(address.row)
+
+
+def wallace_column_sum(
+    pim: PimAssembler,
+    rows: Sequence[np.ndarray],
+    subarray_key: tuple[int, int, int] = (0, 0, 0),
+) -> np.ndarray:
+    """Column-wise sum of many 0/1 rows via in-memory carry-save adds.
+
+    Args:
+        pim: the platform (a scratch sub-array is used for all work).
+        rows: bit vectors (each at most one row wide).
+        subarray_key: which sub-array to compute in.
+
+    Returns:
+        int64 vector of per-column sums (width = row width).
+    """
+    if not rows:
+        raise ValueError("need at least one row")
+    scratch = _ScratchRows(pim, subarray_key)
+    ctrl = pim.controller
+    width = pim.row_bits
+
+    # Stage the input rows as weight-0 planes.
+    buckets: dict[int, list[RowAddress]] = defaultdict(list)
+    for bits in rows:
+        arr = np.asarray(bits, dtype=np.uint8).ravel()
+        if arr.size > width:
+            raise ValueError(f"row of {arr.size} bits exceeds width {width}")
+        if arr.size < width:
+            arr = np.pad(arr, (0, width - arr.size))
+        addr = scratch.take()
+        ctrl.write_row(addr, arr)
+        buckets[0].append(addr)
+
+    # Carry-save reduction: 3 planes of weight w -> sum(w) + carry(w+1).
+    changed = True
+    while changed:
+        changed = False
+        for weight in sorted(buckets):
+            while len(buckets[weight]) >= 3:
+                r1 = buckets[weight].pop()
+                r2 = buckets[weight].pop()
+                r3 = buckets[weight].pop()
+                sum_row = scratch.take()
+                carry_row = scratch.take()
+                ctrl.compress_3to2(r1, r2, r3, sum_row, carry_row)
+                for r in (r1, r2, r3):
+                    scratch.give(r)
+                buckets[weight].append(sum_row)
+                buckets[weight + 1].append(carry_row)
+                changed = True
+
+    # At most two planes per weight remain: form two words and ripple-add.
+    max_weight = max(buckets)
+    bits_needed = max_weight + 1
+    zero = np.zeros(width, dtype=np.uint8)
+
+    def plane_or_zero(weight: int, index: int) -> RowAddress:
+        planes = buckets.get(weight, [])
+        if index < len(planes):
+            return planes[index]
+        addr = scratch.take()
+        ctrl.write_row(addr, zero)
+        return addr
+
+    a_planes = [plane_or_zero(w, 0) for w in range(bits_needed)]
+    b_planes = [plane_or_zero(w, 1) for w in range(bits_needed)]
+    sum_planes = [scratch.take() for _ in range(bits_needed)]
+    carry_row = scratch.take()
+    ctrl.ripple_add(a_planes, b_planes, sum_planes, carry_row)
+
+    # Read the result back (sum planes LSB-first plus the final carry).
+    total = np.zeros(width, dtype=np.int64)
+    for i, plane in enumerate(sum_planes):
+        total += ctrl.read_row(plane).astype(np.int64) << i
+    total += ctrl.read_row(carry_row).astype(np.int64) << bits_needed
+    return total
+
+
+def adjacency_rows_for_chunk(
+    graph: DeBruijnGraph,
+    chunk_nodes: Sequence[int],
+    direction: str = "in",
+) -> list[np.ndarray]:
+    """Build the 0/1 adjacency rows whose column sum is a degree vector.
+
+    ``direction="in"``: one row per *source* vertex with a 1 in column
+    ``j`` when an edge points to ``chunk_nodes[j]``; the column sum is
+    the chunk's in-degree vector.  ``direction="out"``: one row per
+    *target* with 1s at its in-neighbours among the chunk — the column
+    sum is the out-degree vector.
+    """
+    if direction not in ("in", "out"):
+        raise ValueError("direction must be 'in' or 'out'")
+    column = {node: i for i, node in enumerate(chunk_nodes)}
+    rows: dict[int, np.ndarray] = {}
+    width = len(chunk_nodes)
+    for edge in graph.edges():
+        if direction == "in":
+            key_node, chunk_node = edge.source, edge.target
+        else:
+            key_node, chunk_node = edge.target, edge.source
+        if chunk_node not in column:
+            continue
+        row = rows.get(key_node)
+        if row is None:
+            row = np.zeros(width, dtype=np.uint8)
+            rows[key_node] = row
+        row[column[chunk_node]] = 1
+    return list(rows.values())
+
+
+def degree_vectors_pim(
+    pim: PimAssembler,
+    graph: DeBruijnGraph,
+    subarray_key: tuple[int, int, int] = (0, 0, 0),
+) -> tuple[dict[int, int], dict[int, int]]:
+    """In/out degrees of every vertex via in-memory column sums.
+
+    Chunks the vertex set by the row width (the ``n <= f`` rule) and
+    accumulates each chunk's degree vectors with
+    :func:`wallace_column_sum`.
+
+    Warning:
+        the scratch sub-array's data rows are freely overwritten — run
+        this *after* any hash-table contents in that sub-array have
+        been read back (the pipeline's traverse phase does).
+
+    Returns:
+        ``(in_degree, out_degree)`` dictionaries over packed node keys.
+    """
+    nodes = sorted(graph.nodes())
+    width = pim.row_bits
+    in_deg: dict[int, int] = {}
+    out_deg: dict[int, int] = {}
+    for lo in range(0, len(nodes), width):
+        chunk = nodes[lo : lo + width]
+        for direction, out in (("in", in_deg), ("out", out_deg)):
+            rows = adjacency_rows_for_chunk(graph, chunk, direction)
+            if rows:
+                sums = wallace_column_sum(pim, rows, subarray_key)
+            else:
+                sums = np.zeros(width, dtype=np.int64)
+            for i, node in enumerate(chunk):
+                out[node] = int(sums[i])
+    return in_deg, out_deg
+
+
+def planes_needed(row_count: int) -> int:
+    """Bit planes needed to hold a column sum of ``row_count`` rows."""
+    if row_count <= 0:
+        raise ValueError("row_count must be positive")
+    return max(1, math.ceil(math.log2(row_count + 1)))

@@ -1,0 +1,31 @@
+"""Hash-based partitioning shared by the hash table and graph mapping.
+
+Both the correlated hash-table partitioning (Fig. 6) and the
+interval-block graph partitioning (Fig. 8) spread keys uniformly with
+the same multiplicative hash; keeping it in one place guarantees the
+two stages agree on locality.
+"""
+
+from __future__ import annotations
+
+#: 64-bit golden-ratio multiplier (Knuth's multiplicative hashing).
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def mix64(value: int) -> int:
+    """Scramble a packed k-mer / node key into 64 well-mixed bits."""
+    if value < 0:
+        raise ValueError("keys must be non-negative")
+    return (value * _GOLDEN) & _MASK64
+
+
+def kmer_partition(packed: int, partitions: int) -> int:
+    """Uniform partition index of a packed key.
+
+    The high 32 bits of the mixed key are used, as the low bits of a
+    multiplicative hash are the weakest.
+    """
+    if partitions <= 0:
+        raise ValueError("partitions must be positive")
+    return int(mix64(packed) >> 32) % partitions

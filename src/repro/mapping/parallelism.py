@@ -1,0 +1,78 @@
+"""Parallelism-degree (Pd) model (paper Fig. 10).
+
+"We define a parallelism degree (Pd), i.e. the number of replicated
+sub-arrays to increase the performance ... the larger Pd is, the
+smaller delay and higher power consumption ... we determine the optimum
+performance of PIM-Assembler, where Pd ~= 2."
+
+Replicating a function over Pd sub-arrays divides the serial scan work
+by ~Pd (with a sub-linear efficiency loss from replication/merge
+traffic) while multiplying the active-array dynamic power by Pd.  The
+knee emerges because the delay saving flattens while power keeps
+climbing linearly — this module provides the delay/power scaling the
+trade-off bench sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Pd values the paper sweeps.
+PAPER_PD_VALUES: tuple[int, ...] = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class ParallelismModel:
+    """Delay / power scaling with the parallelism degree.
+
+    Attributes:
+        replication_overhead: fraction of extra work per replica
+            (duplicate temp writes, result merging and bank-bus
+            contention between replicas).  CAL: 0.42 places the
+            energy-delay optimum at Pd ~= 2 as in Fig. 10.
+        power_per_replica_w: dynamic power added by each extra active
+            replica set, watts.
+        base_power_w: platform power at Pd = 1.
+    """
+
+    replication_overhead: float = 0.42
+    power_per_replica_w: float = 26.0
+    base_power_w: float = 38.4
+
+    def __post_init__(self) -> None:
+        if self.replication_overhead < 0:
+            raise ValueError("replication_overhead must be non-negative")
+        if self.power_per_replica_w < 0 or self.base_power_w <= 0:
+            raise ValueError("power terms must be positive")
+
+    def speedup(self, pd: int) -> float:
+        """Delay reduction factor at parallelism degree ``pd``."""
+        if pd <= 0:
+            raise ValueError("pd must be positive")
+        return pd / (1.0 + self.replication_overhead * (pd - 1))
+
+    def delay(self, base_delay_s: float, pd: int) -> float:
+        if base_delay_s <= 0:
+            raise ValueError("base_delay_s must be positive")
+        return base_delay_s / self.speedup(pd)
+
+    def power(self, pd: int) -> float:
+        if pd <= 0:
+            raise ValueError("pd must be positive")
+        return self.base_power_w + self.power_per_replica_w * (pd - 1)
+
+    def energy_delay_product(self, base_delay_s: float, pd: int) -> float:
+        """EDP = power x delay^2 — the figure of merit whose minimum is
+        the paper's optimum Pd."""
+        d = self.delay(base_delay_s, pd)
+        return self.power(pd) * d * d
+
+    def optimum_pd(
+        self, base_delay_s: float, candidates: tuple[int, ...] = PAPER_PD_VALUES
+    ) -> int:
+        """Pd minimising the energy-delay product over the candidates."""
+        if not candidates:
+            raise ValueError("candidates must be non-empty")
+        return min(
+            candidates, key=lambda pd: self.energy_delay_product(base_delay_s, pd)
+        )

@@ -1,0 +1,58 @@
+"""Analytic performance models of the compared platforms.
+
+CPU / GPU / HMC 2.0 are bandwidth-bound von-Neumann models; Ambit /
+DRISA-1T1C / DRISA-3T1C / PIM-Assembler are AAP-cycle-count in-DRAM
+models.  Constants and their provenance live in
+:mod:`repro.platforms.params`; instantiation goes through
+:mod:`repro.platforms.registry`.
+"""
+
+from repro.platforms.base import (
+    BandwidthPlatform,
+    InDramPlatform,
+    Platform,
+    ThroughputPoint,
+)
+from repro.platforms.params import (
+    AAP_NS,
+    DEVICE_ACTIVATION_BITS,
+    BandwidthSpec,
+    PimCycleCosts,
+    PowerSpec,
+)
+from repro.platforms.registry import (
+    ambit,
+    assembly_platforms,
+    available_platforms,
+    cpu,
+    drisa_1t1c,
+    drisa_3t1c,
+    gpu,
+    hmc,
+    make_platform,
+    microbenchmark_platforms,
+    pim_assembler,
+)
+
+__all__ = [
+    "BandwidthPlatform",
+    "InDramPlatform",
+    "Platform",
+    "ThroughputPoint",
+    "AAP_NS",
+    "DEVICE_ACTIVATION_BITS",
+    "BandwidthSpec",
+    "PimCycleCosts",
+    "PowerSpec",
+    "ambit",
+    "assembly_platforms",
+    "available_platforms",
+    "cpu",
+    "drisa_1t1c",
+    "drisa_3t1c",
+    "gpu",
+    "hmc",
+    "make_platform",
+    "microbenchmark_platforms",
+    "pim_assembler",
+]

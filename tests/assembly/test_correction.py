@@ -1,0 +1,118 @@
+"""Spectral read error correction."""
+
+import pytest
+
+from repro.assembly import assemble, evaluate_assembly
+from repro.assembly.correction import SpectralCorrector, correct_reads
+from repro.genome import ReadSimulator, synthetic_chromosome
+from repro.genome.reads import Read
+from repro.genome.sequence import DnaSequence
+
+
+@pytest.fixture(scope="module")
+def noisy_case():
+    reference = synthetic_chromosome(1000, seed=501)
+    sim = ReadSimulator(read_length=80, seed=502, error_rate=0.005)
+    reads = sim.sample(reference, sim.reads_for_coverage(1000, 35))
+    return reference, reads
+
+
+class TestSpectrum:
+    def test_solid_kmers_from_clean_reads(self):
+        reference = synthetic_chromosome(400, seed=503)
+        sim = ReadSimulator(read_length=60, seed=504)
+        reads = sim.sample(reference, sim.reads_for_coverage(400, 20))
+        corrector = SpectralCorrector(k=15, solid_threshold=3)
+        solid = corrector.build_spectrum(reads)
+        # most genomic k-mers are deeply covered -> solid
+        assert len(solid) > 0.8 * (400 - 15 + 1)
+
+    def test_singleton_errors_are_weak(self, noisy_case):
+        _, reads = noisy_case
+        corrector = SpectralCorrector(k=15, solid_threshold=3)
+        solid = corrector.build_spectrum(reads)
+        # inject an obviously fake k-mer: it must not be solid
+        fake = reads[0].sequence.codes.copy()
+        fake[:15] = (fake[:15] + 1) % 4
+        from repro.genome.kmer import packed_kmers_array
+
+        packed = int(packed_kmers_array(DnaSequence(fake[:15]), 15)[0])
+        assert packed not in solid
+
+
+class TestCorrection:
+    def test_reduces_mismatches_against_reference(self, noisy_case):
+        reference, reads = noisy_case
+
+        def mismatches(read_list):
+            total = 0
+            for read in read_list:
+                window = reference.codes[read.start : read.start + len(read)]
+                total += int((read.sequence.codes != window).sum())
+            return total
+
+        before = mismatches(reads)
+        result = correct_reads(reads, k=15, solid_threshold=3)
+        after = mismatches(result.reads)
+        assert before > 0
+        assert after < 0.35 * before
+        assert result.corrected_bases >= before - after
+
+    def test_clean_reads_untouched(self):
+        reference = synthetic_chromosome(500, seed=505)
+        sim = ReadSimulator(read_length=60, seed=506)
+        reads = sim.sample(reference, sim.reads_for_coverage(500, 25))
+        result = correct_reads(reads, k=15)
+        assert result.corrected_reads == 0
+        for original, corrected in zip(reads, result.reads):
+            assert str(original.sequence) == str(corrected.sequence)
+
+    def test_improves_assembly(self, noisy_case):
+        reference, reads = noisy_case
+        raw = evaluate_assembly(assemble(reads, k=17).contigs, reference)
+        corrected = correct_reads(reads, k=15, solid_threshold=3)
+        fixed = evaluate_assembly(
+            assemble(corrected.reads, k=17).contigs, reference
+        )
+        assert fixed.n50 >= raw.n50
+        assert fixed.num_contigs <= raw.num_contigs
+
+    def test_reports_lookup_work(self, noisy_case):
+        _, reads = noisy_case
+        result = correct_reads(reads, k=15)
+        # at least one lookup per read k-mer position
+        min_lookups = sum(r.sequence.kmer_count(15) for r in reads)
+        assert result.kmer_lookups >= min_lookups
+
+    def test_no_unique_fix_leaves_read(self):
+        corrector = SpectralCorrector(k=5, solid_threshold=1)
+        # spectrum from an unrelated sequence: nothing fixable
+        solid = corrector.build_spectrum(
+            [Read("x", DnaSequence("GGGGGGGGGG"), start=0)]
+        )
+        read = Read("y", DnaSequence("ACGTACGTAC"), start=0)
+        fixed, subs = corrector.correct_read(read, solid)
+        assert subs == 0
+        assert str(fixed.sequence) == "ACGTACGTAC"
+
+
+class TestIdempotence:
+    def test_correcting_corrected_reads_changes_nothing(self, noisy_case):
+        """Spectral correction must be a fixed point: a second pass
+        over already-corrected reads makes no further substitutions."""
+        _, reads = noisy_case
+        first = correct_reads(reads, k=15, solid_threshold=3)
+        second = correct_reads(first.reads, k=15, solid_threshold=3)
+        assert second.corrected_bases == 0
+        for a, b in zip(first.reads, second.reads):
+            assert str(a.sequence) == str(b.sequence)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SpectralCorrector(k=1)
+        with pytest.raises(ValueError):
+            SpectralCorrector(k=15, solid_threshold=0)
+        with pytest.raises(ValueError):
+            SpectralCorrector(k=15, max_corrections=0)

@@ -1,0 +1,105 @@
+"""De Bruijn graph construction and structure queries."""
+
+import pytest
+
+from repro.assembly.debruijn import DeBruijnGraph, build_graph_from_sequences
+from repro.genome.kmer import count_kmers, pack_kmer
+from repro.genome.sequence import DnaSequence
+
+
+def graph_of(text, k, min_count=1):
+    return build_graph_from_sequences([DnaSequence(text)], k, min_count)
+
+
+class TestConstruction:
+    def test_split_kmer(self):
+        g = DeBruijnGraph(k=4)
+        kmer = DnaSequence("ACGT")
+        prefix, suffix = g.split_kmer(pack_kmer(kmer))
+        assert g.node_sequence(prefix) == DnaSequence("ACG")
+        assert g.node_sequence(suffix) == DnaSequence("CGT")
+
+    def test_linear_sequence(self):
+        g = graph_of("ACGTAC", 3)
+        # 4 distinct 3-mers -> 4 edges
+        assert g.num_edges == 4
+        assert g.num_nodes == len(set(str(DnaSequence("ACGTAC"))[i:i+2]
+                                       for i in range(5)))
+
+    def test_from_counts_respects_min_count(self):
+        # ACG occurs twice; the k-mers of the "T" tail occur once.
+        counts = count_kmers(DnaSequence("ACGACGT"), 3)
+        full = DeBruijnGraph.from_counts(counts, k=3)
+        filtered = DeBruijnGraph.from_counts(counts, k=3, min_count=2)
+        assert filtered.num_edges < full.num_edges
+        assert all(e.count >= 2 for e in filtered.edges())
+
+    def test_from_counts_rejects_bad_min_count(self):
+        with pytest.raises(ValueError):
+            DeBruijnGraph.from_counts({}, k=3, min_count=0)
+
+    def test_rejects_k_below_two(self):
+        with pytest.raises(ValueError):
+            DeBruijnGraph(k=1)
+
+    def test_edge_carries_count(self):
+        g = graph_of("ACGACG", 3)
+        acg = next(e for e in g.edges() if e.kmer == pack_kmer(DnaSequence("ACG")))
+        assert acg.count == 2
+
+    def test_deterministic_edge_order(self):
+        counts = count_kmers(DnaSequence("ACGTACGTT"), 3)
+        a = DeBruijnGraph.from_counts(counts, k=3)
+        b = DeBruijnGraph.from_counts(dict(reversed(list(counts.items()))), k=3)
+        assert [e.kmer for e in a.edges()] == [e.kmer for e in b.edges()]
+
+
+class TestDegrees:
+    def test_degrees_of_linear_path(self):
+        g = graph_of("ACGT", 3)  # ACG -> CGT : AC->CG->GT
+        start = pack_kmer(DnaSequence("AC"))
+        middle = pack_kmer(DnaSequence("CG"))
+        end = pack_kmer(DnaSequence("GT"))
+        assert g.out_degree(start) == 1 and g.in_degree(start) == 0
+        assert g.out_degree(middle) == 1 and g.in_degree(middle) == 1
+        assert g.out_degree(end) == 0 and g.in_degree(end) == 1
+
+    def test_degree_imbalance_endpoints(self):
+        g = graph_of("ACGTT", 3)
+        imbalance = g.degree_imbalance()
+        assert sorted(imbalance.values()) == [-1, 1]
+
+    def test_balanced_cycle_has_no_imbalance(self):
+        # ACGAC: 3-mers ACG CGA GAC -> cycle AC->CG->GA->AC
+        g = graph_of("ACGAC", 3)
+        assert g.degree_imbalance() == {}
+
+    def test_is_branching(self):
+        g = graph_of("AACAG", 3)  # AA -> AC and AA -> AG? no: AAC ACA CAG
+        aa = pack_kmer(DnaSequence("AA"))
+        ac = pack_kmer(DnaSequence("AC"))
+        assert g.is_branching(aa)  # in 0 / out 1
+        assert not g.is_branching(ac)  # in 1 / out 1
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = graph_of("ACGTACGT", 3)
+        assert len(g.connected_components()) == 1
+
+    def test_two_components(self):
+        g = build_graph_from_sequences(
+            [DnaSequence("AAAA"), DnaSequence("CCCC")], 3
+        )
+        assert len(g.connected_components()) == 2
+
+    def test_components_partition_nodes(self):
+        g = build_graph_from_sequences(
+            [DnaSequence("ACGTAC"), DnaSequence("GGTTGG")], 3
+        )
+        components = g.connected_components()
+        all_nodes = set()
+        for c in components:
+            assert not (all_nodes & c)
+            all_nodes |= c
+        assert all_nodes == set(g.nodes())

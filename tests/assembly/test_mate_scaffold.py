@@ -1,0 +1,122 @@
+"""Mate-pair scaffolding: mapping, linking, chaining, gap estimation."""
+
+import pytest
+
+from repro.assembly.contigs import Contig
+from repro.assembly.mate_scaffold import (
+    ContigLink,
+    build_scaffolds,
+    link_contigs,
+    scaffold_assembly,
+)
+from repro.genome.paired import PairedReadSimulator
+from repro.genome.reference import synthetic_chromosome
+from repro.genome.sequence import DnaSequence
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return synthetic_chromosome(3000, seed=301)
+
+
+def fragmented_contigs(reference):
+    """Two contigs cut from the reference with a 200 bp gap between."""
+    a = Contig("contigA", reference[0:1200], edge_count=1)
+    b = Contig("contigB", reference[1400:2600], edge_count=1)
+    return [a, b]
+
+
+@pytest.fixture(scope="module")
+def pairs(reference):
+    sim = PairedReadSimulator(
+        read_length=60, insert_mean=500, insert_sd=30, seed=302
+    )
+    return sim.sample(reference, sim.pairs_for_coverage(len(reference), 30))
+
+
+class TestLinking:
+    def test_finds_the_gap_link(self, reference, pairs):
+        contigs = fragmented_contigs(reference)
+        links = link_contigs(contigs, pairs, insert_mean=500)
+        assert links, "spanning pairs must produce a link"
+        best = links[0]
+        assert (best.first, best.second) == (0, 1)
+        assert best.support >= 3
+
+    def test_gap_estimate_near_truth(self, reference, pairs):
+        contigs = fragmented_contigs(reference)
+        links = link_contigs(contigs, pairs, insert_mean=500)
+        assert links[0].gap == pytest.approx(200, abs=60)
+
+    def test_min_links_filters(self, reference, pairs):
+        contigs = fragmented_contigs(reference)
+        strict = link_contigs(contigs, pairs, insert_mean=500, min_links=10_000)
+        assert strict == []
+
+    def test_same_contig_pairs_ignored(self, reference):
+        contigs = [Contig("whole", reference, edge_count=1)]
+        sim = PairedReadSimulator(read_length=60, insert_mean=400, seed=303)
+        pairs = sim.sample(reference, 100)
+        assert link_contigs(contigs, pairs, insert_mean=400) == []
+
+    def test_validation(self, reference, pairs):
+        contigs = fragmented_contigs(reference)
+        with pytest.raises(ValueError):
+            link_contigs(contigs, pairs, insert_mean=0)
+        with pytest.raises(ValueError):
+            link_contigs(contigs, pairs, insert_mean=500, min_links=0)
+
+
+class TestChaining:
+    def test_two_contig_scaffold(self, reference, pairs):
+        contigs = fragmented_contigs(reference)
+        scaffolds = scaffold_assembly(contigs, pairs, insert_mean=500)
+        assert len(scaffolds) == 1
+        s = scaffolds[0]
+        assert s.members == ("contigA", "contigB")
+        assert s.gap_bases > 0
+        # scaffold spans roughly the full reference region
+        assert len(s) == pytest.approx(2600, abs=80)
+
+    def test_scaffold_sequence_layout(self, reference, pairs):
+        contigs = fragmented_contigs(reference)
+        scaffolds = scaffold_assembly(contigs, pairs, insert_mean=500)
+        text = scaffolds[0].sequence_with_gaps
+        assert text.startswith(str(contigs[0].sequence))
+        assert text.endswith(str(contigs[1].sequence))
+        middle = text[len(contigs[0].sequence) : -len(contigs[1].sequence)]
+        assert set(middle) <= {"N"}
+
+    def test_three_contig_chain(self, reference):
+        contigs = [
+            Contig("a", reference[0:900], edge_count=1),
+            Contig("b", reference[1000:1900], edge_count=1),
+            Contig("c", reference[2000:2900], edge_count=1),
+        ]
+        sim = PairedReadSimulator(
+            read_length=60, insert_mean=400, insert_sd=25, seed=304
+        )
+        pairs = sim.sample(reference, sim.pairs_for_coverage(len(reference), 40))
+        scaffolds = scaffold_assembly(contigs, pairs, insert_mean=400)
+        assert len(scaffolds) == 1
+        assert scaffolds[0].members == ("a", "b", "c")
+
+    def test_unlinked_contigs_stay_singletons(self, reference):
+        contigs = fragmented_contigs(reference)
+        scaffolds = build_scaffolds(contigs, links=[])
+        assert len(scaffolds) == 2
+        assert all(len(s.members) == 1 for s in scaffolds)
+
+    def test_conflicting_links_resolved_by_support(self, reference):
+        contigs = [
+            Contig("a", reference[0:500], edge_count=1),
+            Contig("b", reference[600:1100], edge_count=1),
+            Contig("c", reference[1200:1700], edge_count=1),
+        ]
+        links = [
+            ContigLink(first=0, second=1, gap=100, support=20),
+            ContigLink(first=0, second=2, gap=700, support=5),  # conflicts
+        ]
+        scaffolds = build_scaffolds(contigs, links)
+        joined = next(s for s in scaffolds if len(s.members) == 2)
+        assert joined.members == ("a", "b")

@@ -1,0 +1,96 @@
+"""Assembly metrics: N50, genome fraction, misassemblies."""
+
+import pytest
+
+from repro.assembly.contigs import Contig
+from repro.assembly.metrics import (
+    evaluate_assembly,
+    genome_fraction,
+    largest_contig,
+    misassembled_contigs,
+    n50,
+    nx_length,
+    total_length,
+)
+from repro.genome.sequence import DnaSequence
+
+
+def contig(text, name="c"):
+    return Contig(name=name, sequence=DnaSequence(text), edge_count=1)
+
+
+REF = DnaSequence("ACGTACGTTGCAGGAATTCCGGATCC")
+
+
+class TestLengthStats:
+    def test_total_length(self):
+        assert total_length([contig("ACGT"), contig("AA")]) == 6
+
+    def test_n50_known_case(self):
+        # lengths 8, 4, 2: cumulative 8 >= 7 (half of 14) -> N50 = 8
+        contigs = [contig("A" * 8), contig("C" * 4), contig("G" * 2)]
+        assert n50(contigs) == 8
+
+    def test_n50_balanced(self):
+        contigs = [contig("A" * 5), contig("C" * 5)]
+        assert n50(contigs) == 5
+
+    def test_nx_levels(self):
+        contigs = [contig("A" * 10), contig("C" * 5), contig("G" * 5)]
+        assert nx_length(contigs, 0.5) == 10
+        assert nx_length(contigs, 0.9) == 5
+
+    def test_nx_bounds(self):
+        with pytest.raises(ValueError):
+            nx_length([], 0.0)
+
+    def test_empty(self):
+        assert n50([]) == 0
+        assert largest_contig([]) == 0
+        assert total_length([]) == 0
+
+
+class TestGenomeFraction:
+    def test_full_cover(self):
+        assert genome_fraction([contig(str(REF))], REF) == 1.0
+
+    def test_partial_cover(self):
+        half = contig(str(REF[:13]))
+        assert genome_fraction([half], REF) == pytest.approx(0.5)
+
+    def test_overlapping_contigs_not_double_counted(self):
+        a = contig(str(REF[:15]))
+        b = contig(str(REF[5:20]))
+        assert genome_fraction([a, b], REF) == pytest.approx(20 / len(REF))
+
+    def test_reverse_strand_counts(self):
+        rc = contig(str(REF[:10].reverse_complement()))
+        assert genome_fraction([rc], REF) == pytest.approx(10 / len(REF))
+        assert genome_fraction([rc], REF, both_strands=False) == 0.0
+
+    def test_rejects_empty_reference(self):
+        with pytest.raises(ValueError):
+            genome_fraction([], DnaSequence(""))
+
+
+class TestMisassemblies:
+    def test_exact_contig_is_clean(self):
+        assert misassembled_contigs([contig(str(REF[3:14]))], REF) == []
+
+    def test_chimeric_contig_flagged(self):
+        chimera = contig(str(REF[:8]) + str(REF[15:23]))
+        assert len(misassembled_contigs([chimera], REF)) == 1
+
+    def test_reverse_strand_is_clean(self):
+        rc = contig(str(REF[2:12].reverse_complement()))
+        assert misassembled_contigs([rc], REF) == []
+
+
+class TestReport:
+    def test_evaluate_assembly(self):
+        report = evaluate_assembly([contig(str(REF))], REF)
+        assert report.num_contigs == 1
+        assert report.genome_fraction == 1.0
+        assert report.misassemblies == 0
+        assert report.n50 == len(REF)
+        assert "N50" in str(report)

@@ -1,0 +1,122 @@
+"""End-to-end pipeline integration: PIM vs golden model vs reference."""
+
+import pytest
+
+from repro.assembly import assemble, assemble_with_pim, evaluate_assembly
+from repro.assembly.pipeline import PimPipeline
+from repro.core import PimAssembler
+from repro.genome import ReadSimulator, synthetic_chromosome
+
+
+@pytest.fixture(scope="module")
+def small_case():
+    reference = synthetic_chromosome(400, seed=21)
+    sim = ReadSimulator(read_length=50, seed=22)
+    reads = sim.sample(reference, sim.reads_for_coverage(400, 20))
+    return reference, reads
+
+
+class TestEquivalenceWithGoldenModel:
+    def test_same_contigs(self, small_case):
+        reference, reads = small_case
+        pim_result = assemble_with_pim(reads, k=13)
+        sw_result = assemble(reads, k=13)
+        assert sorted(str(c.sequence) for c in pim_result.contigs) == sorted(
+            str(c.sequence) for c in sw_result.contigs
+        )
+
+    def test_same_graph_shape(self, small_case):
+        _, reads = small_case
+        pim_result = assemble_with_pim(reads, k=13)
+        sw_result = assemble(reads, k=13)
+        assert pim_result.graph.num_nodes == sw_result.graph.num_nodes
+        assert pim_result.graph.num_edges == sw_result.graph.num_edges
+        assert pim_result.kmer_table_size == sw_result.kmer_table_size
+
+
+class TestReferenceRecovery:
+    def test_high_coverage_recovers_reference(self, small_case):
+        reference, reads = small_case
+        result = assemble_with_pim(reads, k=13)
+        report = evaluate_assembly(result.contigs, reference)
+        assert report.genome_fraction > 0.95
+        assert report.misassemblies == 0
+
+    def test_euler_mode_on_clean_genome(self):
+        reference = synthetic_chromosome(200, seed=33, repeats=None)
+        sim = ReadSimulator(read_length=60, seed=34)
+        reads = sim.sample(reference, sim.reads_for_coverage(200, 25))
+        pim = PimAssembler.small(subarrays=8, rows=256, cols=64)
+        result = PimPipeline(pim, k=15, contig_mode="euler").run(reads)
+        report = evaluate_assembly(result.contigs, reference)
+        assert report.genome_fraction > 0.9
+
+
+class TestAccounting:
+    def test_phase_totals_populated(self, small_case):
+        _, reads = small_case
+        result = assemble_with_pim(reads, k=13)
+        assert result.hashmap.time_ns > 0
+        assert result.traverse.time_ns > 0
+        assert result.total_time_ns == pytest.approx(
+            result.hashmap.time_ns
+            + result.debruijn.time_ns
+            + result.traverse.time_ns
+        )
+        assert result.total_energy_nj > 0
+
+    def test_hashmap_dominates(self, small_case):
+        """The paper: k-mer analysis takes the largest time share."""
+        _, reads = small_case
+        result = assemble_with_pim(reads, k=13)
+        assert result.hashmap.time_ns > result.debruijn.time_ns
+        assert result.hashmap.time_ns > result.traverse.time_ns
+
+    def test_commands_attributed_to_phases(self, small_case):
+        _, reads = small_case
+        pim = PimAssembler.small(subarrays=8, rows=256, cols=64)
+        PimPipeline(pim, k=13).run(reads)
+        hashmap_cmds = pim.stats.totals("hashmap").commands
+        assert hashmap_cmds.get("AAP2", 0) > 0  # comparisons
+        traverse_cmds = pim.stats.totals("traverse").commands
+        assert traverse_cmds.get("AAP3", 0) > 0  # degree carry cycles
+
+
+class TestOptions:
+    def test_scaffold_option(self, small_case):
+        _, reads = small_case
+        result = assemble_with_pim(reads, k=13, scaffold=True)
+        assert isinstance(result.scaffolds, list)
+
+    def test_min_contig_length(self, small_case):
+        _, reads = small_case
+        result = assemble_with_pim(reads, k=13, min_contig_length=30)
+        assert all(len(c) >= 30 for c in result.contigs)
+
+    def test_rejects_bad_k(self):
+        pim = PimAssembler.small()
+        with pytest.raises(ValueError):
+            PimPipeline(pim, k=1)
+
+    def test_simplify_option_cleans_noisy_graph(self):
+        """simplify=True must not hurt a clean assembly and must
+        reduce contig count on error-polluted input."""
+        reference = synthetic_chromosome(700, seed=61)
+        sim = ReadSimulator(read_length=60, seed=62, error_rate=0.008)
+        reads = sim.sample(reference, sim.reads_for_coverage(700, 30))
+        plain = assemble_with_pim(reads, k=15)
+        cleaned = assemble_with_pim(reads, k=15, simplify=True)
+        plain_report = evaluate_assembly(plain.contigs, reference)
+        cleaned_report = evaluate_assembly(
+            [c for c in cleaned.contigs if len(c) >= 30], reference
+        )
+        assert cleaned.graph.num_edges <= plain.graph.num_edges
+        assert cleaned_report.n50 >= plain_report.n50
+
+    def test_simplify_noop_on_clean_reads(self, small_case):
+        _, reads = small_case
+        plain = assemble_with_pim(reads, k=13)
+        simplified = assemble_with_pim(reads, k=13, simplify=True)
+        assert sorted(str(c.sequence) for c in plain.contigs) == sorted(
+            str(c.sequence) for c in simplified.contigs
+        )

@@ -1,0 +1,57 @@
+"""The software golden-model assembler."""
+
+import pytest
+
+from repro.assembly import assemble, evaluate_assembly
+from repro.genome import ReadSimulator, synthetic_chromosome
+from repro.genome.sequence import DnaSequence
+
+
+class TestSoftwareAssembler:
+    def test_accepts_raw_sequences(self):
+        result = assemble([DnaSequence("ACGTACGTTGCA")], k=5)
+        assert result.contigs
+        assert result.kmer_table_size == 8
+
+    def test_perfect_assembly_from_high_coverage(self):
+        reference = synthetic_chromosome(1500, seed=51)
+        sim = ReadSimulator(read_length=70, seed=52)
+        reads = sim.sample(reference, sim.reads_for_coverage(1500, 30))
+        result = assemble(reads, k=21)
+        report = evaluate_assembly(result.contigs, reference)
+        assert report.genome_fraction > 0.97
+        assert report.misassemblies == 0
+
+    def test_low_coverage_fragments(self):
+        """Coverage gaps split the assembly into more contigs."""
+        reference = synthetic_chromosome(2000, seed=53)
+        sim = ReadSimulator(read_length=50, seed=54)
+        high = assemble(
+            sim.sample(reference, sim.reads_for_coverage(2000, 30)), k=17
+        )
+        low = assemble(
+            sim.sample(reference, sim.reads_for_coverage(2000, 2)), k=17
+        )
+        assert len(low.contigs) > len(high.contigs)
+
+    def test_min_count_filters_noise(self):
+        reference = synthetic_chromosome(800, seed=55)
+        sim = ReadSimulator(read_length=60, seed=56, error_rate=0.01)
+        reads = sim.sample(reference, sim.reads_for_coverage(800, 30))
+        noisy = assemble(reads, k=15, min_count=1)
+        cleaned = assemble(reads, k=15, min_count=3)
+        noisy_report = evaluate_assembly(noisy.contigs, reference)
+        cleaned_report = evaluate_assembly(cleaned.contigs, reference)
+        assert cleaned_report.n50 > noisy_report.n50
+
+    def test_euler_mode(self):
+        reference = synthetic_chromosome(300, seed=57, repeats=None)
+        sim = ReadSimulator(read_length=60, seed=58)
+        reads = sim.sample(reference, sim.reads_for_coverage(300, 25))
+        result = assemble(reads, k=15, mode="euler")
+        report = evaluate_assembly(result.contigs, reference)
+        assert report.genome_fraction > 0.9
+
+    def test_graph_exposed(self):
+        result = assemble([DnaSequence("ACGTACGT")], k=4)
+        assert result.graph.num_edges == result.kmer_table_size

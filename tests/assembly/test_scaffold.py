@@ -1,0 +1,115 @@
+"""Greedy overlap scaffolding (the stage-3 extension)."""
+
+import pytest
+
+from repro.assembly.contigs import Contig
+from repro.assembly.scaffold import greedy_scaffold, scaffold_n50
+from repro.genome.reference import synthetic_chromosome
+from repro.genome.sequence import DnaSequence
+
+
+def contig(text, name):
+    return Contig(name=name, sequence=DnaSequence(text), edge_count=1)
+
+
+class TestGreedyScaffold:
+    def test_merges_overlapping_pair(self):
+        ref = synthetic_chromosome(200, seed=3)
+        a = contig(str(ref[:120]), "a")
+        b = contig(str(ref[90:200]), "b")
+        scaffolds = greedy_scaffold([a, b], min_overlap=20)
+        assert len(scaffolds) == 1
+        assert str(scaffolds[0].sequence) == str(ref)
+        assert set(scaffolds[0].members) == {"a", "b"}
+
+    def test_chains_three_contigs(self):
+        ref = synthetic_chromosome(300, seed=4)
+        pieces = [
+            contig(str(ref[0:120]), "a"),
+            contig(str(ref[100:220]), "b"),
+            contig(str(ref[200:300]), "c"),
+        ]
+        scaffolds = greedy_scaffold(pieces, min_overlap=15)
+        assert len(scaffolds) == 1
+        assert str(scaffolds[0].sequence) == str(ref)
+
+    def test_disjoint_contigs_stay_separate(self):
+        a = contig("A" * 30 + "CGT" * 10, "a")
+        b = contig("G" * 30 + "TAC" * 10, "b")
+        scaffolds = greedy_scaffold([a, b], min_overlap=20)
+        assert len(scaffolds) == 2
+
+    def test_short_overlap_below_threshold_ignored(self):
+        ref = synthetic_chromosome(100, seed=5)
+        a = contig(str(ref[:55]), "a")
+        b = contig(str(ref[50:]), "b")  # 5-base overlap only
+        scaffolds = greedy_scaffold([a, b], min_overlap=20)
+        assert len(scaffolds) == 2
+
+    def test_longest_first_ordering(self):
+        ref = synthetic_chromosome(400, seed=6)
+        pieces = [
+            contig(str(ref[0:150]), "a"),
+            contig(str(ref[200:260]), "b"),
+        ]
+        scaffolds = greedy_scaffold(pieces, min_overlap=25)
+        lengths = [len(s) for s in scaffolds]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            greedy_scaffold([], min_overlap=0)
+        with pytest.raises(ValueError):
+            greedy_scaffold([], min_overlap=30, max_overlap=10)
+
+    def test_empty_input(self):
+        assert greedy_scaffold([contig("ACGTACGTACGTACGTACGTA", "x")]) != []
+
+
+class TestOverlapProperty:
+    from hypothesis import given, settings, strategies as st
+
+    dna = st.text(alphabet="ACGT", min_size=30, max_size=120)
+
+    @given(text=dna, overlap=st.integers(min_value=12, max_value=25))
+    @settings(max_examples=30, deadline=None)
+    def test_constructed_overlaps_always_merge(self, text, overlap):
+        """Splitting any sequence with a known overlap always re-merges
+        consistently: one scaffold, formed by the *longest* exact
+        suffix/prefix overlap (which on repetitive flanks may exceed
+        the constructed one — greedy overlap merging is ambiguous
+        there, so the reconstruction only equals the input when the
+        longest overlap is the constructed one)."""
+        if len(text) < overlap + 10:
+            return
+        cut = len(text) // 2
+        if cut + overlap > len(text):
+            return  # the right piece is shorter than the overlap
+        left = text[: cut + overlap]
+        right = text[cut:]
+        longest = 0
+        for t in range(min(len(left), len(right)), overlap - 1, -1):
+            if left[-t:] == right[:t]:
+                longest = t
+                break
+        assert longest >= overlap  # the constructed overlap exists
+        scaffolds = greedy_scaffold(
+            [contig(left, "l"), contig(right, "r")], min_overlap=overlap
+        )
+        assert len(scaffolds) == 1
+        assert str(scaffolds[0].sequence) == left + right[longest:]
+        if longest == overlap:
+            assert str(scaffolds[0].sequence) == text
+
+
+class TestScaffoldN50:
+    def test_known_value(self):
+        ref = synthetic_chromosome(100, seed=7)
+        scaffolds = greedy_scaffold(
+            [contig(str(ref[:60]), "a"), contig(str(ref[55:]), "b")],
+            min_overlap=5,
+        )
+        assert scaffold_n50(scaffolds) == 100
+
+    def test_empty(self):
+        assert scaffold_n50([]) == 0

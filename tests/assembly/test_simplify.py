@@ -1,0 +1,141 @@
+"""Graph simplification: tip clipping and bubble popping."""
+
+import pytest
+
+from repro.assembly import assemble, evaluate_assembly
+from repro.assembly.contigs import assemble_contigs
+from repro.assembly.debruijn import DeBruijnGraph
+from repro.assembly.hashmap import SoftwareKmerCounter
+from repro.assembly.simplify import clip_tips, pop_bubbles, simplify_graph
+from repro.genome import ReadSimulator, synthetic_chromosome
+from repro.genome.sequence import DnaSequence
+
+
+def counted_graph(sequences, k, weights=None):
+    """Graph with controllable per-sequence k-mer weights."""
+    counter = SoftwareKmerCounter(k)
+    weights = weights or [1] * len(sequences)
+    counts = {}
+    for seq, weight in zip(sequences, weights):
+        sub = SoftwareKmerCounter(k)
+        sub.add_sequence(DnaSequence(seq))
+        for key, value in sub.counts().items():
+            counts[key] = counts.get(key, 0) + value * weight
+    return DeBruijnGraph.from_counts(counts, k=k)
+
+
+class TestClipTips:
+    def test_clips_weak_side_branch(self):
+        # strong trunk + a 2-edge dead-end branch off one junction
+        trunk = "ACGTTGCAGGAT"
+        tip = "ACGTTGAC"  # shares ACGTTG then diverges and dead-ends
+        graph = counted_graph([trunk, tip], k=5, weights=[10, 1])
+        cleaned, stats = clip_tips(graph, max_tip_length=6)
+        assert stats.tips_clipped >= 1
+        assert cleaned.num_edges < graph.num_edges
+        contigs = assemble_contigs(cleaned, mode="unitig")
+        assert any(trunk in str(c.sequence) for c in contigs)
+
+    def test_strong_tip_survives(self):
+        trunk = "ACGTTGCAGGAT"
+        tip = "ACGTTGAC"
+        graph = counted_graph([trunk, tip], k=5, weights=[1, 10])
+        cleaned, stats = clip_tips(graph, max_tip_length=6)
+        # the "tip" is stronger than the trunk: not clipped
+        tip_kmers = set(SoftwareKmerCounter(5)._counts)  # noqa: unused
+        assert stats.tip_edges_removed < graph.num_edges
+
+    def test_long_branches_untouched(self):
+        a = "ACGTTGCAGGATCCTTAAGG"
+        b = "ACGTTGACCATGGTACCGGT"
+        graph = counted_graph([a, b], k=5, weights=[10, 1])
+        cleaned, stats = clip_tips(graph, max_tip_length=3)
+        assert stats.tips_clipped == 0
+        assert cleaned.num_edges == graph.num_edges
+
+    def test_clean_linear_graph_untouched(self):
+        graph = counted_graph(["ACGTTGCAGGATCC"], k=5)
+        cleaned, stats = clip_tips(graph)
+        assert stats.edges_removed == 0
+        assert cleaned.num_edges == graph.num_edges
+
+    def test_rejects_bad_parameters(self):
+        graph = counted_graph(["ACGTTGCA"], k=5)
+        with pytest.raises(ValueError):
+            clip_tips(graph, max_tip_length=0)
+        with pytest.raises(ValueError):
+            clip_tips(graph, coverage_ratio=0.0)
+
+
+class TestPopBubbles:
+    def test_pops_weak_alternative(self):
+        # same start/end, one base differs in the middle
+        strong = "ACGTTGCAGGATCC"
+        weak = "ACGTTGCTGGATCC"
+        graph = counted_graph([strong, weak], k=5, weights=[10, 1])
+        cleaned, stats = pop_bubbles(graph, max_bubble_length=12)
+        assert stats.bubbles_popped >= 1
+        contigs = assemble_contigs(cleaned, mode="unitig")
+        spelled = {str(c.sequence) for c in contigs}
+        assert any(strong in s for s in spelled)
+        assert not any(weak in s for s in spelled)
+
+    def test_keeps_the_stronger_path(self):
+        strong = "ACGTTGCAGGATCC"
+        weak = "ACGTTGCTGGATCC"
+        graph = counted_graph([strong, weak], k=5, weights=[1, 10])
+        cleaned, _ = pop_bubbles(graph, max_bubble_length=12)
+        contigs = assemble_contigs(cleaned, mode="unitig")
+        spelled = {str(c.sequence) for c in contigs}
+        assert any(weak in s for s in spelled)
+
+    def test_linear_graph_untouched(self):
+        graph = counted_graph(["ACGTTGCAGGATCC"], k=5)
+        cleaned, stats = pop_bubbles(graph)
+        assert stats.edges_removed == 0
+
+    def test_rejects_bad_length(self):
+        graph = counted_graph(["ACGTTGCA"], k=5)
+        with pytest.raises(ValueError):
+            pop_bubbles(graph, max_bubble_length=0)
+
+
+class TestSimplifyPipeline:
+    def test_improves_noisy_assembly(self):
+        reference = synthetic_chromosome(900, seed=801)
+        sim = ReadSimulator(read_length=70, seed=802, error_rate=0.008)
+        reads = sim.sample(reference, sim.reads_for_coverage(900, 30))
+
+        counter = SoftwareKmerCounter(15)
+        counter.add_reads(reads)
+        raw_graph = DeBruijnGraph.from_counts(counter.counts(), k=15)
+        cleaned, stats = simplify_graph(raw_graph)
+
+        raw_report = evaluate_assembly(
+            assemble_contigs(raw_graph, mode="unitig"), reference
+        )
+        cleaned_report = evaluate_assembly(
+            [
+                c
+                for c in assemble_contigs(cleaned, mode="unitig")
+                if len(c) >= 2 * 15
+            ],
+            reference,
+        )
+        assert stats.edges_removed > 0
+        assert cleaned_report.n50 >= raw_report.n50
+
+    def test_stable_on_clean_graph(self):
+        reference = synthetic_chromosome(600, seed=803)
+        result = assemble(
+            ReadSimulator(read_length=60, seed=804).sample(reference, 300),
+            k=17,
+        )
+        cleaned, stats = simplify_graph(result.graph)
+        assert stats.edges_removed == 0
+        assert cleaned.num_edges == result.graph.num_edges
+
+    def test_rejects_bad_rounds(self):
+        graph = counted_graph(["ACGTTGCA"], k=5)
+        with pytest.raises(ValueError):
+            simplify_graph(graph, rounds=0)

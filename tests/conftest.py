@@ -1,0 +1,27 @@
+"""Shared fixtures for the PIM-Assembler test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import PimAssembler
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xA55E)
+
+
+@pytest.fixture
+def small_pim():
+    """A tiny device: 4 sub-arrays of 64x32, 8 compute rows each."""
+    return PimAssembler.small(subarrays=4, rows=64, cols=32)
+
+
+@pytest.fixture
+def medium_pim():
+    """A device big enough for small-genome assembly runs."""
+    return PimAssembler.small(subarrays=8, rows=256, cols=64)
+
+
+def random_bits(rng, n):
+    return rng.integers(0, 2, n).astype(np.uint8)

@@ -1,0 +1,43 @@
+"""Area-overhead model: the paper's ~5% claim."""
+
+import pytest
+
+from repro.core.area import AreaModel, AreaParameters
+from repro.dram.geometry import SubArrayGeometry
+
+
+class TestPaperNumbers:
+    def test_sa_addon_count(self):
+        """~50 transistors per SA x 256 bit lines."""
+        report = AreaModel().report()
+        assert report.sa_transistors == 50 * 256
+
+    def test_mrd_count(self):
+        """2 extra transistors per compute-row WL driver x 8 rows."""
+        report = AreaModel().report()
+        assert report.mrd_transistors == 16
+
+    def test_total_is_51_rows(self):
+        """Paper: '51 DRAM rows (51x256 transistors) per sub-array'."""
+        report = AreaModel().report()
+        assert report.equivalent_rows == 51
+        assert report.total_transistors == 51 * 256
+
+    def test_overhead_is_about_five_percent(self):
+        report = AreaModel().report()
+        assert report.overhead_percent == pytest.approx(4.98, abs=0.02)
+        assert report.overhead_fraction == pytest.approx(51 / 1024)
+
+
+class TestScaling:
+    def test_smaller_subarray_higher_overhead(self):
+        small = AreaModel(geometry=SubArrayGeometry(rows=256, cols=256))
+        assert small.report().overhead_percent > AreaModel().report().overhead_percent
+
+    def test_fewer_addon_transistors_fewer_rows(self):
+        lean = AreaModel(params=AreaParameters(sa_addon_transistors=25))
+        assert lean.report().equivalent_rows < 51
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            AreaParameters(sa_addon_transistors=-1)

@@ -1,0 +1,114 @@
+"""Fault injection: Table I error rates inside the functional simulator."""
+
+import numpy as np
+import pytest
+
+from repro.assembly import PimKmerCounter, SoftwareKmerCounter
+from repro.core import PimAssembler
+from repro.core.faults import FaultModel
+from repro.genome import synthetic_chromosome
+
+
+def faulty_pim(model, **kwargs):
+    pim = PimAssembler.small(**kwargs)
+    pim.controller.faults = model
+    return pim
+
+
+class TestFaultModel:
+    def test_zero_rate_is_transparent(self, rng):
+        model = FaultModel()
+        bits = rng.integers(0, 2, 64).astype(np.uint8)
+        assert model.corrupt(bits, "compute2") is bits
+        assert not model.enabled
+
+    def test_rate_one_flips_everything(self):
+        model = FaultModel(compute2_rate=1.0)
+        bits = np.zeros(32, dtype=np.uint8)
+        assert model.corrupt(bits, "compute2").all()
+        assert model.injected_faults == 32
+
+    def test_statistical_rate(self):
+        model = FaultModel(compute2_rate=0.1, seed=3)
+        bits = np.zeros(100_000, dtype=np.uint8)
+        flipped = model.corrupt(bits, "compute2").sum()
+        assert 0.08 * bits.size < flipped < 0.12 * bits.size
+
+    def test_sum_rate_defaults_to_compute2(self):
+        model = FaultModel(compute2_rate=0.25)
+        assert model.sum_rate == 0.25
+
+    def test_mechanism_specific_rates(self):
+        model = FaultModel(compute2_rate=0.0, tra_rate=1.0)
+        bits = np.zeros(8, dtype=np.uint8)
+        assert not model.corrupt(bits, "compute2").any()
+        assert model.corrupt(bits, "tra").all()
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(ValueError):
+            FaultModel().corrupt(np.zeros(4, dtype=np.uint8), "quantum")
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            FaultModel(compute2_rate=1.5)
+
+    def test_from_variation_matches_table1(self):
+        """Rates derived from the Monte Carlo track Table I: clean at
+        +/-5%, TRA markedly worse at +/-10%."""
+        clean = FaultModel.from_variation(5.0)
+        assert clean.compute2_rate < 0.001
+        assert clean.tra_rate < 0.001
+        stressed = FaultModel.from_variation(10.0)
+        assert stressed.tra_rate > 5 * max(stressed.compute2_rate, 1e-6)
+
+
+class TestFunctionalImpact:
+    def test_zero_faults_identical_tables(self):
+        ref = synthetic_chromosome(300, seed=601)
+        pim = faulty_pim(FaultModel(), subarrays=4, rows=256, cols=64)
+        counter = PimKmerCounter(pim, 9)
+        counter.add_sequence(ref)
+        software = SoftwareKmerCounter(9)
+        software.add_sequence(ref)
+        assert counter.counts() == software.counts()
+
+    def test_heavy_faults_corrupt_the_table(self):
+        # k=6 gives many duplicate queries, whose matches the faulty
+        # scans can miss (a missed match re-inserts the k-mer).
+        ref = synthetic_chromosome(300, seed=602)
+        model = FaultModel(compute2_rate=0.02, seed=7)
+        pim = faulty_pim(model, subarrays=4, rows=256, cols=64)
+        counter = PimKmerCounter(pim, 6)
+        counter.add_sequence(ref)
+        software = SoftwareKmerCounter(6)
+        software.add_sequence(ref)
+        assert counter.counts() != software.counts()
+
+    def test_table1_two_row_rate_is_harmless_at_10pct(self):
+        """The paper's reliability argument, end to end: at +/-10%
+        variation the two-row mechanism's error rate leaves the k-mer
+        table intact, while TRA's rate would not be."""
+        ref = synthetic_chromosome(300, seed=603)
+        model = FaultModel.from_variation(10.0, seed=11)
+        # apply ONLY the two-row (compute2) rate, as the hashmap scan
+        # is a pure two-row-activation workload
+        scan_model = FaultModel(compute2_rate=model.compute2_rate, seed=11)
+        pim = faulty_pim(scan_model, subarrays=4, rows=256, cols=64)
+        counter = PimKmerCounter(pim, 9)
+        counter.add_sequence(ref)
+        software = SoftwareKmerCounter(9)
+        software.add_sequence(ref)
+        assert counter.counts() == software.counts()
+
+    def test_tra_faults_break_degree_sums(self, rng):
+        from repro.mapping import wallace_column_sum
+
+        rows = [rng.integers(0, 2, 32).astype(np.uint8) for _ in range(9)]
+        clean_pim = PimAssembler.small(subarrays=1, rows=256, cols=32)
+        clean = wallace_column_sum(clean_pim, rows)
+        faulty = faulty_pim(
+            FaultModel(tra_rate=0.2, seed=13), subarrays=1, rows=256, cols=32
+        )
+        corrupted = wallace_column_sum(faulty, rows)
+        assert (clean == np.sum(rows, axis=0)).all()
+        assert (corrupted != clean).any()

@@ -1,0 +1,152 @@
+"""Trace-driven scheduling: makespan bounds, parallelism audit."""
+
+import numpy as np
+import pytest
+
+from repro.core import CommandTrace, PimAssembler
+from repro.core.scheduler import TraceScheduler, audit_parallelism
+from repro.core.trace import CommandTrace as Trace
+
+
+def traced_pim(**kwargs):
+    pim = PimAssembler.small(**kwargs)
+    trace = CommandTrace()
+    pim.controller.attach_trace(trace)
+    return pim, trace
+
+
+class TestBounds:
+    def test_serial_trace_makespan_equals_serial_time(self, rng):
+        """Commands on one sub-array cannot overlap."""
+        pim, trace = traced_pim()
+        a = pim.store_row(rng.integers(0, 2, 32).astype(np.uint8))
+        b = pim.store_row(rng.integers(0, 2, 32).astype(np.uint8))
+        pim.pim_xnor(a, b)
+        report = audit_parallelism(trace)
+        assert report.makespan_ns == pytest.approx(report.serial_ns)
+        assert report.parallel_speedup == pytest.approx(1.0)
+
+    def test_parallel_mats_overlap(self, rng):
+        """The same work spread over 4 MATs (own GRBs) overlaps."""
+        pim, trace = traced_pim(subarrays=1, mats=4)
+        for m in range(4):
+            a = pim.store_row(
+                rng.integers(0, 2, 32).astype(np.uint8), (0, m, 0)
+            )
+            b = pim.store_row(
+                rng.integers(0, 2, 32).astype(np.uint8), (0, m, 0)
+            )
+            pim.pim_xnor(a, b)
+        report = audit_parallelism(trace)
+        assert report.parallel_speedup > 3.0
+        assert report.makespan_ns < report.serial_ns
+
+    def test_shared_grb_limits_single_mat_parallelism(self, rng):
+        """Sub-arrays of ONE MAT share a GRB: the alternating
+        host-write / scan pattern serialises through it."""
+        pim, trace = traced_pim(subarrays=4, mats=1)
+        for s in range(4):
+            a = pim.store_row(
+                rng.integers(0, 2, 32).astype(np.uint8), (0, 0, s)
+            )
+            b = pim.store_row(
+                rng.integers(0, 2, 32).astype(np.uint8), (0, 0, s)
+            )
+            pim.pim_xnor(a, b)
+        report = audit_parallelism(trace)
+        assert 1.0 < report.parallel_speedup < 3.0
+
+    def test_makespan_never_below_critical_resource(self, rng):
+        pim, trace = traced_pim()
+        for s in range(3):
+            for _ in range(2):
+                pim.store_row(
+                    rng.integers(0, 2, 32).astype(np.uint8), (0, 0, s)
+                )
+        report = audit_parallelism(trace)
+        assert report.makespan_ns >= report.critical_resource_ns - 1e-9
+        assert report.makespan_ns <= report.serial_ns + 1e-9
+
+    def test_grb_serialises_host_io_within_a_mat(self, rng):
+        """MEM ops to different sub-arrays of one MAT share the GRB."""
+        pim, trace = traced_pim()
+        pim.store_row(rng.integers(0, 2, 32).astype(np.uint8), (0, 0, 0))
+        pim.store_row(rng.integers(0, 2, 32).astype(np.uint8), (0, 0, 1))
+        report = audit_parallelism(trace)
+        # two MEM_WRs through one GRB: no overlap despite distinct
+        # sub-arrays
+        assert report.makespan_ns == pytest.approx(report.serial_ns)
+
+    def test_empty_trace(self):
+        report = audit_parallelism(Trace())
+        assert report.makespan_ns == 0.0
+        assert report.commands == 0
+        assert report.utilisation == 0.0
+
+    def test_unknown_mnemonic_rejected(self):
+        trace = Trace()
+        trace.record("WARP", (0, 0, 0), (0,))
+        with pytest.raises(ValueError):
+            TraceScheduler().schedule(trace)
+
+
+class TestPropertyBounds:
+    from hypothesis import given, settings, strategies as st
+
+    commands = st.lists(
+        st.tuples(
+            st.sampled_from(["AAP1", "AAP2", "AAP3", "MEM_WR", "MEM_RD", "DPU"]),
+            st.integers(0, 3),  # subarray index
+            st.integers(0, 1),  # mat index
+        ),
+        min_size=1,
+        max_size=60,
+    )
+
+    @given(commands=commands)
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds_hold_for_any_trace(self, commands):
+        trace = Trace()
+        for mnemonic, sub, mat in commands:
+            trace.record(mnemonic, (0, mat, sub), (0,))
+        report = audit_parallelism(trace)
+        assert report.makespan_ns <= report.serial_ns + 1e-6
+        assert report.makespan_ns >= report.critical_resource_ns - 1e-6
+        assert sum(report.per_subarray_busy_ns.values()) == pytest.approx(
+            report.serial_ns
+        )
+
+    @given(commands=commands)
+    @settings(max_examples=20, deadline=None)
+    def test_speedup_bounded_by_resource_count(self, commands):
+        trace = Trace()
+        for mnemonic, sub, mat in commands:
+            trace.record(mnemonic, (0, mat, sub), (0,))
+        report = audit_parallelism(trace)
+        resources = len(report.per_subarray_busy_ns)
+        assert report.parallel_speedup <= resources + 1e-6
+
+
+class TestAlgorithmAudit:
+    def test_hashmap_exposes_partition_parallelism(self):
+        """The hash-partitioned counter must schedule much faster than
+        its serial command stream."""
+        from repro.assembly import PimKmerCounter
+        from repro.genome import synthetic_chromosome
+
+        pim, trace = traced_pim(subarrays=2, rows=256, cols=64, mats=4)
+        counter = PimKmerCounter(pim, 9)
+        counter.add_sequence(synthetic_chromosome(500, seed=888))
+        report = audit_parallelism(trace)
+        assert report.parallel_speedup > 2.0
+        assert 0.0 < report.utilisation <= 1.0
+
+    def test_wallace_reduction_is_serial(self, rng):
+        """A single-sub-array reduction exposes no parallelism."""
+        from repro.mapping import wallace_column_sum
+
+        pim, trace = traced_pim(subarrays=1, rows=256, cols=32)
+        rows = [rng.integers(0, 2, 32).astype(np.uint8) for _ in range(9)]
+        wallace_column_sum(pim, rows)
+        report = audit_parallelism(trace)
+        assert report.parallel_speedup == pytest.approx(1.0)

@@ -1,0 +1,117 @@
+"""Logic-level reconfigurable SA: truth tables, latch, control signals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.isa import SAOp
+from repro.core.sense_amplifier import (
+    CONTROL_SIGNALS,
+    SenseAmplifierArray,
+    full_adder_reference,
+    reference_compute2,
+)
+
+bit_rows = st.integers(min_value=1, max_value=64).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 1), min_size=n, max_size=n),
+        st.lists(st.integers(0, 1), min_size=n, max_size=n),
+    )
+)
+
+
+class TestControlSignals:
+    def test_all_functions_present(self):
+        assert set(CONTROL_SIGNALS) == {"write_read", "xnor2", "carry", "sum"}
+
+    def test_memory_mode_disables_mux(self):
+        assert CONTROL_SIGNALS["write_read"]["Enmux"] == 0
+
+    def test_xnor_mode_enables_mux_path(self):
+        signals = CONTROL_SIGNALS["xnor2"]
+        assert signals["Enm"] == 0 and signals["Enx"] == 1
+        assert signals["Enmux"] == 1
+
+    def test_carry_uses_memory_sense_path(self):
+        assert CONTROL_SIGNALS["carry"]["Enm"] == 1
+        assert CONTROL_SIGNALS["carry"]["Enx"] == 0
+
+
+class TestCompute2:
+    @pytest.mark.parametrize("op", list(SAOp))
+    def test_matches_reference_on_exhaustive_pairs(self, op):
+        sa = SenseAmplifierArray(columns=4)
+        a = np.array([0, 0, 1, 1], dtype=np.uint8)
+        b = np.array([0, 1, 0, 1], dtype=np.uint8)
+        assert (sa.compute2(a, b, op) == reference_compute2(a, b, op)).all()
+
+    @given(data=bit_rows, op=st.sampled_from(list(SAOp)))
+    def test_matches_reference_property(self, data, op):
+        a_list, b_list = data
+        a = np.array(a_list, dtype=np.uint8)
+        b = np.array(b_list, dtype=np.uint8)
+        sa = SenseAmplifierArray(columns=a.size)
+        assert (sa.compute2(a, b, op) == reference_compute2(a, b, op)).all()
+
+    def test_rejects_wrong_width(self):
+        sa = SenseAmplifierArray(columns=8)
+        with pytest.raises(ValueError):
+            sa.compute2(np.zeros(4, dtype=np.uint8), np.zeros(8, dtype=np.uint8),
+                        SAOp.XNOR2)
+
+    def test_rejects_non_binary(self):
+        sa = SenseAmplifierArray(columns=2)
+        with pytest.raises(ValueError):
+            sa.compute2(np.array([0, 2]), np.array([0, 1]), SAOp.XNOR2)
+
+
+class TestAdditionPath:
+    def test_carry_is_majority_and_latches(self):
+        sa = SenseAmplifierArray(columns=4)
+        a = np.array([0, 0, 1, 1], dtype=np.uint8)
+        b = np.array([0, 1, 0, 1], dtype=np.uint8)
+        c = np.array([1, 1, 1, 0], dtype=np.uint8)
+        maj = sa.carry(a, b, c)
+        _, expected_carry = full_adder_reference(a, b, c)
+        assert (maj == expected_carry).all()
+        assert (sa.latch == expected_carry).all()
+
+    def test_sum_with_latch_is_full_adder_sum(self):
+        sa = SenseAmplifierArray(columns=4)
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        b = np.array([1, 1, 0, 0], dtype=np.uint8)
+        carry_in = np.array([1, 0, 1, 0], dtype=np.uint8)
+        sa.load_latch(carry_in)
+        s = sa.sum_with_latch(a, b)
+        expected_sum, _ = full_adder_reference(a, b, carry_in)
+        assert (s == expected_sum).all()
+
+    @given(data=bit_rows)
+    def test_ripple_bit_is_exact(self, data):
+        """One sum+carry pair == one full-adder stage, any width."""
+        a_list, b_list = data
+        a = np.array(a_list, dtype=np.uint8)
+        b = np.array(b_list, dtype=np.uint8)
+        c = np.roll(a, 1)  # arbitrary carry-in pattern
+        sa = SenseAmplifierArray(columns=a.size)
+        sa.load_latch(c)
+        s = sa.sum_with_latch(a, b)
+        maj = sa.carry(a, b, c)
+        exp_s, exp_c = full_adder_reference(a, b, c)
+        assert (s == exp_s).all() and (maj == exp_c).all()
+
+    def test_clear_latch(self):
+        sa = SenseAmplifierArray(columns=3)
+        sa.load_latch(np.array([1, 1, 1], dtype=np.uint8))
+        sa.clear_latch()
+        assert sa.latch.sum() == 0
+
+    def test_latch_is_copied_out(self):
+        sa = SenseAmplifierArray(columns=2)
+        view = sa.latch
+        view[:] = 1
+        assert sa.latch.sum() == 0
+
+    def test_rejects_zero_columns(self):
+        with pytest.raises(ValueError):
+            SenseAmplifierArray(columns=0)

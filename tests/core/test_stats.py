@@ -1,0 +1,106 @@
+"""Cycle/energy ledger: recording, phases, merging."""
+
+import pytest
+
+from repro.core.stats import StatsLedger
+
+
+class TestRecording:
+    def test_record_accumulates(self):
+        ledger = StatsLedger()
+        ledger.record("AAP1", time_ns=85.0, energy_nj=0.06)
+        ledger.record("AAP1", time_ns=85.0, energy_nj=0.06)
+        totals = ledger.totals()
+        assert totals.time_ns == pytest.approx(170.0)
+        assert totals.energy_nj == pytest.approx(0.12)
+        assert totals.commands["AAP1"] == 2
+
+    def test_count_parameter(self):
+        ledger = StatsLedger()
+        ledger.record("AAP2", time_ns=85.0, energy_nj=0.5, count=10)
+        assert ledger.command_count("AAP2") == 10
+        assert ledger.totals().time_ns == pytest.approx(85.0)
+
+    def test_rejects_bad_values(self):
+        ledger = StatsLedger()
+        with pytest.raises(ValueError):
+            ledger.record("X", time_ns=-1.0, energy_nj=0.0)
+        with pytest.raises(ValueError):
+            ledger.record("X", time_ns=0.0, energy_nj=0.0, count=0)
+
+    def test_unit_conversions(self):
+        ledger = StatsLedger()
+        ledger.record("X", time_ns=2e9, energy_nj=3e9)
+        assert ledger.totals().time_s == pytest.approx(2.0)
+        assert ledger.totals().energy_j == pytest.approx(3.0)
+
+    def test_average_power(self):
+        ledger = StatsLedger()
+        ledger.record("X", time_ns=100.0, energy_nj=50.0)
+        # 50 nJ / 100 ns = 0.5 W
+        assert ledger.totals().average_power_w() == pytest.approx(0.5)
+        assert ledger.totals().average_power_w(2.0) == pytest.approx(2.5)
+
+
+class TestPhases:
+    def test_phase_attribution(self):
+        ledger = StatsLedger()
+        with ledger.phase("hashmap"):
+            ledger.record("AAP1", 85.0, 0.06)
+        ledger.record("AAP1", 85.0, 0.06)
+        assert ledger.totals("hashmap").time_ns == pytest.approx(85.0)
+        assert ledger.totals().time_ns == pytest.approx(170.0)
+
+    def test_nested_phases(self):
+        ledger = StatsLedger()
+        with ledger.phase("outer"):
+            with ledger.phase("inner"):
+                ledger.record("X", 10.0, 1.0)
+        assert ledger.totals("outer").time_ns == 10.0
+        assert ledger.totals("inner").time_ns == 10.0
+
+    def test_phase_list(self):
+        ledger = StatsLedger()
+        with ledger.phase("b"):
+            ledger.record("X", 1.0, 0.0)
+        with ledger.phase("a"):
+            ledger.record("X", 1.0, 0.0)
+        assert ledger.phases() == ["a", "b"]
+
+    def test_current_phase_restored_after_exception(self):
+        ledger = StatsLedger()
+        with pytest.raises(RuntimeError):
+            with ledger.phase("x"):
+                raise RuntimeError("boom")
+        assert ledger.current_phase is None
+
+    def test_rejects_reserved_name(self):
+        ledger = StatsLedger()
+        with pytest.raises(ValueError):
+            with ledger.phase("total"):
+                pass
+
+
+class TestMergeReset:
+    def test_merge(self):
+        a, b = StatsLedger(), StatsLedger()
+        with a.phase("p"):
+            a.record("X", 1.0, 2.0)
+        with b.phase("p"):
+            b.record("X", 3.0, 4.0)
+        a.merge(b)
+        assert a.totals("p").time_ns == pytest.approx(4.0)
+        assert a.totals().energy_nj == pytest.approx(6.0)
+
+    def test_reset(self):
+        ledger = StatsLedger()
+        ledger.record("X", 1.0, 1.0)
+        ledger.reset()
+        assert ledger.totals().total_commands == 0
+
+    def test_summary_mentions_phases(self):
+        ledger = StatsLedger()
+        with ledger.phase("hashmap"):
+            ledger.record("AAP1", 85.0, 0.06)
+        text = ledger.summary()
+        assert "hashmap" in text and "total" in text

@@ -1,0 +1,126 @@
+"""Functional sub-array state and operations."""
+
+import numpy as np
+import pytest
+
+from repro.core.isa import SAOp
+from repro.core.subarray import SubArray
+from repro.dram.geometry import SubArrayGeometry
+
+
+@pytest.fixture
+def sub():
+    return SubArray(SubArrayGeometry(rows=32, cols=16, compute_rows=8))
+
+
+def bits(rng, n=16):
+    return rng.integers(0, 2, n).astype(np.uint8)
+
+
+class TestRowAddressing:
+    def test_compute_row_mapping(self, sub):
+        assert sub.compute_row(1) == 24
+        assert sub.compute_row(8) == 31
+
+    def test_compute_row_bounds(self, sub):
+        with pytest.raises(ValueError):
+            sub.compute_row(0)
+        with pytest.raises(ValueError):
+            sub.compute_row(9)
+
+    def test_is_compute_row(self, sub):
+        assert not sub.is_compute_row(23)
+        assert sub.is_compute_row(24)
+
+
+class TestMemoryBehaviour:
+    def test_write_read_roundtrip(self, sub, rng):
+        data = bits(rng)
+        sub.write_row(3, data)
+        assert (sub.read_row(3) == data).all()
+
+    def test_read_returns_copy(self, sub, rng):
+        data = bits(rng)
+        sub.write_row(0, data)
+        out = sub.read_row(0)
+        out[:] = 0
+        assert (sub.read_row(0) == data).all()
+
+    def test_rowclone(self, sub, rng):
+        data = bits(rng)
+        sub.write_row(1, data)
+        sub.rowclone(1, 7)
+        assert (sub.read_row(7) == data).all()
+
+    def test_read_rows_block(self, sub, rng):
+        a, b = bits(rng), bits(rng)
+        sub.write_row(4, a)
+        sub.write_row(5, b)
+        block = sub.read_rows(4, 6)
+        assert (block[0] == a).all() and (block[1] == b).all()
+
+    def test_read_rows_bounds(self, sub):
+        with pytest.raises(IndexError):
+            sub.read_rows(0, 33)
+
+    def test_row_bounds(self, sub, rng):
+        with pytest.raises(IndexError):
+            sub.write_row(32, bits(rng))
+        with pytest.raises(IndexError):
+            sub.read_row(-1)
+
+    def test_rejects_wrong_width(self, sub):
+        with pytest.raises(ValueError):
+            sub.write_row(0, np.zeros(15, dtype=np.uint8))
+
+    def test_rejects_non_binary(self, sub):
+        with pytest.raises(ValueError):
+            sub.write_row(0, np.full(16, 3, dtype=np.uint8))
+
+    def test_clear(self, sub, rng):
+        sub.write_row(2, bits(rng))
+        sub.clear()
+        assert sub.snapshot().sum() == 0
+
+
+class TestComputeBehaviour:
+    def test_compute2_xnor(self, sub, rng):
+        a, b = bits(rng), bits(rng)
+        sub.write_row(0, a)
+        sub.write_row(1, b)
+        out = sub.compute2(0, 1, 2, SAOp.XNOR2)
+        assert (out == (1 - (a ^ b))).all()
+        assert (sub.read_row(2) == out).all()
+
+    def test_tra_carry_majority(self, sub, rng):
+        rows = [bits(rng) for _ in range(3)]
+        for i, r in enumerate(rows):
+            sub.write_row(i, r)
+        out = sub.tra_carry(0, 1, 2, 3)
+        expected = ((rows[0].astype(int) + rows[1] + rows[2]) >= 2).astype(np.uint8)
+        assert (out == expected).all()
+
+    def test_tra_rejects_duplicate_rows(self, sub):
+        with pytest.raises(ValueError):
+            sub.tra_carry(0, 0, 1, 2)
+
+    def test_sum_cycle_uses_latch(self, sub, rng):
+        a, b, c = bits(rng), bits(rng), bits(rng)
+        sub.write_row(0, a)
+        sub.write_row(1, b)
+        sub.sa.load_latch(c)
+        out = sub.sum_cycle(0, 1, 2)
+        assert (out == (a ^ b ^ c)).all()
+
+    def test_full_adder_sequence(self, sub, rng):
+        """Sum-then-carry on one bit plane matches integer addition."""
+        a, b, cin = bits(rng), bits(rng), bits(rng)
+        sub.write_row(0, a)
+        sub.write_row(1, b)
+        sub.write_row(2, cin)
+        sub.sa.load_latch(cin)
+        s = sub.sum_cycle(0, 1, 3)
+        c = sub.tra_carry(0, 1, 2, 4)
+        total = a.astype(int) + b + cin
+        assert (s == total % 2).all()
+        assert (c == (total >= 2)).all()

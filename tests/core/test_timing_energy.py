@@ -1,0 +1,98 @@
+"""Timing and energy parameter models."""
+
+import pytest
+
+from repro.core.energy import EnergyModel, EnergyParameters
+from repro.core.timing import (
+    DEFAULT_CYCLES,
+    DEFAULT_TIMING,
+    OperationCycles,
+    TimingParameters,
+)
+
+
+class TestTiming:
+    def test_aap_is_two_activates_plus_precharge(self):
+        t = TimingParameters(t_ras=35, t_rp=15)
+        assert t.t_aap == pytest.approx(85.0)
+
+    def test_ap_is_row_cycle(self):
+        assert DEFAULT_TIMING.t_ap == pytest.approx(50.0)
+
+    def test_row_io_times_positive(self):
+        assert DEFAULT_TIMING.t_read_row > 0
+        assert DEFAULT_TIMING.t_write_row > 0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            TimingParameters(t_ras=0)
+
+    def test_refresh_overhead_nominal(self):
+        """tRFC/tREFI ~ 4.5% at the DDR3/4 class values."""
+        assert DEFAULT_TIMING.refresh_overhead == pytest.approx(
+            350.0 / 7800.0
+        )
+        assert 0.03 < DEFAULT_TIMING.refresh_overhead < 0.06
+
+    def test_with_refresh_inflates_time(self):
+        busy = 1000.0
+        wall = DEFAULT_TIMING.with_refresh(busy)
+        assert wall == pytest.approx(busy / (1 - DEFAULT_TIMING.refresh_overhead))
+        assert wall > busy
+
+    def test_with_refresh_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TIMING.with_refresh(-1.0)
+
+    def test_rejects_rfc_exceeding_refi(self):
+        with pytest.raises(ValueError):
+            TimingParameters(t_refi=100.0, t_rfc=200.0)
+
+
+class TestOperationCycles:
+    def test_xnor_total_is_three(self):
+        """2 staging RowClones + 1 compute cycle (the paper's single-
+        cycle XNOR after staging)."""
+        assert DEFAULT_CYCLES.xnor_total == 3
+
+    def test_add_per_bit_is_two(self):
+        """Carry + sum: the paper's 2-cycles-per-bit claim."""
+        assert DEFAULT_CYCLES.add_per_bit == 2
+
+    def test_ripple_add_is_2m(self):
+        assert DEFAULT_CYCLES.ripple_add(32) == 64
+
+    def test_ripple_add_rejects_zero(self):
+        with pytest.raises(ValueError):
+            DEFAULT_CYCLES.ripple_add(0)
+
+    def test_compress_cost(self):
+        assert OperationCycles().compress_3to2() == 2
+
+
+class TestEnergy:
+    def test_compound_energies(self):
+        e = EnergyParameters()
+        assert e.e_aap_copy == pytest.approx(2 * e.e_activate + e.e_precharge)
+        assert e.e_compute2 > e.e_aap_copy  # add-on SA toggles
+        assert e.e_tra == pytest.approx(3 * e.e_activate + e.e_precharge)
+
+    def test_row_transfer_dominates_io(self):
+        """Host I/O costs far more than an internal cycle — the PIM
+        premise."""
+        e = EnergyParameters()
+        assert e.e_read_row > 3 * e.e_compute2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyParameters(e_activate=-0.1)
+
+    def test_power_conversion(self):
+        model = EnergyModel()
+        # 100 nJ over 100 ns = 1 W dynamic + background
+        p = model.power_w(energy_nj=100.0, time_ns=100.0)
+        assert p == pytest.approx(1.0 + model.params.p_background_w)
+
+    def test_power_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            EnergyModel().power_w(1.0, 0.0)

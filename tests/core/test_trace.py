@@ -1,0 +1,169 @@
+"""Command traces: recording, analysis, replay equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core import PimAssembler
+from repro.core.trace import CommandTrace, analyse, replay
+
+
+def traced_pim(**kwargs):
+    pim = PimAssembler.small(**kwargs)
+    trace = CommandTrace()
+    pim.controller.attach_trace(trace)
+    return pim, trace
+
+
+class TestRecording:
+    def test_records_issue_order(self, rng):
+        pim, trace = traced_pim()
+        a = pim.store_row(rng.integers(0, 2, 32).astype(np.uint8))
+        b = pim.store_row(rng.integers(0, 2, 32).astype(np.uint8))
+        pim.pim_xnor(a, b)
+        mnemonics = [e.mnemonic for e in trace]
+        assert mnemonics == ["MEM_WR", "MEM_WR", "AAP1", "AAP1", "AAP2"]
+        assert [e.index for e in trace] == list(range(5))
+
+    def test_mem_wr_carries_payload(self, rng):
+        pim, trace = traced_pim()
+        data = rng.integers(0, 2, 32).astype(np.uint8)
+        pim.store_row(data)
+        entry = trace.entries("MEM_WR")[0]
+        assert entry.payload == tuple(int(b) for b in data)
+
+    def test_detach_stops_recording(self, rng):
+        pim, trace = traced_pim()
+        pim.store_row(rng.integers(0, 2, 32).astype(np.uint8))
+        pim.controller.attach_trace(None)
+        pim.store_row(rng.integers(0, 2, 32).astype(np.uint8))
+        assert len(trace) == 1
+
+    def test_capacity_limit(self, rng):
+        pim = PimAssembler.small()
+        trace = CommandTrace(capacity=1)
+        pim.controller.attach_trace(trace)
+        pim.store_row(rng.integers(0, 2, 32).astype(np.uint8))
+        with pytest.raises(OverflowError):
+            pim.store_row(rng.integers(0, 2, 32).astype(np.uint8))
+
+    def test_to_text(self, rng):
+        pim, trace = traced_pim()
+        pim.store_row(rng.integers(0, 2, 32).astype(np.uint8))
+        assert "MEM_WR" in trace.to_text()
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CommandTrace(capacity=0)
+
+
+class TestAnalysis:
+    def test_command_mix(self, rng):
+        pim, trace = traced_pim()
+        a = pim.store_row(rng.integers(0, 2, 32).astype(np.uint8))
+        b = pim.store_row(rng.integers(0, 2, 32).astype(np.uint8))
+        pim.pim_xnor(a, b)
+        stats = analyse(trace)
+        assert stats.command_mix["AAP2"] == 1
+        assert stats.command_mix["AAP1"] == 2
+        assert stats.total_commands == 5
+
+    def test_subarray_load(self, rng):
+        pim, trace = traced_pim()
+        pim.store_row(rng.integers(0, 2, 32).astype(np.uint8), (0, 0, 0))
+        pim.store_row(rng.integers(0, 2, 32).astype(np.uint8), (0, 0, 1))
+        pim.store_row(rng.integers(0, 2, 32).astype(np.uint8), (0, 0, 1))
+        stats = analyse(trace)
+        assert stats.subarray_load[(0, 0, 1)] == 2
+        assert stats.busiest_subarray == ((0, 0, 1), 2)
+        assert stats.load_imbalance() == pytest.approx(2 / 1.5)
+
+    def test_empty_trace(self):
+        stats = analyse(CommandTrace())
+        assert stats.total_commands == 0
+        assert stats.busiest_subarray is None
+        assert stats.load_imbalance() == 1.0
+
+
+class TestReplay:
+    def test_replay_reproduces_state(self, rng):
+        """Recording a computation and replaying it on a fresh device
+        must produce identical sub-array contents."""
+        pim, trace = traced_pim()
+        a = pim.store_row(rng.integers(0, 2, 32).astype(np.uint8))
+        b = pim.store_row(rng.integers(0, 2, 32).astype(np.uint8))
+        pim.pim_xnor(a, b)
+        wa = pim.store_word_columns(rng.integers(0, 16, 8), bits=4, subarray_key=(0, 0, 1))
+        wb = pim.store_word_columns(rng.integers(0, 16, 8), bits=4, subarray_key=(0, 0, 1))
+        pim.pim_add(wa, wb, (0, 0, 1))
+
+        fresh = PimAssembler.small()
+        replay(trace, fresh.controller)
+
+        for key in ((0, 0, 0), (0, 0, 1)):
+            original = pim.device.subarray_at(key).snapshot()
+            replayed = fresh.device.subarray_at(key).snapshot()
+            assert (original == replayed).all(), key
+
+    def test_replay_skips_reads(self, rng):
+        pim, trace = traced_pim()
+        a = pim.store_row(rng.integers(0, 2, 32).astype(np.uint8))
+        pim.read_row(a)
+        fresh = PimAssembler.small()
+        replay(trace, fresh.controller)  # must not raise
+
+    def test_replay_rejects_unknown_mnemonic(self):
+        trace = CommandTrace()
+        trace.record("WARP", (0, 0, 0), (1,))
+        fresh = PimAssembler.small()
+        with pytest.raises(ValueError):
+            replay(trace, fresh.controller)
+
+
+class TestExtendedOps:
+    def test_init_row(self):
+        pim = PimAssembler.small()
+        addr = pim.allocate_row()
+        pim.controller.init_row(addr, 1)
+        assert pim.controller.read_row(addr).all()
+        pim.controller.init_row(addr, 0)
+        assert not pim.controller.read_row(addr).any()
+
+    def test_init_rejects_bad_value(self):
+        pim = PimAssembler.small()
+        with pytest.raises(ValueError):
+            pim.controller.init_row(pim.allocate_row(), 2)
+
+    def test_not_row(self, rng):
+        pim = PimAssembler.small()
+        data = rng.integers(0, 2, 32).astype(np.uint8)
+        src = pim.store_row(data)
+        des = pim.allocate_row()
+        out = pim.controller.not_row(src, des)
+        assert (out == 1 - data).all()
+
+    def test_move_row_across_subarrays(self, rng):
+        pim = PimAssembler.small()
+        data = rng.integers(0, 2, 32).astype(np.uint8)
+        src = pim.store_row(data, (0, 0, 0))
+        des = pim.allocate_row((0, 0, 2))
+        pim.controller.move_row(src, des)
+        assert (pim.controller.read_row(des) == data).all()
+        # cross-sub-array moves ride the GRB: read + write charged
+        assert pim.stats.command_count("MEM_RD") >= 1
+
+    def test_move_row_same_subarray_is_rowclone(self, rng):
+        pim = PimAssembler.small()
+        data = rng.integers(0, 2, 32).astype(np.uint8)
+        src = pim.store_row(data)
+        des = pim.allocate_row()
+        before = pim.stats.command_count("AAP1")
+        pim.controller.move_row(src, des)
+        assert pim.stats.command_count("AAP1") == before + 1
+
+    def test_xor3(self, rng):
+        pim = PimAssembler.small()
+        rows = [rng.integers(0, 2, 32).astype(np.uint8) for _ in range(3)]
+        addrs = [pim.store_row(r) for r in rows]
+        des = pim.allocate_row()
+        out = pim.controller.xor3_rows(*addrs, des)
+        assert (out == (rows[0] ^ rows[1] ^ rows[2])).all()

@@ -1,0 +1,64 @@
+"""DRAM cell parameters and noise-source inventory."""
+
+import pytest
+
+from repro.dram.cell import CellParameters, NoiseSources
+
+
+class TestCellParameters:
+    def test_defaults_are_45nm_class(self):
+        p = CellParameters()
+        assert p.cell_capacitance_f == pytest.approx(22e-15)
+        assert p.bitline_capacitance_f == pytest.approx(85e-15)
+        assert p.vdd == 1.0
+
+    def test_precharge_voltage_is_half_vdd(self):
+        assert CellParameters().precharge_voltage == pytest.approx(0.5)
+
+    def test_stored_voltage_zero(self):
+        assert CellParameters().stored_voltage(0) == 0.0
+
+    def test_stored_voltage_one_is_derated(self):
+        p = CellParameters(retention_degradation=0.05)
+        assert p.stored_voltage(1) == pytest.approx(0.95)
+
+    def test_stored_voltage_rejects_non_bit(self):
+        with pytest.raises(ValueError):
+            CellParameters().stored_voltage(2)
+
+    def test_transfer_ratio(self):
+        p = CellParameters()
+        expected = 22.0 / (22.0 + 85.0)
+        assert p.transfer_ratio == pytest.approx(expected)
+
+    def test_transfer_ratio_below_one(self):
+        assert 0 < CellParameters().transfer_ratio < 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cell_capacitance_f": 0.0},
+            {"bitline_capacitance_f": -1e-15},
+            {"vdd": 0.0},
+            {"precharge_fraction": 1.5},
+            {"retention_degradation": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CellParameters(**kwargs)
+
+
+class TestNoiseSources:
+    def test_total_rms_combines_sources(self):
+        n = NoiseSources(
+            wordline_bitline=0.03, bitline_substrate=0.04, bitline_crosstalk=0.0
+        )
+        assert n.total_rms == pytest.approx(0.05)
+
+    def test_rejects_negative_amplitude(self):
+        with pytest.raises(ValueError):
+            NoiseSources(wordline_bitline=-0.01)
+
+    def test_defaults_are_small(self):
+        assert NoiseSources().total_rms < 0.05

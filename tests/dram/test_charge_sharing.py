@@ -1,0 +1,133 @@
+"""Charge-sharing arithmetic: levels, margins, conservation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.cell import CellParameters
+from repro.dram.charge_sharing import (
+    ChargeShareResult,
+    share_voltage,
+    tra_nominal_margin,
+    triple_row_share,
+    two_row_nominal_levels,
+    two_row_share,
+)
+
+IDEAL = CellParameters(retention_degradation=0.0)
+
+
+class TestShareVoltage:
+    def test_equal_caps_average(self):
+        assert share_voltage([1.0, 0.0], [1e-15, 1e-15]) == pytest.approx(0.5)
+
+    def test_weighted_by_capacitance(self):
+        v = share_voltage([1.0, 0.0], [3e-15, 1e-15])
+        assert v == pytest.approx(0.75)
+
+    def test_extra_node_participates(self):
+        v = share_voltage([1.0], [1e-15], extra_capacitance=1e-15, extra_voltage=0.0)
+        assert v == pytest.approx(0.5)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            share_voltage([1.0], [1e-15, 2e-15])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            share_voltage([], [])
+
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ValueError):
+            share_voltage([1.0], [0.0])
+
+    @given(
+        voltages=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=6
+        )
+    )
+    def test_result_within_input_range(self, voltages):
+        caps = [22e-15] * len(voltages)
+        v = share_voltage(voltages, caps)
+        assert min(voltages) - 1e-12 <= v <= max(voltages) + 1e-12
+
+    @given(
+        voltages=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=5
+        ),
+        scale=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_scale_invariance(self, voltages, scale):
+        """Scaling every capacitance leaves the shared voltage unchanged."""
+        caps = [22e-15] * len(voltages)
+        v1 = share_voltage(voltages, caps)
+        v2 = share_voltage(voltages, [c * scale for c in caps])
+        assert v1 == pytest.approx(v2)
+
+
+class TestTwoRowShare:
+    def test_ideal_levels_are_n_over_two(self):
+        lo, mid, hi = two_row_nominal_levels(IDEAL)
+        assert lo == pytest.approx(0.0)
+        assert mid == pytest.approx(0.5)
+        assert hi == pytest.approx(1.0)
+
+    def test_symmetric_in_operands(self):
+        assert two_row_share(1, 0, IDEAL).voltage == pytest.approx(
+            two_row_share(0, 1, IDEAL).voltage
+        )
+
+    def test_counts_ones(self):
+        assert two_row_share(1, 1, IDEAL).ones == 2
+        assert two_row_share(0, 0, IDEAL).cells == 2
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            two_row_share(2, 0)
+
+    def test_margin_annotation(self):
+        result = two_row_share(1, 0, IDEAL).with_margin([0.25, 0.75])
+        assert result.margin == pytest.approx(0.25)
+
+    def test_margin_requires_thresholds(self):
+        with pytest.raises(ValueError):
+            two_row_share(1, 0, IDEAL).with_margin([])
+
+    def test_retention_lowers_one_level(self):
+        derated = CellParameters(retention_degradation=0.05)
+        assert two_row_share(1, 1, derated).voltage < 1.0
+
+
+class TestTripleRowShare:
+    def test_majority_sides_of_reference(self):
+        p = IDEAL
+        ref = p.precharge_voltage
+        for bits in [(1, 1, 0), (1, 1, 1), (1, 0, 1)]:
+            assert triple_row_share(list(bits), p).voltage > ref
+        for bits in [(0, 0, 1), (0, 0, 0)]:
+            assert triple_row_share(list(bits), p).voltage < ref
+
+    def test_requires_exactly_three(self):
+        with pytest.raises(ValueError):
+            triple_row_share([1, 0], IDEAL)
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            triple_row_share([1, 0, 3], IDEAL)
+
+    def test_margin_is_small_fraction_of_vdd(self):
+        """TRA's margin (~Cs/(Cb+3Cs) * Vdd/2) is the reliability
+        bottleneck: roughly 7% of Vdd at nominal parameters."""
+        margin = tra_nominal_margin(IDEAL)
+        assert 0.05 < margin < 0.10
+
+    def test_two_row_margin_exceeds_tra_margin(self):
+        """The paper's core robustness claim at nominal conditions."""
+        two_row_margin = 0.25  # distance of {0, .5, 1} to {.25, .75}
+        assert two_row_margin > tra_nominal_margin(IDEAL)
+
+
+class TestChargeShareResult:
+    def test_with_margin_picks_nearest(self):
+        r = ChargeShareResult(voltage=0.6, ones=1, cells=2)
+        annotated = r.with_margin([0.25, 0.75])
+        assert annotated.margin == pytest.approx(0.15)

@@ -1,0 +1,96 @@
+"""Geometry hierarchy: capacities, derived counts, validation."""
+
+import pytest
+
+from repro.dram.geometry import (
+    BankGeometry,
+    DeviceGeometry,
+    MatGeometry,
+    SubArrayGeometry,
+    default_geometry,
+    microbenchmark_geometry,
+)
+
+
+class TestSubArrayGeometry:
+    def test_paper_defaults(self):
+        g = SubArrayGeometry()
+        assert g.rows == 1024
+        assert g.cols == 256
+        assert g.compute_rows == 8
+        assert g.data_rows == 1016
+
+    def test_row_bits_equals_cols(self):
+        assert SubArrayGeometry(rows=64, cols=48).row_bits == 48
+
+    def test_capacity(self):
+        g = SubArrayGeometry(rows=64, cols=32)
+        assert g.capacity_bits == 64 * 32
+        assert g.data_capacity_bits == (64 - 8) * 32
+
+    @pytest.mark.parametrize("rows,cols", [(0, 256), (1024, 0), (-1, 4)])
+    def test_rejects_non_positive_dims(self, rows, cols):
+        with pytest.raises(ValueError):
+            SubArrayGeometry(rows=rows, cols=cols)
+
+    def test_rejects_compute_rows_filling_array(self):
+        with pytest.raises(ValueError):
+            SubArrayGeometry(rows=8, cols=4, compute_rows=8)
+
+    def test_rejects_zero_compute_rows(self):
+        with pytest.raises(ValueError):
+            SubArrayGeometry(compute_rows=0)
+
+
+class TestMatGeometry:
+    def test_default_grid(self):
+        m = MatGeometry()
+        assert m.num_subarrays == 16
+
+    def test_capacity_sums_subarrays(self):
+        m = MatGeometry(subarrays_x=2, subarrays_y=3)
+        assert m.capacity_bits == 6 * m.subarray.capacity_bits
+
+    def test_rejects_active_overflow(self):
+        with pytest.raises(ValueError):
+            MatGeometry(subarrays_x=1, subarrays_y=1, active_subarrays=2)
+
+
+class TestBankGeometry:
+    def test_default_grid(self):
+        b = BankGeometry()
+        assert b.num_mats == 256
+        assert b.num_subarrays == 256 * 16
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            BankGeometry(mats_x=0)
+
+
+class TestDeviceGeometry:
+    def test_default_capacity_is_1_gib(self):
+        d = default_geometry()
+        assert d.capacity_bytes == 8 * 256 * 16 * 1024 * 256 // 8
+
+    def test_num_subarrays(self):
+        d = default_geometry()
+        assert d.num_subarrays == 8 * 256 * 16
+
+    def test_row_bits(self):
+        assert default_geometry().row_bits == 256
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ValueError):
+            DeviceGeometry(num_banks=0)
+
+    def test_parallel_op_bits_scales_with_pd(self):
+        d = default_geometry()
+        assert d.parallel_op_bits(2) == 2 * d.parallel_op_bits(1)
+
+    def test_parallel_op_bits_rejects_excess_pd(self):
+        d = default_geometry()
+        with pytest.raises(ValueError):
+            d.parallel_op_bits(17)  # mats hold 16 sub-arrays
+
+    def test_microbenchmark_matches_default(self):
+        assert microbenchmark_geometry() == default_geometry()

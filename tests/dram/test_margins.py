@@ -1,0 +1,76 @@
+"""Sense margins and the technology-scaling study."""
+
+import pytest
+
+from repro.dram.cell import CellParameters
+from repro.dram.margins import (
+    margin_report,
+    scaled_cell,
+    scaling_study,
+    two_row_margin,
+)
+
+
+class TestMargins:
+    def test_two_row_margin_dominates(self):
+        report = margin_report()
+        assert report.two_row_margin > 3.0 * report.tra_margin
+        assert report.margin_ratio > 3.0
+
+    def test_two_row_margin_value(self):
+        """Levels {0, ~.49, ~.98} vs thresholds {.25, .75}: ~0.23 V
+        with the default 2% retention derating."""
+        assert two_row_margin() == pytest.approx(0.23, abs=0.01)
+
+    def test_ideal_cells_give_quarter_vdd(self):
+        ideal = CellParameters(retention_degradation=0.0)
+        assert two_row_margin(ideal) == pytest.approx(0.25)
+
+
+class TestScaledCell:
+    def test_capacitances_shrink(self):
+        base = CellParameters()
+        small = scaled_cell(0.5, base)
+        assert small.cell_capacitance_f == pytest.approx(
+            base.cell_capacitance_f * 0.5
+        )
+        assert small.bitline_capacitance_f == pytest.approx(
+            base.bitline_capacitance_f * 0.5**0.5
+        )
+
+    def test_cs_over_cb_worsens(self):
+        """The signal-defining ratio Cs/Cb falls as the node shrinks."""
+        base = margin_report(CellParameters())
+        small = margin_report(scaled_cell(0.4))
+        assert small.cs_over_cb < base.cs_over_cb
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            scaled_cell(0.0)
+        with pytest.raises(ValueError):
+            scaled_cell(1.5)
+
+
+class TestScalingStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return scaling_study(trials=10_000)
+
+    def test_paper_expectation_tra_worsens(self, points):
+        """'By scaling down the transistor size, the process variation
+        effect is expected to get worse' — TRA errors climb."""
+        tra = [p.tra_error_percent for p in points]
+        assert tra == sorted(tra)
+        assert tra[-1] > 1.5 * tra[0]
+
+    def test_two_row_stays_ahead_at_every_node(self, points):
+        for p in points:
+            assert p.two_row_error_percent < p.tra_error_percent
+
+    def test_tra_margin_shrinks(self, points):
+        margins = [p.tra_margin for p in points]
+        assert margins == sorted(margins, reverse=True)
+
+    def test_rejects_empty_scales(self):
+        with pytest.raises(ValueError):
+            scaling_study(scales=())

@@ -1,0 +1,78 @@
+"""Retention modelling for resident PIM data structures."""
+
+import pytest
+
+from repro.dram.retention import RetentionModel, residency_study
+
+
+class TestRetentionModel:
+    def test_nominal_refresh_is_safe_per_cell(self):
+        """At the 64 ms window the upset probability per cell is far
+        below anything that threatens a single row."""
+        model = RetentionModel()
+        p = model.upset_probability_per_window(0.064)
+        assert p < 1e-12
+
+    def test_probability_monotone_in_window(self):
+        model = RetentionModel()
+        windows = (0.064, 0.256, 1.024, 4.096, 16.0)
+        probs = [model.upset_probability_per_window(w) for w in windows]
+        assert probs == sorted(probs)
+
+    def test_leaky_population_dominates_short_windows(self):
+        """Below ~1 s the main population contributes ~nothing; the
+        residual leaky cells set the rate."""
+        model = RetentionModel()
+        leakless = RetentionModel(leaky_fraction=0.0)
+        assert model.upset_probability_per_window(0.256) > 100 * (
+            leakless.upset_probability_per_window(0.256)
+        )
+
+    def test_cell_failure_capped_by_residency(self):
+        """A run shorter than the refresh window only exposes cells for
+        the run itself."""
+        model = RetentionModel()
+        long_window = model.cell_failure_probability(4.096, residency_s=25.0)
+        short_run = model.cell_failure_probability(4.096, residency_s=0.064)
+        assert short_run < long_window
+
+    def test_table_upset_probability_bounds(self):
+        model = RetentionModel()
+        p = model.table_upset_probability(10**9, residency_s=25.0)
+        assert 0.0 <= p <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetentionModel(main_median_s=0)
+        with pytest.raises(ValueError):
+            RetentionModel(leaky_fraction=1.5)
+        with pytest.raises(ValueError):
+            RetentionModel().upset_probability_per_window(0.0)
+        with pytest.raises(ValueError):
+            RetentionModel().table_upset_probability(0, 1.0)
+
+
+class TestResidencyStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return residency_study()
+
+    def test_nominal_refresh_needs_no_protection(self, points):
+        nominal = points[0]
+        assert nominal.refresh_interval_s == pytest.approx(0.064)
+        assert not nominal.needs_protection
+        assert nominal.table_upset_probability < 0.01
+
+    def test_risk_monotone_in_interval(self, points):
+        upsets = [p.expected_upsets for p in points]
+        assert upsets == sorted(upsets)
+        probs = [p.table_upset_probability for p in points]
+        assert probs == sorted(probs)
+
+    def test_relaxed_refresh_approaches_corruption(self, points):
+        relaxed = points[-1]
+        assert relaxed.table_upset_probability > 0.25
+
+    def test_chr14_table_size_default(self, points):
+        """The default study covers the paper's resident table."""
+        assert points[0].expected_upsets > 0

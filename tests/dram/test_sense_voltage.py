@@ -1,0 +1,96 @@
+"""Shifted-VTC inverters and the reconfigurable SA's analog decisions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.cell import CellParameters
+from repro.dram.sense_voltage import (
+    InverterVTC,
+    ReconfigurableSenseVoltages,
+    high_vs_inverter,
+    low_vs_inverter,
+    normal_vs_inverter,
+    tra_majority,
+)
+
+IDEAL = CellParameters(retention_degradation=0.0)
+
+
+class TestInverterVTC:
+    def test_digital_threshold(self):
+        inv = InverterVTC(switching_voltage=0.25)
+        assert inv.digital(0.1) == 1
+        assert inv.digital(0.4) == 0
+
+    def test_analog_rails(self):
+        inv = InverterVTC(switching_voltage=0.5)
+        assert inv.analog(0.0) > 0.99
+        assert inv.analog(1.0) < 0.01
+
+    def test_analog_midpoint(self):
+        inv = InverterVTC(switching_voltage=0.5)
+        assert inv.analog(0.5) == pytest.approx(0.5)
+
+    def test_rejects_threshold_outside_rails(self):
+        with pytest.raises(ValueError):
+            InverterVTC(switching_voltage=1.5)
+
+    def test_rejects_non_positive_gain(self):
+        with pytest.raises(ValueError):
+            InverterVTC(switching_voltage=0.5, gain=0)
+
+    @given(v=st.floats(min_value=0.0, max_value=1.0))
+    def test_analog_monotone_decreasing(self, v):
+        inv = InverterVTC(switching_voltage=0.5)
+        assert inv.analog(v) >= inv.analog(min(1.0, v + 0.05)) - 1e-9
+
+    def test_factory_thresholds(self):
+        assert low_vs_inverter().switching_voltage == pytest.approx(0.25)
+        assert high_vs_inverter().switching_voltage == pytest.approx(0.75)
+        assert normal_vs_inverter().switching_voltage == pytest.approx(0.5)
+
+
+class TestSenseDecision:
+    @pytest.mark.parametrize(
+        "di,dj",
+        [(0, 0), (0, 1), (1, 0), (1, 1)],
+    )
+    def test_full_truth_table(self, di, dj):
+        """End-to-end: charge share -> inverters -> every gate output."""
+        sa = ReconfigurableSenseVoltages.nominal(IDEAL)
+        from repro.dram.charge_sharing import two_row_share
+
+        decision = sa.decide(two_row_share(di, dj, IDEAL).voltage)
+        assert decision.nor2 == int(not (di or dj))
+        assert decision.nand2 == int(not (di and dj))
+        assert decision.xor2 == (di ^ dj)
+        assert decision.xnor2 == int(di == dj)
+        assert decision.and2 == (di & dj)
+        assert decision.or2 == (di | dj)
+
+    @pytest.mark.parametrize("di,dj", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_xnor2_shortcut(self, di, dj):
+        sa = ReconfigurableSenseVoltages.nominal(IDEAL)
+        assert sa.xnor2(di, dj, IDEAL) == int(di == dj)
+
+    def test_retention_does_not_flip_nominal_decisions(self):
+        """Default 2% derating still resolves correctly."""
+        sa = ReconfigurableSenseVoltages.nominal()
+        for di in (0, 1):
+            for dj in (0, 1):
+                assert sa.xnor2(di, dj) == int(di == dj)
+
+
+class TestTraMajority:
+    @pytest.mark.parametrize(
+        "bits",
+        [(0, 0, 0), (0, 0, 1), (0, 1, 1), (1, 1, 1), (1, 0, 1), (1, 1, 0)],
+    )
+    def test_all_patterns(self, bits):
+        assert tra_majority(bits, IDEAL) == int(sum(bits) >= 2)
+
+    def test_shifted_reference_can_flip(self):
+        """An offset reference larger than the margin flips the result —
+        the failure mode Table I quantifies."""
+        assert tra_majority((1, 1, 0), IDEAL, reference=0.9) == 0
+        assert tra_majority((0, 0, 1), IDEAL, reference=0.1) == 1

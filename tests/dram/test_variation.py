@@ -1,0 +1,115 @@
+"""Monte-Carlo process-variation engine (Table I)."""
+
+import pytest
+
+from repro.dram.variation import (
+    TABLE_I_LEVELS,
+    MonteCarloSense,
+    VariationResult,
+    VariationSpec,
+    run_variation_table,
+)
+
+
+class TestVariationSpec:
+    def test_relative_sigma(self):
+        spec = VariationSpec(percent=15.0)
+        assert spec.relative_sigma == pytest.approx(0.05)
+
+    def test_rejects_negative_percent(self):
+        with pytest.raises(ValueError):
+            VariationSpec(percent=-1.0)
+
+    def test_rejects_bad_sigma_fraction(self):
+        with pytest.raises(ValueError):
+            VariationSpec(percent=5.0, sigma_fraction=0.0)
+
+
+class TestVariationResult:
+    def test_error_percent(self):
+        r = VariationResult("tra", 10.0, trials=200, errors=3)
+        assert r.error_percent == pytest.approx(1.5)
+
+    def test_zero_trials_guard(self):
+        assert VariationResult("tra", 10.0, 0, 0).error_percent == 0.0
+
+
+class TestMonteCarloSense:
+    def test_reproducible_with_seed(self):
+        a = MonteCarloSense(seed=7).run_tra(VariationSpec(20.0), 2000)
+        b = MonteCarloSense(seed=7).run_tra(VariationSpec(20.0), 2000)
+        assert a.errors == b.errors
+
+    def test_different_seeds_differ(self):
+        a = MonteCarloSense(seed=1).run_tra(VariationSpec(30.0), 4000)
+        b = MonteCarloSense(seed=2).run_tra(VariationSpec(30.0), 4000)
+        assert a.errors != b.errors  # overwhelmingly likely at 30%
+
+    def test_no_variation_no_errors(self):
+        engine = MonteCarloSense()
+        spec = VariationSpec(percent=0.0, include_coupling_noise=False)
+        assert engine.run_tra(spec, 5000).errors == 0
+        assert engine.run_two_row(spec, 5000).errors == 0
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(ValueError):
+            MonteCarloSense().run_tra(VariationSpec(5.0), 0)
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(ValueError):
+            MonteCarloSense().run("nonsense", VariationSpec(5.0))
+
+    def test_run_dispatch(self):
+        engine = MonteCarloSense()
+        assert engine.run("tra", VariationSpec(5.0), 100).mechanism == "tra"
+        assert (
+            engine.run("two_row", VariationSpec(5.0), 100).mechanism == "two_row"
+        )
+
+    def test_errors_increase_with_variation(self):
+        """Monotone trend for both mechanisms (the Table I shape)."""
+        engine = MonteCarloSense()
+        for run in (engine.run_tra, engine.run_two_row):
+            previous = -1
+            for level in (5.0, 15.0, 30.0):
+                errors = run(VariationSpec(level), 10_000).errors
+                assert errors >= previous
+                previous = errors
+
+
+class TestTableI:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_variation_table(trials=10_000)
+
+    def test_covers_paper_levels(self, table):
+        assert set(table["tra"]) == set(TABLE_I_LEVELS)
+        assert set(table["two_row"]) == set(TABLE_I_LEVELS)
+
+    def test_zero_error_at_five_percent(self, table):
+        """Both mechanisms are clean at +/-5% (paper row 1)."""
+        assert table["tra"][5.0].error_percent < 0.1
+        assert table["two_row"][5.0].error_percent < 0.1
+
+    def test_two_row_clean_at_ten_percent(self, table):
+        """Paper row 2: two-row activation still error-free at +/-10%."""
+        assert table["two_row"][10.0].error_percent < 0.25
+
+    def test_tra_fails_first(self, table):
+        """TRA shows errors at +/-10% while two-row is (near) clean."""
+        assert (
+            table["tra"][10.0].error_percent
+            > table["two_row"][10.0].error_percent
+        )
+
+    def test_two_row_more_robust_at_every_level(self, table):
+        for level in TABLE_I_LEVELS:
+            assert (
+                table["two_row"][level].error_percent
+                <= table["tra"][level].error_percent + 1e-9
+            )
+
+    def test_double_digit_errors_at_thirty_percent(self, table):
+        """Both mechanisms degrade heavily at +/-30% (paper row 5)."""
+        assert table["tra"][30.0].error_percent > 10.0
+        assert table["two_row"][30.0].error_percent > 10.0

@@ -1,0 +1,89 @@
+"""Transient waveforms of in-memory XNOR2 (Fig. 3a)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.cell import CellParameters
+from repro.dram.waveform import (
+    TransientPhases,
+    cycle_time_ns,
+    is_settled,
+    settling_error,
+    xnor2_transient,
+    xnor2_transient_suite,
+)
+
+
+class TestPhases:
+    def test_total(self):
+        phases = TransientPhases(precharge_ns=5, share_ns=10, sense_ns=15)
+        assert phases.total_ns == 30
+        assert cycle_time_ns(phases) == 30
+
+
+class TestXnor2Transient:
+    @pytest.mark.parametrize(
+        "di,dj,rail",
+        [(0, 0, 1.0), (1, 1, 1.0), (0, 1, 0.0), (1, 0, 0.0)],
+    )
+    def test_bl_reaches_xnor_rail(self, di, dj, rail):
+        """Fig. 3a: cells charge to Vdd for equal inputs, GND otherwise."""
+        wave = xnor2_transient(di, dj)
+        assert abs(wave.final("BL") - rail) < 0.01
+
+    @pytest.mark.parametrize("di,dj", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_blb_is_complement(self, di, dj):
+        wave = xnor2_transient(di, dj)
+        assert wave.final("BL") + wave.final("BLB") == pytest.approx(1.0, abs=0.02)
+
+    def test_precharge_phase_holds_half_vdd(self):
+        wave = xnor2_transient(1, 0)
+        assert wave.at("BL", 1.0) == pytest.approx(0.5)
+        assert wave.at("node", 2.0) == pytest.approx(0.5)
+
+    def test_wordlines_rise_at_share(self):
+        phases = TransientPhases()
+        wave = xnor2_transient(1, 1, phases=phases)
+        assert wave.at("WLx1", phases.precharge_ns - 1.0) == 0.0
+        assert wave.at("WLx1", phases.precharge_ns + 1.0) == 1.0
+        assert (wave.traces["WLx1"] == wave.traces["WLx2"]).all()
+
+    def test_node_settles_to_share_level(self):
+        """During the share phase the node approaches n*Vdd/2."""
+        params = CellParameters(retention_degradation=0.0)
+        phases = TransientPhases()
+        wave = xnor2_transient(1, 0, params=params, phases=phases)
+        t_end_share = phases.precharge_ns + phases.share_ns - 0.5
+        assert wave.at("node", t_end_share) == pytest.approx(0.5, abs=0.02)
+
+    def test_traces_share_timebase(self):
+        wave = xnor2_transient(0, 1)
+        for trace in wave.traces.values():
+            assert trace.shape == wave.time_ns.shape
+
+    def test_add_rejects_wrong_length(self):
+        wave = xnor2_transient(0, 0)
+        with pytest.raises(ValueError):
+            wave.add("bad", np.zeros(3))
+
+    def test_settling_error_helpers(self):
+        wave = xnor2_transient(1, 1)
+        assert settling_error(wave, "BL", 1.0) < 0.01
+        assert is_settled(wave, "BL", 1.0, tolerance=0.01)
+        with pytest.raises(KeyError):
+            settling_error(wave, "nope", 1.0)
+
+
+class TestSuite:
+    def test_covers_four_patterns(self):
+        suite = xnor2_transient_suite()
+        assert set(suite) == {"00", "01", "10", "11"}
+
+    def test_patterns_pairwise_consistent(self):
+        suite = xnor2_transient_suite()
+        assert suite["01"].final("BL") == pytest.approx(
+            suite["10"].final("BL"), abs=0.01
+        )
+        assert suite["00"].final("BL") == pytest.approx(
+            suite["11"].final("BL"), abs=0.02
+        )

@@ -1,0 +1,49 @@
+"""Area study (Section II-B) and the Fig. 3a transient study."""
+
+import pytest
+
+from repro.dram.geometry import SubArrayGeometry
+from repro.eval.area_report import run_area_study
+from repro.eval.transient import run_transient_study
+
+
+class TestAreaStudy:
+    def test_within_paper_claim(self):
+        study = run_area_study()
+        assert study.within_claim
+        assert study.report.overhead_percent == pytest.approx(4.98, abs=0.05)
+
+    def test_breakdown_lines(self):
+        lines = run_area_study().breakdown_lines()
+        text = "\n".join(lines)
+        assert "12800" in text  # SA add-ons
+        assert "51 rows" in text
+        assert "%" in text
+
+    def test_custom_geometry(self):
+        study = run_area_study(SubArrayGeometry(rows=512, cols=256))
+        assert study.report.overhead_percent > 4.98  # fewer rows to amortise
+
+
+class TestTransientStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_transient_study()
+
+    def test_four_patterns(self, study):
+        assert set(study.waveforms) == {"00", "01", "10", "11"}
+
+    def test_all_patterns_correct(self, study):
+        assert study.all_patterns_correct
+
+    def test_expected_rails(self, study):
+        assert study.expected_bl("00") == study.vdd
+        assert study.expected_bl("11") == study.vdd
+        assert study.expected_bl("01") == 0.0
+        assert study.expected_bl("10") == 0.0
+
+    def test_summary_rows(self, study):
+        rows = study.summary_rows()
+        assert len(rows) == 4
+        for pattern, final, expected in rows:
+            assert abs(final - expected) < 0.02

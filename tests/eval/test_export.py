@@ -1,0 +1,76 @@
+"""CSV export of experiment artefacts."""
+
+import csv
+
+import pytest
+
+from repro.eval.execution import run_all
+from repro.eval.export import (
+    export_execution,
+    export_memory_wall,
+    export_reliability,
+    export_throughput,
+    export_tradeoff,
+)
+from repro.eval.memory_wall import run_memory_wall_study
+from repro.eval.reliability import run_reliability_table
+from repro.eval.throughput import run_throughput_sweep
+from repro.eval.tradeoffs import run_tradeoff_sweep
+from repro.eval.workloads import chr14_workload
+from repro.platforms import assembly_platforms
+
+
+def read_csv(path):
+    with open(path, newline="") as stream:
+        return list(csv.reader(stream))
+
+
+class TestWriters:
+    def test_throughput_csv(self, tmp_path):
+        path = export_throughput(run_throughput_sweep(), tmp_path / "f.csv")
+        rows = read_csv(path)
+        assert rows[0] == ["platform", "operation", "vector_bits", "bits_per_second"]
+        assert len(rows) == 1 + 7 * 2 * 3  # platforms x ops x lengths
+        assert any(r[0] == "P-A" for r in rows[1:])
+
+    def test_reliability_csv(self, tmp_path):
+        table = run_reliability_table(trials=2000)
+        path = export_reliability(table, tmp_path / "t.csv")
+        rows = read_csv(path)
+        assert len(rows) == 6  # header + 5 levels
+        assert rows[1][0] == "5.0"
+
+    def test_execution_csv(self, tmp_path):
+        results = run_all(assembly_platforms(), chr14_workload(16))
+        path = export_execution(results, tmp_path / "e.csv")
+        rows = read_csv(path)
+        assert len(rows) == 1 + 5 * 3  # platforms x stages
+        stages = {r[2] for r in rows[1:]}
+        assert stages == {"hashmap", "debruijn", "traverse"}
+
+    def test_tradeoff_csv(self, tmp_path):
+        path = export_tradeoff(run_tradeoff_sweep(), tmp_path / "p.csv")
+        rows = read_csv(path)
+        assert len(rows) == 1 + 2 * 4  # k values x Pd values
+
+    def test_memory_wall_csv(self, tmp_path):
+        path = export_memory_wall(run_memory_wall_study(), tmp_path / "m.csv")
+        rows = read_csv(path)
+        assert len(rows) == 1 + 5 * 2
+        for row in rows[1:]:
+            assert 0.0 <= float(row[2]) <= 1.0  # mbr
+            assert 0.0 <= float(row[3]) <= 1.0  # rur
+
+    def test_creates_parent_directories(self, tmp_path):
+        nested = tmp_path / "a" / "b" / "f.csv"
+        export_tradeoff(run_tradeoff_sweep(), nested)
+        assert nested.exists()
+
+    def test_values_roundtrip(self, tmp_path):
+        sweep = run_throughput_sweep()
+        path = export_throughput(sweep, tmp_path / "f.csv")
+        rows = read_csv(path)
+        first = sweep.points[0]
+        assert float(rows[1][3]) == pytest.approx(
+            first.bits_per_second, rel=1e-5
+        )

@@ -1,0 +1,79 @@
+"""Fig. 11 memory-wall study: MBR and RUR bars."""
+
+import pytest
+
+from repro.eval.memory_wall import (
+    FIG11_K_VALUES,
+    MemoryWallPoint,
+    run_memory_wall_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_memory_wall_study()
+
+
+class TestCoverage:
+    def test_platforms_and_ks(self, study):
+        assert set(study.platforms()) == {"GPU", "P-A", "Ambit", "D3", "D1"}
+        ks = {p.k for p in study.points}
+        assert ks == set(FIG11_K_VALUES)
+
+    def test_point_lookup(self, study):
+        point = study.point("P-A", 16)
+        assert point.platform == "P-A"
+        with pytest.raises(KeyError):
+            study.point("P-A", 22)
+
+
+class TestPaperShape:
+    def test_pa_mbr_annotations(self, study):
+        """Fig. 11a annotates P-A at ~9% (k=16) and ~16% (k=32)."""
+        assert study.point("P-A", 16).mbr_percent == pytest.approx(9.0, abs=3.0)
+        assert study.point("P-A", 32).mbr_percent == pytest.approx(16.0, abs=3.0)
+
+    def test_gpu_mbr_70_percent_at_k32(self, study):
+        assert study.point("GPU", 32).mbr_percent == pytest.approx(70.0, abs=5.0)
+
+    def test_pa_lowest_mbr(self, study):
+        for k in FIG11_K_VALUES:
+            pa = study.point("P-A", k).mbr
+            for name in study.platforms():
+                assert study.point(name, k).mbr >= pa
+
+    def test_mbr_grows_with_k(self, study):
+        for name in study.platforms():
+            assert study.point(name, 32).mbr >= study.point(name, 16).mbr
+
+    def test_pa_highest_rur(self, study):
+        """'PIM-Assembler has the highest RUR with up to ~65% when k=16'."""
+        for k in FIG11_K_VALUES:
+            pa = study.point("P-A", k).rur
+            for name in study.platforms():
+                assert study.point(name, k).rur <= pa
+        assert study.point("P-A", 16).rur_percent == pytest.approx(65.0, abs=4.0)
+
+    def test_pim_rur_above_45_percent_at_k16(self, study):
+        """'PIM solutions give a higher ratio (>45%) compared to the GPU'."""
+        for name in ("P-A", "Ambit", "D3", "D1"):
+            assert study.point(name, 16).rur_percent > 45.0
+
+    def test_gpu_rur_lowest(self, study):
+        for k in FIG11_K_VALUES:
+            gpu = study.point("GPU", k).rur
+            for name in study.platforms():
+                assert study.point(name, k).rur >= gpu
+
+
+class TestValidation:
+    def test_point_bounds(self):
+        with pytest.raises(ValueError):
+            MemoryWallPoint(platform="x", k=16, mbr=1.5, rur=0.5)
+        with pytest.raises(ValueError):
+            MemoryWallPoint(platform="x", k=16, mbr=0.5, rur=-0.1)
+
+    def test_percent_properties(self):
+        p = MemoryWallPoint(platform="x", k=16, mbr=0.25, rur=0.5)
+        assert p.mbr_percent == 25.0
+        assert p.rur_percent == 50.0

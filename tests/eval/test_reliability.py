@@ -1,0 +1,57 @@
+"""Table I harness: rows, orderings, formatting."""
+
+import pytest
+
+from repro.dram.variation import TABLE_I_LEVELS
+from repro.eval.reliability import format_table, run_reliability_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_reliability_table(trials=10_000)
+
+
+class TestTable:
+    def test_covers_all_levels(self, table):
+        assert {row.variation_percent for row in table.rows} == set(TABLE_I_LEVELS)
+
+    def test_ordering_holds_at_every_level(self, table):
+        """Two-row activation never worse than TRA — the headline."""
+        assert table.all_orderings_hold
+
+    def test_row_lookup(self, table):
+        row = table.row(10.0)
+        assert row.variation_percent == 10.0
+        with pytest.raises(KeyError):
+            table.row(99.0)
+
+    def test_paper_reference_values_attached(self, table):
+        row = table.row(10.0)
+        assert row.paper_tra == 0.18
+        assert row.paper_two_row == 0.00
+
+    def test_clean_at_five_percent(self, table):
+        row = table.row(5.0)
+        assert row.tra_error_percent < 0.1
+        assert row.two_row_error_percent < 0.1
+
+    def test_monotone_degradation(self, table):
+        tra = [table.row(l).tra_error_percent for l in TABLE_I_LEVELS]
+        two = [table.row(l).two_row_error_percent for l in TABLE_I_LEVELS]
+        assert tra == sorted(tra)
+        assert two == sorted(two)
+
+    def test_reproducible(self):
+        a = run_reliability_table(trials=3000, seed=5)
+        b = run_reliability_table(trials=3000, seed=5)
+        assert [r.tra_error_percent for r in a.rows] == [
+            r.tra_error_percent for r in b.rows
+        ]
+
+
+class TestFormatting:
+    def test_renders_all_rows(self, table):
+        text = format_table(table)
+        for level in TABLE_I_LEVELS:
+            assert f"{level:.0f}%" in text
+        assert "TRA" in text and "2-Row" in text

@@ -1,0 +1,70 @@
+"""Machine-generated evaluation report and claim checks."""
+
+import pytest
+
+from repro.eval.reporting import (
+    ClaimCheck,
+    collect_claims,
+    generate_report,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def claims():
+    return collect_claims()
+
+
+class TestClaims:
+    def test_every_quoted_claim_holds(self, claims):
+        failing = [c.claim for c in claims if not c.holds]
+        assert not failing, f"claims failing: {failing}"
+
+    def test_covers_all_experiment_families(self, claims):
+        text = " ".join(c.claim for c in claims)
+        for token in (
+            "XNOR throughput",
+            "two-row",
+            "area",
+            "transient",
+            "hashmap",
+            "power",
+            "parallelism",
+            "memory-bottleneck",
+            "utilisation",
+        ):
+            assert token in text, token
+
+    def test_claim_row_rendering(self):
+        check = ClaimCheck(
+            claim="x", paper_value="1", measured_value="2", holds=False
+        )
+        assert "NO" in check.row()
+        good = ClaimCheck(
+            claim="x", paper_value="1", measured_value="1", holds=True
+        )
+        assert "yes" in good.row()
+
+
+class TestReport:
+    def test_report_contains_every_section(self):
+        report = generate_report()
+        for heading in (
+            "Claim checks",
+            "Fig. 3b",
+            "Table I",
+            "Fig. 9",
+            "Fig. 10",
+            "Fig. 11",
+            "Area overhead",
+        ):
+            assert heading in report
+
+    def test_report_summarises_pass_count(self):
+        report = generate_report()
+        assert "/14 claims hold" in report
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "sub" / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# PIM-Assembler")

@@ -1,0 +1,52 @@
+"""Table rendering of the experiment artefacts."""
+
+import pytest
+
+from repro.eval.execution import run_all
+from repro.eval.memory_wall import run_memory_wall_study
+from repro.eval.tables import (
+    format_execution,
+    format_memory_wall,
+    format_speedups,
+    format_throughput,
+    format_tradeoff,
+)
+from repro.eval.throughput import run_throughput_sweep
+from repro.eval.tradeoffs import run_tradeoff_sweep
+from repro.eval.workloads import chr14_workload
+from repro.platforms import assembly_platforms
+
+
+class TestFormatters:
+    def test_throughput_table(self):
+        text = format_throughput(run_throughput_sweep())
+        assert "P-A" in text and "Ambit" in text and "Tbit/s" in text
+
+    def test_execution_table(self):
+        results = run_all(assembly_platforms(), chr14_workload(16))
+        text = format_execution(results)
+        assert "hashmap" in text and "k=16" in text
+        for name in ("GPU", "P-A", "Ambit", "D3", "D1"):
+            assert name in text
+
+    def test_execution_empty(self):
+        assert "no results" in format_execution([])
+
+    def test_speedups(self):
+        results = run_all(assembly_platforms(), chr14_workload(16))
+        text = format_speedups(results)
+        assert "GPU/P-A" in text and "x" in text
+
+    def test_speedups_missing_baseline(self):
+        results = run_all(assembly_platforms(), chr14_workload(16))
+        with pytest.raises(KeyError):
+            format_speedups(results, baseline="TPU")
+
+    def test_tradeoff_table(self):
+        text = format_tradeoff(run_tradeoff_sweep())
+        assert "optimum Pd" in text
+        assert "delay(s)" in text
+
+    def test_memory_wall_table(self):
+        text = format_memory_wall(run_memory_wall_study())
+        assert "MBR@k=16" in text and "RUR@k=32" in text

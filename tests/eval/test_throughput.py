@@ -1,0 +1,55 @@
+"""Fig. 3b throughput sweep and the headline ratios."""
+
+import pytest
+
+from repro.eval.throughput import (
+    FIG3B_PLATFORMS,
+    headline_ratios,
+    run_throughput_sweep,
+)
+from repro.eval.workloads import MicrobenchWorkload
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_throughput_sweep()
+
+
+class TestSweep:
+    def test_covers_all_platforms_and_ops(self, sweep):
+        platforms = {p.platform for p in sweep.points}
+        assert platforms == set(FIG3B_PLATFORMS)
+        ops = {p.operation for p in sweep.points}
+        assert ops == {"xnor", "add"}
+
+    def test_covers_three_vector_lengths(self, sweep):
+        lengths = {p.vector_bits for p in sweep.points}
+        assert lengths == {2**27, 2**28, 2**29}
+
+    def test_series_lookup(self, sweep):
+        series = sweep.series("P-A", "xnor")
+        assert len(series) == 3
+        assert all(p.platform == "P-A" for p in series)
+
+    def test_average_requires_data(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.average_bps("TPU", "xnor")
+
+    def test_custom_workload(self):
+        small = run_throughput_sweep(workload=MicrobenchWorkload(vector_bits=(1024,)))
+        assert {p.vector_bits for p in small.points} == {1024}
+
+
+class TestHeadlineRatios:
+    def test_paper_values(self, sweep):
+        ratios = headline_ratios(sweep)
+        assert ratios["xnor_vs_cpu"] == pytest.approx(8.4, rel=0.02)
+        assert ratios["xnor_vs_ambit"] == pytest.approx(2.33, rel=0.02)
+        assert ratios["xnor_vs_d1"] == pytest.approx(1.9, rel=0.02)
+        assert ratios["xnor_vs_d3"] == pytest.approx(3.7, rel=0.02)
+
+    def test_pim_average_near_2_3(self, sweep):
+        """Abstract: '2.3x higher throughput ... compared with ...
+        recent processing-in-DRAM platforms' (averaged)."""
+        ratios = headline_ratios(sweep)
+        assert 2.0 < ratios["xnor_vs_pim_avg"] < 3.0

@@ -1,0 +1,65 @@
+"""Fig. 10 power/delay trade-off sweep."""
+
+import pytest
+
+from repro.eval.tradeoffs import TradeoffStudy, run_tradeoff_sweep
+from repro.mapping.parallelism import PAPER_PD_VALUES
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_tradeoff_sweep()
+
+
+class TestSweep:
+    def test_covers_paper_grid(self, sweep):
+        assert {p.k for p in sweep.points} == {16, 32}
+        for k in (16, 32):
+            assert [p.pd for p in sweep.series(k)] == list(PAPER_PD_VALUES)
+
+    def test_delay_monotone_decreasing(self, sweep):
+        for k in (16, 32):
+            delays = [p.delay_s for p in sweep.series(k)]
+            assert delays == sorted(delays, reverse=True)
+
+    def test_power_monotone_increasing(self, sweep):
+        for k in (16, 32):
+            powers = [p.power_w for p in sweep.series(k)]
+            assert powers == sorted(powers)
+
+    def test_power_independent_of_k(self, sweep):
+        """Fig. 10 shows one power curve: power is set by Pd."""
+        for pd in PAPER_PD_VALUES:
+            p16 = next(p for p in sweep.series(16) if p.pd == pd)
+            p32 = next(p for p in sweep.series(32) if p.pd == pd)
+            assert p16.power_w == pytest.approx(p32.power_w)
+
+    def test_optimum_is_pd2(self, sweep):
+        """Paper: 'the optimum performance ... where Pd ~= 2'."""
+        assert sweep.optimum_pd(16) == 2
+        assert sweep.optimum_pd(32) == 2
+
+    def test_base_power_near_38w(self, sweep):
+        base = next(p for p in sweep.series(16) if p.pd == 1)
+        assert base.power_w == pytest.approx(38.4, rel=0.05)
+
+    def test_power_axis_scale(self, sweep):
+        """Fig. 10's power axis tops out around 300 W at Pd=8."""
+        top = next(p for p in sweep.series(16) if p.pd == 8)
+        assert 150 < top.power_w < 320
+
+    def test_energy_property(self, sweep):
+        point = sweep.series(16)[0]
+        assert point.energy_j == pytest.approx(point.delay_s * point.power_w)
+
+    def test_missing_k_raises(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.optimum_pd(26)
+
+
+class TestStudyConfig:
+    def test_custom_grid(self):
+        study = TradeoffStudy(k_values=(22,), pd_values=(1, 2))
+        sweep = study.run()
+        assert {p.k for p in sweep.points} == {22}
+        assert [p.pd for p in sweep.series(22)] == [1, 2]

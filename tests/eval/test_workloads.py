@@ -1,0 +1,124 @@
+"""Workload models: micro-benchmark vectors and the chr14 op counts."""
+
+import pytest
+
+from repro.assembly.hashmap import SoftwareKmerCounter
+from repro.eval.workloads import (
+    MICROBENCH_VECTOR_BITS,
+    AssemblyWorkload,
+    MicrobenchWorkload,
+    chr14_workload,
+    scaled_workload,
+)
+from repro.genome import ReadSimulator, synthetic_chromosome
+
+
+class TestMicrobench:
+    def test_paper_vector_lengths(self):
+        assert MICROBENCH_VECTOR_BITS == (2**27, 2**28, 2**29)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicrobenchWorkload(vector_bits=())
+        with pytest.raises(ValueError):
+            MicrobenchWorkload(vector_bits=(0,))
+
+
+class TestChr14Counts:
+    def test_paper_parameters(self):
+        w = chr14_workload(16)
+        assert w.read_count == 45_711_162
+        assert w.read_length == 101
+        assert w.genome_length == 88_000_000
+
+    def test_kmers_per_read(self):
+        assert chr14_workload(16).kmers_per_read == 86
+        assert chr14_workload(32).kmers_per_read == 70
+
+    def test_total_kmers_scale(self):
+        w = chr14_workload(16)
+        assert w.total_kmers == 45_711_162 * 86
+
+    def test_coverage_is_about_52x(self):
+        assert chr14_workload(16).coverage == pytest.approx(52.5, rel=0.02)
+
+    def test_memory_footprint_matches_paper(self):
+        """'total memory requirement ~9.2GB' — reads dominate; our
+        full-footprint estimate must land in the same range."""
+        w = chr14_workload(16)
+        assert 1.0e9 < w.reads_bytes < 1.3e9  # 2-bit packed reads
+        assert 1e9 < w.total_bytes < 15e9
+
+    def test_unique_kmers_bounded_by_genome(self):
+        for k in (16, 22, 26, 32):
+            w = chr14_workload(k)
+            assert 0 < w.unique_kmers <= w.genome_length
+
+    def test_unique_kmers_grow_with_k(self):
+        """Longer k-mers resolve repeats -> more distinct keys."""
+        uniques = [chr14_workload(k).unique_kmers for k in (16, 22, 26, 32)]
+        assert uniques == sorted(uniques)
+
+    def test_duplicate_fraction_is_high(self):
+        """~50x coverage -> the vast majority of queries are hits."""
+        w = chr14_workload(16)
+        assert w.duplicate_fraction > 0.95
+
+    def test_small_k_bounded_by_keyspace(self):
+        w = AssemblyWorkload(
+            genome_length=10_000, read_count=100, read_length=50, k=4
+        )
+        assert w.unique_kmers <= 4**4
+
+    def test_graph_size(self):
+        w = chr14_workload(16)
+        assert w.graph_edges == w.unique_kmers
+        assert w.graph_nodes <= w.graph_edges
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AssemblyWorkload(k=1)
+        with pytest.raises(ValueError):
+            AssemblyWorkload(k=200)
+        with pytest.raises(ValueError):
+            AssemblyWorkload(read_count=0)
+
+
+class TestScaledWorkload:
+    def test_scaling(self):
+        w = scaled_workload(1e-4, k=16)
+        assert w.read_count == int(45_711_162 * 1e-4)
+        assert w.k == 16
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            scaled_workload(0.0, 16)
+        with pytest.raises(ValueError):
+            scaled_workload(1.5, 16)
+
+
+class TestModelAgainstFunctionalRun:
+    """The analytic op-count formulas must track a real small run."""
+
+    def test_total_kmers_exact(self):
+        genome = synthetic_chromosome(5000, seed=71)
+        sim = ReadSimulator(read_length=60, seed=72)
+        reads = sim.sample(genome, 300)
+        w = AssemblyWorkload(
+            genome_length=5000, read_count=300, read_length=60, k=15
+        )
+        actual = sum(r.sequence.kmer_count(15) for r in reads)
+        assert actual == w.total_kmers
+
+    def test_unique_kmers_within_20_percent(self):
+        genome = synthetic_chromosome(20_000, seed=73)
+        sim = ReadSimulator(read_length=80, seed=74)
+        count = sim.reads_for_coverage(20_000, 40)
+        reads = sim.sample(genome, count)
+        counter = SoftwareKmerCounter(16)
+        counter.add_reads(reads)
+        w = AssemblyWorkload(
+            genome_length=20_000, read_count=count, read_length=80, k=16
+        )
+        actual_unique = len(counter)
+        assert abs(actual_unique - w.unique_kmers) / actual_unique < 0.20

@@ -1,0 +1,101 @@
+"""2-bit DNA alphabet: the paper's Fig. 7 encoding and conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.genome import alphabet
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+
+
+class TestPaperEncoding:
+    def test_fig7_code_table(self):
+        """Fig. 7: T=00, G=01, A=10, C=11."""
+        assert alphabet.encode_base("T") == 0b00
+        assert alphabet.encode_base("G") == 0b01
+        assert alphabet.encode_base("A") == 0b10
+        assert alphabet.encode_base("C") == 0b11
+
+    def test_decode_base(self):
+        for i, base in enumerate("TGAC"):
+            assert alphabet.decode_base(i) == base
+
+    def test_decode_base_bounds(self):
+        with pytest.raises(ValueError):
+            alphabet.decode_base(4)
+
+    def test_encode_base_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            alphabet.encode_base("N")
+
+
+class TestVectorised:
+    @given(dna)
+    def test_encode_decode_roundtrip(self, text):
+        assert alphabet.decode(alphabet.encode(text)) == text
+
+    @given(dna)
+    def test_bits_roundtrip(self, text):
+        codes = alphabet.encode(text)
+        bits = alphabet.codes_to_bits(codes)
+        assert bits.size == 2 * len(text)
+        assert (alphabet.bits_to_codes(bits) == codes).all()
+
+    @given(dna)
+    def test_string_bits_roundtrip(self, text):
+        assert alphabet.decode_from_bits(alphabet.encode_to_bits(text)) == text
+
+    def test_lsb_first_option(self):
+        bits_msb = alphabet.encode_to_bits("A", msb_first=True)
+        bits_lsb = alphabet.encode_to_bits("A", msb_first=False)
+        assert (bits_msb == bits_lsb[::-1]).all()
+        assert alphabet.decode_from_bits(bits_lsb, msb_first=False) == "A"
+
+    def test_encode_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            alphabet.encode("ACGX")
+
+    def test_bits_to_codes_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            alphabet.bits_to_codes(np.array([1], dtype=np.uint8))
+
+    def test_bits_to_codes_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            alphabet.bits_to_codes(np.array([2, 0], dtype=np.uint8))
+
+    def test_empty(self):
+        assert alphabet.decode(alphabet.encode("")) == ""
+
+
+class TestComplement:
+    @given(dna)
+    def test_reverse_complement_involution(self, text):
+        rc = alphabet.reverse_complement
+        assert rc(rc(text)) == text
+
+    def test_known_value(self):
+        assert alphabet.reverse_complement("AACGTT") == "AACGTT"
+        assert alphabet.reverse_complement("AAA") == "TTT"
+        assert alphabet.reverse_complement("GATC") == "GATC"
+
+    @given(dna)
+    def test_code_space_matches_string_space(self, text):
+        codes = alphabet.encode(text)
+        rc_codes = alphabet.reverse_complement_codes(codes)
+        assert alphabet.decode(rc_codes) == alphabet.reverse_complement(text)
+
+    def test_complement_code_pairs(self):
+        """A<->T and C<->G in code space."""
+        for base in "ACGT":
+            code = alphabet.encode_base(base)
+            comp = alphabet.COMPLEMENT_CODE[code]
+            assert alphabet.decode_base(int(comp)) == alphabet.complement_base(base)
+
+
+class TestValidation:
+    def test_is_valid_sequence(self):
+        assert alphabet.is_valid_sequence("ACGT")
+        assert not alphabet.is_valid_sequence("ACGN")
+        assert alphabet.is_valid_sequence("")
+        assert not alphabet.is_valid_sequence("acgt")  # lower case invalid

@@ -1,0 +1,119 @@
+"""FASTA/FASTQ IO: roundtrips, wrapping, gap splitting, malformed input."""
+
+import io
+
+import pytest
+
+from repro.genome.io_fasta import (
+    FastaRecord,
+    FastqRecord,
+    read_fasta,
+    read_fasta_contigs,
+    read_fastq,
+    validate_records,
+    write_fasta,
+    write_fastq,
+)
+
+
+def roundtrip_fasta(records, **kwargs):
+    buf = io.StringIO()
+    write_fasta(buf, records, **kwargs)
+    buf.seek(0)
+    return read_fasta(buf)
+
+
+class TestFasta:
+    def test_roundtrip_multi_record(self):
+        records = [
+            FastaRecord("a", "ACGT" * 30, "first record"),
+            FastaRecord("b", "GGCC"),
+        ]
+        out = roundtrip_fasta(records)
+        assert [(r.name, r.sequence, r.description) for r in out] == [
+            ("a", "ACGT" * 30, "first record"),
+            ("b", "GGCC", ""),
+        ]
+
+    def test_wrapping(self):
+        buf = io.StringIO()
+        write_fasta(buf, [FastaRecord("x", "A" * 100)], width=10)
+        lines = buf.getvalue().strip().split("\n")
+        assert len(lines) == 11  # header + 10 sequence lines
+        assert all(len(l) == 10 for l in lines[1:])
+
+    def test_write_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            write_fasta(io.StringIO(), [], width=0)
+
+    def test_lower_case_is_upcased(self):
+        buf = io.StringIO(">x\nacgt\n")
+        assert read_fasta(buf)[0].sequence == "ACGT"
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_fasta(io.StringIO("ACGT\n>x\n"))
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_fasta(io.StringIO(">\nACGT\n"))
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "ref.fa"
+        write_fasta(path, [FastaRecord("chr", "ACGTACGT")])
+        assert read_fasta(path)[0].sequence == "ACGTACGT"
+
+    def test_to_dna(self):
+        assert str(FastaRecord("x", "ACG").to_dna()) == "ACG"
+
+
+class TestGapSplitting:
+    def test_splits_on_n_runs(self):
+        buf = io.StringIO(">x\nACGTNNNNGGCCNTT\n")
+        contigs = read_fasta_contigs(buf)
+        assert [str(c) for c in contigs] == ["ACGT", "GGCC", "TT"]
+
+    def test_no_gaps_single_contig(self):
+        buf = io.StringIO(">x\nACGT\n")
+        assert len(read_fasta_contigs(buf)) == 1
+
+    def test_all_gaps_no_contigs(self):
+        buf = io.StringIO(">x\nNNNN\n")
+        assert read_fasta_contigs(buf) == []
+
+
+class TestFastq:
+    def test_roundtrip(self):
+        records = [FastqRecord("r1", "ACGT", "IIII"), FastqRecord("r2", "GG")]
+        buf = io.StringIO()
+        write_fastq(buf, records)
+        buf.seek(0)
+        out = read_fastq(buf)
+        assert out[0].sequence == "ACGT"
+        assert out[0].quality == "IIII"
+        assert out[1].quality == "II"  # default quality filled in
+
+    def test_quality_length_mismatch_on_construction(self):
+        with pytest.raises(ValueError):
+            FastqRecord("r", "ACGT", "II")
+
+    def test_malformed_header(self):
+        with pytest.raises(ValueError):
+            read_fastq(io.StringIO("r1\nACGT\n+\nIIII\n"))
+
+    def test_malformed_plus_line(self):
+        with pytest.raises(ValueError):
+            read_fastq(io.StringIO("@r1\nACGT\nX\nIIII\n"))
+
+    def test_quality_mismatch_on_read(self):
+        with pytest.raises(ValueError):
+            read_fastq(io.StringIO("@r1\nACGT\n+\nII\n"))
+
+
+class TestValidation:
+    def test_validate_accepts_clean(self):
+        validate_records([FastaRecord("x", "ACGT")])
+
+    def test_validate_rejects_n(self):
+        with pytest.raises(ValueError):
+            validate_records([FastaRecord("x", "ACGN")])

@@ -1,0 +1,103 @@
+"""Paired-end read simulation."""
+
+import pytest
+
+from repro.genome.paired import PairedReadSimulator, ReadPair, all_reads
+from repro.genome.reference import synthetic_chromosome
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return synthetic_chromosome(5000, seed=211)
+
+
+class TestSampling:
+    def test_left_mate_is_forward_window(self, reference):
+        sim = PairedReadSimulator(read_length=50, insert_mean=300, seed=1)
+        for pair in sim.sample(reference, 50):
+            assert str(pair.left.sequence) == str(
+                reference[pair.left.start : pair.left.start + 50]
+            )
+
+    def test_right_mate_is_reverse_of_insert_end(self, reference):
+        sim = PairedReadSimulator(read_length=50, insert_mean=300, seed=2)
+        for pair in sim.sample(reference, 50):
+            window = reference[pair.right.start : pair.right.start + 50]
+            assert pair.right.sequence == window.reverse_complement()
+            assert pair.right.reverse
+
+    def test_insert_geometry(self, reference):
+        sim = PairedReadSimulator(read_length=50, insert_mean=300, seed=3)
+        for pair in sim.sample(reference, 50):
+            assert pair.right.start + 50 - pair.left.start == pair.insert_size
+
+    def test_insert_size_distribution(self, reference):
+        sim = PairedReadSimulator(
+            read_length=50, insert_mean=400, insert_sd=40, seed=4
+        )
+        inserts = [p.insert_size for p in sim.sample(reference, 400)]
+        mean = sum(inserts) / len(inserts)
+        assert abs(mean - 400) < 15
+
+    def test_gap_property(self, reference):
+        sim = PairedReadSimulator(read_length=50, insert_mean=300, seed=5)
+        pair = sim.sample(reference, 1)[0]
+        assert pair.gap == pair.insert_size - 100
+
+    def test_deterministic(self, reference):
+        a = PairedReadSimulator(read_length=40, insert_mean=200, seed=7).sample(
+            reference, 10
+        )
+        b = PairedReadSimulator(read_length=40, insert_mean=200, seed=7).sample(
+            reference, 10
+        )
+        assert [p.insert_size for p in a] == [p.insert_size for p in b]
+
+    def test_error_rate(self, reference):
+        sim = PairedReadSimulator(
+            read_length=100, insert_mean=300, seed=8, error_rate=0.05
+        )
+        mismatches = 0
+        pairs = sim.sample(reference, 50)
+        for pair in pairs:
+            original = reference.codes[pair.left.start : pair.left.start + 100]
+            mismatches += int((pair.left.sequence.codes != original).sum())
+        rate = mismatches / (50 * 100)
+        assert 0.02 < rate < 0.09
+
+    def test_coverage_planning(self):
+        sim = PairedReadSimulator(read_length=100, insert_mean=300)
+        assert sim.pairs_for_coverage(10_000, 20.0) == 1000
+
+    def test_all_reads_flattens(self, reference):
+        sim = PairedReadSimulator(read_length=50, insert_mean=300, seed=9)
+        pairs = sim.sample(reference, 10)
+        reads = all_reads(pairs)
+        assert len(reads) == 20
+        assert reads[0].name.endswith("/1") and reads[1].name.endswith("/2")
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PairedReadSimulator(read_length=0)
+        with pytest.raises(ValueError):
+            PairedReadSimulator(read_length=100, insert_mean=50)
+        with pytest.raises(ValueError):
+            PairedReadSimulator(insert_sd=-1.0)
+        with pytest.raises(ValueError):
+            PairedReadSimulator(error_rate=1.0)
+
+    def test_rejects_short_reference(self):
+        sim = PairedReadSimulator(read_length=50, insert_mean=300)
+        tiny = synthetic_chromosome(1000, seed=1)[:200]
+        with pytest.raises(ValueError):
+            sim.sample(tiny, 5)
+
+    def test_read_pair_validation(self, reference):
+        sim = PairedReadSimulator(read_length=50, insert_mean=300, seed=10)
+        pair = sim.sample(reference, 1)[0]
+        with pytest.raises(ValueError):
+            ReadPair(
+                name="bad", left=pair.left, right=pair.right, insert_size=10
+            )

@@ -1,0 +1,133 @@
+"""Short-read simulation: sampling, errors, strands, coverage."""
+
+import numpy as np
+import pytest
+
+from repro.genome.reads import Read, ReadSimulator, coverage_histogram
+from repro.genome.reference import synthetic_chromosome
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return synthetic_chromosome(3000, seed=77)
+
+
+class TestSampling:
+    def test_reads_match_reference(self, reference):
+        sim = ReadSimulator(read_length=50, seed=1)
+        for read in sim.sample(reference, 100):
+            assert str(read.sequence) == str(
+                reference[read.start : read.start + 50]
+            )
+
+    def test_read_count_and_length(self, reference):
+        sim = ReadSimulator(read_length=40, seed=2)
+        reads = sim.sample(reference, 25)
+        assert len(reads) == 25
+        assert all(len(r) == 40 for r in reads)
+
+    def test_deterministic_per_seed(self, reference):
+        a = ReadSimulator(read_length=30, seed=5).sample(reference, 10)
+        b = ReadSimulator(read_length=30, seed=5).sample(reference, 10)
+        assert [r.start for r in a] == [r.start for r in b]
+
+    def test_starts_within_bounds(self, reference):
+        sim = ReadSimulator(read_length=100, seed=3)
+        for read in sim.sample(reference, 200):
+            assert 0 <= read.start <= len(reference) - 100
+
+    def test_rejects_short_reference(self):
+        sim = ReadSimulator(read_length=200)
+        tiny = synthetic_chromosome(1000, seed=1)[:100]
+        with pytest.raises(ValueError):
+            sim.sample(tiny, 5)
+
+    def test_rejects_zero_count(self, reference):
+        with pytest.raises(ValueError):
+            ReadSimulator().sample(reference, 0)
+
+    def test_lazy_iteration(self, reference):
+        sim = ReadSimulator(read_length=30, seed=4)
+        iterator = sim.iter_sample(reference, 5)
+        first = next(iterator)
+        assert isinstance(first, Read)
+
+
+class TestCoveragePlanning:
+    def test_reads_for_coverage(self):
+        sim = ReadSimulator(read_length=100)
+        assert sim.reads_for_coverage(10_000, 30.0) == 3000
+
+    def test_minimum_one_read(self):
+        sim = ReadSimulator(read_length=100)
+        assert sim.reads_for_coverage(10, 0.001) == 1
+
+    def test_mean_coverage_close_to_target(self, reference):
+        sim = ReadSimulator(read_length=50, seed=6)
+        count = sim.reads_for_coverage(len(reference), 20)
+        reads = sim.sample(reference, count)
+        cover = coverage_histogram(reads, len(reference))
+        # interior positions (edges are under-covered by construction)
+        interior = cover[100:-100]
+        assert abs(interior.mean() - 20) < 3
+
+
+class TestErrorModel:
+    def test_error_free_by_default(self, reference):
+        sim = ReadSimulator(read_length=60, seed=7)
+        for read in sim.sample(reference, 20):
+            assert str(read.sequence) == str(
+                reference[read.start : read.start + 60]
+            )
+
+    def test_error_rate_applied(self, reference):
+        sim = ReadSimulator(read_length=100, seed=8, error_rate=0.05)
+        reads = sim.sample(reference, 100)
+        mismatches = 0
+        for read in reads:
+            original = reference.codes[read.start : read.start + 100]
+            mismatches += int((read.sequence.codes != original).sum())
+        rate = mismatches / (100 * 100)
+        assert 0.02 < rate < 0.09
+
+    def test_errors_are_substitutions_not_identity(self, reference):
+        """An 'error' must change the base (never a silent no-op)."""
+        sim = ReadSimulator(read_length=100, seed=9, error_rate=1.0 - 1e-9)
+        read = sim.sample(reference, 1)[0]
+        original = reference.codes[read.start : read.start + 100]
+        assert (read.sequence.codes != original).all()
+
+    def test_rejects_bad_error_rate(self):
+        with pytest.raises(ValueError):
+            ReadSimulator(error_rate=1.0)
+
+
+class TestReverseStrand:
+    def test_reverse_reads_are_rc_of_reference(self, reference):
+        sim = ReadSimulator(read_length=50, seed=10, sample_reverse=True)
+        reads = sim.sample(reference, 200)
+        reverse = [r for r in reads if r.reverse]
+        assert reverse, "with 200 samples some must be reverse"
+        for read in reverse[:10]:
+            window = reference[read.start : read.start + 50]
+            assert read.sequence == window.reverse_complement()
+
+    def test_roughly_half_reverse(self, reference):
+        sim = ReadSimulator(read_length=50, seed=11, sample_reverse=True)
+        reads = sim.sample(reference, 500)
+        fraction = sum(r.reverse for r in reads) / len(reads)
+        assert 0.4 < fraction < 0.6
+
+
+class TestCoverageHistogram:
+    def test_counts_intervals(self):
+        reads = [
+            Read("a", synthetic_chromosome(1000, seed=1)[0:10], start=0),
+            Read("b", synthetic_chromosome(1000, seed=1)[5:15], start=5),
+        ]
+        cover = coverage_histogram(reads, 20)
+        assert cover[0] == 1 and cover[7] == 2 and cover[15] == 0
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            coverage_histogram([], 0)

@@ -1,0 +1,96 @@
+"""Synthetic reference generation (the chr14 surrogate)."""
+
+import pytest
+
+from repro.genome.kmer import count_kmers
+from repro.genome.reference import (
+    CHR14_GC,
+    CHR14_LENGTH,
+    RepeatSpec,
+    chr14_surrogate,
+    from_string,
+    synthetic_chromosome,
+)
+
+
+class TestSyntheticChromosome:
+    def test_length(self):
+        assert len(synthetic_chromosome(5000, seed=1)) == 5000
+
+    def test_deterministic_per_seed(self):
+        a = synthetic_chromosome(2000, seed=9)
+        b = synthetic_chromosome(2000, seed=9)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = synthetic_chromosome(2000, seed=1)
+        b = synthetic_chromosome(2000, seed=2)
+        assert a != b
+
+    def test_gc_content_near_target(self):
+        seq = synthetic_chromosome(50_000, seed=3, gc_content=0.41)
+        assert abs(seq.gc_content() - 0.41) < 0.02
+
+    def test_high_gc_target(self):
+        seq = synthetic_chromosome(50_000, seed=3, gc_content=0.65)
+        assert abs(seq.gc_content() - 0.65) < 0.02
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            synthetic_chromosome(0)
+        with pytest.raises(ValueError):
+            synthetic_chromosome(100, gc_content=1.0)
+
+    def test_repeats_create_kmer_multiplicity(self):
+        """Dispersed repeats must make some k-mers occur many times —
+        the property that makes de Bruijn graphs branch."""
+        heavy = RepeatSpec(dispersed_fraction=0.3, dispersed_element_length=200)
+        seq = synthetic_chromosome(30_000, seed=5, repeats=heavy)
+        counts = count_kmers(seq, 21)
+        max_count = max(counts.values())
+        assert max_count >= 5  # repeat copies share 21-mers
+
+    def test_no_repeats_mostly_unique(self):
+        clean = RepeatSpec(dispersed_fraction=0.0, tandem_fraction=0.0)
+        seq = synthetic_chromosome(20_000, seed=6, repeats=clean)
+        counts = count_kmers(seq, 21)
+        duplicated = sum(1 for c in counts.values() if c > 1)
+        assert duplicated / len(counts) < 0.01
+
+
+class TestRepeatSpec:
+    def test_rejects_fraction_sum_over_one(self):
+        with pytest.raises(ValueError):
+            RepeatSpec(dispersed_fraction=0.6, tandem_fraction=0.5)
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            RepeatSpec(dispersed_element_length=0)
+        with pytest.raises(ValueError):
+            RepeatSpec(tandem_unit_length=-1)
+
+
+class TestChr14Surrogate:
+    def test_scaled_length(self):
+        seq = chr14_surrogate(scale=1e-4)
+        assert len(seq) == int(CHR14_LENGTH * 1e-4)
+
+    def test_minimum_floor(self):
+        assert len(chr14_surrogate(scale=1e-9)) == 1000
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            chr14_surrogate(scale=0)
+
+    def test_constants(self):
+        assert CHR14_LENGTH == 88_000_000
+        assert CHR14_GC == pytest.approx(0.41)
+
+
+class TestFromString:
+    def test_valid(self):
+        assert str(from_string("ACGT")) == "ACGT"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            from_string("ACGN")

@@ -1,0 +1,105 @@
+"""DnaSequence: immutability, protocol, biology helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.genome.sequence import DnaSequence
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=120)
+nonempty_dna = st.text(alphabet="ACGT", min_size=1, max_size=120)
+
+
+class TestConstruction:
+    @given(dna)
+    def test_str_roundtrip(self, text):
+        assert str(DnaSequence(text)) == text
+
+    def test_from_codes(self):
+        seq = DnaSequence.from_codes(np.array([0, 1, 2, 3], dtype=np.uint8))
+        assert str(seq) == "TGAC"
+
+    @given(dna)
+    def test_bits_roundtrip(self, text):
+        seq = DnaSequence(text)
+        assert DnaSequence.from_bits(seq.to_bits()) == seq
+
+    def test_copy_constructor(self):
+        a = DnaSequence("ACGT")
+        assert DnaSequence(a) == a
+
+    def test_rejects_invalid_codes(self):
+        with pytest.raises(ValueError):
+            DnaSequence(np.array([5], dtype=np.uint8))
+
+    def test_rejects_invalid_text(self):
+        with pytest.raises(ValueError):
+            DnaSequence("ACGU")
+
+    def test_codes_are_read_only(self):
+        seq = DnaSequence("ACGT")
+        with pytest.raises(ValueError):
+            seq.codes[0] = 0
+
+
+class TestSequenceProtocol:
+    def test_len(self):
+        assert len(DnaSequence("ACG")) == 3
+        assert len(DnaSequence("")) == 0
+
+    def test_indexing(self):
+        seq = DnaSequence("ACGT")
+        assert seq[0] == "A"
+        assert seq[-1] == "T"
+
+    def test_slicing(self):
+        seq = DnaSequence("ACGTAC")
+        assert isinstance(seq[1:4], DnaSequence)
+        assert str(seq[1:4]) == "CGT"
+
+    def test_iteration(self):
+        assert list(DnaSequence("ACG")) == ["A", "C", "G"]
+
+    def test_equality_with_string(self):
+        assert DnaSequence("ACGT") == "ACGT"
+        assert DnaSequence("ACGT") != "ACGA"
+
+    def test_hashable(self):
+        assert len({DnaSequence("AC"), DnaSequence("AC"), DnaSequence("AG")}) == 2
+
+    @given(dna, dna)
+    def test_concatenation(self, a, b):
+        assert str(DnaSequence(a) + DnaSequence(b)) == a + b
+
+    def test_concatenation_with_string(self):
+        assert str(DnaSequence("AC") + "GT") == "ACGT"
+
+    def test_repr_truncates(self):
+        assert "..." in repr(DnaSequence("A" * 100))
+        assert "..." not in repr(DnaSequence("ACGT"))
+
+
+class TestBiology:
+    @given(nonempty_dna)
+    def test_reverse_complement_involution(self, text):
+        seq = DnaSequence(text)
+        assert seq.reverse_complement().reverse_complement() == seq
+
+    def test_gc_content(self):
+        assert DnaSequence("GGCC").gc_content() == 1.0
+        assert DnaSequence("AATT").gc_content() == 0.0
+        assert DnaSequence("ACGT").gc_content() == 0.5
+        assert DnaSequence("").gc_content() == 0.0
+
+    def test_kmers(self):
+        kmers = [str(k) for k in DnaSequence("ACGTA").kmers(3)]
+        assert kmers == ["ACG", "CGT", "GTA"]
+
+    @given(nonempty_dna, st.integers(min_value=1, max_value=10))
+    def test_kmer_count_matches_iteration(self, text, k):
+        seq = DnaSequence(text)
+        assert seq.kmer_count(k) == len(list(seq.kmers(k)))
+
+    def test_kmers_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            list(DnaSequence("ACG").kmers(0))

@@ -1,0 +1,102 @@
+"""k-mer spectrum analysis."""
+
+import pytest
+
+from repro.genome import ReadSimulator, synthetic_chromosome
+from repro.genome.sequence import DnaSequence
+from repro.genome.spectrum import (
+    analyse_spectrum,
+    find_coverage_peak,
+    find_error_threshold,
+    format_histogram,
+    kmer_histogram,
+)
+
+
+@pytest.fixture(scope="module")
+def deep_reads():
+    reference = synthetic_chromosome(4000, seed=901)
+    sim = ReadSimulator(read_length=80, seed=902, error_rate=0.004)
+    return reference, sim.sample(reference, sim.reads_for_coverage(4000, 40))
+
+
+class TestHistogram:
+    def test_counts_by_frequency(self):
+        histogram = kmer_histogram([DnaSequence("ACGACGT")], 3)
+        # ACG x2; CGA, GAC, CGT x1
+        assert histogram == {1: 3, 2: 1}
+
+    def test_accepts_reads(self, deep_reads):
+        _, reads = deep_reads
+        histogram = kmer_histogram(reads, 17)
+        assert sum(histogram.values()) > 0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            kmer_histogram([DnaSequence("ACGT")], 0)
+
+    def test_bimodal_shape_on_noisy_reads(self, deep_reads):
+        """Errors create a spike at frequency 1, genome a peak near
+        the coverage — the histogram must be bimodal."""
+        _, reads = deep_reads
+        histogram = kmer_histogram(reads, 17)
+        assert histogram.get(1, 0) > 0
+        high = {f: n for f, n in histogram.items() if f > 10}
+        assert high, "genomic mode missing"
+
+
+class TestThresholdAndPeak:
+    def test_valley_detection(self):
+        histogram = {1: 1000, 2: 200, 3: 40, 4: 60, 5: 100, 6: 80}
+        assert find_error_threshold(histogram) == 4
+
+    def test_monotone_histogram_falls_back(self):
+        histogram = {1: 100, 2: 50, 3: 10}
+        assert find_error_threshold(histogram) == 2
+
+    def test_empty(self):
+        assert find_error_threshold({}) == 2
+
+    def test_peak_above_threshold(self):
+        histogram = {1: 1000, 2: 100, 3: 20, 20: 500, 21: 480}
+        assert find_coverage_peak(histogram, 3) == 20
+
+
+class TestAnalysis:
+    def test_genome_size_estimate(self, deep_reads):
+        reference, reads = deep_reads
+        analysis = analyse_spectrum(reads, 17)
+        estimate = analysis.genome_size_estimate
+        assert abs(estimate - len(reference)) / len(reference) < 0.25
+
+    def test_coverage_peak_near_true_coverage(self, deep_reads):
+        _, reads = deep_reads
+        analysis = analyse_spectrum(reads, 17)
+        # per-kmer coverage ~ coverage * (L-k+1)/L ~ 40 * 0.8 = 32
+        assert 20 < analysis.coverage_peak < 45
+
+    def test_solid_fraction(self, deep_reads):
+        _, reads = deep_reads
+        analysis = analyse_spectrum(reads, 17)
+        assert 0.2 < analysis.solid_fraction() < 1.0
+
+    def test_totals_consistent(self, deep_reads):
+        _, reads = deep_reads
+        analysis = analyse_spectrum(reads, 17)
+        expected_total = sum(r.sequence.kmer_count(17) for r in reads)
+        assert analysis.total_kmers == expected_total
+
+    def test_threshold_feeds_correction(self, deep_reads):
+        """The detected threshold is a sane solid_threshold."""
+        _, reads = deep_reads
+        analysis = analyse_spectrum(reads, 17)
+        assert 2 <= analysis.error_threshold <= 10
+
+
+class TestFormatting:
+    def test_ascii_histogram(self):
+        text = format_histogram({1: 100, 5: 10})
+        assert "1x" in text and "#" in text
+
+    def test_empty_histogram(self):
+        assert "empty" in format_histogram({})

@@ -1,0 +1,92 @@
+"""The Ns = ceil(N/f) sub-array allocation rule."""
+
+import pytest
+
+from repro.dram.geometry import (
+    BankGeometry,
+    DeviceGeometry,
+    MatGeometry,
+    SubArrayGeometry,
+)
+from repro.mapping.allocation import (
+    chips_needed,
+    plan_allocation,
+    subarrays_for_vertices,
+    vertices_per_subarray,
+)
+
+
+PAPER_SUB = SubArrayGeometry()  # 1024 x 256
+
+
+class TestFormula:
+    def test_f_is_min_a_b(self):
+        """f = min(a, b); for 1016 data rows x 256 cols, f = 256."""
+        assert vertices_per_subarray(PAPER_SUB) == 256
+
+    def test_wide_subarray(self):
+        g = SubArrayGeometry(rows=64, cols=512, compute_rows=8)
+        assert vertices_per_subarray(g) == 56  # data rows limit
+
+    def test_ns_ceiling(self):
+        assert subarrays_for_vertices(256, PAPER_SUB) == 1
+        assert subarrays_for_vertices(257, PAPER_SUB) == 2
+        assert subarrays_for_vertices(1024, PAPER_SUB) == 4
+
+    def test_zero_vertices(self):
+        assert subarrays_for_vertices(0, PAPER_SUB) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            subarrays_for_vertices(-1, PAPER_SUB)
+
+
+class TestPlan:
+    def small_device(self):
+        return DeviceGeometry(
+            bank=BankGeometry(
+                mat=MatGeometry(
+                    subarray=SubArrayGeometry(rows=64, cols=32, compute_rows=8),
+                    subarrays_x=2, subarrays_y=2,
+                ),
+                mats_x=2, mats_y=2,
+            ),
+            num_banks=2,
+        )
+
+    def test_feasible_plan(self):
+        device = self.small_device()
+        plan = plan_allocation(100, device)
+        assert plan.feasible
+        assert plan.subarrays_needed == 4  # ceil(100/32)
+        assert 0 < plan.utilisation <= 1.0
+
+    def test_perfect_packing_utilisation(self):
+        device = self.small_device()
+        plan = plan_allocation(64, device)
+        assert plan.utilisation == 1.0
+
+    def test_infeasible_raises(self):
+        device = self.small_device()
+        capacity = device.num_subarrays * 32
+        with pytest.raises(ValueError):
+            plan_allocation(capacity + 1, device)
+
+
+class TestChipsNeeded:
+    def test_single_chip_for_small_graph(self):
+        from repro.dram.geometry import default_geometry
+
+        assert chips_needed(1000, default_geometry()) == 1
+
+    def test_scales_with_graph(self):
+        from repro.dram.geometry import default_geometry
+
+        device = default_geometry()
+        per_chip = device.num_subarrays * 256
+        assert chips_needed(per_chip + 1, device) == 2
+
+    def test_zero_vertices_one_chip(self):
+        from repro.dram.geometry import default_geometry
+
+        assert chips_needed(0, default_geometry()) == 1

@@ -1,0 +1,45 @@
+"""Shared multiplicative hashing for partitioning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mapping.hashing import kmer_partition, mix64
+
+
+class TestMix64:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_stays_in_64_bits(self, value):
+        assert 0 <= mix64(value) < 2**64
+
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mix64(-1)
+
+
+class TestKmerPartition:
+    @given(
+        st.integers(min_value=0, max_value=2**62),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_in_range(self, key, partitions):
+        assert 0 <= kmer_partition(key, partitions) < partitions
+
+    def test_uniformity(self):
+        """Sequential keys must spread (the point of mixing)."""
+        partitions = 16
+        counts = [0] * partitions
+        n = 16_000
+        for key in range(n):
+            counts[kmer_partition(key, partitions)] += 1
+        mean = n / partitions
+        assert all(abs(c - mean) / mean < 0.15 for c in counts)
+
+    def test_single_partition(self):
+        assert kmer_partition(999, 1) == 0
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            kmer_partition(1, 0)

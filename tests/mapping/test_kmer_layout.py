@@ -1,0 +1,116 @@
+"""The Fig. 6 correlated hash-table layout."""
+
+import pytest
+
+from repro.dram.geometry import SubArrayGeometry
+from repro.mapping.kmer_layout import (
+    COUNTER_BITS,
+    KmerLayout,
+    paper_layout,
+    scaled_layout,
+)
+
+
+class TestPaperLayout:
+    def test_fig6_row_budgets(self):
+        layout = paper_layout()
+        assert layout.kmer_rows == 980
+        assert layout.value_rows == 32
+        assert layout.temp_rows == 8
+
+    def test_fits_data_rows(self):
+        layout = paper_layout()
+        total = layout.kmer_rows + layout.value_rows + layout.temp_rows
+        assert total <= layout.geometry.data_rows
+
+    def test_counter_capacity_covers_kmer_slots(self):
+        layout = paper_layout()
+        assert layout.value_capacity >= layout.kmer_rows
+        assert layout.counters_per_row == 256 // COUNTER_BITS
+
+    def test_max_kmer_is_128_bases(self):
+        """'each row stores up to 128 bps' (2 bits per base)."""
+        assert paper_layout().max_kmer_bases == 128
+
+    def test_counter_max(self):
+        assert paper_layout().counter_max == 255
+
+
+class TestRowAddressing:
+    def test_kmer_rows_first(self):
+        layout = paper_layout()
+        assert layout.kmer_row(0) == 0
+        assert layout.kmer_row(979) == 979
+
+    def test_value_region_follows(self):
+        layout = paper_layout()
+        assert layout.value_base == 980
+        row, bit = layout.value_position(0)
+        assert (row, bit) == (980, 0)
+
+    def test_value_position_packing(self):
+        layout = paper_layout()
+        per_row = layout.counters_per_row
+        row, bit = layout.value_position(per_row + 3)
+        assert row == layout.value_base + 1
+        assert bit == 3 * COUNTER_BITS
+
+    def test_temp_region_last(self):
+        layout = paper_layout()
+        assert layout.temp_row(0) == 980 + 32
+        assert layout.temp_row(7) == 980 + 32 + 7
+
+    def test_bounds(self):
+        layout = paper_layout()
+        with pytest.raises(IndexError):
+            layout.kmer_row(980)
+        with pytest.raises(IndexError):
+            layout.temp_row(8)
+        with pytest.raises(IndexError):
+            layout.value_position(-1)
+
+
+class TestScaledLayout:
+    @pytest.mark.parametrize("rows,cols", [(64, 16), (128, 32), (256, 64), (1024, 256)])
+    def test_scales_to_any_geometry(self, rows, cols):
+        geometry = SubArrayGeometry(rows=rows, cols=cols, compute_rows=8)
+        layout = scaled_layout(geometry)
+        assert layout.value_capacity >= layout.kmer_rows
+        total = layout.kmer_rows + layout.value_rows + layout.temp_rows
+        assert total <= geometry.data_rows
+
+    def test_maximises_kmer_region(self):
+        geometry = SubArrayGeometry(rows=1024, cols=256, compute_rows=8)
+        layout = scaled_layout(geometry)
+        # adding one more k-mer row must break a constraint
+        with pytest.raises(ValueError):
+            KmerLayout(
+                geometry=geometry,
+                kmer_rows=layout.kmer_rows + layout.value_rows + layout.temp_rows,
+                value_rows=layout.value_rows,
+                temp_rows=layout.temp_rows,
+            )
+
+    def test_rejects_too_narrow(self):
+        with pytest.raises(ValueError):
+            scaled_layout(SubArrayGeometry(rows=64, cols=4, compute_rows=8))
+
+
+class TestValidation:
+    def test_rejects_overflowing_layout(self):
+        geometry = SubArrayGeometry(rows=64, cols=32, compute_rows=8)
+        with pytest.raises(ValueError):
+            KmerLayout(geometry=geometry, kmer_rows=60, value_rows=16, temp_rows=1)
+
+    def test_rejects_undersized_value_region(self):
+        geometry = SubArrayGeometry(rows=1024, cols=256, compute_rows=8)
+        with pytest.raises(ValueError):
+            KmerLayout(geometry=geometry, kmer_rows=980, value_rows=1, temp_rows=8)
+
+    def test_rejects_counter_bits_not_dividing_row(self):
+        geometry = SubArrayGeometry(rows=64, cols=30, compute_rows=8)
+        with pytest.raises(ValueError):
+            KmerLayout(
+                geometry=geometry, kmer_rows=8, value_rows=4, temp_rows=1,
+                counter_bits=8,
+            )

@@ -1,0 +1,74 @@
+"""The Pd replication model (Fig. 10 trade-off)."""
+
+import pytest
+
+from repro.mapping.parallelism import PAPER_PD_VALUES, ParallelismModel
+
+
+class TestScaling:
+    def test_pd1_is_identity(self):
+        model = ParallelismModel()
+        assert model.speedup(1) == 1.0
+        assert model.delay(10.0, 1) == 10.0
+        assert model.power(1) == model.base_power_w
+
+    def test_delay_decreases_with_pd(self):
+        model = ParallelismModel()
+        delays = [model.delay(10.0, pd) for pd in PAPER_PD_VALUES]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_power_increases_with_pd(self):
+        model = ParallelismModel()
+        powers = [model.power(pd) for pd in PAPER_PD_VALUES]
+        assert powers == sorted(powers)
+
+    def test_speedup_sublinear(self):
+        model = ParallelismModel()
+        assert model.speedup(8) < 8.0
+
+    def test_power_linear(self):
+        model = ParallelismModel(power_per_replica_w=26.0, base_power_w=38.4)
+        assert model.power(4) == pytest.approx(38.4 + 3 * 26.0)
+
+    def test_rejects_bad_pd(self):
+        model = ParallelismModel()
+        with pytest.raises(ValueError):
+            model.speedup(0)
+        with pytest.raises(ValueError):
+            model.delay(10.0, -1)
+
+    def test_rejects_bad_delay(self):
+        with pytest.raises(ValueError):
+            ParallelismModel().delay(0.0, 2)
+
+
+class TestOptimum:
+    def test_paper_optimum_is_pd2(self):
+        """'we determine the optimum performance ... where Pd ~= 2'."""
+        model = ParallelismModel()
+        assert model.optimum_pd(base_delay_s=30.0) == 2
+
+    def test_edp_definition(self):
+        model = ParallelismModel()
+        edp = model.energy_delay_product(10.0, 2)
+        assert edp == pytest.approx(model.power(2) * model.delay(10.0, 2) ** 2)
+
+    def test_zero_overhead_prefers_max_pd(self):
+        """Without replication overhead more parallelism always wins
+        EDP (delay falls 1/pd, power grows ~linearly)."""
+        model = ParallelismModel(replication_overhead=0.0, power_per_replica_w=26.0)
+        assert model.optimum_pd(30.0) == 8
+
+    def test_optimum_requires_candidates(self):
+        with pytest.raises(ValueError):
+            ParallelismModel().optimum_pd(10.0, candidates=())
+
+
+class TestValidation:
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ValueError):
+            ParallelismModel(replication_overhead=-0.1)
+
+    def test_rejects_bad_power(self):
+        with pytest.raises(ValueError):
+            ParallelismModel(base_power_w=0.0)

@@ -1,0 +1,138 @@
+"""Platform throughput models and assembly primitives."""
+
+import pytest
+
+from repro.platforms.base import BandwidthPlatform, InDramPlatform
+from repro.platforms.params import (
+    CPU_POWER,
+    CPU_SPEC,
+    PIM_ASSEMBLER_CYCLES,
+    PIM_ASSEMBLER_POWER,
+    PimCycleCosts,
+)
+
+
+def make_pa(**kwargs):
+    return InDramPlatform(
+        name="P-A", cycles=PIM_ASSEMBLER_CYCLES, power=PIM_ASSEMBLER_POWER, **kwargs
+    )
+
+
+def make_cpu(**kwargs):
+    defaults = dict(query_base_ns=20.0)
+    defaults.update(kwargs)
+    return BandwidthPlatform(name="CPU", spec=CPU_SPEC, power=CPU_POWER, **defaults)
+
+
+class TestInDramThroughput:
+    def test_xnor_throughput_formula(self):
+        p = make_pa()
+        expected = p.activation_bits / (3 * p.aap_ns * 1e-9)
+        assert p.xnor_throughput_bps(2**27) == pytest.approx(expected)
+
+    def test_throughput_independent_of_vector_length(self):
+        """Long vectors pipeline waves; sustained rate is constant."""
+        p = make_pa()
+        assert p.xnor_throughput_bps(2**27) == p.xnor_throughput_bps(2**29)
+
+    def test_lane_factor_does_not_affect_microbenchmark(self):
+        """The Fig. 3b config is identical for every platform."""
+        assert make_pa().xnor_throughput_bps(2**27) == make_pa(
+            lane_factor=2.0
+        ).xnor_throughput_bps(2**27)
+
+    def test_add_slower_than_xnor_for_pa(self):
+        p = make_pa()
+        assert p.add_throughput_bps(2**27) < p.xnor_throughput_bps(2**27)
+
+    def test_row_init_slows_xnor(self):
+        with_init = make_pa()
+        slower = InDramPlatform(
+            name="X",
+            cycles=PimCycleCosts(
+                xnor_cycles=3.0, add_cycles_per_bit=2.0, row_init_cycles=1.0
+            ),
+            power=PIM_ASSEMBLER_POWER,
+        )
+        assert slower.xnor_throughput_bps(1024) < with_init.xnor_throughput_bps(1024)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            make_pa().xnor_throughput_bps(0)
+        with pytest.raises(ValueError):
+            make_pa().add_throughput_bps(1024, word_bits=0)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            make_pa(activation_bits=0)
+        with pytest.raises(ValueError):
+            make_pa(lane_factor=0)
+
+
+class TestInDramPrimitives:
+    def test_compare_ns(self):
+        p = make_pa()
+        assert p.compare_ns() == pytest.approx(3 * p.aap_ns)
+
+    def test_add_ns_scales_with_bits(self):
+        p = make_pa()
+        assert p.add_ns(32) == pytest.approx(4 * 32 * p.aap_ns)
+
+    def test_lanes_scale(self):
+        p = make_pa()
+        assert p.lanes(parallelism_degree=2, chips=10) == pytest.approx(
+            (p.activation_bits / 256) * 2 * 10
+        )
+
+    def test_lanes_reject_bad_args(self):
+        with pytest.raises(ValueError):
+            make_pa().lanes(parallelism_degree=0)
+
+
+class TestBandwidthThroughput:
+    def test_xnor_traffic_factor(self):
+        p = make_cpu()
+        bw = CPU_SPEC.effective_bandwidth_gbps * 1e9
+        assert p.xnor_throughput_bps(2**27) == pytest.approx(bw / 3 * 8)
+
+    def test_query_cost_grows_with_k(self):
+        p = make_cpu(key_width_exponent=1.0)
+        assert p.query_ns(32) > p.query_ns(16)
+
+    def test_query_cost_flat_below_word(self):
+        """k <= 16 keys fit one 32-bit word: same cost."""
+        p = make_cpu()
+        assert p.query_ns(8) == p.query_ns(16)
+
+    def test_query_exponent(self):
+        p = make_cpu(key_width_exponent=1.0)
+        assert p.query_ns(32) == pytest.approx(2 * p.query_ns(16))
+
+    def test_random_probe_cost(self):
+        p = make_cpu()
+        expected = CPU_SPEC.random_access_bytes / (
+            CPU_SPEC.effective_bandwidth_gbps * 1e9
+        ) * 1e9
+        assert p.random_probe_ns() == pytest.approx(expected)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            make_cpu().query_ns(0)
+        with pytest.raises(ValueError):
+            make_cpu(query_base_ns=0.0)
+        with pytest.raises(ValueError):
+            make_cpu(compute_fraction=1.0)
+
+
+class TestThroughputPoint:
+    def test_units(self):
+        p = make_pa()
+        point = p.throughput_point("xnor", 2**27)
+        assert point.tbits_per_second == pytest.approx(
+            point.bits_per_second / 1e12
+        )
+        assert point.platform == "P-A"
+
+    def test_unknown_operation(self):
+        with pytest.raises(ValueError):
+            make_pa().throughput_point("mul", 1024)

@@ -1,0 +1,87 @@
+"""Platform constants: cycle tables, bandwidth specs, power specs."""
+
+import pytest
+
+from repro.core.timing import DEFAULT_TIMING
+from repro.platforms.params import (
+    AAP_NS,
+    AMBIT_CYCLES,
+    CPU_SPEC,
+    DEVICE_ACTIVATION_BITS,
+    DRISA_1T1C_CYCLES,
+    DRISA_3T1C_CYCLES,
+    GPU_SPEC,
+    HMC_SPEC,
+    PIM_ASSEMBLER_CYCLES,
+    BandwidthSpec,
+    PimCycleCosts,
+    PowerSpec,
+)
+
+
+class TestCycleTables:
+    def test_pa_xnor_is_three_cycles(self):
+        """2 staging RowClones + 1 single-cycle compute."""
+        assert PIM_ASSEMBLER_CYCLES.xnor_cycles == 3.0
+
+    def test_ambit_xnor_is_seven_cycles(self):
+        """Quoted verbatim in the paper's introduction."""
+        assert AMBIT_CYCLES.xnor_cycles + AMBIT_CYCLES.row_init_cycles == 7.0
+
+    def test_cycle_ratios_match_paper(self):
+        pa = PIM_ASSEMBLER_CYCLES.xnor_cycles
+        assert AMBIT_CYCLES.xnor_cycles / pa == pytest.approx(7 / 3)
+        assert DRISA_1T1C_CYCLES.xnor_cycles / pa == pytest.approx(1.9)
+        assert DRISA_3T1C_CYCLES.xnor_cycles / pa == pytest.approx(3.7)
+
+    def test_pa_add_total_per_bit(self):
+        """2 compute (sum+carry) + 2 staging per plane."""
+        assert PIM_ASSEMBLER_CYCLES.add_total_cycles_per_bit == 4.0
+
+    def test_aap_latency_consistent_with_timing(self):
+        assert AAP_NS == DEFAULT_TIMING.t_aap
+
+    def test_activation_width(self):
+        """8 banks x 8 KiB row."""
+        assert DEVICE_ACTIVATION_BITS == 8 * 65536
+
+
+class TestBandwidthSpecs:
+    def test_effective_bandwidth(self):
+        spec = BandwidthSpec(
+            peak_bandwidth_gbps=100.0,
+            streaming_efficiency=0.5,
+            random_access_bytes=64.0,
+        )
+        assert spec.effective_bandwidth_gbps == 50.0
+
+    def test_gpu_peak_is_1080ti(self):
+        assert GPU_SPEC.peak_bandwidth_gbps == 484.0
+
+    def test_hmc_is_32_vaults(self):
+        assert HMC_SPEC.peak_bandwidth_gbps == 320.0
+
+    def test_cpu_below_gpu(self):
+        assert (
+            CPU_SPEC.effective_bandwidth_gbps < GPU_SPEC.effective_bandwidth_gbps
+        )
+
+
+class TestPowerSpec:
+    def test_average_power(self):
+        spec = PowerSpec(idle_w=10.0, dynamic_w=100.0)
+        assert spec.average_power_w(0.0) == 10.0
+        assert spec.average_power_w(1.0) == 110.0
+        assert spec.average_power_w(0.5) == 60.0
+
+    def test_rejects_bad_utilisation(self):
+        with pytest.raises(ValueError):
+            PowerSpec(10.0, 100.0).average_power_w(1.5)
+
+
+class TestPimCycleCosts:
+    def test_add_total_includes_staging(self):
+        costs = PimCycleCosts(
+            xnor_cycles=3, add_cycles_per_bit=2, add_stage_cycles_per_bit=2
+        )
+        assert costs.add_total_cycles_per_bit == 4

@@ -1,0 +1,80 @@
+"""Platform registry and the paper's headline throughput ratios."""
+
+import pytest
+
+from repro.platforms import (
+    available_platforms,
+    make_platform,
+    microbenchmark_platforms,
+    assembly_platforms,
+)
+
+
+class TestRegistry:
+    def test_all_seven_platforms(self):
+        assert set(available_platforms()) == {
+            "P-A", "Ambit", "D1", "D3", "CPU", "GPU", "HMC",
+        }
+
+    def test_make_platform_by_label(self):
+        assert make_platform("Ambit").name == "Ambit"
+
+    def test_unknown_label(self):
+        with pytest.raises(ValueError):
+            make_platform("TPU")
+
+    def test_microbenchmark_lineup(self):
+        names = [p.name for p in microbenchmark_platforms()]
+        assert names == ["CPU", "GPU", "HMC", "Ambit", "D1", "D3", "P-A"]
+
+    def test_assembly_lineup(self):
+        names = [p.name for p in assembly_platforms()]
+        assert names == ["GPU", "P-A", "Ambit", "D3", "D1"]
+
+    def test_fresh_instances(self):
+        assert make_platform("P-A") is not make_platform("P-A")
+
+
+class TestPaperRatios:
+    """The abstract's micro-benchmark claims, bit-exact from the model."""
+
+    @pytest.fixture(scope="class")
+    def xnor(self):
+        bits = 2**27
+        return {
+            p.name: p.xnor_throughput_bps(bits)
+            for p in microbenchmark_platforms()
+        }
+
+    def test_pa_vs_cpu_is_8_4x(self, xnor):
+        assert xnor["P-A"] / xnor["CPU"] == pytest.approx(8.4, rel=0.02)
+
+    def test_pa_vs_ambit_is_2_3x(self, xnor):
+        assert xnor["P-A"] / xnor["Ambit"] == pytest.approx(2.33, rel=0.02)
+
+    def test_pa_vs_d1_is_1_9x(self, xnor):
+        assert xnor["P-A"] / xnor["D1"] == pytest.approx(1.9, rel=0.02)
+
+    def test_pa_vs_d3_is_3_7x(self, xnor):
+        assert xnor["P-A"] / xnor["D3"] == pytest.approx(3.7, rel=0.02)
+
+    def test_pa_is_fastest(self, xnor):
+        assert xnor["P-A"] == max(xnor.values())
+
+    def test_von_neumann_below_leading_pims(self, xnor):
+        """'External or internal DRAM bandwidth has limited the
+        throughput of the CPU, GPU, and even HMC platforms' — every
+        von-Neumann platform sits below P-A, Ambit and D1."""
+        for vn in ("CPU", "GPU", "HMC"):
+            for pim in ("P-A", "Ambit", "D1"):
+                assert xnor[vn] < xnor[pim]
+
+    def test_cpu_is_slowest(self, xnor):
+        assert xnor["CPU"] == min(xnor.values())
+
+    def test_addition_preserves_pa_lead(self):
+        adds = {
+            p.name: p.add_throughput_bps(2**27)
+            for p in microbenchmark_platforms()
+        }
+        assert adds["P-A"] == max(adds.values())

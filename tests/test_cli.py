@@ -1,0 +1,223 @@
+"""The command-line interface, end to end."""
+
+import pytest
+
+from repro.cli import main
+from repro.genome.io_fasta import read_fasta
+
+
+@pytest.fixture()
+def simulated(tmp_path):
+    out = tmp_path / "sim"
+    rc = main(
+        [
+            "simulate",
+            "-o",
+            str(out),
+            "--length",
+            "1500",
+            "--coverage",
+            "25",
+            "--read-length",
+            "60",
+            "--seed",
+            "5",
+        ]
+    )
+    assert rc == 0
+    return out
+
+
+class TestSimulate:
+    def test_writes_reference_and_reads(self, simulated):
+        assert (simulated / "reference.fa").exists()
+        assert (simulated / "reads.fq").exists()
+        ref = read_fasta(simulated / "reference.fa")[0]
+        assert len(ref.sequence) == 1500
+
+    def test_paired_mode(self, tmp_path):
+        out = tmp_path / "paired"
+        rc = main(
+            [
+                "simulate",
+                "-o",
+                str(out),
+                "--length",
+                "2000",
+                "--coverage",
+                "20",
+                "--read-length",
+                "60",
+                "--paired",
+            ]
+        )
+        assert rc == 0
+        text = (out / "reads.fq").read_text()
+        assert "/1" in text and "/2" in text
+
+
+class TestAssemble:
+    @pytest.mark.parametrize("engine", ["pim", "software", "bidirected"])
+    def test_engines_produce_contigs(self, simulated, tmp_path, engine, capsys):
+        out = tmp_path / f"{engine}.fa"
+        rc = main(
+            [
+                "assemble",
+                str(simulated / "reads.fq"),
+                "-o",
+                str(out),
+                "-k",
+                "17",
+                "--engine",
+                engine,
+            ]
+        )
+        assert rc == 0
+        contigs = read_fasta(out)
+        assert contigs
+        total = sum(len(c.sequence) for c in contigs)
+        assert total > 1000
+        captured = capsys.readouterr()
+        assert "contigs" in captured.out
+
+    def test_pim_engine_reports_simulated_time(self, simulated, tmp_path, capsys):
+        out = tmp_path / "c.fa"
+        main(
+            ["assemble", str(simulated / "reads.fq"), "-o", str(out), "-k", "15"]
+        )
+        assert "simulated PIM time" in capsys.readouterr().out
+
+    def test_correction_flag(self, simulated, tmp_path, capsys):
+        out = tmp_path / "c.fa"
+        rc = main(
+            [
+                "assemble",
+                str(simulated / "reads.fq"),
+                "-o",
+                str(out),
+                "-k",
+                "17",
+                "--engine",
+                "software",
+                "--correct",
+            ]
+        )
+        assert rc == 0
+        assert "correction:" in capsys.readouterr().out
+
+    def test_fasta_input(self, tmp_path):
+        reads_fa = tmp_path / "reads.fa"
+        reads_fa.write_text(">r0\nACGTACGTACGTACGTACGT\n>r1\nCGTACGTACGTACGTACGTA\n")
+        out = tmp_path / "c.fa"
+        rc = main(
+            [
+                "assemble",
+                str(reads_fa),
+                "-o",
+                str(out),
+                "-k",
+                "9",
+                "--engine",
+                "software",
+            ]
+        )
+        assert rc == 0
+
+    def test_empty_input_exits(self, tmp_path):
+        empty = tmp_path / "empty.fa"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            main(["assemble", str(empty), "-o", str(tmp_path / "o.fa")])
+
+
+class TestScaffold:
+    def test_scaffolds_fragmented_contigs(self, tmp_path, capsys):
+        """Simulate paired reads, hand the CLI two gap-separated
+        contigs, and check it joins them with an N run."""
+        from repro.assembly.contigs import Contig
+        from repro.genome.io_fasta import (
+            FastaRecord,
+            FastqRecord,
+            read_fasta,
+            write_fasta,
+            write_fastq,
+        )
+        from repro.genome.paired import PairedReadSimulator
+        from repro.genome.reference import synthetic_chromosome
+
+        reference = synthetic_chromosome(3000, seed=321)
+        contigs_fa = tmp_path / "contigs.fa"
+        write_fasta(
+            contigs_fa,
+            [
+                FastaRecord("contigA", str(reference[0:1200])),
+                FastaRecord("contigB", str(reference[1400:2600])),
+            ],
+        )
+        sim = PairedReadSimulator(
+            read_length=60, insert_mean=500, insert_sd=30, seed=322
+        )
+        pairs = sim.sample(reference, sim.pairs_for_coverage(3000, 30))
+        reads_fq = tmp_path / "pairs.fq"
+        records = []
+        for pair in pairs:
+            records.append(FastqRecord(pair.left.name, str(pair.left.sequence)))
+            records.append(FastqRecord(pair.right.name, str(pair.right.sequence)))
+        write_fastq(reads_fq, records)
+
+        out = tmp_path / "scaffolds.fa"
+        rc = main(
+            [
+                "scaffold",
+                str(contigs_fa),
+                str(reads_fq),
+                "-o",
+                str(out),
+                "--insert-mean",
+                "500",
+            ]
+        )
+        assert rc == 0
+        scaffolds = read_fasta(out)
+        assert len(scaffolds) == 1
+        assert "N" in scaffolds[0].sequence
+        assert "1 joins" in capsys.readouterr().out
+
+    def test_rejects_unpaired_input(self, tmp_path):
+        from repro.genome.io_fasta import FastqRecord, write_fastq
+
+        contigs_fa = tmp_path / "c.fa"
+        contigs_fa.write_text(">c0\nACGTACGTACGTACGTACGTACGTACGT\n")
+        reads_fq = tmp_path / "r.fq"
+        write_fastq(reads_fq, [FastqRecord("solo", "ACGTACGT")])
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "scaffold",
+                    str(contigs_fa),
+                    str(reads_fq),
+                    "-o",
+                    str(tmp_path / "s.fa"),
+                ]
+            )
+
+
+class TestExperiments:
+    def test_single_experiment(self, capsys):
+        rc = main(["experiments", "--only", "area"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Area overhead" in out and "4.98" in out
+
+    def test_fig3b(self, capsys):
+        rc = main(["experiments", "--only", "fig3b"])
+        assert rc == 0
+        assert "P-A" in capsys.readouterr().out
+
+    def test_csv_export(self, tmp_path, capsys):
+        rc = main(
+            ["experiments", "--only", "area", "--csv-dir", str(tmp_path / "csv")]
+        )
+        assert rc == 0
+        assert (tmp_path / "csv" / "fig3b_throughput.csv").exists()
+        assert (tmp_path / "csv" / "fig9_execution.csv").exists()
