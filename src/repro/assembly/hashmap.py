@@ -32,7 +32,8 @@ import numpy as np
 
 from repro.core.isa import RowAddress
 from repro.core.platform import PimAssembler
-from repro.genome.kmer import iter_kmers, kmer_to_row_bits, pack_kmer
+from repro.errors import TableFullError
+from repro.genome.kmer import iter_kmers, kmer_to_row_bits, pack_kmer, unpack_kmer
 from repro.genome.reads import Read
 from repro.genome.sequence import DnaSequence
 from repro.mapping.hashing import kmer_partition
@@ -110,10 +111,12 @@ class PimKmerCounter:
         self.pim = pim
         self.k = k
         self.saturating = saturating
+        # default to the *usable* sub-arrays: partitions never land on
+        # storage the resilience engine already quarantined
         keys = (
             list(subarray_keys)
             if subarray_keys is not None
-            else list(pim.device.subarray_keys())
+            else pim.usable_subarray_keys()
         )
         if not keys:
             raise ValueError("at least one sub-array is required")
@@ -186,7 +189,7 @@ class PimKmerCounter:
         """MEM_insert(k_mer, 1): claim the next free slot."""
         layout = table.layout
         if table.occupied >= layout.kmer_rows:
-            raise MemoryError(
+            raise TableFullError(
                 f"sub-array {table.key} k-mer region full "
                 f"({layout.kmer_rows} slots)"
             )
@@ -236,6 +239,50 @@ class PimKmerCounter:
         bits = (value >> np.arange(layout.counter_bits)) & 1
         data[bit : bit + layout.counter_bits] = bits.astype(np.uint8)
         self.pim.controller.write_row(addr, data)
+
+    # ----- scrubbing -------------------------------------------------------------------------
+
+    def scrub(self) -> tuple[int, int]:
+        """Verify every resident k-mer row; repair the ones that drifted.
+
+        The table lives in the arrays for the whole assembly run, so a
+        scrub pass between pipeline stages bounds how long a corrupted
+        slot (a faulted insert RowClone, a retention upset) can poison
+        queries.  Each occupied row is parity-checked
+        (:meth:`~repro.core.controller.Controller.scrub_row`, charged
+        as ``VRF`` cycles); a mismatching row is rewritten from the
+        host shadow through the GRB (one ``MEM_WR``) when the active
+        policy retries, and recorded as uncorrected otherwise.
+
+        Returns:
+            ``(checked, repaired)`` row counts.
+        """
+        ctrl = self.pim.controller
+        engine = ctrl.resilience
+        checked = repaired = 0
+        for index, table in enumerate(self._tables):
+            for slot in range(table.occupied):
+                row = table.layout.kmer_row(slot)
+                addr = self._addr(table, row)
+                expected = kmer_to_row_bits(
+                    unpack_kmer(self._slot_keys[index][slot], self.k),
+                    self.pim.row_bits,
+                )
+                checked += 1
+                if ctrl.scrub_row(addr, expected):
+                    continue
+                if engine is not None:
+                    engine.note_detected()
+                if engine is None or engine.policy.retry:
+                    ctrl.write_row(addr, expected)
+                    repaired += 1
+                    if engine is not None:
+                        engine.note_corrected()
+                else:
+                    engine.note_uncorrected(table.key, row)
+        if engine is not None:
+            engine.note_scrub(checked, repaired)
+        return checked, repaired
 
     # ----- readback --------------------------------------------------------------------------
 

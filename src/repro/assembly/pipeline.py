@@ -14,7 +14,7 @@ paper's future work).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.assembly.contigs import Contig, assemble_contigs
@@ -22,10 +22,18 @@ from repro.assembly.debruijn import DeBruijnGraph
 from repro.assembly.hashmap import PimKmerCounter
 from repro.assembly.scaffold import Scaffold, greedy_scaffold
 from repro.core.platform import PimAssembler
+from repro.core.resilience import (
+    ResilienceEngine,
+    ResiliencePolicy,
+    ResilienceReport,
+)
 from repro.core.stats import PhaseTotals
 from repro.genome.reads import Read
 from repro.genome.sequence import DnaSequence
 from repro.mapping.adjacency import degree_vectors_pim
+
+#: the Fig. 5a stage names, in execution order
+STAGE_NAMES = ("hashmap", "debruijn", "traverse")
 
 
 @dataclass(frozen=True)
@@ -39,6 +47,8 @@ class AssemblyResult:
     hashmap: PhaseTotals
     debruijn: PhaseTotals
     traverse: PhaseTotals
+    #: detect/correct/degrade outcome (None when no policy was active)
+    resilience: ResilienceReport | None = field(default=None)
 
     @property
     def total_time_ns(self) -> float:
@@ -63,6 +73,12 @@ class PimPipeline:
         min_count: k-mer frequency threshold for graph edges.
         contig_mode: ``"unitig"`` (default) or ``"euler"``.
         scaffold: also run the greedy scaffolding extension.
+        resilience: a :class:`ResiliencePolicy` (or its level name,
+            e.g. ``"detect-retry-remap"``) activating the detect →
+            correct → degrade loop for the run: protected in-memory
+            ops, a k-mer-table scrub between stages, and quarantine of
+            sub-arrays that keep failing.  ``None`` leaves whatever
+            engine is already attached to the platform untouched.
     """
 
     def __init__(
@@ -74,6 +90,7 @@ class PimPipeline:
         scaffold: bool = False,
         min_contig_length: int = 0,
         simplify: bool = False,
+        resilience: "ResiliencePolicy | str | None" = None,
     ) -> None:
         if k <= 1:
             raise ValueError("assembly needs k >= 2")
@@ -84,16 +101,34 @@ class PimPipeline:
         self.scaffold = scaffold
         self.min_contig_length = min_contig_length
         self.simplify = simplify
+        self.resilience = (
+            None if resilience is None else ResiliencePolicy.named(resilience)
+        )
+
+    def _engine(self) -> ResilienceEngine | None:
+        """Attach (or reuse) the resilience engine the policy asks for."""
+        if self.resilience is not None:
+            return self.pim.protect(self.resilience)
+        return self.pim.resilience
 
     def run(self, reads: "Iterable[Read] | Sequence[DnaSequence]") -> AssemblyResult:
         """Assemble a read set end to end."""
         pim = self.pim
+        engine = self._engine()
+        scrub = (
+            engine is not None
+            and engine.policy.detect
+            and engine.policy.scrub
+        )
 
         with pim.phase("hashmap"):
             counter = PimKmerCounter(pim, self.k)
             for item in reads:
                 sequence = item.sequence if isinstance(item, Read) else item
                 counter.add_sequence(sequence)
+            if scrub:
+                # bound how long a corrupted slot can poison queries
+                counter.scrub()
             counts = counter.counts()
 
         with pim.phase("debruijn"):
@@ -106,6 +141,9 @@ class PimPipeline:
                 graph, _ = simplify_graph(graph)
 
         with pim.phase("traverse"):
+            if scrub:
+                # the table is still resident while the graph is walked
+                counter.scrub()
             # Degree computation through the PIM adjacency mapping
             # (bulk PIM_Add, Fig. 8) — the in-memory portion of the
             # traversal — followed by the path walk.
@@ -126,6 +164,11 @@ class PimPipeline:
             hashmap=pim.stats.totals("hashmap"),
             debruijn=pim.stats.totals("debruijn"),
             traverse=pim.stats.totals("traverse"),
+            resilience=(
+                engine.report(stages=list(STAGE_NAMES))
+                if engine is not None
+                else None
+            ),
         )
 
 

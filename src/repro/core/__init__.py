@@ -21,6 +21,16 @@ from repro.core.area import AreaModel, AreaParameters, AreaReport
 from repro.core.controller import Controller
 from repro.core.device import Device
 from repro.core.faults import FaultModel, FaultReport
+from repro.core.resilience import (
+    PolicyLevel,
+    ResilienceCounts,
+    ResilienceEngine,
+    ResilienceLedger,
+    ResiliencePolicy,
+    ResilienceReport,
+    recommended_policy,
+    spare_rows_needed,
+)
 from repro.core.scheduler import ScheduleReport, TraceScheduler, audit_parallelism
 from repro.core.trace import CommandTrace, TraceAnalysis, analyse, replay
 from repro.core.energy import EnergyModel, EnergyParameters, DEFAULT_ENERGY
@@ -59,6 +69,14 @@ __all__ = [
     "Device",
     "FaultModel",
     "FaultReport",
+    "PolicyLevel",
+    "ResilienceCounts",
+    "ResilienceEngine",
+    "ResilienceLedger",
+    "ResiliencePolicy",
+    "ResilienceReport",
+    "recommended_policy",
+    "spare_rows_needed",
     "ScheduleReport",
     "TraceScheduler",
     "audit_parallelism",

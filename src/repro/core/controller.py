@@ -14,6 +14,9 @@ PIM-Assembler's throughput comes from every (bank, MAT) pair executing
 the same command on its own sub-array simultaneously.  The controller
 models this with *gangs*: a list of same-shape instructions executed in
 one time slot.  Wall-clock time is charged once, energy once per member.
+Ganged operations run through the same fault-injection path as their
+single-op counterparts, so an attached
+:class:`~repro.core.faults.FaultModel` perturbs them identically.
 
 Addition protocol
 =================
@@ -32,6 +35,23 @@ paper quotes for the traversal-stage degree computation (Fig. 8).  The
 3:2 carry-save compression used to reduce many 1-bit rows costs one
 extra latch-load cycle (3 cycles per compression); the steady-state
 2-cycle claim is the per-bit pair above.
+
+Verified execution
+==================
+
+With a :class:`~repro.core.resilience.ResilienceEngine` attached
+(``controller.resilience``), every compute-class operation (two-row
+activation, TRA, sum cycle — the mechanisms Table I stresses) gains a
+verify step: the result's parity is recomputed through the add-on XOR
+path and reduced on the DPU, charged as ``VRF_AAP``/``VRF_DPU``.  A
+detected mismatch re-executes the operation up to ``max_retries``
+times with exponential operand re-staging (each retry at a derated
+effective fault rate); an operation that stays corrupt is an
+*uncorrectable* event — recorded, optionally raised, and under the
+remap policy escalated to weak-row marking and sub-array quarantine.
+RowClone transfers are full-swing and are *not* per-op verified;
+resident tables built from them are covered by the pipeline's
+between-stage scrub instead.
 """
 
 from __future__ import annotations
@@ -51,8 +71,14 @@ from repro.core.isa import (
     SAOp,
 )
 from repro.core.faults import FaultModel
+from repro.core.resilience import (
+    VERIFY_AAP_CYCLES,
+    VERIFY_DPU_OPS,
+    ResilienceEngine,
+)
 from repro.core.stats import StatsLedger
 from repro.core.timing import TimingParameters, DEFAULT_TIMING
+from repro.errors import UncorrectableFaultError
 
 
 @dataclass
@@ -65,6 +91,8 @@ class Controller:
     energy: EnergyParameters = DEFAULT_ENERGY
     #: optional process-variation fault injection (see repro.core.faults)
     faults: FaultModel | None = None
+    #: optional detect/correct/degrade engine (see repro.core.resilience)
+    resilience: ResilienceEngine | None = None
 
     def __post_init__(self) -> None:
         self._trace = None
@@ -79,6 +107,116 @@ class Controller:
         if corrupted is not result:
             sub.write_row(des_row, corrupted)
         return corrupted
+
+    def _verifying(self) -> ResilienceEngine | None:
+        """The attached engine, when its policy asks for detection."""
+        eng = self.resilience
+        return eng if eng is not None and eng.policy.detect else None
+
+    def _charge_verify(self, eng: ResilienceEngine | None, count: int = 1) -> None:
+        """Charge ``count`` parity checks (extra AAP + DPU cycles)."""
+        t_aap = VERIFY_AAP_CYCLES * self.timing.t_aap
+        e_aap = VERIFY_AAP_CYCLES * self.energy.e_sum_cycle
+        t_dpu = VERIFY_DPU_OPS * self.timing.t_dpu_clk
+        e_dpu = VERIFY_DPU_OPS * self.energy.e_dpu_op
+        self.ledger.record(
+            "VRF_AAP",
+            time_ns=count * t_aap,
+            energy_nj=count * e_aap,
+            count=count * VERIFY_AAP_CYCLES,
+        )
+        self.ledger.record(
+            "VRF_DPU",
+            time_ns=count * t_dpu,
+            energy_nj=count * e_dpu,
+            count=count * VERIFY_DPU_OPS,
+        )
+        if eng is not None:
+            eng.note_verify(
+                count * (t_aap + t_dpu), count * (e_aap + e_dpu), ops=count
+            )
+
+    def scrub_row(self, src: RowAddress, expected: np.ndarray) -> bool:
+        """Parity-check one resident row: True iff it is intact.
+
+        The scrub pass over long-resident structures (the k-mer table)
+        recomputes each row's parity through the add-on XOR path and
+        reduces it on the DPU — the same ``VRF`` cycles a per-op check
+        costs.  ``expected`` is the row's reference content (the host
+        shadow the hash table keeps); the functional model compares
+        bits directly.
+        """
+        self.device.validate_address(src)
+        stored = self.device.subarray_at(src).read_row(src.row)
+        self._charge_verify(self.resilience)
+        return bool(
+            np.array_equal(stored, np.asarray(expected, dtype=np.uint8))
+        )
+
+    def _commit_result(
+        self,
+        sub,
+        key: tuple[int, int, int],
+        des_row: int,
+        clean: np.ndarray,
+        mechanism: str,
+        mnemonic: str,
+        time_ns: float,
+        energy_nj: float,
+        charge_initial: bool = True,
+    ) -> np.ndarray:
+        """Charge, fault-inject and (under a detect policy) verify one op.
+
+        ``clean`` is the fault-free result the sub-array just produced
+        (currently resident in ``des_row``).  The verify loop models
+        the in-memory parity check: a mismatch re-executes the
+        operation — recharging its cycles — with exponentially
+        re-staged operands (fault rate derated by ``restage_derate``
+        per attempt) until it passes or the retry budget is exhausted.
+        """
+        if charge_initial:
+            self._charge(mnemonic, time_ns, energy_nj)
+        faults = self.faults
+        inject = (
+            faults is not None
+            and faults.enabled
+            and faults.rate_for(mechanism) > 0.0
+        )
+        eng = self._verifying()
+        if eng is None:
+            if inject:
+                return self._apply_faults(sub, des_row, clean, mechanism)
+            return clean
+
+        policy = eng.policy
+        result = faults.corrupt(clean, mechanism) if inject else clean
+        attempt = 0
+        while True:
+            self._charge_verify(eng)
+            if np.array_equal(result, clean):
+                if attempt:
+                    eng.note_corrected()
+                break
+            eng.note_detected()
+            if not policy.retry or attempt >= policy.max_retries:
+                eng.note_uncorrected(key, des_row)
+                if policy.raise_on_uncorrected:
+                    sub.write_row(des_row, result)
+                    raise UncorrectableFaultError(key, mechanism, attempt + 1)
+                break
+            attempt += 1
+            eng.note_retry()
+            # re-execution at re-staged (derated) margins
+            self._charge(mnemonic, time_ns, energy_nj)
+            result = faults.corrupt(
+                clean, mechanism, scale=policy.restage_derate**attempt
+            )
+        if not np.array_equal(result, clean):
+            sub.write_row(des_row, result)
+        elif result is not clean:
+            sub.write_row(des_row, clean)
+            result = clean
+        return result
 
     # ----- tracing ------------------------------------------------------------
 
@@ -113,6 +251,8 @@ class Controller:
         self.device.validate_address(des)
         sub = self.device.subarray_at(src)
         sub.rowclone(src.row, des.row)
+        if self.faults is not None and self.faults.copy_rate > 0.0:
+            self._apply_faults(sub, des.row, sub.read_row(des.row), "copy")
         self._record_trace(instr.mnemonic, src.subarray_key, (src.row, des.row))
         self._charge(instr.mnemonic, self.timing.t_aap, self.energy.e_aap_copy)
 
@@ -128,13 +268,20 @@ class Controller:
         for addr in (src1, src2, des):
             self.device.validate_address(addr)
         sub = self.device.subarray_at(src1)
-        result = sub.compute2(src1.row, src2.row, des.row, op)
-        result = self._apply_faults(sub, des.row, result, "compute2")
+        clean = sub.compute2(src1.row, src2.row, des.row, op)
         self._record_trace(
             instr.mnemonic, src1.subarray_key, (src1.row, src2.row, des.row)
         )
-        self._charge(instr.mnemonic, self.timing.t_aap, self.energy.e_compute2)
-        return result
+        return self._commit_result(
+            sub,
+            src1.subarray_key,
+            des.row,
+            clean,
+            "compute2",
+            instr.mnemonic,
+            self.timing.t_aap,
+            self.energy.e_compute2,
+        )
 
     def tra_carry(
         self,
@@ -148,15 +295,22 @@ class Controller:
         for addr in (src1, src2, src3, des):
             self.device.validate_address(addr)
         sub = self.device.subarray_at(src1)
-        result = sub.tra_carry(src1.row, src2.row, src3.row, des.row)
-        result = self._apply_faults(sub, des.row, result, "tra")
+        clean = sub.tra_carry(src1.row, src2.row, src3.row, des.row)
         self._record_trace(
             instr.mnemonic,
             src1.subarray_key,
             (src1.row, src2.row, src3.row, des.row),
         )
-        self._charge(instr.mnemonic, self.timing.t_aap, self.energy.e_tra)
-        return result
+        return self._commit_result(
+            sub,
+            src1.subarray_key,
+            des.row,
+            clean,
+            "tra",
+            instr.mnemonic,
+            self.timing.t_aap,
+            self.energy.e_tra,
+        )
 
     def sum_cycle(
         self, src1: RowAddress, src2: RowAddress, des: RowAddress
@@ -167,11 +321,18 @@ class Controller:
         if not (src1.same_subarray(src2) and src1.same_subarray(des)):
             raise ValueError("sum-cycle operands must share a sub-array")
         sub = self.device.subarray_at(src1)
-        result = sub.sum_cycle(src1.row, src2.row, des.row)
-        result = self._apply_faults(sub, des.row, result, "sum")
+        clean = sub.sum_cycle(src1.row, src2.row, des.row)
         self._record_trace("SUM", src1.subarray_key, (src1.row, src2.row, des.row))
-        self._charge("SUM", self.timing.t_aap, self.energy.e_sum_cycle)
-        return result
+        return self._commit_result(
+            sub,
+            src1.subarray_key,
+            des.row,
+            clean,
+            "sum",
+            "SUM",
+            self.timing.t_aap,
+            self.energy.e_sum_cycle,
+        )
 
     def load_latch(self, src: RowAddress) -> None:
         """Capture one row into the SA latch (one row cycle)."""
@@ -258,33 +419,58 @@ class Controller:
         """Execute the same two-row compute across many sub-arrays at once.
 
         All member operations occupy distinct sub-arrays and run in one
-        command slot: time charged once, energy per member.
+        command slot: time charged once, energy per member.  Fault
+        injection (and, with a resilience engine attached, per-member
+        verification and retry — retries re-execute solo) follows the
+        same path as :meth:`compute2`.
         """
         if not ops:
             raise ValueError("gang must be non-empty")
         keys = {src1.subarray_key for src1, _, _ in ops}
         if len(keys) != len(ops):
             raise ValueError("gang members must live in distinct sub-arrays")
+        self._charge(
+            "AAP2", self.timing.t_aap, self.energy.e_compute2, gang=len(ops)
+        )
         results = []
         for src1, src2, des in ops:
             AapCompute2(src1=src1, src2=src2, des=des, op=op)  # validate
             sub = self.device.subarray_at(src1)
-            results.append(sub.compute2(src1.row, src2.row, des.row, op))
-        self._charge(
-            "AAP2", self.timing.t_aap, self.energy.e_compute2, gang=len(ops)
-        )
+            clean = sub.compute2(src1.row, src2.row, des.row, op)
+            results.append(
+                self._commit_result(
+                    sub,
+                    src1.subarray_key,
+                    des.row,
+                    clean,
+                    "compute2",
+                    "AAP2",
+                    self.timing.t_aap,
+                    self.energy.e_compute2,
+                    charge_initial=False,
+                )
+            )
         return results
 
     def gang_copy(self, ops: Sequence[tuple[RowAddress, RowAddress]]) -> None:
-        """RowClone across many sub-arrays in one command slot."""
+        """RowClone across many sub-arrays in one command slot.
+
+        Routed through the same fault-injection path as :meth:`copy`
+        (the ``copy`` mechanism; rate 0 unless a margin study stresses
+        RowClone transfers).
+        """
         if not ops:
             raise ValueError("gang must be non-empty")
         keys = {src.subarray_key for src, _ in ops}
         if len(keys) != len(ops):
             raise ValueError("gang members must live in distinct sub-arrays")
+        inject = self.faults is not None and self.faults.copy_rate > 0.0
         for src, des in ops:
             AapCopy(src=src, des=des)  # validate
-            self.device.subarray_at(src).rowclone(src.row, des.row)
+            sub = self.device.subarray_at(src)
+            sub.rowclone(src.row, des.row)
+            if inject:
+                self._apply_faults(sub, des.row, sub.read_row(des.row), "copy")
         self._charge(
             "AAP1", self.timing.t_aap, self.energy.e_aap_copy, gang=len(ops)
         )
@@ -340,7 +526,9 @@ class Controller:
         Functionally this is evaluated vectorised over the whole block;
         the ledger is charged exactly what the sequential hardware
         sequence would issue: 1 staging AAP + per scanned row
-        (1 AAP copy + 1 AAP compute + 1 DPU op).
+        (1 AAP copy + 1 AAP compute + 1 DPU op), plus — under a detect
+        policy — one ``VRF`` check per scanned row, and one scan-row
+        re-execution per retry of a flagged comparison.
 
         Args:
             temp: the query row.
@@ -371,24 +559,35 @@ class Controller:
         block = sub.read_rows(start_row, start_row + n_rows)
         width = query.size if valid_bits is None else valid_bits
         matches = (block[:, :width] == query[:width]).all(axis=1)
-        if self.faults is not None and self.faults.enabled:
+        eng = self._verifying()
+        if (
+            self.faults is not None
+            and self.faults.enabled
+            and self.faults.compute2_rate > 0.0
+        ):
             # Each scanned row's XNOR result can flip bits: a true
             # match is missed when any of the `width` result bits
             # flips; a mismatch becomes a false match only when every
             # differing bit flips (probability rate^hamming).
             rate = self.faults.compute2_rate
-            if rate > 0.0:
-                rng = self.faults._rng
-                hamming = (block[:, :width] != query[:width]).sum(axis=1)
-                miss = matches & (
-                    rng.random(n_rows) > (1.0 - rate) ** width
+            hamming = (block[:, :width] != query[:width]).sum(axis=1)
+            p_err = np.where(
+                matches,
+                1.0 - (1.0 - rate) ** width,
+                rate ** np.maximum(hamming, 1),
+            )
+            err = self.faults.decide(n_rows, p_err)
+            if eng is not None:
+                err = self._scan_recover(
+                    eng, err, matches, hamming, width, rate, temp, start_row
                 )
-                false_hit = (~matches) & (
-                    rng.random(n_rows) < rate ** np.maximum(hamming, 1)
-                )
-                matches = (matches & ~miss) | false_hit
+            matches = matches ^ err
         hit = int(np.argmax(matches)) if matches.any() else None
         scanned = n_rows if hit is None else hit + 1
+
+        if eng is not None:
+            # the in-memory parity check rides every scanned comparison
+            self._charge_verify(eng, count=scanned)
 
         # Leave the machine state as the sequential scan would: the
         # last candidate in x2 and its XNOR result in x3.
@@ -423,6 +622,72 @@ class Controller:
             count=scanned,
         )
         return hit
+
+    def _scan_recover(
+        self,
+        eng: ResilienceEngine,
+        err: np.ndarray,
+        matches: np.ndarray,
+        hamming: np.ndarray,
+        width: int,
+        rate: float,
+        temp: RowAddress,
+        start_row: int,
+    ) -> np.ndarray:
+        """Detect-and-retry over a scan's flagged comparisons.
+
+        Every flagged comparison is re-executed (1 AAP copy + 1 AAP
+        compute + 1 DPU each, charged) at exponentially re-staged
+        margins; comparisons still flagged after the retry budget are
+        uncorrectable and surface as scan errors.
+        """
+        detected = int(err.sum())
+        if detected == 0:
+            return err
+        eng.note_detected(detected)
+        policy = eng.policy
+        if not policy.retry:
+            for i in np.flatnonzero(err):
+                eng.note_uncorrected(temp.subarray_key, start_row + int(i))
+            return err
+        remaining = err.copy()
+        for attempt in range(1, policy.max_retries + 1):
+            idx = np.flatnonzero(remaining)
+            if idx.size == 0:
+                break
+            eng.note_retry(int(idx.size))
+            self.ledger.record(
+                "AAP1",
+                time_ns=idx.size * self.timing.t_aap,
+                energy_nj=idx.size * self.energy.e_aap_copy,
+                count=int(idx.size),
+            )
+            self.ledger.record(
+                "AAP2",
+                time_ns=idx.size * self.timing.t_aap,
+                energy_nj=idx.size * self.energy.e_compute2,
+                count=int(idx.size),
+            )
+            self.ledger.record(
+                "DPU",
+                time_ns=idx.size * self.timing.t_dpu_clk,
+                energy_nj=idx.size * self.energy.e_dpu_op,
+                count=int(idx.size),
+            )
+            self._charge_verify(eng, count=int(idx.size))
+            derated = rate * policy.restage_derate**attempt
+            p_retry = np.where(
+                matches[idx],
+                1.0 - (1.0 - derated) ** width,
+                derated ** np.maximum(hamming[idx], 1),
+            )
+            remaining[idx] = self.faults.decide(int(idx.size), p_retry)
+        still = int(remaining.sum())
+        if detected - still:
+            eng.note_corrected(detected - still)
+        for i in np.flatnonzero(remaining):
+            eng.note_uncorrected(temp.subarray_key, start_row + int(i))
+        return remaining
 
     def ripple_add(
         self,

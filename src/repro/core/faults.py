@@ -11,10 +11,18 @@ A :class:`FaultModel` holds per-mechanism bit-flip probabilities:
 * ``compute2`` faults hit two-row-activation outputs (XNOR & friends);
 * ``tra`` faults hit triple-row-activation majority outputs;
 * ``sum`` faults hit the latch-assisted sum path (same add-on circuitry
-  as compute2, so it defaults to the same rate).
+  as compute2, so it defaults to the same rate);
+* ``copy`` faults hit RowClone transfers (0 by default — back-to-back
+  activation restores full-rail signals, but margin studies can stress
+  it).
 
 Rates can be set directly or derived from the Table I Monte-Carlo
 engine at a given variation level (:meth:`FaultModel.from_variation`).
+
+All sampling flows through the public :meth:`FaultModel.decide` /
+:meth:`FaultModel.corrupt` APIs so that consumers (the controller's
+``compare_scan`` shortcut, the resilience retry loop) share one seeded
+stream and stay bit-reproducible.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.dram.variation import MonteCarloSense, VariationSpec
+from repro.errors import FaultConfigError
 
 
 @dataclass
@@ -36,21 +45,24 @@ class FaultModel:
         tra_rate: flip probability per output bit of a TRA majority.
         sum_rate: flip probability per output bit of a sum cycle
             (defaults to ``compute2_rate`` when negative).
+        copy_rate: flip probability per bit of a RowClone transfer
+            (defaults to 0: copies are full-swing in this design).
         seed: RNG seed (faults are reproducible).
     """
 
     compute2_rate: float = 0.0
     tra_rate: float = 0.0
     sum_rate: float = -1.0
+    copy_rate: float = 0.0
     seed: int = 0xFA17
 
     def __post_init__(self) -> None:
         if self.sum_rate < 0:
             self.sum_rate = self.compute2_rate
-        for name in ("compute2_rate", "tra_rate", "sum_rate"):
+        for name in ("compute2_rate", "tra_rate", "sum_rate", "copy_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
-                raise ValueError(f"{name} must be within [0, 1]")
+                raise FaultConfigError(f"{name} must be within [0, 1]")
         self._rng = np.random.default_rng(self.seed)
         self._injected = 0
 
@@ -82,22 +94,53 @@ class FaultModel:
 
     @property
     def enabled(self) -> bool:
-        return max(self.compute2_rate, self.tra_rate, self.sum_rate) > 0.0
+        return (
+            max(self.compute2_rate, self.tra_rate, self.sum_rate, self.copy_rate)
+            > 0.0
+        )
 
-    def corrupt(self, bits: np.ndarray, mechanism: str) -> np.ndarray:
-        """Flip each bit independently at the mechanism's rate."""
+    def rate_for(self, mechanism: str) -> float:
+        """The per-bit flip rate of one fault mechanism."""
         rates = {
             "compute2": self.compute2_rate,
             "tra": self.tra_rate,
             "sum": self.sum_rate,
+            "copy": self.copy_rate,
         }
         try:
-            rate = rates[mechanism]
+            return rates[mechanism]
         except KeyError:
-            raise ValueError(f"unknown mechanism {mechanism!r}") from None
+            raise FaultConfigError(f"unknown mechanism {mechanism!r}") from None
+
+    def decide(
+        self,
+        shape: int | tuple[int, ...],
+        rate: "float | np.ndarray",
+    ) -> np.ndarray:
+        """Sample fault events: boolean array, True where a fault fires.
+
+        The public sampling API — consumers must use this (never the
+        private RNG) so that every draw comes from the one seeded
+        stream and runs stay reproducible.  ``rate`` may be a scalar or
+        an array broadcastable to ``shape`` (per-element
+        probabilities).
+        """
+        return self._rng.random(shape) < np.asarray(rate, dtype=np.float64)
+
+    def corrupt(
+        self, bits: np.ndarray, mechanism: str, scale: float = 1.0
+    ) -> np.ndarray:
+        """Flip each bit independently at the mechanism's rate.
+
+        Args:
+            scale: multiplier on the base rate — the resilience layer's
+                exponential operand re-staging retries re-execute at a
+                derated effective rate (slower, higher-margin timing).
+        """
+        rate = self.rate_for(mechanism) * scale
         if rate <= 0.0:
             return bits
-        flips = self._rng.random(bits.shape) < rate
+        flips = self.decide(bits.shape, rate)
         if not flips.any():
             return bits
         self._injected += int(flips.sum())

@@ -27,8 +27,10 @@ from repro.core.controller import Controller
 from repro.core.device import Device
 from repro.core.energy import EnergyParameters, DEFAULT_ENERGY
 from repro.core.isa import RowAddress, SAOp
+from repro.core.resilience import ResilienceEngine, ResiliencePolicy
 from repro.core.stats import StatsLedger
 from repro.core.timing import TimingParameters, DEFAULT_TIMING
+from repro.errors import AllocationError, SubarrayQuarantinedError
 from repro.dram.geometry import (
     BankGeometry,
     DeviceGeometry,
@@ -109,10 +111,36 @@ class PimAssembler:
     def row_bits(self) -> int:
         return self.geometry.row_bits
 
+    # ----- resilience -----------------------------------------------------------
+
+    @property
+    def resilience(self) -> ResilienceEngine | None:
+        return self.controller.resilience
+
+    def protect(
+        self, policy: "ResiliencePolicy | str"
+    ) -> ResilienceEngine:
+        """Attach a resilience engine implementing ``policy``.
+
+        Returns the engine (also reachable as ``pim.resilience``); pass
+        ``"off"`` to keep an engine attached but verification disabled.
+        """
+        engine = ResilienceEngine(policy, stats=self.stats)
+        self.controller.resilience = engine
+        return engine
+
     # ----- allocation ----------------------------------------------------------
 
     def subarray_keys(self) -> Iterator[tuple[int, int, int]]:
         return self.device.subarray_keys()
+
+    def usable_subarray_keys(self) -> list[tuple[int, int, int]]:
+        """Every sub-array key, minus those the resilience engine retired."""
+        engine = self.resilience
+        keys = list(self.device.subarray_keys())
+        if engine is None:
+            return keys
+        return [key for key in keys if not engine.is_quarantined(key)]
 
     def allocate_row(
         self, subarray_key: tuple[int, int, int] = (0, 0, 0)
@@ -120,14 +148,26 @@ class PimAssembler:
         """Reserve the next free data row of a sub-array.
 
         Pure bookkeeping: does not instantiate the (lazy) sub-array.
+        Rows the resilience engine marked *weak* are skipped (spare-row
+        remapping), and a quarantined sub-array refuses allocations
+        outright.
         """
         geometry = self.geometry.bank.mat.subarray
         self.device.validate_address(
             RowAddress(*subarray_key, row=0)
         )
+        engine = self.resilience
+        if engine is not None and engine.is_quarantined(subarray_key):
+            raise SubarrayQuarantinedError(subarray_key)
         next_row = self._next_row.get(subarray_key, 0)
+        while (
+            engine is not None
+            and next_row < geometry.data_rows
+            and engine.is_weak_row(subarray_key, next_row)
+        ):
+            next_row += 1
         if next_row >= geometry.data_rows:
-            raise MemoryError(
+            raise AllocationError(
                 f"sub-array {subarray_key} has no free data rows "
                 f"({geometry.data_rows} in use)"
             )

@@ -1,0 +1,88 @@
+"""Typed exception hierarchy for the PIM-Assembler reproduction.
+
+Every error the library raises on the execution/resilience paths is a
+:class:`ReproError` subclass, so callers can catch the whole family (or
+one precise failure mode) without string-matching messages.  Each class
+also inherits the builtin its call site historically raised
+(``ValueError`` / ``MemoryError``), so pre-existing ``except`` clauses
+and tests keep working.
+
+Hierarchy::
+
+    ReproError
+    ├── FaultConfigError(ValueError)      — bad fault/policy parameters
+    ├── CapacityError(ValueError)         — device/sub-array capacity exceeded
+    ├── AllocationError(MemoryError)      — row allocator exhausted
+    ├── TableFullError(MemoryError)       — k-mer table region full
+    ├── SubarrayQuarantinedError          — touched a quarantined sub-array
+    └── VerificationError
+        └── UncorrectableFaultError       — retries exhausted, result corrupt
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the repro library."""
+
+
+class FaultConfigError(ReproError, ValueError):
+    """Invalid fault-model or resilience-policy configuration."""
+
+
+class CapacityError(ReproError, ValueError):
+    """A workload exceeds the device's capacity (partition over more chips)."""
+
+
+class AllocationError(ReproError, MemoryError):
+    """The bump allocator ran out of usable data rows in a sub-array."""
+
+
+class TableFullError(ReproError, MemoryError):
+    """A sub-array's k-mer table region has no free slots left."""
+
+
+class SubarrayQuarantinedError(ReproError):
+    """An operation targeted a sub-array the resilience engine retired.
+
+    Attributes:
+        subarray_key: the quarantined ``(bank, mat, subarray)`` triple.
+    """
+
+    def __init__(self, subarray_key: tuple[int, int, int], message: str | None = None):
+        self.subarray_key = subarray_key
+        super().__init__(
+            message or f"sub-array {subarray_key} is quarantined"
+        )
+
+
+class VerificationError(ReproError):
+    """An in-memory verification step failed."""
+
+
+class UncorrectableFaultError(VerificationError):
+    """A verified operation stayed corrupt after every bounded retry.
+
+    Raised only under ``ResiliencePolicy(raise_on_uncorrected=True)``;
+    the default graceful-degradation mode records the event in the
+    :class:`~repro.core.resilience.ResilienceEngine` and continues.
+
+    Attributes:
+        subarray_key: where the operation executed.
+        mechanism: the fault mechanism (``"compute2"`` / ``"tra"`` / ...).
+        attempts: total executions (1 original + retries).
+    """
+
+    def __init__(
+        self,
+        subarray_key: tuple[int, int, int],
+        mechanism: str,
+        attempts: int,
+    ):
+        self.subarray_key = subarray_key
+        self.mechanism = mechanism
+        self.attempts = attempts
+        super().__init__(
+            f"{mechanism} op in sub-array {subarray_key} still corrupt "
+            f"after {attempts} attempts"
+        )

@@ -6,6 +6,7 @@ module                 paper artefact
 ``transient``          Fig. 3a (XNOR2 transient)
 ``throughput``         Fig. 3b (raw XNOR/add throughput)
 ``reliability``        Table I (process variation)
+``resilience``         variation x policy ablation (robustness)
 ``area_report``        Section II-B area overhead (~5 %)
 ``execution``          Fig. 9a/9b (chr14 time & power)
 ``tradeoffs``          Fig. 10 (power/delay vs Pd)
@@ -41,6 +42,15 @@ from repro.eval.reliability import (
     ReliabilityTable,
     format_table,
     run_reliability_table,
+)
+from repro.eval.resilience import (
+    POLICY_SWEEP,
+    VARIATION_SWEEP,
+    ResiliencePoint,
+    ResilienceStudy,
+    ResilienceWorkload,
+    format_resilience_study,
+    run_resilience_study,
 )
 from repro.eval.throughput import (
     FIG3B_PLATFORMS,
@@ -83,6 +93,13 @@ __all__ = [
     "ReliabilityTable",
     "format_table",
     "run_reliability_table",
+    "POLICY_SWEEP",
+    "VARIATION_SWEEP",
+    "ResiliencePoint",
+    "ResilienceStudy",
+    "ResilienceWorkload",
+    "format_resilience_study",
+    "run_resilience_study",
     "FIG3B_PLATFORMS",
     "ThroughputSweep",
     "headline_ratios",

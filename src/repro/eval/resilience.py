@@ -1,0 +1,202 @@
+"""Resilience ablation — variation level x policy, end to end.
+
+Injects Table-I-derived fault rates (:meth:`FaultModel.from_variation`)
+into the functional assembly pipeline and sweeps the resilience policy
+ladder (``off`` → ``detect`` → ``detect-retry`` → ``detect-retry-remap``),
+measuring both sides of the trade:
+
+* **accuracy** — are the contigs bit-identical to the fault-free run,
+  and what fraction of the reference genome do they still cover;
+* **overhead** — verification time/energy charged by the detect loop
+  (the ``VRF_AAP`` / ``VRF_DPU`` commands), retries, scrub passes, and
+  the sub-arrays the degradation path retired.
+
+The workload is simulated reads at moderate coverage counted with
+``min_count=2`` — the realistic threshold setting under which a single
+missed in-memory comparison splits a k-mer's count across duplicate
+slots and silently drops graph edges, so an unprotected run visibly
+corrupts the assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.assembly.metrics import genome_fraction
+from repro.assembly.pipeline import PimPipeline, _sized_device
+from repro.core.faults import FaultModel
+from repro.core.resilience import ResiliencePolicy
+from repro.genome import ReadSimulator, synthetic_chromosome
+
+#: the policy ladder, weakest to strongest
+POLICY_SWEEP = ("off", "detect", "detect-retry", "detect-retry-remap")
+
+#: Table I variation levels with a measurable application-level effect
+VARIATION_SWEEP = (10.0, 15.0)
+
+
+@dataclass(frozen=True)
+class ResilienceWorkload:
+    """The read set the sweep assembles at every (variation, policy)."""
+
+    genome_length: int = 500
+    coverage: float = 8.0
+    read_length: int = 80
+    k: int = 9
+    min_count: int = 2
+    genome_seed: int = 700
+    read_seed: int = 701
+    fault_seed: int = 702
+
+    def materialise(self):
+        reference = synthetic_chromosome(self.genome_length, seed=self.genome_seed)
+        simulator = ReadSimulator(read_length=self.read_length, seed=self.read_seed)
+        count = simulator.reads_for_coverage(len(reference), self.coverage)
+        return reference, simulator.sample(reference, count)
+
+
+@dataclass(frozen=True)
+class ResiliencePoint:
+    """One (variation, policy) cell of the sweep."""
+
+    variation_percent: float
+    policy: str
+    num_contigs: int
+    identical_to_baseline: bool
+    genome_fraction: float
+    detected: int
+    corrected: int
+    uncorrected: int
+    retries: int
+    scrubbed_rows: int
+    quarantined_subarrays: int
+    weak_rows: int
+    verify_time_ns: float
+    verify_energy_nj: float
+    time_ns: float
+    energy_nj: float
+
+    @property
+    def verify_time_fraction(self) -> float:
+        """Verification overhead as a fraction of total run time."""
+        if self.time_ns <= 0:
+            return 0.0
+        return self.verify_time_ns / self.time_ns
+
+
+@dataclass(frozen=True)
+class ResilienceStudy:
+    """Sweep result: the fault-free baseline plus every swept cell."""
+
+    workload: ResilienceWorkload
+    baseline_contigs: int
+    baseline_time_ns: float
+    points: tuple[ResiliencePoint, ...]
+
+    def point(self, variation: float, policy: str) -> ResiliencePoint:
+        level = ResiliencePolicy.named(policy).level.value
+        for point in self.points:
+            if point.variation_percent == variation and point.policy == level:
+                return point
+        raise KeyError((variation, policy))
+
+    @property
+    def strongest_policy_always_exact(self) -> bool:
+        """Does detect-retry-remap reproduce the baseline at every level?"""
+        strongest = [p for p in self.points if p.policy == "detect-retry-remap"]
+        return bool(strongest) and all(p.identical_to_baseline for p in strongest)
+
+
+def _run_once(
+    workload: ResilienceWorkload,
+    reads,
+    variation_percent: float,
+    policy: "str | None",
+):
+    pim = _sized_device(reads, workload.k)
+    if variation_percent > 0:
+        pim.controller.faults = FaultModel.from_variation(
+            variation_percent, seed=workload.fault_seed
+        )
+    pipeline = PimPipeline(
+        pim,
+        k=workload.k,
+        min_count=workload.min_count,
+        resilience=policy,
+    )
+    return pipeline.run(reads)
+
+
+def run_resilience_study(
+    variation_levels: Sequence[float] = VARIATION_SWEEP,
+    policies: Sequence[str] = POLICY_SWEEP,
+    workload: ResilienceWorkload | None = None,
+) -> ResilienceStudy:
+    """Sweep variation level x resilience policy on one read set.
+
+    Every cell re-runs the full pipeline from a fresh device with the
+    same fault seed, so cells differ only in the policy's behaviour —
+    the baseline comparison is exact, not statistical.
+    """
+    workload = workload or ResilienceWorkload()
+    reference, reads = workload.materialise()
+
+    baseline = _run_once(workload, reads, 0.0, None)
+    baseline_contigs = sorted(str(c.sequence) for c in baseline.contigs)
+
+    points = []
+    for variation in variation_levels:
+        for policy in policies:
+            result = _run_once(workload, reads, variation, policy)
+            contigs = sorted(str(c.sequence) for c in result.contigs)
+            report = result.resilience
+            totals = report.totals if report is not None else None
+            points.append(
+                ResiliencePoint(
+                    variation_percent=variation,
+                    policy=ResiliencePolicy.named(policy).level.value,
+                    num_contigs=len(result.contigs),
+                    identical_to_baseline=contigs == baseline_contigs,
+                    genome_fraction=genome_fraction(result.contigs, reference),
+                    detected=totals.detected if totals else 0,
+                    corrected=totals.corrected if totals else 0,
+                    uncorrected=totals.uncorrected if totals else 0,
+                    retries=totals.retries if totals else 0,
+                    scrubbed_rows=totals.scrubbed_rows if totals else 0,
+                    quarantined_subarrays=(
+                        len(report.quarantined_subarrays) if report else 0
+                    ),
+                    weak_rows=len(report.weak_rows) if report else 0,
+                    verify_time_ns=totals.verify_time_ns if totals else 0.0,
+                    verify_energy_nj=totals.verify_energy_nj if totals else 0.0,
+                    time_ns=result.total_time_ns,
+                    energy_nj=result.total_energy_nj,
+                )
+            )
+    return ResilienceStudy(
+        workload=workload,
+        baseline_contigs=len(baseline.contigs),
+        baseline_time_ns=baseline.total_time_ns,
+        points=tuple(points),
+    )
+
+
+def format_resilience_study(study: ResilienceStudy) -> str:
+    """Render the sweep as a fixed-width table."""
+    lines = [
+        f"baseline: {study.baseline_contigs} contigs, "
+        f"{study.baseline_time_ns / 1e3:.1f} us (fault-free)",
+        f"{'var':>5} {'policy':>19} {'contigs':>7} {'exact':>5} "
+        f"{'genome%':>7} {'det':>6} {'corr':>6} {'uncorr':>6} "
+        f"{'quar':>4} {'vrf-ovh':>7}",
+    ]
+    for p in study.points:
+        lines.append(
+            f"{p.variation_percent:>4.0f}% {p.policy:>19} {p.num_contigs:>7} "
+            f"{'yes' if p.identical_to_baseline else 'NO':>5} "
+            f"{100 * p.genome_fraction:>6.1f}% {p.detected:>6} "
+            f"{p.corrected:>6} {p.uncorrected:>6} "
+            f"{p.quarantined_subarrays:>4} {100 * p.verify_time_fraction:>6.1f}%"
+        )
+    return "\n".join(lines)

@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass
 
 from repro.dram.geometry import DeviceGeometry, SubArrayGeometry
+from repro.errors import CapacityError
 
 
 def vertices_per_subarray(geometry: SubArrayGeometry) -> int:
@@ -36,6 +37,8 @@ class AllocationPlan:
     vertices_per_subarray: int
     subarrays_needed: int
     subarrays_available: int
+    #: sub-arrays the resilience engine retired (excluded from available)
+    subarrays_quarantined: int = 0
 
     @property
     def feasible(self) -> bool:
@@ -52,28 +55,45 @@ class AllocationPlan:
 
 
 def plan_allocation(
-    n_vertices: int, device: DeviceGeometry
+    n_vertices: int,
+    device: DeviceGeometry,
+    quarantined: int = 0,
 ) -> AllocationPlan:
     """Allocate an N-vertex sub-graph onto a device's sub-arrays.
 
+    Args:
+        quarantined: sub-arrays retired by the resilience engine
+            (graceful degradation: the planner simply has fewer to
+            hand out — e.g. ``len(pim.resilience.quarantined)``).
+
     Raises:
-        ValueError: when the graph exceeds the device (callers should
-            partition across more chips first — see
-            :mod:`repro.mapping.graph_partition`).
+        CapacityError: when the graph exceeds the device's *usable*
+            sub-arrays (callers should partition across more chips
+            first — see :mod:`repro.mapping.graph_partition`).
     """
+    if quarantined < 0:
+        raise CapacityError("quarantined count must be non-negative")
     sub = device.bank.mat.subarray
     f = vertices_per_subarray(sub)
     needed = subarrays_for_vertices(n_vertices, sub)
+    available = device.num_subarrays - quarantined
+    if available < 0:
+        raise CapacityError(
+            f"{quarantined} quarantined sub-arrays exceed the device's "
+            f"{device.num_subarrays}"
+        )
     plan = AllocationPlan(
         n_vertices=n_vertices,
         vertices_per_subarray=f,
         subarrays_needed=needed,
-        subarrays_available=device.num_subarrays,
+        subarrays_available=available,
+        subarrays_quarantined=quarantined,
     )
     if not plan.feasible:
-        raise ValueError(
+        raise CapacityError(
             f"sub-graph of {n_vertices} vertices needs {needed} sub-arrays; "
-            f"device has {device.num_subarrays} — partition over more chips"
+            f"device has {available} usable ({quarantined} quarantined) — "
+            f"partition over more chips"
         )
     return plan
 

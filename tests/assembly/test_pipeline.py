@@ -120,3 +120,57 @@ class TestOptions:
         assert sorted(str(c.sequence) for c in plain.contigs) == sorted(
             str(c.sequence) for c in simplified.contigs
         )
+
+
+class TestResilientPipeline:
+    def test_no_policy_means_no_report(self, small_case):
+        _, reads = small_case
+        result = assemble_with_pim(reads, k=13)
+        assert result.resilience is None
+
+    def test_clean_run_report_is_clean_but_charged(self, small_case):
+        """Without faults the report shows zero events but real
+        verification overhead — protection is never free."""
+        _, reads = small_case
+        result = assemble_with_pim(reads, k=13, resilience="detect")
+        report = result.resilience
+        assert report is not None and report.clean
+        assert report.totals.detected == 0
+        assert report.totals.verified_ops > 0
+        assert report.totals.verify_time_ns > 0
+        assert report.totals.scrubbed_rows > 0
+        assert set(report.stages) == {"hashmap", "debruijn", "traverse"}
+
+    def test_protected_run_recovers_baseline_contigs(self):
+        """The tentpole guarantee at 15% variation: detect-retry-remap
+        reproduces the fault-free contigs bit-identically, policy off
+        does not."""
+        from repro.assembly.pipeline import _sized_device
+        from repro.core.faults import FaultModel
+
+        reference = synthetic_chromosome(500, seed=700)
+        sim = ReadSimulator(read_length=80, seed=701)
+        reads = sim.sample(reference, sim.reads_for_coverage(500, 8))
+
+        def contigs(variation, policy):
+            pim = _sized_device(reads, 9)
+            if variation:
+                pim.controller.faults = FaultModel.from_variation(
+                    variation, seed=702
+                )
+            result = PimPipeline(
+                pim, k=9, min_count=2, resilience=policy
+            ).run(reads)
+            return result, sorted(str(c.sequence) for c in result.contigs)
+
+        _, baseline = contigs(0.0, None)
+        _, off = contigs(15.0, "off")
+        protected_result, protected = contigs(15.0, "detect-retry-remap")
+
+        assert off != baseline
+        assert protected == baseline
+        report = protected_result.resilience
+        assert report.totals.corrected > 0
+        assert report.totals.verify_time_ns > 0
+        hashmap = report.stages["hashmap"]
+        assert hashmap.detected > 0 and hashmap.uncorrected == 0

@@ -225,6 +225,58 @@ class TestGangExecution:
         with pytest.raises(ValueError):
             pim.controller.gang_copy([(src, d1), (src, d2)])
 
+    def test_gang_compute2_routes_through_fault_injection(self, rng):
+        """Ganged compute2 must corrupt exactly like the single op."""
+        from repro.core.faults import FaultModel
+
+        pim = PimAssembler.small(subarrays=4, rows=64, cols=32)
+        pim.controller.faults = FaultModel(compute2_rate=1.0, seed=17)
+        ops = []
+        clean = []
+        for s in range(3):
+            a = rng.integers(0, 2, 32).astype(np.uint8)
+            b = rng.integers(0, 2, 32).astype(np.uint8)
+            ra = store(pim, a, (0, 0, s))
+            rb = store(pim, b, (0, 0, s))
+            ops.append((ra, rb, pim.allocate_row((0, 0, s))))
+            clean.append(1 - (a ^ b))
+        results = pim.controller.gang_compute2(ops, SAOp.XNOR2)
+        for got, exp in zip(results, clean):
+            # rate=1 flips every bit of every member's output
+            assert (got == 1 - exp).all()
+        # the corrupted result must also be what memory holds
+        for (_, _, des), exp in zip(ops, clean):
+            stored = pim.device.subarray_at(des).read_row(des.row)
+            assert (stored == 1 - exp).all()
+        assert pim.controller.faults.injected_faults == 3 * 32
+
+    def test_gang_copy_routes_through_fault_injection(self, rng):
+        from repro.core.faults import FaultModel
+
+        pim = PimAssembler.small(subarrays=4, rows=64, cols=32)
+        pim.controller.faults = FaultModel(copy_rate=1.0, seed=17)
+        data = rng.integers(0, 2, 32).astype(np.uint8)
+        pairs = []
+        for s in range(2):
+            src = store(pim, data, (0, 0, s))
+            pairs.append((src, pim.allocate_row((0, 0, s))))
+        pim.controller.gang_copy(pairs)
+        for _, des in pairs:
+            stored = pim.device.subarray_at(des).read_row(des.row)
+            assert (stored == 1 - data).all()
+
+    def test_gang_copy_clean_without_copy_rate(self, rng):
+        """Default fault models leave RowClone transfers untouched."""
+        from repro.core.faults import FaultModel
+
+        pim = PimAssembler.small(subarrays=4, rows=64, cols=32)
+        pim.controller.faults = FaultModel(compute2_rate=0.5, seed=17)
+        data = rng.integers(0, 2, 32).astype(np.uint8)
+        src = store(pim, data, (0, 0, 0))
+        des = pim.allocate_row((0, 0, 0))
+        pim.controller.gang_copy([(src, des)])
+        assert (pim.device.subarray_at(des).read_row(des.row) == data).all()
+
     def test_gang_copy(self, small_pim, rng):
         pim = small_pim
         pairs = []

@@ -52,6 +52,50 @@ class TestFaultModel:
         with pytest.raises(ValueError):
             FaultModel(compute2_rate=1.5)
 
+    def test_copy_rate_mechanism(self):
+        model = FaultModel(copy_rate=1.0)
+        assert model.enabled
+        assert model.rate_for("copy") == 1.0
+        bits = np.zeros(16, dtype=np.uint8)
+        assert model.corrupt(bits, "copy").all()
+        assert not FaultModel().corrupt(bits, "copy").any()
+
+    def test_rate_for_unknown_mechanism(self):
+        from repro.errors import FaultConfigError
+
+        with pytest.raises(FaultConfigError):
+            FaultModel().rate_for("quantum")
+
+    def test_decide_is_seed_deterministic(self):
+        """Two models with the same seed draw identical fault events."""
+        a = FaultModel(compute2_rate=0.3, seed=42)
+        b = FaultModel(compute2_rate=0.3, seed=42)
+        assert (a.decide(1000, 0.3) == b.decide(1000, 0.3)).all()
+        assert (a.decide((4, 8), 0.5) == b.decide((4, 8), 0.5)).all()
+        c = FaultModel(compute2_rate=0.3, seed=43)
+        assert (a.decide(1000, 0.3) != c.decide(1000, 0.3)).any()
+
+    def test_decide_accepts_per_element_rates(self):
+        model = FaultModel(seed=1)
+        rates = np.array([0.0, 0.0, 1.0, 1.0])
+        fired = model.decide(4, rates)
+        assert not fired[:2].any() and fired[2:].all()
+
+    def test_corrupt_is_seed_deterministic(self):
+        bits = np.zeros(256, dtype=np.uint8)
+        a = FaultModel(compute2_rate=0.1, seed=9).corrupt(bits, "compute2")
+        b = FaultModel(compute2_rate=0.1, seed=9).corrupt(bits, "compute2")
+        assert (a == b).all()
+
+    def test_corrupt_scale_derates(self):
+        """The retry path's derated re-execution flips fewer bits."""
+        bits = np.zeros(100_000, dtype=np.uint8)
+        full = FaultModel(compute2_rate=0.2, seed=3).corrupt(bits, "compute2")
+        derated = FaultModel(compute2_rate=0.2, seed=3).corrupt(
+            bits, "compute2", scale=0.1
+        )
+        assert 0 < derated.sum() < full.sum()
+
     def test_from_variation_matches_table1(self):
         """Rates derived from the Monte Carlo track Table I: clean at
         +/-5%, TRA markedly worse at +/-10%."""

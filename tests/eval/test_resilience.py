@@ -1,0 +1,58 @@
+"""The resilience ablation study (variation x policy sweep)."""
+
+import pytest
+
+from repro.eval.resilience import (
+    ResilienceWorkload,
+    format_resilience_study,
+    run_resilience_study,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_study():
+    """One variation level, the two ends of the policy ladder."""
+    return run_resilience_study(
+        variation_levels=(15.0,),
+        policies=("off", "detect-retry-remap"),
+    )
+
+
+class TestResilienceStudy:
+    def test_off_corrupts_protected_recovers(self, quick_study):
+        off = quick_study.point(15.0, "off")
+        protected = quick_study.point(15.0, "detect-retry-remap")
+        assert not off.identical_to_baseline
+        assert protected.identical_to_baseline
+        assert quick_study.strongest_policy_always_exact
+
+    def test_overhead_is_accounted(self, quick_study):
+        off = quick_study.point(15.0, "off")
+        protected = quick_study.point(15.0, "detect-retry-remap")
+        assert off.verify_time_ns == 0.0 and off.detected == 0
+        assert protected.corrected > 0
+        assert protected.verify_time_ns > 0
+        assert 0 < protected.verify_time_fraction < 1
+        assert protected.time_ns > off.time_ns  # retries + checks cost time
+
+    def test_point_lookup_normalises_policy_name(self, quick_study):
+        from repro.core.resilience import PolicyLevel
+
+        point = quick_study.point(15.0, PolicyLevel.DETECT_RETRY_REMAP)
+        assert point.policy == "detect-retry-remap"
+        with pytest.raises(KeyError):
+            quick_study.point(99.0, "off")
+
+    def test_formatting_mentions_every_point(self, quick_study):
+        text = format_resilience_study(quick_study)
+        assert "baseline" in text
+        assert "detect-retry-remap" in text
+        assert text.count("15%") == len(quick_study.points)
+
+    def test_workload_is_reproducible(self):
+        a = ResilienceWorkload().materialise()
+        b = ResilienceWorkload().materialise()
+        assert str(a[0]) == str(b[0])
+        assert [str(r.sequence) for r in a[1]] == [
+            str(r.sequence) for r in b[1]
+        ]

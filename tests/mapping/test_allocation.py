@@ -72,6 +72,27 @@ class TestPlan:
         with pytest.raises(ValueError):
             plan_allocation(capacity + 1, device)
 
+    def test_quarantine_shrinks_availability(self):
+        """Graceful degradation: retired sub-arrays leave the pool."""
+        device = self.small_device()
+        plan = plan_allocation(100, device, quarantined=3)
+        assert plan.subarrays_available == device.num_subarrays - 3
+        assert plan.subarrays_quarantined == 3
+        assert plan.feasible
+
+    def test_quarantine_can_make_plan_infeasible(self):
+        from repro.errors import CapacityError
+
+        device = self.small_device()
+        fits_exactly = device.num_subarrays * 32
+        plan_allocation(fits_exactly, device)  # fine with all sub-arrays
+        with pytest.raises(CapacityError):
+            plan_allocation(fits_exactly, device, quarantined=1)
+
+    def test_rejects_negative_quarantine(self):
+        with pytest.raises(ValueError):
+            plan_allocation(10, self.small_device(), quarantined=-1)
+
 
 class TestChipsNeeded:
     def test_single_chip_for_small_graph(self):
