@@ -1,0 +1,260 @@
+"""Perf trajectory for the bulk execution engine (scalar vs bulk).
+
+Microbenchmarks the simulator's two hot paths under both execution
+engines and writes ``BENCH_hotpath.json`` so future changes have a
+recorded baseline:
+
+* **compare_scan** — Q queries scanned against an n-row block
+  (the hash-table probe loop);
+* **ripple_add** — repeated m-bit-plane in-memory additions
+  (the Wallace degree reduction's final stage);
+* **hashmap** — end-to-end k-mer counting of a read set (the gang
+  coalescing across sub-array partitions).
+
+Each entry records simulator *wall-clock* seconds and *modeled* device
+nanoseconds; the speedups the bulk engine must hold (>= 3x wall-clock
+on compare_scan and ripple_add) are asserted with ``--check``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath_engine.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+MIN_SPEEDUP = 3.0  # wall-clock floor for the microbenchmarks
+
+
+def _best_wall(fn, repeats: int) -> float:
+    """Best-of-N wall time (seconds) of a fresh-state closure."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_compare_scan(quick: bool, repeats: int) -> dict:
+    from repro.core import PimAssembler
+    from repro.core.bitplane import BulkEngine
+    from repro.core.isa import RowAddress
+
+    n_rows = 40 if quick else 120
+    n_queries = 200 if quick else 2000
+    width = 64
+    rng = np.random.default_rng(1)
+    block = rng.integers(0, 2, (n_rows, width)).astype(np.uint8)
+    queries = np.vstack(
+        [
+            block[rng.integers(0, n_rows)]
+            if rng.random() < 0.5
+            else rng.integers(0, 2, width).astype(np.uint8)
+            for _ in range(n_queries)
+        ]
+    )
+    start_row = 4
+
+    def setup():
+        pim = PimAssembler.small(subarrays=4, rows=256, cols=width)
+        sub = pim.device.subarray_at((0, 0, 0))
+        for i, row in enumerate(block):
+            sub.write_row(start_row + i, row)
+        return pim, RowAddress(bank=0, mat=0, subarray=0, row=0)
+
+    def scalar():
+        pim, temp = setup()
+        ctrl = pim.controller
+        for q in queries:
+            ctrl.write_row(temp, q)
+            ctrl.compare_scan(temp, start_row, n_rows, None)
+        return pim
+
+    def bulk():
+        pim, temp = setup()
+        BulkEngine(pim).compare_scan_batch(temp, queries, start_row, n_rows)
+        return pim
+
+    wall_scalar = _best_wall(scalar, repeats)
+    wall_bulk = _best_wall(bulk, repeats)
+    modeled_scalar = scalar().controller.ledger.totals().time_ns
+    modeled_bulk = bulk().controller.ledger.totals().time_ns
+    return {
+        "params": {"n_rows": n_rows, "n_queries": n_queries, "width": width},
+        "scalar": {"wall_s": wall_scalar, "modeled_ns": modeled_scalar},
+        "bulk": {"wall_s": wall_bulk, "modeled_ns": modeled_bulk},
+        "wall_speedup": wall_scalar / wall_bulk,
+        "queries_per_s": {
+            "scalar": n_queries / wall_scalar,
+            "bulk": n_queries / wall_bulk,
+        },
+    }
+
+
+def bench_ripple_add(quick: bool, repeats: int) -> dict:
+    from repro.core import PimAssembler
+    from repro.core.bitplane import BulkEngine, words_to_planes
+    from repro.core.isa import RowAddress
+
+    bits = 8
+    rounds = 30 if quick else 200
+    width = 64
+    rng = np.random.default_rng(2)
+    a_vals = rng.integers(0, 1 << bits, width).astype(np.int64) >> 1
+    b_vals = rng.integers(0, 1 << bits, width).astype(np.int64) >> 1
+
+    def setup():
+        pim = PimAssembler.small(subarrays=2, rows=256, cols=width)
+        sub = pim.device.subarray_at((0, 0, 0))
+        addr = lambda row: RowAddress(bank=0, mat=0, subarray=0, row=row)
+        for base, vals in ((4, a_vals), (4 + bits, b_vals)):
+            planes = words_to_planes(vals, bits)
+            for i in range(bits):
+                sub.write_row(base + i, planes[i])
+        a = [addr(4 + i) for i in range(bits)]
+        b = [addr(4 + bits + i) for i in range(bits)]
+        s = [addr(4 + 2 * bits + i) for i in range(bits)]
+        carry = addr(4 + 3 * bits)
+        return pim, a, b, s, carry
+
+    def scalar():
+        pim, a, b, s, carry = setup()
+        for _ in range(rounds):
+            pim.controller.ripple_add(a, b, s, carry)
+        return pim
+
+    def bulk():
+        pim, a, b, s, carry = setup()
+        engine = BulkEngine(pim)
+        for _ in range(rounds):
+            engine.ripple_add_block(a, b, s, carry)
+        return pim
+
+    wall_scalar = _best_wall(scalar, repeats)
+    wall_bulk = _best_wall(bulk, repeats)
+    modeled_scalar = scalar().controller.ledger.totals().time_ns
+    modeled_bulk = bulk().controller.ledger.totals().time_ns
+    return {
+        "params": {"bit_planes": bits, "rounds": rounds, "width": width},
+        "scalar": {"wall_s": wall_scalar, "modeled_ns": modeled_scalar},
+        "bulk": {"wall_s": wall_bulk, "modeled_ns": modeled_bulk},
+        "wall_speedup": wall_scalar / wall_bulk,
+        "adds_per_s": {
+            "scalar": rounds / wall_scalar,
+            "bulk": rounds / wall_bulk,
+        },
+    }
+
+
+def bench_hashmap(quick: bool, repeats: int) -> dict:
+    from repro.assembly.hashmap import PimKmerCounter
+    from repro.core import PimAssembler
+    from repro.genome.reads import Read
+    from repro.genome.sequence import DnaSequence
+
+    n_reads = 10 if quick else 60
+    read_len = 60 if quick else 100
+    subarrays = 128 if quick else 512  # headroom for partition imbalance
+    rng = np.random.default_rng(3)
+    reads = [
+        Read(
+            f"r{i}",
+            DnaSequence("".join(rng.choice(list("ACGT"), size=read_len))),
+            start=i,
+        )
+        for i in range(n_reads)
+    ]
+    total_kmers = sum(len(r.sequence) - 9 + 1 for r in reads)
+
+    def run(engine):
+        pim = PimAssembler.small(subarrays=subarrays)
+        counter = PimKmerCounter(pim, 9, engine=engine)
+        counter.add_reads(reads)
+        return pim
+
+    wall_scalar = _best_wall(lambda: run("scalar"), repeats)
+    wall_bulk = _best_wall(lambda: run("bulk"), repeats)
+    modeled_scalar = run("scalar").controller.ledger.totals().time_ns
+    modeled_bulk = run("bulk").controller.ledger.totals().time_ns
+    return {
+        "params": {"n_reads": n_reads, "read_len": read_len, "k": 9},
+        "scalar": {"wall_s": wall_scalar, "modeled_ns": modeled_scalar},
+        "bulk": {"wall_s": wall_bulk, "modeled_ns": modeled_bulk},
+        "wall_speedup": wall_scalar / wall_bulk,
+        "modeled_speedup": modeled_scalar / modeled_bulk,
+        "kmers_per_s": {
+            "scalar": total_kmers / wall_scalar,
+            "bulk": total_kmers / wall_bulk,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes (CI smoke)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"fail unless bulk >= {MIN_SPEEDUP}x wall-clock on the "
+        "compare_scan and ripple_add microbenchmarks",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"),
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+
+    results = {
+        "benchmark": "hotpath_engine",
+        "mode": "quick" if args.quick else "full",
+        "min_speedup_floor": MIN_SPEEDUP,
+        "compare_scan": bench_compare_scan(args.quick, args.repeats),
+        "ripple_add": bench_ripple_add(args.quick, args.repeats),
+        "hashmap": bench_hashmap(args.quick, args.repeats),
+    }
+
+    for name in ("compare_scan", "ripple_add", "hashmap"):
+        entry = results[name]
+        print(
+            f"{name:>14}: scalar {entry['scalar']['wall_s'] * 1e3:8.1f} ms"
+            f" | bulk {entry['bulk']['wall_s'] * 1e3:8.1f} ms"
+            f" | wall speedup {entry['wall_speedup']:6.1f}x"
+        )
+
+    out = Path(args.output)
+    out.write_text(json.dumps(results, indent=2) + "\n", encoding="ascii")
+    print(f"wrote {out}")
+
+    if args.check:
+        failures = [
+            name
+            for name in ("compare_scan", "ripple_add")
+            if results[name]["wall_speedup"] < MIN_SPEEDUP
+        ]
+        if failures:
+            print(
+                f"FAIL: bulk < {MIN_SPEEDUP}x wall-clock on: "
+                + ", ".join(failures)
+            )
+            return 1
+        print(f"OK: bulk >= {MIN_SPEEDUP}x wall-clock on both microbenchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,19 @@ concurrently.
 
 :class:`SoftwareKmerCounter` is the golden model (a plain dict); the
 test suite asserts the PIM path produces identical tables.
+
+Execution engines
+=================
+
+``engine="scalar"`` (the default, and the golden model) walks the
+Hashmap loop k-mer by k-mer through the controller.  ``engine="bulk"``
+batch-inserts each round's k-mers per sub-array through the bulk
+bit-plane engine (:mod:`repro.core.bitplane`): slot assignment, scan
+lengths and counter evolution are derived with vectorised NumPy over
+the whole batch, memory reaches the identical end state, and the
+ledger is charged the identical per-mnemonic command counts in one
+gang-scheduled batch.  Runs with live compare/copy fault rates replay
+the scalar per-op path so the fault RNG stream stays exact.
 """
 
 from __future__ import annotations
@@ -30,13 +43,21 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.bitplane import BulkEngine
 from repro.core.isa import RowAddress
 from repro.core.platform import PimAssembler
 from repro.errors import TableFullError
-from repro.genome.kmer import iter_kmers, kmer_to_row_bits, pack_kmer, unpack_kmer
+from repro.genome.kmer import (
+    iter_kmers,
+    kmer_to_row_bits,
+    pack_kmer,
+    packed_kmers_array,
+    packed_to_row_bits,
+    unpack_kmer,
+)
 from repro.genome.reads import Read
 from repro.genome.sequence import DnaSequence
-from repro.mapping.hashing import kmer_partition
+from repro.mapping.hashing import kmer_partition, kmer_partition_array
 from repro.mapping.kmer_layout import KmerLayout, scaled_layout
 
 __all__ = [
@@ -91,6 +112,9 @@ class PimKmerCounter:
         saturating: clamp counters at the 8-bit maximum instead of
             raising (real hardware saturates; the golden-model
             comparison requires counts below the limit).
+        engine: ``"scalar"`` (per-op golden model) or ``"bulk"``
+            (batched bit-plane execution; identical tables, end state
+            and command counts, gang-scheduled time).
     """
 
     def __init__(
@@ -99,9 +123,12 @@ class PimKmerCounter:
         k: int,
         subarray_keys: Sequence[tuple[int, int, int]] | None = None,
         saturating: bool = True,
+        engine: str = "scalar",
     ) -> None:
         if k <= 0:
             raise ValueError("k must be positive")
+        if engine not in ("scalar", "bulk"):
+            raise ValueError("engine must be 'scalar' or 'bulk'")
         geometry = pim.geometry.bank.mat.subarray
         layout = scaled_layout(geometry)
         if k > layout.max_kmer_bases:
@@ -111,6 +138,8 @@ class PimKmerCounter:
         self.pim = pim
         self.k = k
         self.saturating = saturating
+        self.engine = engine
+        self._bulk = BulkEngine(pim) if engine == "bulk" else None
         # default to the *usable* sub-arrays: partitions never land on
         # storage the resilience engine already quarantined
         keys = (
@@ -148,7 +177,13 @@ class PimKmerCounter:
         """One iteration of the Hashmap loop (Fig. 5b)."""
         if len(kmer) != self.k:
             raise ValueError(f"expected a {self.k}-mer, got {len(kmer)} bases")
-        packed = pack_kmer(kmer)
+        self._add_packed_scalar(pack_kmer(kmer), kmer)
+
+    def _add_packed_scalar(
+        self, packed: int, kmer: DnaSequence | None = None
+    ) -> None:
+        if kmer is None:
+            kmer = unpack_kmer(packed, self.k)
         table = self._tables[kmer_partition(packed, self.partitions)]
         ctrl = self.pim.controller
         layout = table.layout
@@ -174,12 +209,205 @@ class PimKmerCounter:
             self._insert_new(table, temp, packed)
 
     def add_sequence(self, sequence: DnaSequence) -> None:
+        if self._bulk is not None:
+            packed = packed_kmers_array(sequence, self.k)
+            if packed.size:
+                self._add_packed_bulk(packed)
+            return
         for kmer in iter_kmers(sequence, self.k):
             self.add_kmer(kmer)
 
     def add_reads(self, reads: Iterable[Read]) -> None:
+        if self._bulk is not None:
+            arrays = [
+                packed_kmers_array(read.sequence, self.k) for read in reads
+            ]
+            arrays = [arr for arr in arrays if arr.size]
+            if arrays:
+                # one batch per round: per-partition arrival order is
+                # the global read order, exactly as the scalar loop
+                self._add_packed_bulk(np.concatenate(arrays))
+            return
         for read in reads:
             self.add_sequence(read.sequence)
+
+    # ----- the bulk path ---------------------------------------------------------
+
+    def _add_packed_bulk(self, packed: np.ndarray) -> None:
+        """Batch-insert a round of packed k-mers per sub-array.
+
+        The scalar loop's observable behaviour is reproduced exactly:
+        slot assignment follows first arrival, scan lengths follow the
+        stop-at-first-match protocol, counters saturate per hit, and
+        the ledger receives the identical command counts — charged as
+        one gang-scheduled batch per round instead of op by op.
+        """
+        ctrl = self.pim.controller
+        faults = ctrl.faults
+        if (
+            faults is not None
+            and faults.enabled
+            and (faults.compute2_rate > 0.0 or faults.copy_rate > 0.0)
+        ):
+            # live scan/copy fault rates: the per-op RNG draw order is
+            # part of the contract, so replay the exact scalar path
+            for value in packed.tolist():
+                self._add_packed_scalar(int(value))
+            return
+        parts = kmer_partition_array(packed, self.partitions)
+        plans = []
+        for index in np.unique(parts):
+            plan = self._plan_partition(int(index), packed[parts == index])
+            if plan is None:
+                # some partition would raise (table full / counter
+                # overflow) mid-stream; nothing has been applied yet, so
+                # replay the whole round through the scalar path and let
+                # the error fire at the exact arrival — with the exact
+                # partial table state — the golden model produces
+                for value in packed.tolist():
+                    self._add_packed_scalar(int(value))
+                return
+            plans.append(plan)
+        for plan in plans:
+            self._apply_partition(plan)
+        self._bulk.flush()
+
+    def _plan_partition(self, index: int, arr: np.ndarray) -> dict | None:
+        """Resolve one partition's arrival stream without touching state.
+
+        Returns None when the stream would raise mid-batch, so the
+        caller can fall back to the scalar replay before any partition
+        has been mutated or charged.
+        """
+        table = self._tables[index]
+        layout = table.layout
+        n0 = table.occupied
+        existing = self._slot_keys[index]
+
+        uniq, first_idx, inv = np.unique(
+            arr, return_index=True, return_inverse=True
+        )
+        if existing:
+            ex = np.asarray(existing, dtype=np.uint64)
+            sorter = np.argsort(ex, kind="stable")
+            pos = np.searchsorted(ex[sorter], uniq)
+            pos_c = np.minimum(pos, ex.size - 1)
+            known = ex[sorter][pos_c] == uniq
+            uniq_slot = np.where(known, sorter[pos_c], -1).astype(np.int64)
+        else:
+            uniq_slot = np.full(uniq.size, -1, dtype=np.int64)
+
+        new_uniq = np.flatnonzero(uniq_slot < 0)
+        n_new = int(new_uniq.size)
+        if n0 + n_new > layout.kmer_rows:
+            return None  # would raise TableFullError mid-stream
+
+        # new keys claim slots in first-arrival order
+        arrival_order = np.argsort(first_idx[new_uniq], kind="stable")
+        uniq_slot[new_uniq[arrival_order]] = n0 + np.arange(n_new)
+        slots = uniq_slot[inv]
+
+        is_miss = np.zeros(arr.size, dtype=bool)
+        is_miss[first_idx[new_uniq]] = True
+        # a miss at insertion slot s scanned all s occupied rows; a hit
+        # at slot s stopped after s + 1 rows
+        scanned = np.where(is_miss, slots, slots + 1)
+        total_scanned = int(scanned.sum())
+        n_miss = int(is_miss.sum())
+        n_hits = int(arr.size - n_miss)
+
+        # counter evolution: value(key) ends at min(start + hits, max),
+        # incrementing (1 DPU add + 1 MEM_WR) only below saturation and
+        # reading (1 MEM_RD) on every hit
+        occurrences = np.bincount(inv, minlength=uniq.size).astype(np.int64)
+        start_vals = np.ones(uniq.size, dtype=np.int64)  # inserts write 1
+        for u in np.flatnonzero(uniq_slot < n0):
+            start_vals[u] = self._counter_value_raw(table, int(uniq_slot[u]))
+        hits_per_key = np.where(uniq_slot < n0, occurrences, occurrences - 1)
+        final_vals = np.minimum(start_vals + hits_per_key, layout.counter_max)
+        increments = int((final_vals - start_vals).sum())
+        if not self.saturating and (
+            start_vals + hits_per_key > layout.counter_max
+        ).any():
+            return None  # would raise OverflowError mid-stream
+
+        return dict(
+            index=index,
+            arr=arr,
+            n0=n0,
+            n_new=n_new,
+            new_packed=uniq[new_uniq[arrival_order]],
+            uniq_slot=uniq_slot,
+            final_vals=final_vals,
+            scanned=scanned,
+            total_scanned=total_scanned,
+            n_miss=n_miss,
+            n_hits=n_hits,
+            increments=increments,
+        )
+
+    def _apply_partition(self, plan: dict) -> None:
+        """Apply one planned partition batch: state writes + charging."""
+        table = self._tables[plan["index"]]
+        layout = table.layout
+        arr = plan["arr"]
+        n0, n_new = plan["n0"], plan["n_new"]
+        new_packed = plan["new_packed"]
+        uniq_slot, final_vals = plan["uniq_slot"], plan["final_vals"]
+        scanned = plan["scanned"]
+
+        # ---- functional end state -------------------------------------
+        sub = self.pim.device.subarray_at(table.key)
+        bits = sub.raw_bits
+        if n_new:
+            rows = packed_to_row_bits(new_packed, self.k, self.pim.row_bits)
+            bits[layout.kmer_row(n0) : layout.kmer_row(n0) + n_new] = rows
+        for u in range(uniq_slot.size):
+            self._poke_counter(table, int(uniq_slot[u]), int(final_vals[u]))
+        last_bits = packed_to_row_bits(
+            arr[-1:], self.k, self.pim.row_bits
+        )[0]
+        last_scanned = int(scanned[-1])
+        last_row = (
+            bits[layout.kmer_row(last_scanned - 1)] if last_scanned else None
+        )
+        self._bulk._finish_scan(sub, layout.temp_row(0), last_bits, last_row)
+        table.occupied = n0 + n_new
+        self._slot_keys[plan["index"]].extend(
+            int(v) for v in new_packed.tolist()
+        )
+
+        # ---- charging (identical command counts, one gang batch) -------
+        sched = self._bulk.scheduler
+        key = table.key
+        sched.charge(
+            "MEM_WR", key, arr.size + plan["n_miss"] + plan["increments"]
+        )
+        sched.charge("MEM_RD", key, plan["n_hits"])
+        sched.charge("AAP1", key, arr.size + plan["n_miss"])
+        sched.fused_compare(key, plan["total_scanned"])
+        sched.charge("DPU", key, plan["increments"])
+        if self.pim.controller._verifying() is not None:
+            self._bulk.charge_verify(plan["total_scanned"])
+
+    def _counter_value_raw(self, table: _SubarrayTable, slot: int) -> int:
+        """Uncharged counter read (host-shadow bookkeeping for the bulk
+        path; the modeled ``MEM_RD`` per hit is still charged)."""
+        row, bit = table.layout.value_position(slot)
+        sub = self.pim.device.subarray_at(table.key)
+        field = sub.row_view(row)[bit : bit + table.layout.counter_bits]
+        return int(field @ (1 << np.arange(table.layout.counter_bits)))
+
+    def _poke_counter(
+        self, table: _SubarrayTable, slot: int, value: int
+    ) -> None:
+        """Uncharged counter write of a batch's final value (the bulk
+        path charges the modeled increment commands separately)."""
+        row, bit = table.layout.value_position(slot)
+        sub = self.pim.device.subarray_at(table.key)
+        width = table.layout.counter_bits
+        field = (value >> np.arange(width)) & 1
+        sub.raw_bits[row, bit : bit + width] = field.astype(np.uint8)
 
     # ----- table updates ---------------------------------------------------------------
 

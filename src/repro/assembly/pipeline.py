@@ -79,6 +79,10 @@ class PimPipeline:
             ops, a k-mer-table scrub between stages, and quarantine of
             sub-arrays that keep failing.  ``None`` leaves whatever
             engine is already attached to the platform untouched.
+        engine: ``"scalar"`` (per-op golden model) or ``"bulk"``
+            (batched bit-plane execution of the hashmap and degree
+            stages; identical tables/contigs/resilience events, time
+            charged per gang schedule).
     """
 
     def __init__(
@@ -91,9 +95,12 @@ class PimPipeline:
         min_contig_length: int = 0,
         simplify: bool = False,
         resilience: "ResiliencePolicy | str | None" = None,
+        engine: str = "scalar",
     ) -> None:
         if k <= 1:
             raise ValueError("assembly needs k >= 2")
+        if engine not in ("scalar", "bulk"):
+            raise ValueError("engine must be 'scalar' or 'bulk'")
         self.pim = pim
         self.k = k
         self.min_count = min_count
@@ -101,6 +108,7 @@ class PimPipeline:
         self.scaffold = scaffold
         self.min_contig_length = min_contig_length
         self.simplify = simplify
+        self.engine = engine
         self.resilience = (
             None if resilience is None else ResiliencePolicy.named(resilience)
         )
@@ -122,7 +130,7 @@ class PimPipeline:
         )
 
         with pim.phase("hashmap"):
-            counter = PimKmerCounter(pim, self.k)
+            counter = PimKmerCounter(pim, self.k, engine=self.engine)
             for item in reads:
                 sequence = item.sequence if isinstance(item, Read) else item
                 counter.add_sequence(sequence)
@@ -147,7 +155,7 @@ class PimPipeline:
             # Degree computation through the PIM adjacency mapping
             # (bulk PIM_Add, Fig. 8) — the in-memory portion of the
             # traversal — followed by the path walk.
-            degree_vectors_pim(pim, graph)
+            degree_vectors_pim(pim, graph, engine=self.engine)
             contigs = assemble_contigs(
                 graph, mode=self.contig_mode, min_length=self.min_contig_length
             )

@@ -45,6 +45,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="assembly engine (default: the PIM functional simulator)",
     )
     assemble.add_argument(
+        "--exec-engine",
+        choices=("scalar", "bulk"),
+        default="scalar",
+        help="PIM simulator execution engine: 'scalar' issues commands "
+        "one at a time (golden model), 'bulk' batches them as "
+        "bit-plane gangs (same results, much faster simulation)",
+    )
+    assemble.add_argument(
         "--correct",
         action="store_true",
         help="run spectral error correction before assembly",
@@ -137,6 +145,7 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
             k=args.k,
             min_count=args.min_count,
             min_contig_length=args.min_contig,
+            engine=args.exec_engine,
         )
         contigs = outcome.contigs
         print(

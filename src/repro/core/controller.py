@@ -252,7 +252,7 @@ class Controller:
         sub = self.device.subarray_at(src)
         sub.rowclone(src.row, des.row)
         if self.faults is not None and self.faults.copy_rate > 0.0:
-            self._apply_faults(sub, des.row, sub.read_row(des.row), "copy")
+            self._apply_faults(sub, des.row, sub.row_view(des.row), "copy")
         self._record_trace(instr.mnemonic, src.subarray_key, (src.row, des.row))
         self._charge(instr.mnemonic, self.timing.t_aap, self.energy.e_aap_copy)
 
@@ -338,7 +338,7 @@ class Controller:
         """Capture one row into the SA latch (one row cycle)."""
         self.device.validate_address(src)
         sub = self.device.subarray_at(src)
-        sub.sa.load_latch(sub.read_row(src.row))
+        sub.sa.load_latch(sub.row_view(src.row))
         self._record_trace("LATCH_LD", src.subarray_key, (src.row,))
         self._charge("LATCH_LD", self.timing.t_ap, self.energy.e_activate)
 
@@ -368,7 +368,10 @@ class Controller:
     # ----- DPU path -----------------------------------------------------------
 
     def dpu_match(
-        self, result_row: RowAddress, mask: np.ndarray | None = None
+        self,
+        result_row: RowAddress,
+        mask: np.ndarray | None = None,
+        bits: np.ndarray | None = None,
     ) -> bool:
         """AND-reduce a PIM_XNOR result row: True iff rows matched.
 
@@ -376,10 +379,14 @@ class Controller:
             result_row: row holding the XNOR2 output.
             mask: optional validity mask (1 where the comparison is
                 meaningful, e.g. the 2k bits of a k-mer).
+            bits: the row's contents when the caller already has them
+                (e.g. the XNOR result it just produced), skipping the
+                redundant re-read of ``result_row``.
         """
         self.device.validate_address(result_row)
         mat = self.device.mat_at(result_row.bank, result_row.mat)
-        bits = self.device.subarray_at(result_row).read_row(result_row.row)
+        if bits is None:
+            bits = self.device.subarray_at(result_row).row_view(result_row.row)
         if mask is None:
             outcome = mat.dpu.and_reduce(bits)
         else:
@@ -404,7 +411,7 @@ class Controller:
     def dpu_popcount(self, row: RowAddress) -> int:
         self.device.validate_address(row)
         mat = self.device.mat_at(row.bank, row.mat)
-        bits = self.device.subarray_at(row).read_row(row.row)
+        bits = self.device.subarray_at(row).row_view(row.row)
         count = mat.dpu.popcount(bits)
         self._charge("DPU", self.timing.t_dpu_clk, self.energy.e_dpu_op)
         return count
@@ -470,7 +477,7 @@ class Controller:
             sub = self.device.subarray_at(src)
             sub.rowclone(src.row, des.row)
             if inject:
-                self._apply_faults(sub, des.row, sub.read_row(des.row), "copy")
+                self._apply_faults(sub, des.row, sub.row_view(des.row), "copy")
         self._charge(
             "AAP1", self.timing.t_aap, self.energy.e_aap_copy, gang=len(ops)
         )

@@ -239,14 +239,14 @@ class PimAssembler:
         """
         sub = self.device.subarray_at(a)
         des = a.with_row(sub.compute_row(3))
-        self.controller.xnor_rows(a, b, des)
+        xnor = self.controller.xnor_rows(a, b, des)
         mask = None
         if valid_bits is not None:
             if not 0 < valid_bits <= self.row_bits:
                 raise ValueError("valid_bits out of range")
             mask = np.zeros(self.row_bits, dtype=np.uint8)
             mask[:valid_bits] = 1
-        return self.controller.dpu_match(des, mask)
+        return self.controller.dpu_match(des, mask, bits=xnor)
 
     # ----- PIM_Add ----------------------------------------------------------------
 

@@ -22,9 +22,15 @@ Uses:
 
 from __future__ import annotations
 
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
-from repro.core.timing import DEFAULT_TIMING, TimingParameters
+from repro.core.timing import (
+    DEFAULT_TIMING,
+    TimingParameters,
+    command_cost_table,
+    command_latency_table,
+)
 from repro.core.trace import CommandTrace, TraceEntry
 
 
@@ -73,19 +79,8 @@ class TraceScheduler:
     timing: TimingParameters = field(default_factory=lambda: DEFAULT_TIMING)
 
     def command_latency_ns(self, entry: TraceEntry) -> float:
-        t = self.timing
-        table = {
-            "AAP1": t.t_aap,
-            "AAP2": t.t_aap,
-            "AAP3": t.t_aap,
-            "SUM": t.t_aap,
-            "LATCH_LD": t.t_ap,
-            "MEM_WR": t.t_write_row,
-            "MEM_RD": t.t_read_row,
-            "DPU": t.t_dpu_clk,
-        }
         try:
-            return table[entry.mnemonic]
+            return command_latency_table(self.timing)[entry.mnemonic]
         except KeyError:
             raise ValueError(
                 f"no latency model for mnemonic {entry.mnemonic!r}"
@@ -127,3 +122,148 @@ def audit_parallelism(
     """One-call scheduling of a recorded trace."""
     scheduler = TraceScheduler(timing=timing or DEFAULT_TIMING)
     return scheduler.schedule(trace)
+
+
+# --------------------------------------------------------------------------
+# Batched AAP scheduling (the bulk execution engine's timed view)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Outcome of flushing one command batch to the ledger."""
+
+    serial_ns: float
+    makespan_ns: float
+    commands: int
+
+    @property
+    def coalescing_speedup(self) -> float:
+        """serial / makespan — parallelism exposed by gang coalescing."""
+        if self.makespan_ns <= 0:
+            return 1.0
+        return self.serial_ns / self.makespan_ns
+
+
+class BatchedAapScheduler:
+    """Coalesces independent per-sub-array op streams into gang issues.
+
+    The scalar controller charges every command as if the machine were
+    one queue.  The bulk engine instead queues *counts* of commands per
+    (mnemonic, resource) pair and flushes them in one pass: commands
+    against different sub-arrays share command slots (gang issue, the
+    SIMD execution of Section III), so wall-clock time is the busiest
+    resource's serial time — the same resource model
+    :class:`TraceScheduler` replays trace-entry by trace-entry, but
+    computed in O(resources) instead of O(commands).
+
+    Resources:
+
+    * each sub-array serialises its own AAP/SUM/LATCH stream;
+    * each MAT's GRB serialises host reads/writes (which also occupy
+      the source/target sub-array);
+    * each MAT's DPU runs reduce ops — a *separate* resource, which is
+      what makes the XNOR→AND fusion free: the DPU reduce of row ``i``
+      overlaps the AAP of row ``i+1``.
+
+    Charging: at :meth:`flush` the batch's makespan is computed, and
+    each mnemonic is recorded with its full energy and command count
+    but with its serial time scaled by ``makespan / serial`` so the
+    phase totals add up to the gang-scheduled wall-clock (documented in
+    ``docs/CALIBRATION.md``).  Per-command costs come from the cached
+    :func:`repro.core.timing.command_cost_table`.
+    """
+
+    def __init__(self, ledger, timing=None, energy=None) -> None:
+        from repro.core.energy import DEFAULT_ENERGY  # energy imports timing
+
+        self.ledger = ledger
+        self.timing = timing or DEFAULT_TIMING
+        self.energy = energy or DEFAULT_ENERGY
+        self.costs = command_cost_table(self.timing, self.energy)
+        self._busy: dict[tuple, float] = defaultdict(float)
+        self._time_ns: Counter = Counter()
+        self._energy_nj: Counter = Counter()
+        self._counts: Counter = Counter()
+
+    # ----- queueing -------------------------------------------------------
+
+    def charge(
+        self,
+        mnemonic: str,
+        subarray_key: tuple[int, int, int],
+        count: int = 1,
+    ) -> None:
+        """Queue ``count`` commands of one kind against one sub-array."""
+        if count <= 0:
+            return
+        try:
+            time_ns, energy_nj = self.costs[mnemonic]
+        except KeyError:
+            raise ValueError(
+                f"no cost model for mnemonic {mnemonic!r}"
+            ) from None
+        total_ns = count * time_ns
+        self._time_ns[mnemonic] += total_ns
+        self._energy_nj[mnemonic] += count * energy_nj
+        self._counts[mnemonic] += count
+        if mnemonic == "DPU":
+            self._busy[("dpu", *subarray_key[:2])] += total_ns
+        else:
+            self._busy[subarray_key] += total_ns
+            if mnemonic in ("MEM_RD", "MEM_WR"):
+                self._busy[("grb", *subarray_key[:2])] += total_ns
+
+    # ----- op-fusion pass --------------------------------------------------
+
+    def fused_compare(
+        self, subarray_key: tuple[int, int, int], scanned: int
+    ) -> None:
+        """One fused XNOR→AND(-reduce) kernel over ``scanned`` rows.
+
+        Issues the scan's AAP copy + AAP compute per candidate row on
+        the sub-array and its AND/popcount reduce on the MAT's DPU —
+        the DPU leg lands on its own resource, so the reduction is
+        hidden behind the next row's activations (fusion rule 1).
+        """
+        self.charge("AAP1", subarray_key, scanned)
+        self.charge("AAP2", subarray_key, scanned)
+        self.charge("DPU", subarray_key, scanned)
+
+    def fused_add(
+        self, subarray_key: tuple[int, int, int], bit_planes: int
+    ) -> None:
+        """Carry+sum pairs for ``bit_planes`` positions as one batch.
+
+        The 2-cycle-per-bit pair (SUM + TRA) of the ripple adder issues
+        back to back without per-op dispatch (fusion rule 2).
+        """
+        self.charge("SUM", subarray_key, bit_planes)
+        self.charge("AAP3", subarray_key, bit_planes)
+
+    # ----- flushing ----------------------------------------------------------
+
+    @property
+    def pending_commands(self) -> int:
+        return sum(self._counts.values())
+
+    def flush(self) -> BatchReport:
+        """Charge the queued batch to the ledger as one gang schedule."""
+        serial = float(sum(self._time_ns.values()))
+        makespan = max(self._busy.values(), default=0.0)
+        commands = self.pending_commands
+        scale = (makespan / serial) if serial > 0 else 0.0
+        for mnemonic, count in self._counts.items():
+            self.ledger.record(
+                mnemonic,
+                time_ns=self._time_ns[mnemonic] * scale,
+                energy_nj=self._energy_nj[mnemonic],
+                count=count,
+            )
+        self._busy.clear()
+        self._time_ns.clear()
+        self._energy_nj.clear()
+        self._counts.clear()
+        return BatchReport(
+            serial_ns=serial, makespan_ns=makespan, commands=commands
+        )

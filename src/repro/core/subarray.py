@@ -89,6 +89,34 @@ class SubArray:
             raise IndexError(f"row range [{start}, {stop}) out of bounds")
         return self._bits[start:stop].copy()
 
+    # ----- zero-copy access (bulk engine) ------------------------------------
+
+    def row_view(self, row: int) -> np.ndarray:
+        """View (no copy) of one row; treat as read-only.
+
+        The controller and the bulk engine use views where the scalar
+        path used to round-trip a full row copy per operation; callers
+        that need to retain the data across writes must copy it.
+        """
+        return self._bits[self._check_row(row)]
+
+    def block_view(self, start: int, stop: int) -> np.ndarray:
+        """View (no copy) of the contiguous row block ``[start, stop)``."""
+        self._check_row(start)
+        if stop < start or stop > self.geometry.rows:
+            raise IndexError(f"row range [{start}, {stop}) out of bounds")
+        return self._bits[start:stop]
+
+    @property
+    def raw_bits(self) -> np.ndarray:
+        """The live bit matrix itself (the bulk engine's bit-plane view).
+
+        Mutations bypass the per-row validation of :meth:`write_row`;
+        only :mod:`repro.core.bitplane` writes through this, and only
+        with pre-validated 0/1 payloads.
+        """
+        return self._bits
+
     def rowclone(self, src: int, des: int) -> None:
         """In-sub-array copy via back-to-back activation (AAP type 1)."""
         self._bits[self._check_row(des)] = self._bits[self._check_row(src)]
@@ -107,8 +135,10 @@ class SubArray:
             self._bits[self._check_row(src2)],
             op,
         )
+        # the SA returns a fresh array; storing copies the values into
+        # the row, so the result needs no further defensive copy
         self._bits[self._check_row(des)] = result
-        return result.copy()
+        return result
 
     def tra_carry(self, src1: int, src2: int, src3: int, des: int) -> np.ndarray:
         """Triple-row activation: majority -> des, and into the SA latch."""
@@ -119,7 +149,7 @@ class SubArray:
             self._bits[src1], self._bits[src2], self._bits[src3]
         )
         self._bits[self._check_row(des)] = result
-        return result.copy()
+        return result
 
     def sum_cycle(self, src1: int, src2: int, des: int) -> np.ndarray:
         """Latch-assisted sum: ``des = src1 ^ src2 ^ latch``."""
@@ -128,7 +158,7 @@ class SubArray:
             self._bits[self._check_row(src2)],
         )
         self._bits[self._check_row(des)] = result
-        return result.copy()
+        return result
 
     # ----- whole-array views (testing / debugging) ---------------------------
 

@@ -37,6 +37,7 @@ from the baselines and are central to reproducing Fig. 3b:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 
 @dataclass(frozen=True)
@@ -147,3 +148,48 @@ class OperationCycles:
 
 DEFAULT_TIMING = TimingParameters()
 DEFAULT_CYCLES = OperationCycles()
+
+
+@lru_cache(maxsize=None)
+def command_latency_table(timing: TimingParameters) -> dict:
+    """Mnemonic -> latency (ns), resolved once per timing configuration.
+
+    ``TimingParameters`` derives every latency through properties, so a
+    per-command lookup in a hot loop re-runs the arithmetic each time.
+    Both schedulers (the trace replayer and the bulk engine's batched
+    AAP scheduler) read this cached table instead; the frozen dataclass
+    is hashable, so one table exists per distinct configuration.
+    """
+    return {
+        "AAP1": timing.t_aap,
+        "AAP2": timing.t_aap,
+        "AAP3": timing.t_aap,
+        "SUM": timing.t_aap,
+        "LATCH_LD": timing.t_ap,
+        "MEM_WR": timing.t_write_row,
+        "MEM_RD": timing.t_read_row,
+        "DPU": timing.t_dpu_clk,
+    }
+
+
+@lru_cache(maxsize=None)
+def command_cost_table(timing: TimingParameters, energy) -> dict:
+    """Mnemonic -> (latency ns, energy nJ) for one timing/energy pair.
+
+    The energy object is ``repro.core.energy.EnergyParameters`` (typed
+    loosely to keep this module import-free of the energy module, which
+    imports timing).  Used by the batched AAP scheduler to charge whole
+    gangs with two dict lookups instead of 2N property evaluations.
+    """
+    latencies = command_latency_table(timing)
+    energies = {
+        "AAP1": energy.e_aap_copy,
+        "AAP2": energy.e_compute2,
+        "AAP3": energy.e_tra,
+        "SUM": energy.e_sum_cycle,
+        "LATCH_LD": energy.e_activate,
+        "MEM_WR": energy.e_write_row,
+        "MEM_RD": energy.e_read_row,
+        "DPU": energy.e_dpu_op,
+    }
+    return {name: (latencies[name], energies[name]) for name in latencies}

@@ -98,6 +98,30 @@ def packed_kmers_array(sequence: DnaSequence, k: int) -> np.ndarray:
     return values
 
 
+def packed_to_row_bits(packed: np.ndarray, k: int, row_bits: int) -> np.ndarray:
+    """Vectorised :func:`kmer_to_row_bits` over packed k-mer integers.
+
+    Returns a ``(len(packed), row_bits)`` uint8 matrix — row ``i`` is
+    exactly ``kmer_to_row_bits(unpack_kmer(packed[i], k), row_bits)``.
+    The bulk execution engine uses this to materialise whole insert
+    batches without any per-k-mer Python work.
+    """
+    if k <= 0 or k > MAX_PACKED_K:
+        raise ValueError(f"k must be in 1..{MAX_PACKED_K}")
+    if 2 * k > row_bits:
+        raise ValueError(f"k-mer needs {2 * k} bit lines, row only has {row_bits}")
+    values = np.ascontiguousarray(packed, dtype=np.uint64)
+    # bit line 2i is the high bit of base i (msb_first row layout) and
+    # base i sits at packed bits [2(k-1-i), 2(k-1-i)+1]
+    positions = np.arange(k)
+    shifts = np.empty(2 * k, dtype=np.uint64)
+    shifts[0::2] = 2 * (k - 1 - positions) + 1
+    shifts[1::2] = 2 * (k - 1 - positions)
+    out = np.zeros((values.size, row_bits), dtype=np.uint8)
+    out[:, : 2 * k] = (values[:, None] >> shifts[None, :]) & np.uint64(1)
+    return out
+
+
 def count_kmers(
     sequences: "Iterable[DnaSequence] | DnaSequence", k: int
 ) -> Counter:

@@ -62,6 +62,7 @@ def wallace_column_sum(
     pim: PimAssembler,
     rows: Sequence[np.ndarray],
     subarray_key: tuple[int, int, int] = (0, 0, 0),
+    engine: str = "scalar",
 ) -> np.ndarray:
     """Column-wise sum of many 0/1 rows via in-memory carry-save adds.
 
@@ -69,12 +70,21 @@ def wallace_column_sum(
         pim: the platform (a scratch sub-array is used for all work).
         rows: bit vectors (each at most one row wide).
         subarray_key: which sub-array to compute in.
+        engine: ``"scalar"`` executes every compression through the
+            controller; ``"bulk"`` computes the sum as one bit-plane
+            expression and charges the identical command counts in one
+            batch (falls back to scalar under live sum/TRA fault
+            rates, whose per-op draw order is part of the contract).
 
     Returns:
         int64 vector of per-column sums (width = row width).
     """
+    if engine not in ("scalar", "bulk"):
+        raise ValueError("engine must be 'scalar' or 'bulk'")
     if not rows:
         raise ValueError("need at least one row")
+    if engine == "bulk":
+        return _wallace_column_sum_bulk(pim, rows, subarray_key)
     scratch = _ScratchRows(pim, subarray_key)
     ctrl = pim.controller
     width = pim.row_bits
@@ -136,6 +146,78 @@ def wallace_column_sum(
     return total
 
 
+def _wallace_schedule(n_rows: int) -> tuple[int, int, int]:
+    """(compressions, result bits, zero planes) of the scalar schedule.
+
+    Replays :func:`wallace_column_sum`'s control flow over plane
+    *counts* only, so the bulk path can charge the exact command
+    counts the scalar reduction issues without touching the device.
+    """
+    counts: dict[int, int] = {0: n_rows}
+    compressions = 0
+    changed = True
+    while changed:
+        changed = False
+        for weight in sorted(counts):
+            while counts[weight] >= 3:
+                counts[weight] -= 2  # three planes in, one sum out
+                counts[weight + 1] = counts.get(weight + 1, 0) + 1
+                compressions += 1
+                changed = True
+    bits_needed = max(counts) + 1
+    zero_planes = sum(2 - counts.get(w, 0) for w in range(bits_needed))
+    return compressions, bits_needed, zero_planes
+
+
+def _wallace_column_sum_bulk(
+    pim: PimAssembler,
+    rows: Sequence[np.ndarray],
+    subarray_key: tuple[int, int, int],
+) -> np.ndarray:
+    """Bulk bit-plane evaluation of :func:`wallace_column_sum`.
+
+    The column sums are one NumPy reduction; the ledger is charged the
+    scalar schedule's exact command and verify counts as one batch.
+    The scratch sub-array's transient row contents are not replayed
+    (the scalar path overwrites them freely and nothing reads them
+    back); runs with live sum/TRA fault rates use the scalar path so
+    the RNG stream stays per-op exact.
+    """
+    from repro.core.bitplane import BulkEngine
+
+    ctrl = pim.controller
+    faults = ctrl.faults
+    if (
+        faults is not None
+        and faults.enabled
+        and (faults.sum_rate > 0.0 or faults.tra_rate > 0.0)
+    ):
+        return wallace_column_sum(pim, rows, subarray_key, engine="scalar")
+
+    width = pim.row_bits
+    staged = []
+    for bits in rows:
+        arr = np.asarray(bits, dtype=np.uint8).ravel()
+        if arr.size > width:
+            raise ValueError(f"row of {arr.size} bits exceeds width {width}")
+        if arr.size < width:
+            arr = np.pad(arr, (0, width - arr.size))
+        staged.append(arr)
+    total = np.stack(staged).astype(np.int64).sum(axis=0)
+
+    compressions, bits_needed, zero_planes = _wallace_schedule(len(staged))
+    engine = BulkEngine(pim)
+    sched = engine.scheduler
+    sched.charge("MEM_WR", subarray_key, len(staged) + zero_planes)
+    sched.charge("LATCH_LD", subarray_key, compressions)
+    sched.fused_add(subarray_key, compressions + bits_needed)
+    sched.charge("MEM_RD", subarray_key, bits_needed + 1)
+    if ctrl._verifying() is not None:
+        engine.charge_verify(2 * (compressions + bits_needed))
+    engine.flush()
+    return total
+
+
 def adjacency_rows_for_chunk(
     graph: DeBruijnGraph,
     chunk_nodes: Sequence[int],
@@ -173,12 +255,14 @@ def degree_vectors_pim(
     pim: PimAssembler,
     graph: DeBruijnGraph,
     subarray_key: tuple[int, int, int] = (0, 0, 0),
+    engine: str = "scalar",
 ) -> tuple[dict[int, int], dict[int, int]]:
     """In/out degrees of every vertex via in-memory column sums.
 
     Chunks the vertex set by the row width (the ``n <= f`` rule) and
     accumulates each chunk's degree vectors with
-    :func:`wallace_column_sum`.
+    :func:`wallace_column_sum` (``engine="bulk"`` batches each
+    chunk's whole reduction).
 
     Warning:
         the scratch sub-array's data rows are freely overwritten — run
@@ -197,7 +281,9 @@ def degree_vectors_pim(
         for direction, out in (("in", in_deg), ("out", out_deg)):
             rows = adjacency_rows_for_chunk(graph, chunk, direction)
             if rows:
-                sums = wallace_column_sum(pim, rows, subarray_key)
+                sums = wallace_column_sum(
+                    pim, rows, subarray_key, engine=engine
+                )
             else:
                 sums = np.zeros(width, dtype=np.int64)
             for i, node in enumerate(chunk):

@@ -8,6 +8,8 @@ two stages agree on locality.
 
 from __future__ import annotations
 
+import numpy as np
+
 #: 64-bit golden-ratio multiplier (Knuth's multiplicative hashing).
 _GOLDEN = 0x9E3779B97F4A7C15
 _MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -29,3 +31,17 @@ def kmer_partition(packed: int, partitions: int) -> int:
     if partitions <= 0:
         raise ValueError("partitions must be positive")
     return int(mix64(packed) >> 32) % partitions
+
+
+def kmer_partition_array(packed: np.ndarray, partitions: int) -> np.ndarray:
+    """Vectorised :func:`kmer_partition` over a uint64 key array.
+
+    Uses NumPy's wrap-around uint64 multiply, which matches the masked
+    Python-int arithmetic of :func:`mix64` exactly.
+    """
+    if partitions <= 0:
+        raise ValueError("partitions must be positive")
+    keys = np.ascontiguousarray(packed, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        mixed = keys * np.uint64(_GOLDEN)
+    return ((mixed >> np.uint64(32)) % np.uint64(partitions)).astype(np.int64)
