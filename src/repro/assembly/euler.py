@@ -22,6 +22,7 @@ from collections import Counter, defaultdict
 from typing import Iterator
 
 from repro.assembly.debruijn import DeBruijnGraph, Edge
+from repro.runtime.watchdog import checkpoint
 
 
 def find_start_node(graph: DeBruijnGraph, component: set[int]) -> int:
@@ -82,6 +83,7 @@ def eulerian_path(graph: DeBruijnGraph, component: set[int] | None = None) -> li
     edge_stack: list[Edge] = []
     trail: list[Edge] = []
     while stack:
+        checkpoint()  # per-step cancellation point (Hierholzer walk)
         node = stack[-1]
         edges = out_lists.get(node, [])
         if next_index[node] < len(edges):
@@ -153,6 +155,7 @@ def fleury_path(graph: DeBruijnGraph, component: set[int] | None = None) -> list
     trail: list[Edge] = []
     total_edges = sum(len(remaining[n]) for n in component)
     for _ in range(total_edges):
+        checkpoint()  # per-edge cancellation point (Fleury walk)
         candidates = [e for e in remaining[node] if id(e) not in used]
         if not candidates:
             raise ValueError("stuck before consuming every edge")
@@ -189,6 +192,7 @@ def unitigs(graph: DeBruijnGraph) -> list[list[Edge]]:
     paths: list[list[Edge]] = []
 
     def extend_from(edge: Edge) -> list[Edge]:
+        checkpoint()  # per-path cancellation point (unitig extension)
         path = [edge]
         consumed.add(id(edge))
         node = edge.target

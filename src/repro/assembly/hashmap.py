@@ -59,6 +59,7 @@ from repro.genome.reads import Read
 from repro.genome.sequence import DnaSequence
 from repro.mapping.hashing import kmer_partition, kmer_partition_array
 from repro.mapping.kmer_layout import KmerLayout, scaled_layout
+from repro.runtime.watchdog import checkpoint
 
 __all__ = [
     "PimKmerCounter",
@@ -182,6 +183,7 @@ class PimKmerCounter:
     def _add_packed_scalar(
         self, packed: int, kmer: DnaSequence | None = None
     ) -> None:
+        checkpoint()  # per-k-mer cancellation point (hashmap inner loop)
         if kmer is None:
             kmer = unpack_kmer(packed, self.k)
         table = self._tables[kmer_partition(packed, self.partitions)]
@@ -217,6 +219,22 @@ class PimKmerCounter:
         for kmer in iter_kmers(sequence, self.k):
             self.add_kmer(kmer)
 
+    def add_sequences(self, sequences: "Sequence[DnaSequence]") -> None:
+        """Insert many sequences as ONE bulk round (scalar: k-mer loop).
+
+        Arrival order is the concatenation order, identical to calling
+        :meth:`add_sequence` per item — so tables, contigs and command
+        counts match; only the bulk gang schedule (time) coarsens.
+        """
+        if self._bulk is not None:
+            arrays = [packed_kmers_array(seq, self.k) for seq in sequences]
+            arrays = [arr for arr in arrays if arr.size]
+            if arrays:
+                self._add_packed_bulk(np.concatenate(arrays))
+            return
+        for sequence in sequences:
+            self.add_sequence(sequence)
+
     def add_reads(self, reads: Iterable[Read]) -> None:
         if self._bulk is not None:
             arrays = [
@@ -242,6 +260,7 @@ class PimKmerCounter:
         the ledger receives the identical command counts — charged as
         one gang-scheduled batch per round instead of op by op.
         """
+        checkpoint()  # per-round cancellation point (bulk hashmap path)
         ctrl = self.pim.controller
         faults = ctrl.faults
         if (
@@ -536,3 +555,47 @@ class PimKmerCounter:
     @property
     def occupancy(self) -> list[int]:
         return [t.occupied for t in self._tables]
+
+    # ----- checkpointing ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Host-side table metadata for the job journal.
+
+        The in-memory row/counter *bits* travel in the platform
+        snapshot (:meth:`repro.core.platform.PimAssembler.state_dict`);
+        this records the partition keys, occupancy, and slot→k-mer
+        shadow needed to re-attach a counter to restored memory —
+        including any rows a fault left corrupt, which a rebuild from
+        the shadow alone would silently repair.
+        """
+        return {
+            "k": self.k,
+            "saturating": self.saturating,
+            "keys": [list(table.key) for table in self._tables],
+            "occupied": [table.occupied for table in self._tables],
+            "slot_keys": [list(keys) for keys in self._slot_keys],
+        }
+
+    @classmethod
+    def from_state(
+        cls, pim: PimAssembler, state: dict, engine: str = "scalar"
+    ) -> "PimKmerCounter":
+        """Re-attach a counter to a platform restored from a snapshot.
+
+        ``engine`` may differ from the snapshotting run's (the job
+        runtime's degradation ladder downgrades bulk → scalar); the
+        table protocol is engine-agnostic, so this is safe.
+        """
+        counter = cls(
+            pim,
+            int(state["k"]),
+            subarray_keys=[tuple(key) for key in state["keys"]],
+            saturating=bool(state["saturating"]),
+            engine=engine,
+        )
+        for table, occupied in zip(counter._tables, state["occupied"]):
+            table.occupied = int(occupied)
+        counter._slot_keys = [
+            [int(value) for value in keys] for keys in state["slot_keys"]
+        ]
+        return counter

@@ -31,9 +31,28 @@ from repro.core.stats import PhaseTotals
 from repro.genome.reads import Read
 from repro.genome.sequence import DnaSequence
 from repro.mapping.adjacency import degree_vectors_pim
+from repro.runtime.watchdog import checkpoint
 
 #: the Fig. 5a stage names, in execution order
 STAGE_NAMES = ("hashmap", "debruijn", "traverse")
+
+
+@dataclass
+class PipelineState:
+    """Mutable between-stage state of one assembly run.
+
+    The job runtime (:mod:`repro.runtime.jobs`) journals and restores
+    exactly this object at stage boundaries; :meth:`PimPipeline.run`
+    threads one instance through the three stages.
+    """
+
+    counter: PimKmerCounter | None = None
+    counts: "dict | None" = None
+    graph: DeBruijnGraph | None = None
+    #: ``(in_degree, out_degree)`` over packed node keys (Fig. 8 output)
+    degrees: "tuple[dict[int, int], dict[int, int]] | None" = None
+    contigs: "list[Contig] | None" = None
+    scaffolds: list[Scaffold] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -83,6 +102,12 @@ class PimPipeline:
             (batched bit-plane execution of the hashmap and degree
             stages; identical tables/contigs/resilience events, time
             charged per gang schedule).
+        batch_reads: reads per bulk hashmap round.  ``None`` (default)
+            issues one round per read, the golden arrival granularity;
+            larger rounds produce identical tables/contigs/command
+            counts (the arrival order is unchanged) but a coarser gang
+            schedule.  The job runtime's degradation ladder shrinks
+            this under memory pressure.
     """
 
     def __init__(
@@ -96,11 +121,14 @@ class PimPipeline:
         simplify: bool = False,
         resilience: "ResiliencePolicy | str | None" = None,
         engine: str = "scalar",
+        batch_reads: int | None = None,
     ) -> None:
         if k <= 1:
             raise ValueError("assembly needs k >= 2")
         if engine not in ("scalar", "bulk"):
             raise ValueError("engine must be 'scalar' or 'bulk'")
+        if batch_reads is not None and batch_reads < 1:
+            raise ValueError("batch_reads must be >= 1")
         self.pim = pim
         self.k = k
         self.min_count = min_count
@@ -109,6 +137,7 @@ class PimPipeline:
         self.min_contig_length = min_contig_length
         self.simplify = simplify
         self.engine = engine
+        self.batch_reads = batch_reads
         self.resilience = (
             None if resilience is None else ResiliencePolicy.named(resilience)
         )
@@ -119,56 +148,99 @@ class PimPipeline:
             return self.pim.protect(self.resilience)
         return self.pim.resilience
 
-    def run(self, reads: "Iterable[Read] | Sequence[DnaSequence]") -> AssemblyResult:
-        """Assemble a read set end to end."""
-        pim = self.pim
-        engine = self._engine()
-        scrub = (
+    def _scrub_active(self) -> bool:
+        engine = self.pim.resilience
+        return (
             engine is not None
             and engine.policy.detect
             and engine.policy.scrub
         )
 
+    # ----- the three Fig. 5a stages ------------------------------------------
+    #
+    # Each stage reads/extends a PipelineState; the job runtime calls
+    # them individually with a checkpoint between, run() chains them.
+
+    def run_hashmap(
+        self,
+        reads: "Iterable[Read] | Sequence[DnaSequence]",
+        state: PipelineState,
+    ) -> PipelineState:
+        """Stage 1 — k-mer analysis on the PIM hash table."""
+        pim = self.pim
         with pim.phase("hashmap"):
             counter = PimKmerCounter(pim, self.k, engine=self.engine)
-            for item in reads:
-                sequence = item.sequence if isinstance(item, Read) else item
-                counter.add_sequence(sequence)
-            if scrub:
+            sequences = (
+                item.sequence if isinstance(item, Read) else item
+                for item in reads
+            )
+            if self.batch_reads is None:
+                for sequence in sequences:
+                    checkpoint()
+                    counter.add_sequence(sequence)
+            else:
+                batch: list[DnaSequence] = []
+                for sequence in sequences:
+                    checkpoint()
+                    batch.append(sequence)
+                    if len(batch) >= self.batch_reads:
+                        counter.add_sequences(batch)
+                        batch = []
+                if batch:
+                    counter.add_sequences(batch)
+            if self._scrub_active():
                 # bound how long a corrupted slot can poison queries
                 counter.scrub()
-            counts = counter.counts()
+            state.counter = counter
+            state.counts = counter.counts()
+        return state
 
-        with pim.phase("debruijn"):
+    def run_debruijn(self, state: PipelineState) -> PipelineState:
+        """Stage 2 — de Bruijn graph construction from the table."""
+        with self.pim.phase("debruijn"):
             graph = DeBruijnGraph.from_counts(
-                counts, k=self.k, min_count=self.min_count
+                state.counts, k=self.k, min_count=self.min_count
             )
             if self.simplify:
                 from repro.assembly.simplify import simplify_graph
 
                 graph, _ = simplify_graph(graph)
+            state.graph = graph
+        return state
 
+    def run_traverse(self, state: PipelineState) -> PipelineState:
+        """Stage 3 — degree computation (bulk PIM_Add) + path walk."""
+        pim = self.pim
         with pim.phase("traverse"):
-            if scrub:
+            if self._scrub_active():
                 # the table is still resident while the graph is walked
-                counter.scrub()
+                state.counter.scrub()
             # Degree computation through the PIM adjacency mapping
             # (bulk PIM_Add, Fig. 8) — the in-memory portion of the
             # traversal — followed by the path walk.
-            degree_vectors_pim(pim, graph, engine=self.engine)
-            contigs = assemble_contigs(
-                graph, mode=self.contig_mode, min_length=self.min_contig_length
+            state.degrees = degree_vectors_pim(
+                pim, state.graph, engine=self.engine
+            )
+            state.contigs = assemble_contigs(
+                state.graph,
+                mode=self.contig_mode,
+                min_length=self.min_contig_length,
             )
 
-        scaffolds: list[Scaffold] = []
-        if self.scaffold and contigs:
-            scaffolds = greedy_scaffold(contigs)
+        state.scaffolds = []
+        if self.scaffold and state.contigs:
+            state.scaffolds = greedy_scaffold(state.contigs)
+        return state
 
+    def result(self, state: PipelineState) -> AssemblyResult:
+        """Fold a completed state into the public result object."""
+        pim = self.pim
+        engine = pim.resilience
         return AssemblyResult(
-            contigs=contigs,
-            scaffolds=scaffolds,
-            graph=graph,
-            kmer_table_size=len(counter),
+            contigs=state.contigs,
+            scaffolds=state.scaffolds,
+            graph=state.graph,
+            kmer_table_size=len(state.counter),
             hashmap=pim.stats.totals("hashmap"),
             debruijn=pim.stats.totals("debruijn"),
             traverse=pim.stats.totals("traverse"),
@@ -178,6 +250,15 @@ class PimPipeline:
                 else None
             ),
         )
+
+    def run(self, reads: "Iterable[Read] | Sequence[DnaSequence]") -> AssemblyResult:
+        """Assemble a read set end to end."""
+        self._engine()
+        state = PipelineState()
+        self.run_hashmap(reads, state)
+        self.run_debruijn(state)
+        self.run_traverse(state)
+        return self.result(state)
 
 
 def _sized_device(reads: Sequence, k: int) -> PimAssembler:

@@ -57,6 +57,34 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run spectral error correction before assembly",
     )
+    assemble.add_argument(
+        "--lenient",
+        action="store_true",
+        help="quarantine malformed input records instead of aborting "
+        "(the count is reported in the summary)",
+    )
+    assemble.add_argument(
+        "--job-dir",
+        help="journal the run as a crash-tolerant job in this directory "
+        "(kill -9 safe; continue with --resume; --engine pim only)",
+    )
+    assemble.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the job journaled in --job-dir from its last "
+        "completed stage boundary",
+    )
+    assemble.add_argument(
+        "--stage-timeout",
+        type=float,
+        help="per-stage deadline budget in seconds (job stays resumable "
+        "after a timeout; requires --job-dir)",
+    )
+    assemble.add_argument(
+        "--job-timeout",
+        type=float,
+        help="whole-job deadline budget in seconds (requires --job-dir)",
+    )
 
     simulate = sub.add_parser("simulate", help="generate reference + reads")
     simulate.add_argument("-o", "--output-dir", required=True)
@@ -101,34 +129,95 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_reads(path: str):
-    from repro.genome.io_fasta import read_fasta, read_fastq
+def _load_reads(path: str, strict: bool = True):
+    """Load FASTA/FASTQ reads in one pass over one open stream.
+
+    The format is sniffed from the first non-blank byte (``@`` → FASTQ,
+    ``>`` → FASTA) and the same stream is then parsed once — the file
+    is never slurped into memory and never read twice.  All failure
+    modes (missing file, empty file, wrong format, malformed records,
+    non-ACGT bases) raise :class:`~repro.errors.InputError`, which
+    ``main()`` maps to a one-line message and a clean nonzero exit.
+
+    Returns:
+        ``(reads, report)`` — the reads plus the lenient-mode
+        :class:`~repro.genome.io_fasta.ParseReport` (quarantine tally;
+        always zero when ``strict=True``).
+    """
+    from repro.errors import InputError
+    from repro.genome.io_fasta import ParseReport, parse_fasta, parse_fastq
     from repro.genome.reads import Read
     from repro.genome.sequence import DnaSequence
 
-    text = Path(path).read_text(encoding="ascii", errors="strict")
+    try:
+        stream = open(path, "r", encoding="ascii")
+    except FileNotFoundError:
+        raise InputError(f"reads file not found: {path}")
+    except OSError as exc:
+        raise InputError(f"cannot open {path}: {exc}")
+
+    report = ParseReport()
     reads = []
-    if text.lstrip().startswith("@"):
-        for i, record in enumerate(read_fastq(path)):
-            reads.append(
-                Read(record.name, DnaSequence(record.sequence), start=i)
-            )
-    else:
-        for i, record in enumerate(read_fasta(path)):
-            reads.append(
-                Read(record.name, DnaSequence(record.sequence), start=i)
-            )
+    with stream:
+        try:
+            first = ""
+            while True:
+                line = stream.readline()
+                if not line:
+                    break
+                stripped = line.strip()
+                if stripped:
+                    first = stripped[0]
+                    break
+            if not first:
+                raise InputError(f"no reads found in {path}: file is empty")
+            stream.seek(0)
+            if first == "@":
+                records = parse_fastq(stream, strict=strict, report=report)
+            elif first == ">":
+                records = parse_fasta(stream, strict=strict, report=report)
+            else:
+                raise InputError(
+                    f"{path} is neither FASTA nor FASTQ "
+                    f"(first byte {first!r}, expected '>' or '@')"
+                )
+            for i, record in enumerate(records):
+                reads.append(
+                    Read(record.name, DnaSequence(record.sequence), start=i)
+                )
+        except UnicodeDecodeError as exc:
+            raise InputError(f"{path} is not ASCII text: {exc}")
+        except ValueError as exc:
+            raise InputError(f"malformed reads in {path}: {exc}")
     if not reads:
-        raise SystemExit(f"no reads found in {path}")
-    return reads
+        raise InputError(f"no reads found in {path}")
+    return reads, report
 
 
 def _cmd_assemble(args: argparse.Namespace) -> int:
     from repro.assembly import assemble, assemble_with_pim
     from repro.assembly.bidirected import assemble_bidirected
+    from repro.errors import InputError
     from repro.genome.io_fasta import FastaRecord, write_fasta
 
-    reads = _load_reads(args.reads)
+    if args.k < 2:
+        raise InputError(f"--k must be >= 2 (got {args.k})")
+    if args.min_count < 1:
+        raise InputError(f"--min-count must be >= 1 (got {args.min_count})")
+    if args.resume and not args.job_dir:
+        raise InputError("--resume requires --job-dir")
+    if (args.stage_timeout or args.job_timeout) and not args.job_dir:
+        raise InputError("--stage-timeout/--job-timeout require --job-dir")
+    if args.job_dir and args.engine != "pim":
+        raise InputError("--job-dir requires --engine pim")
+
+    reads, parse_report = _load_reads(args.reads, strict=not args.lenient)
+    if parse_report.quarantined:
+        print(
+            f"input: quarantined {parse_report.quarantined} malformed "
+            f"record(s) ({'; '.join(parse_report.reasons[:3])}"
+            f"{', ...' if len(parse_report.reasons) > 3 else ''})"
+        )
     if args.correct:
         from repro.assembly.correction import correct_reads
 
@@ -140,13 +229,31 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         reads = result.reads
 
     if args.engine == "pim":
-        outcome = assemble_with_pim(
-            reads,
-            k=args.k,
-            min_count=args.min_count,
-            min_contig_length=args.min_contig,
-            engine=args.exec_engine,
-        )
+        if args.job_dir:
+            from repro.runtime.jobs import JobConfig, JobRunner
+
+            runner = JobRunner(
+                args.job_dir,
+                JobConfig(
+                    k=args.k,
+                    min_count=args.min_count,
+                    min_contig_length=args.min_contig,
+                    engine=args.exec_engine,
+                    stage_timeout_s=args.stage_timeout,
+                    job_timeout_s=args.job_timeout,
+                ),
+            )
+            job = runner.run(reads, resume=args.resume)
+            outcome = job.result
+            print(f"job: {job.report}")
+        else:
+            outcome = assemble_with_pim(
+                reads,
+                k=args.k,
+                min_count=args.min_count,
+                min_contig_length=args.min_contig,
+                engine=args.exec_engine,
+            )
         contigs = outcome.contigs
         print(
             f"simulated PIM time: {outcome.total_time_ns / 1e6:.2f} ms "
@@ -223,13 +330,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _load_pairs(path: str, insert_mean: int):
     """Reconstruct ReadPair objects from /1-/2 mate naming."""
+    from repro.errors import InputError
     from repro.genome.io_fasta import read_fastq
     from repro.genome.paired import ReadPair
     from repro.genome.reads import Read
     from repro.genome.sequence import DnaSequence
 
+    try:
+        records = read_fastq(path)
+    except FileNotFoundError:
+        raise InputError(f"pairs file not found: {path}")
+    except (OSError, UnicodeDecodeError, ValueError) as exc:
+        raise InputError(f"cannot parse pairs from {path}: {exc}")
+
     mates: dict[str, dict[str, Read]] = {}
-    for i, record in enumerate(read_fastq(path)):
+    for i, record in enumerate(records):
         name, _, mate = record.name.rpartition("/")
         if mate not in ("1", "2") or not name:
             continue
@@ -251,7 +366,7 @@ def _load_pairs(path: str, insert_mean: int):
                 )
             )
     if not pairs:
-        raise SystemExit(f"no /1-/2 mate pairs found in {path}")
+        raise InputError(f"no /1-/2 mate pairs found in {path}")
     return pairs
 
 
@@ -340,8 +455,23 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+#: exit codes of the typed error families (0 = success)
+EXIT_INPUT_ERROR = 2
+EXIT_RUNTIME_ERROR = 3
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Typed library errors become one-line ``error: ...`` messages on
+    stderr with a stable nonzero exit code — never a traceback:
+    :class:`~repro.errors.InputError` exits ``2`` (unusable input),
+    every other :class:`~repro.errors.ReproError` exits ``3`` (e.g. a
+    :class:`~repro.errors.StageTimeoutError`, after which the job
+    journal remains resumable).
+    """
+    from repro.errors import InputError, ReproError
+
     args = _build_parser().parse_args(argv)
     handlers = {
         "assemble": _cmd_assemble,
@@ -349,7 +479,14 @@ def main(argv: list[str] | None = None) -> int:
         "scaffold": _cmd_scaffold,
         "experiments": _cmd_experiments,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_RUNTIME_ERROR
 
 
 if __name__ == "__main__":

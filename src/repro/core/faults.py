@@ -170,6 +170,39 @@ class FaultModel:
         self._injected += int(flips.sum())
         return (bits ^ flips.astype(bits.dtype)).astype(np.uint8)
 
+    # ----- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot: rates plus the exact RNG stream.
+
+        Restoring it mid-stream (:meth:`from_state`) continues the
+        uniform sequence bit-for-bit, which is what makes checkpointed
+        fault-injection runs resume bit-identically.
+        """
+        return {
+            "compute2_rate": self.compute2_rate,
+            "tra_rate": self.tra_rate,
+            "sum_rate": self.sum_rate,
+            "copy_rate": self.copy_rate,
+            "seed": self.seed,
+            "rng_state": self._rng.bit_generator.state,
+            "injected": self._injected,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FaultModel":
+        """Rebuild a model (and its RNG position) from :meth:`state_dict`."""
+        model = cls(
+            compute2_rate=float(state["compute2_rate"]),
+            tra_rate=float(state["tra_rate"]),
+            sum_rate=float(state["sum_rate"]),
+            copy_rate=float(state["copy_rate"]),
+            seed=int(state["seed"]),
+        )
+        model._rng.bit_generator.state = state["rng_state"]
+        model._injected = int(state["injected"])
+        return model
+
     def corrupt_block(
         self, block: np.ndarray, mechanism: str, scale: float = 1.0
     ) -> np.ndarray:

@@ -354,6 +354,145 @@ class PimAssembler:
                 pending.clear()
         return out[: a.size]
 
+    # ----- checkpointing ---------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the whole platform.
+
+        Captures everything a bit-identical resume needs: geometry and
+        timing/energy parameters, every *instantiated* sub-array's raw
+        bits and sense-amplifier latch (untouched sub-arrays are
+        all-zero by construction, so laziness survives the round trip),
+        each MAT's global row buffer, the bump-allocator cursors, the
+        stats ledger, and — when attached — the fault model's exact RNG
+        stream and the resilience engine's event/degradation state.
+        """
+        import base64
+        import dataclasses
+
+        subarrays = []
+        grbs = []
+        for bank_idx, bank in self.device._banks.items():
+            for mat_idx, mat in bank._mats.items():
+                if mat.grb.valid:
+                    grbs.append(
+                        {
+                            "key": [bank_idx, mat_idx],
+                            "data": base64.b64encode(
+                                np.packbits(mat.grb._data)
+                            ).decode("ascii"),
+                        }
+                    )
+                for sub_idx, sub in mat._subarrays.items():
+                    subarrays.append(
+                        {
+                            "key": [bank_idx, mat_idx, sub_idx],
+                            "bits": base64.b64encode(
+                                np.packbits(sub._bits)
+                            ).decode("ascii"),
+                            "latch": base64.b64encode(
+                                np.packbits(sub.sa._latch)
+                            ).decode("ascii"),
+                        }
+                    )
+        state = {
+            "geometry": {
+                "rows": self.geometry.bank.mat.subarray.rows,
+                "cols": self.geometry.bank.mat.subarray.cols,
+                "compute_rows": self.geometry.bank.mat.subarray.compute_rows,
+                "subarrays_x": self.geometry.bank.mat.subarrays_x,
+                "subarrays_y": self.geometry.bank.mat.subarrays_y,
+                "mats_x": self.geometry.bank.mats_x,
+                "mats_y": self.geometry.bank.mats_y,
+                "num_banks": self.geometry.num_banks,
+            },
+            "timing": dataclasses.asdict(self.controller.timing),
+            "energy": dataclasses.asdict(self.controller.energy),
+            "next_row": {
+                ",".join(map(str, key)): row
+                for key, row in self._next_row.items()
+            },
+            "subarrays": subarrays,
+            "grbs": grbs,
+            "stats": self.stats.state_dict(),
+            "faults": (
+                None
+                if self.controller.faults is None
+                else self.controller.faults.state_dict()
+            ),
+            "resilience": (
+                None
+                if self.controller.resilience is None
+                else self.controller.resilience.state_dict()
+            ),
+        }
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PimAssembler":
+        """Rebuild a platform mid-run from :meth:`state_dict`."""
+        import base64
+
+        from repro.core.faults import FaultModel
+        from repro.core.resilience import ResilienceEngine
+
+        g = state["geometry"]
+        geometry = DeviceGeometry(
+            bank=BankGeometry(
+                mat=MatGeometry(
+                    subarray=SubArrayGeometry(
+                        rows=g["rows"],
+                        cols=g["cols"],
+                        compute_rows=g["compute_rows"],
+                    ),
+                    subarrays_x=g["subarrays_x"],
+                    subarrays_y=g["subarrays_y"],
+                ),
+                mats_x=g["mats_x"],
+                mats_y=g["mats_y"],
+            ),
+            num_banks=g["num_banks"],
+        )
+        from repro.core.timing import TimingParameters
+        from repro.core.energy import EnergyParameters
+
+        pim = cls(
+            geometry=geometry,
+            timing=TimingParameters(**state["timing"]),
+            energy=EnergyParameters(**state["energy"]),
+        )
+        rows, cols = g["rows"], g["cols"]
+
+        def unpack(payload: str, size: int) -> np.ndarray:
+            raw = np.frombuffer(
+                base64.b64decode(payload.encode("ascii")), dtype=np.uint8
+            )
+            return np.unpackbits(raw)[:size]
+
+        for entry in state["subarrays"]:
+            sub = pim.device.subarray_at(tuple(entry["key"]))
+            sub._bits[:] = unpack(entry["bits"], rows * cols).reshape(
+                rows, cols
+            )
+            sub.sa._latch[:] = unpack(entry["latch"], cols)
+        for entry in state["grbs"]:
+            bank_idx, mat_idx = entry["key"]
+            pim.device.mat_at(bank_idx, mat_idx).grb.load(
+                unpack(entry["data"], cols)
+            )
+        pim._next_row = {
+            tuple(int(p) for p in key.split(",")): int(row)
+            for key, row in state["next_row"].items()
+        }
+        pim.stats.load_state(state["stats"])
+        if state["faults"] is not None:
+            pim.controller.faults = FaultModel.from_state(state["faults"])
+        if state["resilience"] is not None:
+            pim.controller.resilience = ResilienceEngine.from_state(
+                state["resilience"], stats=pim.stats
+            )
+        return pim
+
     # ----- bookkeeping -----------------------------------------------------------------
 
     def phase(self, name: str):

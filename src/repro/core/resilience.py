@@ -110,6 +110,28 @@ class ResiliencePolicy:
             ) from None
         return cls(level=level, **overrides)
 
+    def state_dict(self) -> dict:
+        """JSON-serializable form (see :meth:`from_state`)."""
+        return {
+            "level": self.level.value,
+            "max_retries": self.max_retries,
+            "restage_derate": self.restage_derate,
+            "quarantine_threshold": self.quarantine_threshold,
+            "scrub": self.scrub,
+            "raise_on_uncorrected": self.raise_on_uncorrected,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ResiliencePolicy":
+        return cls(
+            level=PolicyLevel(state["level"]),
+            max_retries=int(state["max_retries"]),
+            restage_derate=float(state["restage_derate"]),
+            quarantine_threshold=int(state["quarantine_threshold"]),
+            scrub=bool(state["scrub"]),
+            raise_on_uncorrected=bool(state["raise_on_uncorrected"]),
+        )
+
     @property
     def detect(self) -> bool:
         return self.level is not PolicyLevel.OFF
@@ -363,6 +385,60 @@ class ResilienceEngine:
 
     def failures(self, subarray_key: tuple[int, int, int]) -> int:
         return self._failures[subarray_key]
+
+    # ----- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of every event counter and the
+        full degradation state (weak rows, quarantines, failure tallies)."""
+        return {
+            "policy": self.policy.state_dict(),
+            "events": {
+                name: dict(counter)
+                for name, counter in self.ledger._events.items()
+            },
+            "floats": {
+                name: dict(counter)
+                for name, counter in self.ledger._floats.items()
+            },
+            "failures": {
+                ",".join(map(str, key)): count
+                for key, count in self._failures.items()
+            },
+            "weak_rows": [
+                [list(key), row] for key, row in sorted(self._weak_rows)
+            ],
+            "quarantined": [list(key) for key in sorted(self._quarantined)],
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, stats: StatsLedger | None = None
+    ) -> "ResilienceEngine":
+        """Rebuild an engine mid-run from :meth:`state_dict`."""
+        engine = cls(ResiliencePolicy.from_state(state["policy"]), stats=stats)
+        engine.ledger._events = {
+            name: Counter({k: int(v) for k, v in counts.items()})
+            for name, counts in state["events"].items()
+        }
+        engine.ledger._floats = {
+            name: Counter({k: float(v) for k, v in amounts.items()})
+            for name, amounts in state["floats"].items()
+        }
+        engine._failures = Counter(
+            {
+                tuple(int(p) for p in key.split(",")): int(count)
+                for key, count in state["failures"].items()
+            }
+        )
+        engine._weak_rows = {
+            (tuple(int(p) for p in key), int(row))
+            for key, row in state["weak_rows"]
+        }
+        engine._quarantined = {
+            tuple(int(p) for p in key) for key in state["quarantined"]
+        }
+        return engine
 
     # ----- reporting --------------------------------------------------------
 

@@ -132,6 +132,37 @@ class StatsLedger:
         self._energy_nj.clear()
         self._commands.clear()
 
+    # ----- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of every phase's accumulators.
+
+        Taken at stage boundaries by the job runtime; no phase may be
+        open (an open phase would otherwise resume with its events
+        split across two records).
+        """
+        if self._phase_stack:
+            raise RuntimeError(
+                f"cannot snapshot with open phase {self._phase_stack[-1]!r}"
+            )
+        return {
+            "time_ns": dict(self._time_ns),
+            "energy_nj": dict(self._energy_nj),
+            "commands": {n: dict(c) for n, c in self._commands.items()},
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        """Restore a :meth:`state_dict` snapshot (replacing all totals)."""
+        self.reset()
+        for name, t in state["time_ns"].items():
+            self._time_ns[name] = float(t)
+        for name, e in state["energy_nj"].items():
+            self._energy_nj[name] = float(e)
+        for name, commands in state["commands"].items():
+            self._commands[name] = Counter(
+                {cmd: int(n) for cmd, n in commands.items()}
+            )
+
     def summary(self) -> str:
         """Human-readable multi-line report (used by examples)."""
         lines = []

@@ -15,6 +15,10 @@ Hierarchy::
     ├── AllocationError(MemoryError)      — row allocator exhausted
     ├── TableFullError(MemoryError)       — k-mer table region full
     ├── SubarrayQuarantinedError          — touched a quarantined sub-array
+    ├── InputError                        — malformed/unusable user input
+    ├── StageTimeoutError                 — a deadline budget expired
+    ├── JournalError                      — job journal missing/corrupt/mismatched
+    ├── JobFailedError                    — retry ladder exhausted
     └── VerificationError
         └── UncorrectableFaultError       — retries exhausted, result corrupt
 """
@@ -53,6 +57,67 @@ class SubarrayQuarantinedError(ReproError):
         self.subarray_key = subarray_key
         super().__init__(
             message or f"sub-array {subarray_key} is quarantined"
+        )
+
+
+class InputError(ReproError):
+    """User-supplied input (reads file, CLI parameters) is unusable.
+
+    The CLI maps this family to a one-line message and a clean nonzero
+    exit code instead of a traceback.
+    """
+
+
+class StageTimeoutError(ReproError):
+    """A cooperative deadline budget expired inside a pipeline stage.
+
+    Raised by the watchdog (:mod:`repro.runtime.watchdog`) at one of
+    the cancellation checkpoints the compute loops poll.  The job layer
+    guarantees the on-disk journal still holds the last completed stage
+    boundary, so the job remains resumable.
+
+    Attributes:
+        stage: the stage that was executing (``"hashmap"`` / ...).
+        scope: ``"stage"`` when a per-stage budget expired, ``"job"``
+            when the whole-job budget did.
+        budget_s: the configured budget in seconds.
+        elapsed_s: wall-clock seconds consumed when the check fired.
+    """
+
+    def __init__(
+        self, stage: str, scope: str, budget_s: float, elapsed_s: float
+    ):
+        self.stage = stage
+        self.scope = scope
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+        super().__init__(
+            f"{scope} deadline of {budget_s:.3f}s exceeded after "
+            f"{elapsed_s:.3f}s (in stage {stage!r}); job is resumable "
+            "from the last journaled checkpoint"
+        )
+
+
+class JournalError(ReproError):
+    """A job journal is missing, corrupt, or belongs to another job."""
+
+
+class JobFailedError(ReproError):
+    """Every rung of the retry/degradation ladder was exhausted.
+
+    Attributes:
+        stage: the stage that could not be completed.
+        attempts: total stage executions (1 original + retries).
+        last_error: the exception that ended the final attempt.
+    """
+
+    def __init__(self, stage: str, attempts: int, last_error: BaseException):
+        self.stage = stage
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"stage {stage!r} failed after {attempts} attempts across the "
+            f"degradation ladder: {last_error}"
         )
 
 

@@ -5,17 +5,36 @@ lines, and four-line FASTQ records with dummy qualities for simulated
 reads.  Sequences containing characters outside A/C/G/T (e.g. the ``N``
 runs of real references) can be split on invalid characters via
 :func:`read_fasta_contigs`, mirroring how assemblers treat ``N`` gaps.
+
+Real-world files arrive dented: CRLF line endings, lowercase bases, a
+final FASTQ record cut off mid-write.  The parsers normalise the first
+two unconditionally; structural damage either raises ``ValueError``
+(default ``strict=True``) or — with ``strict=False`` — quarantines the
+malformed record, counts it in a :class:`ParseReport`, and keeps
+going, so one bad record doesn't discard a whole lane of reads.
 """
 
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, TextIO
 
 from repro.genome.alphabet import is_valid_sequence
 from repro.genome.sequence import DnaSequence
+
+
+@dataclass
+class ParseReport:
+    """Tally of records quarantined by a lenient (``strict=False``) parse."""
+
+    quarantined: int = 0
+    reasons: list[str] = field(default_factory=list)
+
+    def note(self, reason: str) -> None:
+        self.quarantined += 1
+        self.reasons.append(reason)
 
 
 @dataclass(frozen=True)
@@ -36,37 +55,77 @@ def _open(path: "str | Path | TextIO", mode: str) -> TextIO:
     return path
 
 
-def parse_fasta(stream: TextIO) -> Iterator[FastaRecord]:
-    """Yield records from an open FASTA stream."""
+def parse_fasta(
+    stream: TextIO,
+    strict: bool = True,
+    report: ParseReport | None = None,
+) -> Iterator[FastaRecord]:
+    """Yield records from an open FASTA stream.
+
+    CRLF endings and lowercase bases are normalised.  With
+    ``strict=False``, structurally malformed records (nameless header,
+    sequence data before any header, non-ACGT bases) are skipped and
+    tallied in ``report`` instead of raising.
+    """
+    report = report if report is not None else ParseReport()
     name: str | None = None
     description = ""
     chunks: list[str] = []
+    skipping = False  # inside a quarantined record's sequence lines
+
+    def emit() -> FastaRecord | None:
+        record = FastaRecord(name, "".join(chunks), description)
+        if not strict and not is_valid_sequence(record.sequence):
+            report.note(f"record {record.name!r}: non-ACGT bases")
+            return None
+        return record
+
     for raw_line in stream:
         line = raw_line.strip()
         if not line:
             continue
         if line.startswith(">"):
             if name is not None:
-                yield FastaRecord(name, "".join(chunks), description)
+                record = emit()
+                if record is not None:
+                    yield record
+                name = None
+            skipping = False
             header = line[1:].split(None, 1)
             if not header:
-                raise ValueError("FASTA header without a name")
+                if strict:
+                    raise ValueError("FASTA header without a name")
+                report.note("header without a name")
+                skipping = True
+                continue
             name = header[0]
             description = header[1] if len(header) > 1 else ""
             chunks = []
         else:
             if name is None:
-                raise ValueError("FASTA sequence data before any header")
+                if skipping:
+                    continue  # body of an already-quarantined record
+                if strict:
+                    raise ValueError("FASTA sequence data before any header")
+                report.note("sequence data before any header")
+                skipping = True
+                continue
             chunks.append(line.upper())
     if name is not None:
-        yield FastaRecord(name, "".join(chunks), description)
+        record = emit()
+        if record is not None:
+            yield record
 
 
-def read_fasta(path: "str | Path | TextIO") -> list[FastaRecord]:
+def read_fasta(
+    path: "str | Path | TextIO",
+    strict: bool = True,
+    report: ParseReport | None = None,
+) -> list[FastaRecord]:
     """Read all records of a FASTA file (or open stream)."""
     stream = _open(path, "r")
     try:
-        return list(parse_fasta(stream))
+        return list(parse_fasta(stream, strict=strict, report=report))
     finally:
         if not isinstance(path, io.TextIOBase):
             stream.close()
@@ -131,8 +190,20 @@ class FastqRecord:
         return self.quality or "I" * len(self.sequence)
 
 
-def parse_fastq(stream: TextIO) -> Iterator[FastqRecord]:
-    """Yield records from an open FASTQ stream."""
+def parse_fastq(
+    stream: TextIO,
+    strict: bool = True,
+    report: ParseReport | None = None,
+) -> Iterator[FastqRecord]:
+    """Yield records from an open FASTQ stream.
+
+    CRLF endings and lowercase bases are normalised.  A final record
+    truncated mid-write (header present, any of the three body lines
+    missing) raises a dedicated ``ValueError``; with ``strict=False``
+    it — like any other malformed record — is quarantined into
+    ``report`` and parsing continues.
+    """
+    report = report if report is not None else ParseReport()
     while True:
         header = stream.readline()
         if not header:
@@ -141,21 +212,53 @@ def parse_fastq(stream: TextIO) -> Iterator[FastqRecord]:
         if not header:
             continue
         if not header.startswith("@"):
-            raise ValueError(f"malformed FASTQ header: {header!r}")
-        sequence = stream.readline().strip().upper()
-        plus = stream.readline().strip()
-        quality = stream.readline().strip()
+            if strict:
+                raise ValueError(f"malformed FASTQ header: {header!r}")
+            report.note(f"not a FASTQ header: {header[:40]!r}")
+            continue
+        name_fields = header[1:].split()
+        name = name_fields[0] if name_fields else ""
+        seq_line = stream.readline()
+        plus_line = stream.readline()
+        qual_line = stream.readline()
+        if not seq_line or not plus_line or not qual_line:
+            message = f"truncated final FASTQ record {name!r}"
+            if strict:
+                raise ValueError(message)
+            report.note(message)
+            return
+        sequence = seq_line.strip().upper()
+        plus = plus_line.strip()
+        quality = qual_line.strip()
+        if not name:
+            if strict:
+                raise ValueError("FASTQ header without a name")
+            report.note("header without a name")
+            continue
         if not plus.startswith("+"):
-            raise ValueError("malformed FASTQ record (missing '+')")
+            if strict:
+                raise ValueError("malformed FASTQ record (missing '+')")
+            report.note(f"record {name!r}: missing '+' separator")
+            continue
         if len(quality) != len(sequence):
-            raise ValueError("FASTQ quality length mismatch")
-        yield FastqRecord(header[1:].split()[0], sequence, quality)
+            if strict:
+                raise ValueError("FASTQ quality length mismatch")
+            report.note(f"record {name!r}: quality length mismatch")
+            continue
+        if not strict and not is_valid_sequence(sequence):
+            report.note(f"record {name!r}: non-ACGT bases")
+            continue
+        yield FastqRecord(name, sequence, quality)
 
 
-def read_fastq(path: "str | Path | TextIO") -> list[FastqRecord]:
+def read_fastq(
+    path: "str | Path | TextIO",
+    strict: bool = True,
+    report: ParseReport | None = None,
+) -> list[FastqRecord]:
     stream = _open(path, "r")
     try:
-        return list(parse_fastq(stream))
+        return list(parse_fastq(stream, strict=strict, report=report))
     finally:
         if not isinstance(path, io.TextIOBase):
             stream.close()

@@ -33,6 +33,7 @@ import numpy as np
 from typing import TYPE_CHECKING
 
 from repro.core.isa import RowAddress
+from repro.runtime.watchdog import checkpoint
 
 if TYPE_CHECKING:  # import cycle: assembly.pipeline uses this module
     from repro.assembly.debruijn import DeBruijnGraph
@@ -107,6 +108,7 @@ def wallace_column_sum(
         changed = False
         for weight in sorted(buckets):
             while len(buckets[weight]) >= 3:
+                checkpoint()  # per-compression cancellation point
                 r1 = buckets[weight].pop()
                 r2 = buckets[weight].pop()
                 r3 = buckets[weight].pop()
@@ -194,6 +196,7 @@ def _wallace_column_sum_bulk(
     ):
         return wallace_column_sum(pim, rows, subarray_key, engine="scalar")
 
+    checkpoint()  # per-reduction cancellation point (bulk path)
     width = pim.row_bits
     staged = []
     for bits in rows:
@@ -279,6 +282,7 @@ def degree_vectors_pim(
     for lo in range(0, len(nodes), width):
         chunk = nodes[lo : lo + width]
         for direction, out in (("in", in_deg), ("out", out_deg)):
+            checkpoint()  # per-chunk cancellation point
             rows = adjacency_rows_for_chunk(graph, chunk, direction)
             if rows:
                 sums = wallace_column_sum(

@@ -1,0 +1,278 @@
+"""Crash-tolerant job journal: content-hashed stage-boundary records.
+
+Layout of a job directory::
+
+    <job>/
+      job.json            immutable job configuration (written once)
+      MANIFEST            append-only index: "<seq> <stage> <file> <sha256>"
+      records/<file>      one JSON record per journaled stage boundary
+      decisions.jsonl     append-only retry/degradation decision log
+
+Every record file is named and indexed by the SHA-256 of its exact
+byte content, so a record that was being written when the process died
+(``kill -9``) can never be mistaken for a valid resume point: loading
+validates each manifest entry against the file's hash and stops at the
+first entry that fails — everything before it is a consistent prefix.
+Record files and ``job.json`` are written via write-to-temp + fsync +
+atomic rename; manifest lines are appended and fsynced only *after*
+the record they reference is durable, so the manifest never points at
+a record that is not fully on disk.
+
+The journal stores *payloads*; what goes into a stage-boundary payload
+(platform snapshot, k-mer table, graph, ...) is decided by
+:mod:`repro.runtime.jobs`.  This module also provides the pure-data
+serializers for the assembly objects a payload embeds (de Bruijn
+graph, contigs, scaffolds) — the platform itself snapshots through
+:meth:`repro.core.platform.PimAssembler.state_dict`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import JournalError
+
+__all__ = [
+    "JobJournal",
+    "RecordRef",
+    "graph_state",
+    "graph_from_state",
+    "contigs_state",
+    "contigs_from_state",
+    "scaffolds_state",
+    "scaffolds_from_state",
+]
+
+JOURNAL_VERSION = 1
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write bytes durably: temp file + fsync + rename into place."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+@dataclass(frozen=True)
+class RecordRef:
+    """One validated manifest entry."""
+
+    seq: int
+    stage: str
+    filename: str
+    sha256: str
+
+
+class JobJournal:
+    """The on-disk journal of one assembly job."""
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.records_dir = self.root / "records"
+        self.manifest_path = self.root / "MANIFEST"
+        self.config_path = self.root / "job.json"
+        self.decisions_path = self.root / "decisions.jsonl"
+
+    # ----- creation ---------------------------------------------------------
+
+    @property
+    def exists(self) -> bool:
+        return self.config_path.is_file()
+
+    def create(self, config: dict) -> None:
+        """Initialise a fresh job directory with an immutable config."""
+        if self.exists:
+            raise JournalError(
+                f"job journal already exists at {self.root}; pass --resume "
+                "to continue it or choose a fresh --job-dir"
+            )
+        self.records_dir.mkdir(parents=True, exist_ok=True)
+        payload = dict(config)
+        payload["journal_version"] = JOURNAL_VERSION
+        _atomic_write(
+            self.config_path,
+            json.dumps(payload, sort_keys=True, indent=1).encode("ascii"),
+        )
+
+    def load_config(self) -> dict:
+        if not self.exists:
+            raise JournalError(f"no job journal at {self.root}")
+        try:
+            config = json.loads(self.config_path.read_text(encoding="ascii"))
+        except (ValueError, OSError) as exc:
+            raise JournalError(f"unreadable job.json in {self.root}: {exc}")
+        if config.get("journal_version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"journal version {config.get('journal_version')!r} in "
+                f"{self.root} is not supported (expected {JOURNAL_VERSION})"
+            )
+        return config
+
+    # ----- appending --------------------------------------------------------
+
+    def append(self, stage: str, payload: dict) -> RecordRef:
+        """Durably journal one stage boundary; returns its manifest ref."""
+        if not stage or any(ch.isspace() for ch in stage):
+            raise ValueError(f"invalid stage name {stage!r}")
+        data = json.dumps(payload, sort_keys=True).encode("ascii")
+        digest = _sha256(data)
+        seq = len(self._manifest_lines())
+        filename = f"{seq:04d}-{stage}.{digest[:12]}.json"
+        self.records_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write(self.records_dir / filename, data)
+        line = f"{seq} {stage} {filename} {digest}\n"
+        with open(self.manifest_path, "a", encoding="ascii") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return RecordRef(seq=seq, stage=stage, filename=filename, sha256=digest)
+
+    def log_decision(self, decision: dict) -> None:
+        """Append one retry/degradation decision (informational log)."""
+        with open(self.decisions_path, "a", encoding="ascii") as handle:
+            handle.write(json.dumps(decision, sort_keys=True) + "\n")
+
+    def decisions(self) -> list[dict]:
+        if not self.decisions_path.is_file():
+            return []
+        out = []
+        for line in self.decisions_path.read_text(encoding="ascii").splitlines():
+            try:
+                out.append(json.loads(line))
+            except ValueError:
+                continue  # torn final append
+        return out
+
+    # ----- reading ----------------------------------------------------------
+
+    def _manifest_lines(self) -> list[str]:
+        if not self.manifest_path.is_file():
+            return []
+        return self.manifest_path.read_text(encoding="ascii").splitlines()
+
+    def records(self) -> list[RecordRef]:
+        """Validated manifest entries — the longest consistent prefix.
+
+        A torn manifest line, a missing record file, or a record whose
+        bytes no longer hash to the indexed digest ends the prefix; the
+        entries before it remain valid resume points.
+        """
+        refs: list[RecordRef] = []
+        for line in self._manifest_lines():
+            parts = line.split()
+            if len(parts) != 4:
+                break
+            try:
+                seq = int(parts[0])
+            except ValueError:
+                break
+            stage, filename, digest = parts[1], parts[2], parts[3]
+            if seq != len(refs):
+                break
+            path = self.records_dir / filename
+            try:
+                data = path.read_bytes()
+            except OSError:
+                break
+            if _sha256(data) != digest:
+                break
+            refs.append(
+                RecordRef(seq=seq, stage=stage, filename=filename, sha256=digest)
+            )
+        return refs
+
+    def load(self, ref: RecordRef) -> dict:
+        data = (self.records_dir / ref.filename).read_bytes()
+        if _sha256(data) != ref.sha256:
+            raise JournalError(f"record {ref.filename} failed its hash check")
+        return json.loads(data)
+
+    def latest(self) -> "tuple[RecordRef, dict] | None":
+        """The newest valid record and its payload, or ``None``."""
+        refs = self.records()
+        if not refs:
+            return None
+        return refs[-1], self.load(refs[-1])
+
+
+# ----- assembly-object serializers ------------------------------------------
+
+
+def graph_state(graph) -> dict:
+    """Serialize a de Bruijn graph preserving node *and* edge order.
+
+    Iteration order of the adjacency map feeds straight into contig
+    naming and traversal order, so the round trip keeps both the node
+    insertion order and each source's edge list order byte-exact.
+    """
+    return {
+        "k": graph.k,
+        "nodes": list(graph.nodes()),
+        "edges": [
+            [edge.source, edge.target, edge.kmer, edge.count]
+            for edge in graph.edges()
+        ],
+    }
+
+
+def graph_from_state(state: dict):
+    from repro.assembly.debruijn import DeBruijnGraph, Edge
+
+    graph = DeBruijnGraph(k=int(state["k"]))
+    for node in state["nodes"]:
+        graph._adjacency[int(node)] = []
+    for source, target, kmer, count in state["edges"]:
+        edge = Edge(
+            source=int(source),
+            target=int(target),
+            kmer=int(kmer),
+            count=int(count),
+        )
+        graph._adjacency.setdefault(edge.source, []).append(edge)
+        graph._adjacency.setdefault(edge.target, [])
+        graph._out_degree[edge.source] += 1
+        graph._in_degree[edge.target] += 1
+        graph._edge_count += 1
+    return graph
+
+
+def contigs_state(contigs: Iterable) -> list:
+    return [[c.name, str(c.sequence), c.edge_count] for c in contigs]
+
+
+def contigs_from_state(items: Iterable) -> list:
+    from repro.assembly.contigs import Contig
+    from repro.genome.sequence import DnaSequence
+
+    return [
+        Contig(name=name, sequence=DnaSequence(seq), edge_count=int(edges))
+        for name, seq, edges in items
+    ]
+
+
+def scaffolds_state(scaffolds: Iterable) -> list:
+    return [[s.name, str(s.sequence), list(s.members)] for s in scaffolds]
+
+
+def scaffolds_from_state(items: Iterable) -> list:
+    from repro.assembly.scaffold import Scaffold
+    from repro.genome.sequence import DnaSequence
+
+    return [
+        Scaffold(
+            name=name, sequence=DnaSequence(seq), members=tuple(members)
+        )
+        for name, seq, members in items
+    ]

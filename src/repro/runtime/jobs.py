@@ -1,0 +1,580 @@
+"""Crash-tolerant, deadline-bounded assembly jobs above ``PimPipeline``.
+
+PR 1's resilience engine recovers *device* faults op by op; this layer
+recovers *job* faults: a process death, a wall-clock overrun, or a
+stage whose in-memory recovery gave out.  One :class:`JobRunner` run is
+one job:
+
+* after every Fig. 5a stage boundary the full execution state —
+  platform memory, stats ledger, fault-RNG stream, resilience events,
+  k-mer table shadow, graph — is journaled to a content-hashed on-disk
+  record (:mod:`repro.runtime.checkpoint`), so ``kill -9`` at any point
+  loses at most one stage of work and a resumed run finishes
+  **bit-identically** to an uninterrupted one;
+* a :class:`~repro.runtime.watchdog.Watchdog` enforces per-stage and
+  whole-job deadline budgets through the cooperative cancellation
+  checkpoints inside the hashmap/adjacency/euler loops; the raised
+  :class:`~repro.errors.StageTimeoutError` always leaves a resumable
+  journal behind;
+* a retry ladder with capped exponential backoff degrades the job the
+  same way :class:`~repro.core.resilience.ResiliencePolicy` degrades an
+  op — one level up: **bulk engine → scalar replay → reduced batch
+  size → quarantine-and-continue** — rolling the stage back to its
+  entry snapshot before every rung so retries replay deterministically.
+  Every decision is journaled and surfaces in the :class:`JobReport`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.assembly.pipeline import (
+    STAGE_NAMES,
+    AssemblyResult,
+    PimPipeline,
+    PipelineState,
+    _sized_device,
+)
+from repro.core.platform import PimAssembler
+from repro.core.resilience import ResiliencePolicy
+from repro.errors import (
+    JobFailedError,
+    JournalError,
+    StageTimeoutError,
+    SubarrayQuarantinedError,
+    TableFullError,
+    UncorrectableFaultError,
+    VerificationError,
+)
+from repro.runtime.checkpoint import (
+    JobJournal,
+    contigs_from_state,
+    contigs_state,
+    graph_from_state,
+    graph_state,
+    scaffolds_from_state,
+    scaffolds_state,
+)
+from repro.runtime.watchdog import Watchdog
+
+__all__ = ["JobConfig", "JobDecision", "JobReport", "JobOutcome", "JobRunner"]
+
+#: the journal stage name of the completed-job record
+RESULT_STAGE = "result"
+
+#: errors the retry ladder re-attempts (fault-class failures the
+#: resilience layer could not absorb, plus capacity collapses a
+#: degraded re-plan may route around)
+RETRYABLE_ERRORS = (
+    UncorrectableFaultError,
+    VerificationError,
+    SubarrayQuarantinedError,
+    TableFullError,
+)
+
+
+def reads_fingerprint(reads: Iterable) -> str:
+    """Content hash of a read set (order-sensitive, path-independent)."""
+    digest = hashlib.sha256()
+    for item in reads:
+        name = getattr(item, "name", "")
+        sequence = getattr(item, "sequence", item)
+        digest.update(str(name).encode("ascii", "replace"))
+        digest.update(b"\x00")
+        digest.update(str(sequence).encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """Everything that defines a job's deterministic behaviour.
+
+    The determinism-relevant fields are frozen into ``job.json`` when
+    the journal is created; a resume validates them (and the input
+    fingerprint) so a journal can never silently continue a *different*
+    job.  Deadline and ladder knobs may change between resume attempts.
+    """
+
+    k: int
+    min_count: int = 1
+    contig_mode: str = "unitig"
+    scaffold: bool = False
+    min_contig_length: int = 0
+    simplify: bool = False
+    resilience: "ResiliencePolicy | str | None" = None
+    engine: str = "scalar"
+    batch_reads: int | None = None
+    # --- deadline budgets (not identity-relevant) ---
+    stage_timeout_s: float | None = None
+    job_timeout_s: float | None = None
+    # --- retry ladder (not identity-relevant) ---
+    max_attempts: int = 4
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff parameters must be non-negative")
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResiliencePolicy
+        ):
+            object.__setattr__(
+                self, "resilience", ResiliencePolicy.named(self.resilience)
+            )
+
+    def identity_dict(self) -> dict:
+        """The fields a resume must match exactly."""
+        return {
+            "k": self.k,
+            "min_count": self.min_count,
+            "contig_mode": self.contig_mode,
+            "scaffold": self.scaffold,
+            "min_contig_length": self.min_contig_length,
+            "simplify": self.simplify,
+            "resilience": (
+                None
+                if self.resilience is None
+                else self.resilience.state_dict()
+            ),
+            "engine": self.engine,
+            "batch_reads": self.batch_reads,
+        }
+
+
+@dataclass(frozen=True)
+class JobDecision:
+    """One recorded retry/degradation decision."""
+
+    stage: str
+    attempt: int
+    action: str
+    error: str
+    backoff_s: float
+    engine: str
+    batch_reads: int | None
+
+    def state_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "attempt": self.attempt,
+            "action": self.action,
+            "error": self.error,
+            "backoff_s": self.backoff_s,
+            "engine": self.engine,
+            "batch_reads": self.batch_reads,
+        }
+
+
+@dataclass
+class JobReport:
+    """What the job layer saw and decided during one run."""
+
+    job_dir: str
+    resumed: bool = False
+    resumed_from: str | None = None
+    stages_run: list[str] = field(default_factory=list)
+    decisions: list[JobDecision] = field(default_factory=list)
+    final_engine: str = "scalar"
+    final_batch_reads: int | None = None
+    completed: bool = False
+
+    def __str__(self) -> str:
+        source = self.resumed_from if self.resumed else "fresh start"
+        actions = (
+            ", ".join(
+                f"{d.stage}#{d.attempt}:{d.action}" for d in self.decisions
+            )
+            or "none"
+        )
+        return (
+            f"job={self.job_dir} from={source} "
+            f"stages={'+'.join(self.stages_run) or '-'} "
+            f"engine={self.final_engine} decisions=[{actions}] "
+            f"completed={self.completed}"
+        )
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """A finished (or resumed-to-finished) job."""
+
+    result: AssemblyResult
+    report: JobReport
+
+
+@dataclass
+class _RuntimeSettings:
+    """Mutable execution knobs the degradation ladder adjusts."""
+
+    engine: str
+    batch_reads: int | None
+
+    def state_dict(self) -> dict:
+        return {"engine": self.engine, "batch_reads": self.batch_reads}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "_RuntimeSettings":
+        return cls(
+            engine=state["engine"],
+            batch_reads=(
+                None
+                if state["batch_reads"] is None
+                else int(state["batch_reads"])
+            ),
+        )
+
+
+class JobRunner:
+    """Run one checkpointed, deadline-bounded assembly job.
+
+    Args:
+        job_dir: journal directory (created on first run).
+        config: the job definition.
+        pim_factory: builds the platform for a fresh start (defaults to
+            sizing a device to the read set); a resume from a journaled
+            record reconstructs the platform from the snapshot instead.
+        watchdog: inject a pre-built watchdog (tests use ``on_tick`` to
+            simulate crashes); defaults to one wired from the config's
+            deadline budgets, or none when no budget is set.
+        sleep: backoff sleeper (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        job_dir: "str | Path",
+        config: JobConfig,
+        pim_factory: "Callable[[Sequence], PimAssembler] | None" = None,
+        watchdog: Watchdog | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.journal = JobJournal(job_dir)
+        self.config = config
+        self.pim_factory = pim_factory
+        self._external_watchdog = watchdog
+        self._sleep = sleep
+        self._pim: PimAssembler | None = None
+        self._pipeline: PimPipeline | None = None
+        self._state: PipelineState | None = None
+        self._runtime = _RuntimeSettings(
+            engine=config.engine, batch_reads=config.batch_reads
+        )
+        self.report = JobReport(
+            job_dir=str(job_dir),
+            final_engine=config.engine,
+            final_batch_reads=config.batch_reads,
+        )
+
+    # ----- public API -------------------------------------------------------
+
+    def run(self, reads: Iterable, resume: bool = False) -> JobOutcome:
+        """Execute (or resume) the job to completion.
+
+        Raises:
+            JournalError: resume requested without (or against a
+                mismatched) journal, or fresh start into an existing one.
+            StageTimeoutError: a deadline expired; the journal still
+                holds the last completed boundary — resume later.
+            JobFailedError: the retry ladder was exhausted.
+        """
+        reads = list(reads)
+        fingerprint = reads_fingerprint(reads)
+        record = self._open_journal(reads, fingerprint, resume)
+
+        if record is not None and record[0].stage == RESULT_STAGE:
+            # the job already finished — rehydrate the stored result
+            self._restore_payload(record[1])
+            self.report.completed = True
+            return JobOutcome(self._rehydrate_result(record[1]), self.report)
+
+        if record is not None:
+            self._restore_payload(record[1])
+        else:
+            self._fresh_start(reads)
+
+        completed = () if record is None else record[0].stage
+        remaining = self._remaining_stages(completed)
+
+        watchdog = self._external_watchdog
+        if watchdog is None and (
+            self.config.stage_timeout_s is not None
+            or self.config.job_timeout_s is not None
+        ):
+            watchdog = Watchdog(
+                job_budget_s=self.config.job_timeout_s,
+                stage_budget_s=self.config.stage_timeout_s,
+            )
+        if watchdog is None:
+            for stage in remaining:
+                self._run_stage(stage, reads, watchdog=None)
+        else:
+            with watchdog.active():
+                for stage in remaining:
+                    self._run_stage(stage, reads, watchdog=watchdog)
+
+        result = self._pipeline.result(self._state)
+        self.journal.append(RESULT_STAGE, self._payload(RESULT_STAGE))
+        self.report.completed = True
+        self.report.final_engine = self._runtime.engine
+        self.report.final_batch_reads = self._runtime.batch_reads
+        return JobOutcome(result, self.report)
+
+    def resume(self, reads: Iterable) -> JobOutcome:
+        """Shorthand for :meth:`run` with ``resume=True``."""
+        return self.run(reads, resume=True)
+
+    # ----- journal lifecycle ------------------------------------------------
+
+    def _open_journal(self, reads, fingerprint: str, resume: bool):
+        if resume:
+            stored = self.journal.load_config()  # raises when absent
+            if stored.get("input_sha256") != fingerprint:
+                raise JournalError(
+                    "input reads do not match the journaled job "
+                    f"(journal {stored.get('input_sha256', '?')[:12]}..., "
+                    f"input {fingerprint[:12]}...)"
+                )
+            if stored.get("config") != self.config.identity_dict():
+                raise JournalError(
+                    "job configuration does not match the journal; a "
+                    "resume must use the original k/engine/policy settings"
+                )
+            self.report.resumed = True
+            record = self.journal.latest()
+            self.report.resumed_from = (
+                record[0].stage if record is not None else "start"
+            )
+            return record
+        self.journal.create(
+            {
+                "config": self.config.identity_dict(),
+                "input_sha256": fingerprint,
+                "reads": len(reads),
+            }
+        )
+        return None
+
+    @staticmethod
+    def _remaining_stages(completed: "str | tuple") -> list[str]:
+        if not completed:
+            return list(STAGE_NAMES)
+        index = STAGE_NAMES.index(completed)
+        return list(STAGE_NAMES[index + 1 :])
+
+    # ----- execution state --------------------------------------------------
+
+    def _fresh_start(self, reads) -> None:
+        if self.pim_factory is not None:
+            pim = self.pim_factory(reads)
+        else:
+            pim = _sized_device(reads, self.config.k)
+        if self.config.resilience is not None:
+            pim.protect(self.config.resilience)
+        self._attach(pim, PipelineState())
+
+    def _attach(self, pim: PimAssembler, state: PipelineState) -> None:
+        self._pim = pim
+        self._state = state
+        self._pipeline = PimPipeline(
+            pim,
+            k=self.config.k,
+            min_count=self.config.min_count,
+            contig_mode=self.config.contig_mode,
+            scaffold=self.config.scaffold,
+            min_contig_length=self.config.min_contig_length,
+            simplify=self.config.simplify,
+            resilience=None,  # the engine is attached/restored on pim
+            engine=self._runtime.engine,
+            batch_reads=self._runtime.batch_reads,
+        )
+
+    def _payload(self, stage: str) -> dict:
+        """One journal record: the complete post-stage execution state."""
+        state = self._state
+        payload = {
+            "stage": stage,
+            "runtime": self._runtime.state_dict(),
+            "platform": self._pim.state_dict(),
+            "counter": (
+                None if state.counter is None else state.counter.state_dict()
+            ),
+            "counts": (
+                None
+                if state.counts is None
+                else [[int(k), int(v)] for k, v in state.counts.items()]
+            ),
+            "graph": None if state.graph is None else graph_state(state.graph),
+            "degrees": (
+                None
+                if state.degrees is None
+                else [
+                    [[int(k), int(v)] for k, v in degree.items()]
+                    for degree in state.degrees
+                ]
+            ),
+            "contigs": (
+                None if state.contigs is None else contigs_state(state.contigs)
+            ),
+            "scaffolds": scaffolds_state(state.scaffolds),
+        }
+        if stage == RESULT_STAGE:
+            payload["kmer_table_size"] = len(state.counter)
+        return payload
+
+    def _restore_payload(self, payload: dict) -> None:
+        from repro.assembly.hashmap import PimKmerCounter
+
+        self._runtime = _RuntimeSettings.from_state(payload["runtime"])
+        pim = PimAssembler.from_state(payload["platform"])
+        state = PipelineState()
+        if payload["counter"] is not None:
+            state.counter = PimKmerCounter.from_state(
+                pim, payload["counter"], engine=self._runtime.engine
+            )
+        if payload["counts"] is not None:
+            state.counts = Counter(
+                {int(k): int(v) for k, v in payload["counts"]}
+            )
+        if payload["graph"] is not None:
+            state.graph = graph_from_state(payload["graph"])
+        if payload["degrees"] is not None:
+            in_pairs, out_pairs = payload["degrees"]
+            state.degrees = (
+                {int(k): int(v) for k, v in in_pairs},
+                {int(k): int(v) for k, v in out_pairs},
+            )
+        if payload["contigs"] is not None:
+            state.contigs = contigs_from_state(payload["contigs"])
+        state.scaffolds = scaffolds_from_state(payload["scaffolds"])
+        self._attach(pim, state)
+
+    def _rehydrate_result(self, payload: dict) -> AssemblyResult:
+        pim = self._pim
+        engine = pim.resilience
+        return AssemblyResult(
+            contigs=self._state.contigs,
+            scaffolds=self._state.scaffolds,
+            graph=self._state.graph,
+            kmer_table_size=int(payload["kmer_table_size"]),
+            hashmap=pim.stats.totals("hashmap"),
+            debruijn=pim.stats.totals("debruijn"),
+            traverse=pim.stats.totals("traverse"),
+            resilience=(
+                engine.report(stages=list(STAGE_NAMES))
+                if engine is not None
+                else None
+            ),
+        )
+
+    # ----- the retry/degradation ladder -------------------------------------
+
+    def _run_stage(self, stage: str, reads, watchdog: Watchdog | None) -> None:
+        entry = self._payload(f"entry-{stage}")  # in-memory rollback point
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                self._execute_stage(stage, reads, watchdog)
+                self.journal.append(stage, self._payload(stage))
+                self.report.stages_run.append(stage)
+                return
+            except StageTimeoutError as exc:
+                self._decide(stage, attempt, "abort-timeout", exc, 0.0)
+                raise
+            except RETRYABLE_ERRORS as exc:
+                if attempt >= self.config.max_attempts:
+                    self._decide(stage, attempt, "give-up", exc, 0.0)
+                    raise JobFailedError(stage, attempt, exc) from exc
+                backoff = min(
+                    self.config.backoff_cap_s,
+                    self.config.backoff_base_s * (2 ** (attempt - 1)),
+                )
+                action = self._degrade(exc)
+                self._decide(stage, attempt, action, exc, backoff)
+                if backoff > 0:
+                    self._sleep(backoff)
+                self._rollback(entry)
+
+    def _execute_stage(self, stage, reads, watchdog: Watchdog | None) -> None:
+        runner = {
+            "hashmap": lambda: self._pipeline.run_hashmap(reads, self._state),
+            "debruijn": lambda: self._pipeline.run_debruijn(self._state),
+            "traverse": lambda: self._pipeline.run_traverse(self._state),
+        }[stage]
+        if watchdog is None:
+            runner()
+        else:
+            with watchdog.stage(stage):
+                runner()
+
+    def _degrade(self, error: BaseException) -> str:
+        """Pick the next ladder rung; mutate the runtime settings.
+
+        The chain mirrors the per-op resilience escalation one level
+        up: bulk engine → scalar replay → reduced batch size →
+        quarantine-and-continue → plain retry (re-staged by backoff).
+        """
+        runtime = self._runtime
+        if runtime.engine == "bulk":
+            runtime.engine = "scalar"
+            return "degrade-bulk-to-scalar"
+        if runtime.batch_reads is not None and runtime.batch_reads > 1:
+            runtime.batch_reads = max(1, runtime.batch_reads // 4)
+            return f"reduce-batch-to-{runtime.batch_reads}"
+        key = getattr(error, "subarray_key", None)
+        engine = self._pim.resilience
+        if key is not None and engine is not None and not engine.is_quarantined(
+            tuple(key)
+        ):
+            engine.quarantine(tuple(key))
+            return f"quarantine-{','.join(map(str, key))}"
+        return "retry"
+
+    def _rollback(self, entry: dict) -> None:
+        """Restore the stage-entry snapshot (keeping degraded settings)."""
+        runtime = self._runtime
+        self._restore_payload(entry)
+        # _restore_payload resets the runtime from the snapshot; a
+        # ladder decision must survive the rollback
+        self._runtime = runtime
+        self._pipeline.engine = runtime.engine
+        self._pipeline.batch_reads = runtime.batch_reads
+        # quarantine decisions must survive too: re-apply to the
+        # restored engine (snapshot predates the decision)
+        for decision in self.report.decisions:
+            if decision.action.startswith("quarantine-"):
+                key = tuple(
+                    int(p)
+                    for p in decision.action[len("quarantine-"):].split(",")
+                )
+                if self._pim.resilience is not None:
+                    self._pim.resilience.quarantine(key)
+
+    def _decide(
+        self,
+        stage: str,
+        attempt: int,
+        action: str,
+        error: BaseException,
+        backoff_s: float,
+    ) -> None:
+        decision = JobDecision(
+            stage=stage,
+            attempt=attempt,
+            action=action,
+            error=f"{type(error).__name__}: {error}",
+            backoff_s=backoff_s,
+            engine=self._runtime.engine,
+            batch_reads=self._runtime.batch_reads,
+        )
+        self.report.decisions.append(decision)
+        self.report.final_engine = self._runtime.engine
+        self.report.final_batch_reads = self._runtime.batch_reads
+        self.journal.log_decision(decision.state_dict())

@@ -117,3 +117,81 @@ class TestValidation:
     def test_validate_rejects_n(self):
         with pytest.raises(ValueError):
             validate_records([FastaRecord("x", "ACGN")])
+
+
+class TestHardening:
+    """CRLF, lowercase, truncation, and lenient-mode quarantine."""
+
+    def test_fasta_crlf_and_lowercase(self):
+        buf = io.StringIO(">r0 desc\r\nacgt\r\nACGT\r\n>r1\r\ncgta\r\n")
+        records = read_fasta(buf)
+        assert [(r.name, r.sequence) for r in records] == [
+            ("r0", "ACGTACGT"),
+            ("r1", "CGTA"),
+        ]
+
+    def test_fastq_crlf_and_lowercase(self):
+        buf = io.StringIO("@r0\r\nacgt\r\n+\r\nIIII\r\n")
+        records = read_fastq(buf)
+        assert records[0].sequence == "ACGT"
+        assert records[0].quality == "IIII"
+
+    def test_fastq_truncated_final_record_strict(self):
+        buf = io.StringIO("@r0\nACGT\n+\nIIII\n@r1\nACGT\n")
+        with pytest.raises(ValueError, match="truncated"):
+            read_fastq(buf)
+
+    def test_fastq_truncated_after_header_strict(self):
+        with pytest.raises(ValueError, match="truncated"):
+            read_fastq(io.StringIO("@r0\n"))
+
+    def test_fastq_truncated_final_record_lenient(self):
+        from repro.genome.io_fasta import ParseReport
+
+        report = ParseReport()
+        buf = io.StringIO("@r0\nACGT\n+\nIIII\n@r1\nACGT\n")
+        records = read_fastq(buf, strict=False, report=report)
+        assert [r.name for r in records] == ["r0"]
+        assert report.quarantined == 1
+        assert "truncated" in report.reasons[0]
+
+    def test_fastq_lenient_skips_malformed_keeps_rest(self):
+        from repro.genome.io_fasta import ParseReport
+
+        report = ParseReport()
+        buf = io.StringIO(
+            "@r0\nACGT\n+\nIIII\n"
+            "@bad\nACGT\nX\nIIII\n"  # missing '+'
+            "@worse\nACGT\n+\nII\n"  # quality length mismatch
+            "@r1\nCGTA\n+\nIIII\n"
+        )
+        records = read_fastq(buf, strict=False, report=report)
+        assert [r.name for r in records] == ["r0", "r1"]
+        assert report.quarantined == 2
+
+    def test_fastq_lenient_quarantines_non_acgt(self):
+        from repro.genome.io_fasta import ParseReport
+
+        report = ParseReport()
+        buf = io.StringIO("@r0\nACNT\n+\nIIII\n@r1\nACGT\n+\nIIII\n")
+        records = read_fastq(buf, strict=False, report=report)
+        assert [r.name for r in records] == ["r1"]
+        assert report.quarantined == 1
+
+    def test_fasta_lenient_quarantines_and_continues(self):
+        from repro.genome.io_fasta import ParseReport
+
+        report = ParseReport()
+        buf = io.StringIO(
+            "ACGT\n"  # sequence before any header
+            ">\nACGT\n"  # nameless header; body silently dropped
+            ">ok\nACGT\n"
+            ">bad\nACNT\n"  # non-ACGT bases
+        )
+        records = read_fasta(buf, strict=False, report=report)
+        assert [r.name for r in records] == ["ok"]
+        assert report.quarantined == 3
+
+    def test_strict_mode_unchanged_for_clean_files(self):
+        buf = io.StringIO(">r0\nACGT\n")
+        assert read_fasta(buf, strict=True)[0].sequence == "ACGT"

@@ -1,0 +1,1 @@
+"""Job runtime: checkpoints, watchdog, retry ladder."""

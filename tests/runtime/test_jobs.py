@@ -1,0 +1,337 @@
+"""Kill-and-resume equivalence, deadline handling, and the retry ladder.
+
+The core contract under test: a job interrupted at *any* cancellation
+point — simulated crash or deadline — and then resumed produces
+contigs, per-mnemonic command counts, and resilience event counts
+**bit-identical** to an uninterrupted run, on both execution engines.
+"""
+
+import random
+
+import pytest
+
+from repro.assembly.pipeline import PimPipeline, PipelineState, _sized_device
+from repro.core.faults import FaultModel
+from repro.core.platform import PimAssembler
+from repro.core.resilience import ResiliencePolicy
+from repro.errors import (
+    JobFailedError,
+    JournalError,
+    StageTimeoutError,
+    VerificationError,
+)
+from repro.genome.sequence import DnaSequence
+from repro.runtime.jobs import JobConfig, JobRunner, reads_fingerprint
+from repro.runtime.watchdog import Watchdog
+
+K = 9
+FAULT_SEED = 42
+
+
+def make_reads(seed: int = 11, genome_bp: int = 400) -> list[DnaSequence]:
+    rng = random.Random(seed)
+    genome = "".join(rng.choice("ACGT") for _ in range(genome_bp))
+    return [DnaSequence(genome[i : i + 50]) for i in range(0, genome_bp - 50, 11)]
+
+
+def faulty_pim_factory(policy: ResiliencePolicy):
+    """Platform factory with a live fault stream + protection attached."""
+
+    def make(reads):
+        pim = _sized_device(reads, K)
+        pim.controller.faults = FaultModel(
+            seed=FAULT_SEED, compute2_rate=2e-4, tra_rate=1e-4
+        )
+        pim.protect(policy)
+        return pim
+
+    return make
+
+
+def run_fingerprint(result) -> tuple:
+    """Everything the resume-equivalence contract covers."""
+    r = result.resilience
+    return (
+        [(c.name, str(c.sequence)) for c in result.contigs],
+        dict(result.hashmap.commands),
+        dict(result.debruijn.commands),
+        dict(result.traverse.commands),
+        None
+        if r is None
+        else (r.totals.detected, r.totals.corrected, r.totals.retries),
+    )
+
+
+class SimulatedKill(BaseException):
+    """Stand-in for SIGKILL: not an Exception, nothing may catch it."""
+
+
+@pytest.fixture(scope="module")
+def reads():
+    return make_reads()
+
+
+class TestFreshJob:
+    def test_matches_plain_pipeline(self, reads, tmp_path):
+        pim = _sized_device(reads, K)
+        golden = PimPipeline(pim, k=K).run(reads)
+        out = JobRunner(tmp_path / "job", JobConfig(k=K)).run(reads)
+        assert run_fingerprint(out.result) == run_fingerprint(golden)
+        assert out.report.completed
+        assert out.report.stages_run == ["hashmap", "debruijn", "traverse"]
+
+    def test_journal_holds_stage_records(self, reads, tmp_path):
+        runner = JobRunner(tmp_path / "job", JobConfig(k=K))
+        runner.run(reads)
+        stages = [ref.stage for ref in runner.journal.records()]
+        assert stages == ["hashmap", "debruijn", "traverse", "result"]
+
+    def test_fresh_start_refuses_existing_journal(self, reads, tmp_path):
+        JobRunner(tmp_path / "job", JobConfig(k=K)).run(reads)
+        with pytest.raises(JournalError, match="already exists"):
+            JobRunner(tmp_path / "job", JobConfig(k=K)).run(reads)
+
+
+class TestResumeValidation:
+    def test_resume_without_journal(self, reads, tmp_path):
+        with pytest.raises(JournalError, match="no job journal"):
+            JobRunner(tmp_path / "job", JobConfig(k=K)).resume(reads)
+
+    def test_resume_rejects_different_reads(self, reads, tmp_path):
+        JobRunner(tmp_path / "job", JobConfig(k=K)).run(reads)
+        other = make_reads(seed=99)
+        with pytest.raises(JournalError, match="do not match"):
+            JobRunner(tmp_path / "job", JobConfig(k=K)).resume(other)
+
+    def test_resume_rejects_different_config(self, reads, tmp_path):
+        JobRunner(tmp_path / "job", JobConfig(k=K)).run(reads)
+        with pytest.raises(JournalError, match="configuration"):
+            JobRunner(
+                tmp_path / "job", JobConfig(k=K, min_count=2)
+            ).resume(reads)
+
+    def test_fingerprint_is_order_sensitive(self, reads):
+        assert reads_fingerprint(reads) != reads_fingerprint(
+            list(reversed(reads))
+        )
+
+
+class TestKillAndResume:
+    """Randomized kill points across stages, both engines, live faults."""
+
+    @pytest.mark.parametrize("engine", ["scalar", "bulk"])
+    def test_resume_is_bit_identical(self, reads, tmp_path, engine):
+        policy = ResiliencePolicy.named("detect-retry-remap")
+        config = JobConfig(k=K, engine=engine, resilience=policy)
+        factory = faulty_pim_factory(policy)
+
+        meter = Watchdog()
+        golden = JobRunner(
+            tmp_path / "golden", config, pim_factory=factory, watchdog=meter
+        ).run(reads)
+        golden_fp = run_fingerprint(golden.result)
+        total_ticks = meter.ticks
+        assert total_ticks > 100
+
+        rng = random.Random(1234 + hash(engine) % 1000)
+        kill_fracs = [0.08, rng.uniform(0.2, 0.5), rng.uniform(0.6, 0.8), 0.97]
+        for index, frac in enumerate(kill_fracs):
+            kill_at = max(1, int(total_ticks * frac))
+
+            def bomb(ticks, kill_at=kill_at):
+                if ticks == kill_at:
+                    raise SimulatedKill()
+
+            job_dir = tmp_path / f"{engine}-{index}"
+            victim = JobRunner(
+                job_dir,
+                config,
+                pim_factory=factory,
+                watchdog=Watchdog(on_tick=bomb),
+            )
+            with pytest.raises(SimulatedKill):
+                victim.run(reads)
+
+            revived = JobRunner(job_dir, config, pim_factory=factory)
+            out = revived.resume(reads)
+            assert out.report.resumed
+            assert run_fingerprint(out.result) == golden_fp, (
+                f"kill at tick {kill_at}/{total_ticks} diverged"
+            )
+
+    def test_resume_from_each_stage_boundary(self, reads, tmp_path):
+        """Truncate the journal to each boundary and resume from it."""
+        config = JobConfig(k=K)
+        golden = JobRunner(tmp_path / "golden", config).run(reads)
+        golden_fp = run_fingerprint(golden.result)
+
+        for keep, stage in ((1, "hashmap"), (2, "debruijn"), (3, "traverse")):
+            job_dir = tmp_path / f"cut{keep}"
+            source = JobRunner(job_dir, config)
+            source.run(reads)
+            manifest = source.journal.manifest_path
+            lines = manifest.read_text().splitlines(keepends=True)
+            manifest.write_text("".join(lines[:keep]))
+
+            revived = JobRunner(job_dir, config)
+            out = revived.resume(reads)
+            assert out.report.resumed_from == stage
+            assert run_fingerprint(out.result) == golden_fp
+
+
+class TestTimeouts:
+    def _ticking_clock(self):
+        state = {"now": 0.0}
+
+        def clock():
+            state["now"] += 1.0
+            return state["now"]
+
+        return clock
+
+    def test_timeout_leaves_resumable_journal(self, reads, tmp_path):
+        config = JobConfig(k=K)
+        golden = JobRunner(tmp_path / "golden", config).run(reads)
+
+        watchdog = Watchdog(
+            stage_budget_s=50.0, stride=8, clock=self._ticking_clock()
+        )
+        victim = JobRunner(tmp_path / "job", config, watchdog=watchdog)
+        with pytest.raises(StageTimeoutError) as info:
+            victim.run(reads)
+        assert info.value.scope == "stage"
+        assert victim.report.decisions[-1].action == "abort-timeout"
+
+        out = JobRunner(tmp_path / "job", config).resume(reads)
+        assert run_fingerprint(out.result) == run_fingerprint(golden.result)
+
+    def test_config_budgets_build_a_watchdog(self, reads, tmp_path):
+        # an absurdly small budget must trip on a real clock
+        config = JobConfig(k=K, stage_timeout_s=1e-9)
+        with pytest.raises(StageTimeoutError):
+            JobRunner(tmp_path / "job", config).run(reads)
+
+    def test_decision_journaled_on_timeout(self, reads, tmp_path):
+        config = JobConfig(k=K, stage_timeout_s=1e-9)
+        runner = JobRunner(tmp_path / "job", config)
+        with pytest.raises(StageTimeoutError):
+            runner.run(reads)
+        actions = [d["action"] for d in runner.journal.decisions()]
+        assert actions == ["abort-timeout"]
+
+
+class TestCompletedJobRehydration:
+    def test_resume_of_finished_job_re_emits_result(self, reads, tmp_path):
+        config = JobConfig(k=K)
+        first = JobRunner(tmp_path / "job", config).run(reads)
+        again = JobRunner(tmp_path / "job", config).resume(reads)
+        assert again.report.resumed_from == "result"
+        assert run_fingerprint(again.result) == run_fingerprint(first.result)
+        assert again.result.kmer_table_size == first.result.kmer_table_size
+
+
+class TestRetryLadder:
+    def _flaky_runner(self, tmp_path, config, fail_times):
+        """JobRunner whose hashmap stage fails `fail_times` times."""
+        runner = JobRunner(
+            tmp_path / "job", config, sleep=lambda s: self.slept.append(s)
+        )
+        self.slept = []
+        original = PimPipeline.run_hashmap
+        state = {"left": fail_times}
+
+        def flaky(pipeline, reads, pstate):
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise VerificationError("injected stage failure")
+            return original(pipeline, reads, pstate)
+
+        return runner, flaky
+
+    def test_degradation_chain_bulk_then_batch(
+        self, reads, tmp_path, monkeypatch
+    ):
+        config = JobConfig(
+            k=K, engine="bulk", batch_reads=8, backoff_base_s=0.05
+        )
+        self.slept = []
+        runner, flaky = self._flaky_runner(tmp_path, config, fail_times=2)
+        monkeypatch.setattr(PimPipeline, "run_hashmap", flaky)
+        out = runner.run(reads)
+        assert out.report.completed
+        actions = [d.action for d in out.report.decisions]
+        assert actions == ["degrade-bulk-to-scalar", "reduce-batch-to-2"]
+        assert out.report.final_engine == "scalar"
+        assert out.report.final_batch_reads == 2
+        # capped exponential backoff between attempts
+        assert self.slept == [0.05, 0.1]
+
+    def test_backoff_is_capped(self, reads, tmp_path, monkeypatch):
+        config = JobConfig(
+            k=K,
+            max_attempts=5,
+            backoff_base_s=1.0,
+            backoff_cap_s=2.5,
+        )
+        runner, flaky = self._flaky_runner(tmp_path, config, fail_times=4)
+        monkeypatch.setattr(PimPipeline, "run_hashmap", flaky)
+        out = runner.run(reads)
+        assert out.report.completed
+        assert self.slept == [1.0, 2.0, 2.5, 2.5]
+
+    def test_ladder_exhaustion_raises_job_failed(
+        self, reads, tmp_path, monkeypatch
+    ):
+        config = JobConfig(k=K, max_attempts=3, backoff_base_s=0.0)
+        runner, flaky = self._flaky_runner(tmp_path, config, fail_times=99)
+        monkeypatch.setattr(PimPipeline, "run_hashmap", flaky)
+        with pytest.raises(JobFailedError) as info:
+            runner.run(reads)
+        assert info.value.stage == "hashmap"
+        assert info.value.attempts == 3
+        assert runner.report.decisions[-1].action == "give-up"
+
+    def test_degraded_run_still_matches_golden_output(
+        self, reads, tmp_path, monkeypatch
+    ):
+        """The ladder changes *how* a stage executes, never its output."""
+        golden = JobRunner(tmp_path / "golden", JobConfig(k=K)).run(reads)
+        config = JobConfig(
+            k=K, engine="bulk", batch_reads=8, backoff_base_s=0.0
+        )
+        runner, flaky = self._flaky_runner(tmp_path, config, fail_times=2)
+        monkeypatch.setattr(PimPipeline, "run_hashmap", flaky)
+        out = runner.run(reads)
+        assert [(c.name, str(c.sequence)) for c in out.result.contigs] == [
+            (c.name, str(c.sequence)) for c in golden.result.contigs
+        ]
+
+    def test_decisions_are_journaled(self, reads, tmp_path, monkeypatch):
+        config = JobConfig(k=K, engine="bulk", backoff_base_s=0.0)
+        runner, flaky = self._flaky_runner(tmp_path, config, fail_times=1)
+        monkeypatch.setattr(PimPipeline, "run_hashmap", flaky)
+        runner.run(reads)
+        logged = runner.journal.decisions()
+        assert [d["action"] for d in logged] == ["degrade-bulk-to-scalar"]
+        assert logged[0]["stage"] == "hashmap"
+
+
+class TestPlatformSnapshot:
+    """state_dict/from_state is an exact fixed point mid-run."""
+
+    def test_snapshot_round_trip_is_identity(self, reads):
+        policy = ResiliencePolicy.named("detect-retry-remap")
+        pim = faulty_pim_factory(policy)(reads)
+        pipeline = PimPipeline(pim, k=K)
+        pipeline.run_hashmap(reads, PipelineState())
+        snapshot = pim.state_dict()
+        restored = PimAssembler.from_state(snapshot)
+        assert restored.state_dict() == snapshot
+
+    def test_restored_fault_stream_continues_identically(self, reads):
+        policy = ResiliencePolicy.named("detect-retry-remap")
+        pim = faulty_pim_factory(policy)(reads)
+        twin = PimAssembler.from_state(pim.state_dict())
+        a = pim.controller.faults._rng.random(8).tolist()
+        b = twin.controller.faults._rng.random(8).tolist()
+        assert a == b

@@ -1,0 +1,140 @@
+"""Cooperative cancellation: budgets, strides, and the active slot."""
+
+import pytest
+
+from repro.errors import StageTimeoutError
+from repro.runtime.watchdog import Watchdog, active_watchdog, checkpoint
+
+
+class FakeClock:
+    """Deterministic monotonic clock advanced by each read."""
+
+    def __init__(self, step: float = 1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestCheckpoint:
+    def test_noop_without_active_watchdog(self):
+        assert active_watchdog() is None
+        checkpoint()  # must not raise or allocate a watchdog
+
+    def test_active_installs_and_restores(self):
+        wd = Watchdog()
+        with wd.active():
+            assert active_watchdog() is wd
+        assert active_watchdog() is None
+
+    def test_active_nests(self):
+        outer, inner = Watchdog(), Watchdog()
+        with outer.active():
+            with inner.active():
+                assert active_watchdog() is inner
+            assert active_watchdog() is outer
+
+    def test_ticks_count_every_poll(self):
+        wd = Watchdog()
+        with wd.active():
+            for _ in range(10):
+                checkpoint()
+        assert wd.ticks == 10
+
+
+class TestBudgets:
+    def test_stage_budget_trips(self):
+        clock = FakeClock()
+        wd = Watchdog(stage_budget_s=5.0, stride=1, clock=clock)
+        with wd.active(), wd.stage("hashmap"):
+            with pytest.raises(StageTimeoutError) as info:
+                for _ in range(100):
+                    checkpoint()
+        assert info.value.stage == "hashmap"
+        assert info.value.scope == "stage"
+        assert info.value.budget_s == 5.0
+        assert info.value.elapsed_s > 5.0
+        assert "resumable" in str(info.value)
+
+    def test_job_budget_trips_across_stages(self):
+        clock = FakeClock()
+        wd = Watchdog(job_budget_s=8.0, stride=1, clock=clock)
+        with wd.active():
+            with wd.stage("hashmap"):
+                checkpoint()
+            with wd.stage("traverse"):
+                with pytest.raises(StageTimeoutError) as info:
+                    for _ in range(100):
+                        checkpoint()
+        assert info.value.scope == "job"
+        assert info.value.stage == "traverse"
+
+    def test_per_stage_override_beats_default(self):
+        clock = FakeClock()
+        wd = Watchdog(
+            stage_budget_s=1000.0,
+            stage_budgets={"euler": 3.0},
+            stride=1,
+            clock=clock,
+        )
+        with wd.active(), wd.stage("euler"):
+            with pytest.raises(StageTimeoutError) as info:
+                for _ in range(100):
+                    checkpoint()
+        assert info.value.budget_s == 3.0
+
+    def test_no_budget_never_raises(self):
+        wd = Watchdog(stride=1, clock=FakeClock())
+        with wd.active(), wd.stage("hashmap"):
+            for _ in range(1000):
+                checkpoint()
+        assert wd.ticks == 1000
+
+    def test_stride_skips_clock_reads(self):
+        clock = FakeClock()
+        wd = Watchdog(stage_budget_s=1e9, stride=64, clock=clock)
+        with wd.active(), wd.stage("hashmap"):
+            start_reads = clock.now
+            for _ in range(640):
+                checkpoint()
+        # active()+stage() read twice; then one read per stride window
+        assert clock.now - start_reads <= 640 / 64 + 2
+
+
+class TestOnTick:
+    def test_fires_every_poll_with_running_count(self):
+        seen = []
+        wd = Watchdog(on_tick=seen.append)
+        with wd.active():
+            for _ in range(5):
+                checkpoint()
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_on_tick_may_interrupt(self):
+        class Boom(BaseException):
+            pass
+
+        def bomb(ticks):
+            if ticks == 3:
+                raise Boom()
+
+        wd = Watchdog(on_tick=bomb)
+        with wd.active():
+            with pytest.raises(Boom):
+                for _ in range(10):
+                    checkpoint()
+        assert wd.ticks == 3
+
+
+class TestValidation:
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            Watchdog(stride=0)
+
+    def test_rejects_nonpositive_budgets(self):
+        with pytest.raises(ValueError):
+            Watchdog(job_budget_s=0.0)
+        with pytest.raises(ValueError):
+            Watchdog(stage_budget_s=-1.0)

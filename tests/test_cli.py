@@ -123,11 +123,179 @@ class TestAssemble:
         )
         assert rc == 0
 
-    def test_empty_input_exits(self, tmp_path):
+    def test_empty_input_exits_cleanly(self, tmp_path, capsys):
         empty = tmp_path / "empty.fa"
         empty.write_text("")
-        with pytest.raises(SystemExit):
-            main(["assemble", str(empty), "-o", str(tmp_path / "o.fa")])
+        rc = main(["assemble", str(empty), "-o", str(tmp_path / "o.fa")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "no reads found" in err
+
+    def test_lenient_quarantines_and_reports(self, tmp_path, capsys):
+        reads_fq = tmp_path / "reads.fq"
+        reads_fq.write_text(
+            "@good\nACGTACGTACGTACGT\n+\nIIIIIIIIIIIIIIII\n"
+            "@bad\nACGTNNNNACGTACGT\n+\nIIIIIIIIIIIIIIII\n"
+            "@good2\nCGTACGTACGTACGTA\n+\nIIIIIIIIIIIIIIII\n"
+        )
+        rc = main(
+            [
+                "assemble",
+                str(reads_fq),
+                "-o",
+                str(tmp_path / "o.fa"),
+                "-k",
+                "9",
+                "--engine",
+                "software",
+                "--lenient",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "quarantined 1 malformed record(s)" in out
+
+
+class TestFailurePaths:
+    """Every bad input exits nonzero with one clean line, no traceback."""
+
+    def _run(self, capsys, argv):
+        rc = main(argv)
+        captured = capsys.readouterr()
+        assert rc != 0
+        assert captured.err.startswith("error: ")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+        return rc, captured.err
+
+    def test_missing_input_file(self, tmp_path, capsys):
+        rc, err = self._run(
+            capsys,
+            ["assemble", str(tmp_path / "nope.fq"), "-o", str(tmp_path / "o.fa")],
+        )
+        assert rc == 2
+        assert "not found" in err
+
+    def test_unrecognised_format(self, tmp_path, capsys):
+        bad = tmp_path / "reads.txt"
+        bad.write_text("ACGTACGT\nACGTACGT\n")
+        rc, err = self._run(
+            capsys, ["assemble", str(bad), "-o", str(tmp_path / "o.fa")]
+        )
+        assert rc == 2
+        assert "neither FASTA nor FASTQ" in err
+
+    def test_malformed_fasta(self, tmp_path, capsys):
+        bad = tmp_path / "reads.fa"
+        bad.write_text("ACGT\n>r1\nACGT\n")  # sequence before any header
+        rc, err = self._run(
+            capsys, ["assemble", str(bad), "-o", str(tmp_path / "o.fa")]
+        )
+        assert rc == 2
+        assert "malformed" in err
+
+    def test_truncated_fastq(self, tmp_path, capsys):
+        bad = tmp_path / "reads.fq"
+        bad.write_text("@r0\nACGTACGTACGT\n+\nIIIIIIIIIIII\n@r1\nACGT\n")
+        rc, err = self._run(
+            capsys, ["assemble", str(bad), "-o", str(tmp_path / "o.fa")]
+        )
+        assert rc == 2
+        assert "truncated" in err
+
+    def test_invalid_bases_strict(self, tmp_path, capsys):
+        bad = tmp_path / "reads.fa"
+        bad.write_text(">r0\nACGTNNACGTACGTACGT\n")
+        rc, err = self._run(
+            capsys, ["assemble", str(bad), "-o", str(tmp_path / "o.fa")]
+        )
+        assert rc == 2
+
+    def test_bad_k(self, tmp_path, capsys):
+        reads = tmp_path / "reads.fa"
+        reads.write_text(">r0\nACGTACGTACGTACGT\n")
+        rc, err = self._run(
+            capsys,
+            ["assemble", str(reads), "-o", str(tmp_path / "o.fa"), "-k", "1"],
+        )
+        assert rc == 2
+        assert "--k" in err
+
+    def test_resume_without_job_dir(self, tmp_path, capsys):
+        reads = tmp_path / "reads.fa"
+        reads.write_text(">r0\nACGTACGTACGTACGT\n")
+        rc, err = self._run(
+            capsys,
+            ["assemble", str(reads), "-o", str(tmp_path / "o.fa"), "--resume"],
+        )
+        assert rc == 2
+        assert "--job-dir" in err
+
+    def test_resume_without_journal(self, tmp_path, capsys):
+        reads = tmp_path / "reads.fa"
+        reads.write_text(">r0\nACGTACGTACGTACGTACGTACGT\n")
+        rc, err = self._run(
+            capsys,
+            [
+                "assemble",
+                str(reads),
+                "-o",
+                str(tmp_path / "o.fa"),
+                "-k",
+                "9",
+                "--job-dir",
+                str(tmp_path / "job"),
+                "--resume",
+            ],
+        )
+        assert rc == 3
+        assert "journal" in err
+
+
+class TestJobCli:
+    def test_job_dir_roundtrip(self, tmp_path, capsys):
+        reads = tmp_path / "reads.fa"
+        reads.write_text(
+            ">r0\nACGTACGTACGTACGTACGTACGTACGTACGT\n"
+            ">r1\nCGTACGTACGTACGTACGTACGTACGTACGTA\n"
+        )
+        out = tmp_path / "o.fa"
+        rc = main(
+            [
+                "assemble",
+                str(reads),
+                "-o",
+                str(out),
+                "-k",
+                "9",
+                "--job-dir",
+                str(tmp_path / "job"),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "job:" in captured and "completed=True" in captured
+        first = read_fasta(out)
+
+        # a resume of the finished job re-emits the identical contigs
+        rc = main(
+            [
+                "assemble",
+                str(reads),
+                "-o",
+                str(out),
+                "-k",
+                "9",
+                "--job-dir",
+                str(tmp_path / "job"),
+                "--resume",
+            ]
+        )
+        assert rc == 0
+        again = read_fasta(out)
+        assert [(r.name, r.sequence) for r in again] == [
+            (r.name, r.sequence) for r in first
+        ]
 
 
 class TestScaffold:
@@ -190,16 +358,16 @@ class TestScaffold:
         contigs_fa.write_text(">c0\nACGTACGTACGTACGTACGTACGTACGT\n")
         reads_fq = tmp_path / "r.fq"
         write_fastq(reads_fq, [FastqRecord("solo", "ACGTACGT")])
-        with pytest.raises(SystemExit):
-            main(
-                [
-                    "scaffold",
-                    str(contigs_fa),
-                    str(reads_fq),
-                    "-o",
-                    str(tmp_path / "s.fa"),
-                ]
-            )
+        rc = main(
+            [
+                "scaffold",
+                str(contigs_fa),
+                str(reads_fq),
+                "-o",
+                str(tmp_path / "s.fa"),
+            ]
+        )
+        assert rc == 2
 
 
 class TestExperiments:
