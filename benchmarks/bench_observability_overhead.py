@@ -1,0 +1,149 @@
+"""Overhead contract for the observability layer.
+
+Runs the same end-to-end PIM assembly three ways and compares
+simulator wall-clock:
+
+* **baseline** — observability disabled (no active session; every
+  instrumented call site reduces to one module-global ``None`` check);
+* **disabled** — identical, measured again after the observability
+  modules are imported, to catch accidental import-time costs;
+* **enabled** — a full ``ObservabilitySession`` active (spans +
+  metrics recorded, nothing exported).
+
+The contract asserted with ``--check``: the *disabled* path must stay
+within ``MAX_DISABLED_OVERHEAD`` (5 %) of baseline.  The enabled-path
+cost is reported for the record but not gated — turning tracing on is
+allowed to cost something.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_observability_overhead.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+MAX_DISABLED_OVERHEAD = 0.05  # fractional wall-clock slowdown allowed
+
+
+def _make_reads(quick: bool):
+    from repro.genome.reads import ReadSimulator
+    from repro.genome.reference import synthetic_chromosome
+
+    length = 1200 if quick else 4000
+    reference = synthetic_chromosome(length, seed=31)
+    sim = ReadSimulator(read_length=70, seed=32)
+    return sim.sample(reference, sim.reads_for_coverage(length, 10.0))
+
+
+def _run_assembly(reads, k: int):
+    from repro.assembly.pipeline import assemble_with_pim
+
+    return assemble_with_pim(reads, k=k)
+
+
+def _best_wall(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes (CI smoke)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail if the disabled path exceeds "
+        f"{MAX_DISABLED_OVERHEAD:.0%} overhead over baseline",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_observability.json"
+        ),
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+
+    k = 15
+    reads = _make_reads(args.quick)
+
+    # baseline: observability package not yet imported anywhere hot
+    wall_baseline = _best_wall(lambda: _run_assembly(reads, k), args.repeats)
+
+    # disabled: modules imported (they already are, via the pipeline's
+    # instrumentation), no session active — the shipping default
+    from repro.observability.session import ObservabilitySession
+    from repro.observability.spans import _ACTIVE as _tracer_slot  # noqa: F401
+
+    wall_disabled = _best_wall(lambda: _run_assembly(reads, k), args.repeats)
+
+    def enabled():
+        session = ObservabilitySession()
+        with session.activate():
+            _run_assembly(reads, k)
+        return session
+
+    wall_enabled = _best_wall(enabled, args.repeats)
+
+    session = enabled()
+    spans = len(session.tracer.spans())
+
+    disabled_overhead = wall_disabled / wall_baseline - 1.0
+    enabled_overhead = wall_enabled / wall_baseline - 1.0
+    results = {
+        "benchmark": "observability_overhead",
+        "mode": "quick" if args.quick else "full",
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "params": {"reads": len(reads), "k": k, "repeats": args.repeats},
+        "baseline": {"wall_s": wall_baseline},
+        "disabled": {"wall_s": wall_disabled, "overhead": disabled_overhead},
+        "enabled": {
+            "wall_s": wall_enabled,
+            "overhead": enabled_overhead,
+            "spans_recorded": spans,
+            "sim_ns": session.tracer.sim_clock(),
+        },
+    }
+
+    for name in ("baseline", "disabled", "enabled"):
+        entry = results[name]
+        overhead = entry.get("overhead")
+        suffix = f" | overhead {overhead:+7.1%}" if overhead is not None else ""
+        print(f"{name:>9}: {entry['wall_s'] * 1e3:8.1f} ms{suffix}")
+
+    out = Path(args.output)
+    out.write_text(json.dumps(results, indent=2) + "\n", encoding="ascii")
+    print(f"wrote {out}")
+
+    if args.check:
+        if disabled_overhead > MAX_DISABLED_OVERHEAD:
+            print(
+                f"FAIL: disabled-path overhead {disabled_overhead:.1%} exceeds "
+                f"{MAX_DISABLED_OVERHEAD:.0%}"
+            )
+            return 1
+        print(
+            f"OK: disabled-path overhead {disabled_overhead:+.1%} within "
+            f"{MAX_DISABLED_OVERHEAD:.0%}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ from repro.core.stats import PhaseTotals
 from repro.genome.reads import Read
 from repro.genome.sequence import DnaSequence
 from repro.mapping.adjacency import degree_vectors_pim
+from repro.observability.spans import span
 from repro.runtime.watchdog import checkpoint
 
 #: the Fig. 5a stage names, in execution order
@@ -168,7 +169,13 @@ class PimPipeline:
     ) -> PipelineState:
         """Stage 1 — k-mer analysis on the PIM hash table."""
         pim = self.pim
-        with pim.phase("hashmap"):
+        with span(
+            "stage.hashmap",
+            lane="hashmap",
+            engine=self.engine,
+            k=self.k,
+            batch_reads=self.batch_reads,
+        ) as stage_span, pim.phase("hashmap"):
             counter = PimKmerCounter(pim, self.k, engine=self.engine)
             sequences = (
                 item.sequence if isinstance(item, Read) else item
@@ -190,46 +197,63 @@ class PimPipeline:
                     counter.add_sequences(batch)
             if self._scrub_active():
                 # bound how long a corrupted slot can poison queries
-                counter.scrub()
+                with span("scrub.table"):
+                    counter.scrub()
             state.counter = counter
             state.counts = counter.counts()
+            stage_span.set_attribute("kmer_table_size", len(counter))
         return state
 
     def run_debruijn(self, state: PipelineState) -> PipelineState:
         """Stage 2 — de Bruijn graph construction from the table."""
-        with self.pim.phase("debruijn"):
+        with span(
+            "stage.debruijn", lane="debruijn", min_count=self.min_count
+        ) as stage_span, self.pim.phase("debruijn"):
             graph = DeBruijnGraph.from_counts(
                 state.counts, k=self.k, min_count=self.min_count
             )
             if self.simplify:
                 from repro.assembly.simplify import simplify_graph
 
-                graph, _ = simplify_graph(graph)
+                with span("simplify.graph"):
+                    graph, _ = simplify_graph(graph)
             state.graph = graph
+            stage_span.set_attribute("nodes", graph.num_nodes)
         return state
 
     def run_traverse(self, state: PipelineState) -> PipelineState:
         """Stage 3 — degree computation (bulk PIM_Add) + path walk."""
         pim = self.pim
-        with pim.phase("traverse"):
-            if self._scrub_active():
-                # the table is still resident while the graph is walked
-                state.counter.scrub()
-            # Degree computation through the PIM adjacency mapping
-            # (bulk PIM_Add, Fig. 8) — the in-memory portion of the
-            # traversal — followed by the path walk.
-            state.degrees = degree_vectors_pim(
-                pim, state.graph, engine=self.engine
-            )
-            state.contigs = assemble_contigs(
-                state.graph,
-                mode=self.contig_mode,
-                min_length=self.min_contig_length,
-            )
+        with span(
+            "stage.traverse",
+            lane="traverse",
+            engine=self.engine,
+            contig_mode=self.contig_mode,
+        ) as stage_span:
+            with pim.phase("traverse"):
+                if self._scrub_active():
+                    # the table is still resident while the graph is walked
+                    with span("scrub.table"):
+                        state.counter.scrub()
+                # Degree computation through the PIM adjacency mapping
+                # (bulk PIM_Add, Fig. 8) — the in-memory portion of the
+                # traversal — followed by the path walk.
+                with span("traverse.degrees"):
+                    state.degrees = degree_vectors_pim(
+                        pim, state.graph, engine=self.engine
+                    )
+                with span("traverse.contigs"):
+                    state.contigs = assemble_contigs(
+                        state.graph,
+                        mode=self.contig_mode,
+                        min_length=self.min_contig_length,
+                    )
 
-        state.scaffolds = []
-        if self.scaffold and state.contigs:
-            state.scaffolds = greedy_scaffold(state.contigs)
+            state.scaffolds = []
+            if self.scaffold and state.contigs:
+                with span("traverse.scaffold"):
+                    state.scaffolds = greedy_scaffold(state.contigs)
+            stage_span.set_attribute("contigs", len(state.contigs))
         return state
 
     def result(self, state: PipelineState) -> AssemblyResult:

@@ -1,9 +1,13 @@
 """Command-line interface for PIM-Assembler.
 
-Three subcommands cover the workflows a downstream user needs:
+The subcommands cover the workflows a downstream user needs:
 
 * ``pim-assembler assemble`` — assemble FASTA/FASTQ reads into contigs
   on the PIM functional simulator (or the software golden model);
+  ``--trace-out``/``--metrics-out`` additionally record the run's span
+  timeline (Perfetto-loadable) and metrics snapshot;
+* ``pim-assembler inspect`` — post-hoc accounting of a journaled job
+  directory (works on finished, crashed and timed-out jobs);
 * ``pim-assembler simulate`` — generate a synthetic reference and a
   read set (single- or paired-end) for experiments;
 * ``pim-assembler experiments`` — regenerate the paper's tables and
@@ -21,10 +25,17 @@ from pathlib import Path
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="pim-assembler",
         description="PIM-Assembler: processing-in-DRAM genome assembly "
         "(DAC 2020 reproduction)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -84,6 +95,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--job-timeout",
         type=float,
         help="whole-job deadline budget in seconds (requires --job-dir)",
+    )
+    assemble.add_argument(
+        "--trace-out",
+        help="write the run's span timeline as Chrome/Perfetto "
+        "trace-event JSON (load in ui.perfetto.dev; --engine pim only)",
+    )
+    assemble.add_argument(
+        "--metrics-out",
+        help="write the run's metrics snapshot (counters, histograms, "
+        "sub-array heatmap) as JSON (--engine pim only)",
+    )
+
+    inspect_cmd = sub.add_parser(
+        "inspect",
+        help="per-stage accounting of a journaled job directory "
+        "(works on crashed and timed-out jobs)",
+    )
+    inspect_cmd.add_argument("job_dir", help="job directory (from --job-dir)")
+    inspect_cmd.add_argument(
+        "--top-k",
+        type=int,
+        default=8,
+        help="how many of the hottest command mnemonics to list",
     )
 
     simulate = sub.add_parser("simulate", help="generate reference + reads")
@@ -210,6 +244,8 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         raise InputError("--stage-timeout/--job-timeout require --job-dir")
     if args.job_dir and args.engine != "pim":
         raise InputError("--job-dir requires --engine pim")
+    if (args.trace_out or args.metrics_out) and args.engine != "pim":
+        raise InputError("--trace-out/--metrics-out require --engine pim")
 
     reads, parse_report = _load_reads(args.reads, strict=not args.lenient)
     if parse_report.quarantined:
@@ -229,31 +265,53 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         reads = result.reads
 
     if args.engine == "pim":
-        if args.job_dir:
-            from repro.runtime.jobs import JobConfig, JobRunner
+        from contextlib import ExitStack
 
-            runner = JobRunner(
-                args.job_dir,
-                JobConfig(
+        session = None
+        if args.trace_out or args.metrics_out:
+            from repro.observability.session import ObservabilitySession
+
+            session = ObservabilitySession()
+        with ExitStack() as stack:
+            if session is not None:
+                stack.enter_context(session.activate())
+            if args.job_dir:
+                from repro.runtime.jobs import JobConfig, JobRunner
+
+                runner = JobRunner(
+                    args.job_dir,
+                    JobConfig(
+                        k=args.k,
+                        min_count=args.min_count,
+                        min_contig_length=args.min_contig,
+                        engine=args.exec_engine,
+                        stage_timeout_s=args.stage_timeout,
+                        job_timeout_s=args.job_timeout,
+                    ),
+                )
+                job = runner.run(reads, resume=args.resume)
+                outcome = job.result
+                pim = runner._pim
+                print(f"job: {job.report}")
+            else:
+                from repro.assembly.pipeline import _sized_device
+
+                pim = _sized_device(reads, args.k)
+                outcome = assemble_with_pim(
+                    reads,
                     k=args.k,
+                    pim=pim,
                     min_count=args.min_count,
                     min_contig_length=args.min_contig,
                     engine=args.exec_engine,
-                    stage_timeout_s=args.stage_timeout,
-                    job_timeout_s=args.job_timeout,
-                ),
-            )
-            job = runner.run(reads, resume=args.resume)
-            outcome = job.result
-            print(f"job: {job.report}")
-        else:
-            outcome = assemble_with_pim(
-                reads,
-                k=args.k,
-                min_count=args.min_count,
-                min_contig_length=args.min_contig,
-                engine=args.exec_engine,
-            )
+                )
+        if session is not None:
+            for path in session.export(
+                trace_path=args.trace_out,
+                metrics_path=args.metrics_out,
+                pim=pim,
+            ):
+                print(f"observability: wrote {path}")
         contigs = outcome.contigs
         print(
             f"simulated PIM time: {outcome.total_time_ns / 1e6:.2f} ms "
@@ -280,6 +338,16 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
     )
     total = sum(len(c) for c in contigs)
     print(f"{len(contigs)} contigs / {total} bp -> {args.output}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.errors import InputError
+    from repro.observability.inspect import render_job_inspection
+
+    if args.top_k < 1:
+        raise InputError(f"--top-k must be >= 1 (got {args.top_k})")
+    print(render_job_inspection(args.job_dir, top_k=args.top_k))
     return 0
 
 
@@ -475,6 +543,7 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "assemble": _cmd_assemble,
+        "inspect": _cmd_inspect,
         "simulate": _cmd_simulate,
         "scaffold": _cmd_scaffold,
         "experiments": _cmd_experiments,

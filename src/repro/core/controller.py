@@ -79,6 +79,7 @@ from repro.core.resilience import (
 from repro.core.stats import StatsLedger
 from repro.core.timing import TimingParameters, DEFAULT_TIMING
 from repro.errors import UncorrectableFaultError
+from repro.observability.spans import span
 
 
 @dataclass
@@ -547,6 +548,16 @@ class Controller:
             The matching slot offset (0-based from ``start_row``), or
             ``None`` when no row matches.
         """
+        with span("pim.compare_scan", rows=n_rows):
+            return self._compare_scan_impl(temp, start_row, n_rows, valid_bits)
+
+    def _compare_scan_impl(
+        self,
+        temp: RowAddress,
+        start_row: int,
+        n_rows: int,
+        valid_bits: int | None,
+    ) -> int | None:
         if n_rows < 0:
             raise ValueError("n_rows must be non-negative")
         self.device.validate_address(temp)
@@ -719,12 +730,13 @@ class Controller:
         for addr in (*a_rows, *b_rows, *sum_rows, carry_row):
             if addr.subarray_key != key:
                 raise ValueError("ripple_add operands must share a sub-array")
-        sub = self.device.subarray_at(carry_row)
-        sub.write_row(carry_row.row, np.zeros(sub.cols, dtype=np.uint8))
-        sub.sa.clear_latch()
-        for a_i, b_i, s_i in zip(a_rows, b_rows, sum_rows):
-            self.sum_cycle(a_i, b_i, s_i)
-            self.tra_carry(a_i, b_i, carry_row, carry_row)
+        with span("pim.ripple_add", bits=len(a_rows)):
+            sub = self.device.subarray_at(carry_row)
+            sub.write_row(carry_row.row, np.zeros(sub.cols, dtype=np.uint8))
+            sub.sa.clear_latch()
+            for a_i, b_i, s_i in zip(a_rows, b_rows, sum_rows):
+                self.sum_cycle(a_i, b_i, s_i)
+                self.tra_carry(a_i, b_i, carry_row, carry_row)
 
     def compress_3to2(
         self,

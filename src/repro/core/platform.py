@@ -30,6 +30,7 @@ from repro.core.isa import RowAddress, SAOp
 from repro.core.resilience import ResilienceEngine, ResiliencePolicy
 from repro.core.stats import StatsLedger
 from repro.core.timing import TimingParameters, DEFAULT_TIMING
+from repro.observability.session import connect_ledger
 from repro.errors import AllocationError, SubarrayQuarantinedError
 from repro.dram.geometry import (
     BankGeometry,
@@ -69,6 +70,9 @@ class PimAssembler:
         self.geometry = geometry or default_geometry()
         self.device = Device(self.geometry)
         self.stats = StatsLedger()
+        # no-op unless an ObservabilitySession is active; lets resumes
+        # (which rebuild the platform mid-run) reconnect automatically
+        connect_ledger(self.stats)
         self.controller = Controller(
             device=self.device,
             ledger=self.stats,

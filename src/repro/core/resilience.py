@@ -39,6 +39,8 @@ from enum import Enum
 from repro.core.stats import StatsLedger
 from repro.errors import FaultConfigError
 from repro.dram.retention import RetentionModel
+from repro.observability.metrics import inc
+from repro.observability.spans import event
 
 #: extra AAP row cycles one verification costs: recompute the parity of
 #: the result through the latch-assisted XOR path (latch load + sum).
@@ -335,12 +337,15 @@ class ResilienceEngine:
 
     def note_detected(self, count: int = 1) -> None:
         self.ledger.bump("detected", count)
+        inc("resilience.detected", count)
 
     def note_retry(self, count: int = 1) -> None:
         self.ledger.bump("retries", count)
+        inc("resilience.retries", count)
 
     def note_corrected(self, count: int = 1) -> None:
         self.ledger.bump("corrected", count)
+        inc("resilience.corrected", count)
 
     def note_uncorrected(
         self,
@@ -350,18 +355,38 @@ class ResilienceEngine:
     ) -> None:
         """An operation stayed corrupt; escalate per the policy."""
         self.ledger.bump("uncorrected", count)
+        inc("resilience.uncorrected", count)
+        event(
+            "resilience.uncorrected",
+            lane="resilience",
+            subarray=list(subarray_key),
+            row=row,
+        )
         if not self.policy.remap:
             return
         if row is not None:
             self._weak_rows.add((subarray_key, row))
+            inc("resilience.weak_rows")
         self._failures[subarray_key] += count
-        if self._failures[subarray_key] >= self.policy.quarantine_threshold:
+        if (
+            self._failures[subarray_key] >= self.policy.quarantine_threshold
+            and subarray_key not in self._quarantined
+        ):
             self._quarantined.add(subarray_key)
+            inc("resilience.quarantines")
+            event(
+                "resilience.quarantine",
+                lane="resilience",
+                subarray=list(subarray_key),
+                failures=self._failures[subarray_key],
+            )
 
     def note_scrub(self, rows: int, repairs: int = 0) -> None:
         self.ledger.bump("scrubbed_rows", rows)
+        inc("resilience.scrubbed_rows", rows)
         if repairs:
             self.ledger.bump("scrub_repairs", repairs)
+            inc("resilience.scrub_repairs", repairs)
 
     # ----- degradation state ------------------------------------------------
 
@@ -381,7 +406,15 @@ class ResilienceEngine:
 
     def quarantine(self, subarray_key: tuple[int, int, int]) -> None:
         """Explicitly retire a sub-array (used by scrubbing/tests)."""
-        self._quarantined.add(subarray_key)
+        if subarray_key not in self._quarantined:
+            self._quarantined.add(subarray_key)
+            inc("resilience.quarantines")
+            event(
+                "resilience.quarantine",
+                lane="resilience",
+                subarray=list(subarray_key),
+                failures=self._failures[subarray_key],
+            )
 
     def failures(self, subarray_key: tuple[int, int, int]) -> int:
         return self._failures[subarray_key]

@@ -32,6 +32,7 @@ from repro.core.timing import (
     command_latency_table,
 )
 from repro.core.trace import CommandTrace, TraceEntry
+from repro.observability.metrics import inc, observe
 
 
 @dataclass(frozen=True)
@@ -264,6 +265,14 @@ class BatchedAapScheduler:
         self._time_ns.clear()
         self._energy_nj.clear()
         self._counts.clear()
+        if commands:
+            inc("pim.batch.flushes")
+            observe("pim.batch.commands", commands)
+            observe("pim.batch.makespan_ns", makespan)
+            observe(
+                "pim.batch.speedup",
+                (serial / makespan) if makespan > 0 else 1.0,
+            )
         return BatchReport(
             serial_ns=serial, makespan_ns=makespan, commands=commands
         )

@@ -12,7 +12,12 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+from repro.errors import PhaseActiveError
+
+if TYPE_CHECKING:
+    from repro.observability.metrics import Recorder
 
 
 @dataclass(frozen=True)
@@ -57,6 +62,19 @@ class StatsLedger:
         self._energy_nj: dict[str, float] = defaultdict(float)
         self._commands: dict[str, Counter] = defaultdict(Counter)
         self._phase_stack: list[str] = []
+        #: optional observability sink (see repro.observability.metrics);
+        #: None by default so recording stays a pure accumulation
+        self._recorder: "Recorder | None" = None
+
+    def attach_recorder(self, recorder: "Recorder | None") -> None:
+        """Forward subsequent events to an observability recorder.
+
+        The recorder only *observes* the event stream (command, count,
+        time, energy, phase); the ledger stays the single source of
+        truth and algorithms still never read anything back — the
+        functional/timed separation is untouched.  ``None`` detaches.
+        """
+        self._recorder = recorder
 
     @property
     def current_phase(self) -> str | None:
@@ -100,6 +118,18 @@ class StatsLedger:
             self._time_ns[name] += time_ns
             self._energy_nj[name] += energy_nj
             self._commands[name][command] += count
+        if self._recorder is not None:
+            self._recorder.on_command(
+                command, count, time_ns, energy_nj, self.current_phase
+            )
+
+    def elapsed_ns(self, phase: str | None = None) -> float:
+        """Accumulated simulated time of a phase (default: whole run).
+
+        A cheap accessor (no :class:`PhaseTotals` construction) — the
+        observability layer's simulated clock reads this per span.
+        """
+        return self._time_ns.get(phase or self.ROOT_PHASE, 0.0)
 
     def totals(self, phase: str | None = None) -> PhaseTotals:
         """Aggregates for a phase (default: whole run)."""
@@ -119,7 +149,23 @@ class StatsLedger:
         return self._commands.get(name, Counter()).get(command, 0)
 
     def merge(self, other: "StatsLedger") -> None:
-        """Fold another ledger's events into this one (phase-wise)."""
+        """Fold another ledger's events into this one (phase-wise).
+
+        Raises:
+            PhaseActiveError: a phase is open on either ledger — a
+                mid-phase merge would silently mix partial phase
+                totals into the combined record.
+        """
+        if self._phase_stack:
+            raise PhaseActiveError(
+                f"cannot merge into a ledger with open phase "
+                f"{self._phase_stack[-1]!r}"
+            )
+        if other._phase_stack:
+            raise PhaseActiveError(
+                f"cannot merge from a ledger with open phase "
+                f"{other._phase_stack[-1]!r}"
+            )
         for name, t in other._time_ns.items():
             self._time_ns[name] += t
         for name, e in other._energy_nj.items():
@@ -142,7 +188,7 @@ class StatsLedger:
         split across two records).
         """
         if self._phase_stack:
-            raise RuntimeError(
+            raise PhaseActiveError(
                 f"cannot snapshot with open phase {self._phase_stack[-1]!r}"
             )
         return {

@@ -12,6 +12,7 @@ Hierarchy::
     ReproError
     ├── FaultConfigError(ValueError)      — bad fault/policy parameters
     ├── CapacityError(ValueError)         — device/sub-array capacity exceeded
+    ├── PhaseActiveError(RuntimeError)    — ledger op that needs no open phase
     ├── AllocationError(MemoryError)      — row allocator exhausted
     ├── TableFullError(MemoryError)       — k-mer table region full
     ├── SubarrayQuarantinedError          — touched a quarantined sub-array
@@ -36,6 +37,17 @@ class FaultConfigError(ReproError, ValueError):
 
 class CapacityError(ReproError, ValueError):
     """A workload exceeds the device's capacity (partition over more chips)."""
+
+
+class PhaseActiveError(ReproError, RuntimeError):
+    """A :class:`~repro.core.stats.StatsLedger` operation that requires
+    no open phase ran while one was active.
+
+    Merging or snapshotting a ledger mid-phase would silently split one
+    phase's events across two records (or mix partial totals into the
+    target), so both refuse instead.  Inherits ``RuntimeError`` because
+    the snapshot path historically raised that builtin.
+    """
 
 
 class AllocationError(ReproError, MemoryError):

@@ -1,0 +1,157 @@
+"""Post-hoc inspection of a journaled job directory.
+
+``repro inspect <job-dir>`` renders, from the journal alone, the same
+per-stage accounting a live run prints: per-stage simulated time,
+energy and command counts (from the stats ledger snapshot inside the
+last valid journal record), the top-k hottest command mnemonics, the
+sub-array occupancy implied by the platform's allocator cursors, and
+every retry-ladder decision.  Because the journal's torn-write-safe
+prefix validation yields the last *complete* record, this works on
+crashed and timed-out jobs exactly as on finished ones — the use case
+the tracing layer exists for: seeing where a dead job's time went.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.stats import StatsLedger
+from repro.errors import InputError, JournalError
+from repro.observability.export import (
+    format_subarray_heatmap,
+    subarray_utilization,
+)
+
+__all__ = [
+    "format_stage_table",
+    "format_top_commands",
+    "inspect_job",
+    "render_job_inspection",
+]
+
+#: stage rows rendered first, in pipeline order (others follow sorted)
+_STAGE_ORDER = ("hashmap", "debruijn", "traverse")
+
+
+def format_stage_table(ledger: StatsLedger) -> str:
+    """Per-stage time/energy/command table with a total row.
+
+    The per-stage simulated durations are the ledger's own
+    ``totals(stage)`` values, so the table agrees with a live run's
+    span trace to within float rounding.
+    """
+    phases = [p for p in _STAGE_ORDER if p in ledger.phases()]
+    phases += [p for p in ledger.phases() if p not in _STAGE_ORDER]
+    total = ledger.totals()
+    header = (
+        f"{'stage':>10} {'time':>14} {'energy':>14} "
+        f"{'commands':>10} {'share':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for name in phases:
+        totals = ledger.totals(name)
+        share = totals.time_ns / total.time_ns if total.time_ns > 0 else 0.0
+        lines.append(
+            f"{name:>10} {totals.time_ns / 1e3:>11.3f} us "
+            f"{totals.energy_nj:>11.3f} nJ "
+            f"{totals.total_commands:>10d} {share:>6.1%}"
+        )
+    lines.append(
+        f"{'total':>10} {total.time_ns / 1e3:>11.3f} us "
+        f"{total.energy_nj:>11.3f} nJ "
+        f"{total.total_commands:>10d} {'100.0%':>6}"
+    )
+    return "\n".join(lines)
+
+
+def format_top_commands(ledger: StatsLedger, top_k: int = 8) -> str:
+    """The ``top_k`` hottest mnemonics by issue count, with stage mix."""
+    commands = ledger.totals().commands
+    if not commands:
+        return "no commands recorded"
+    total = sum(commands.values())
+    ranked = sorted(commands.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k]
+    lines = [f"{'mnemonic':>10} {'count':>12} {'share':>6}  stages"]
+    for mnemonic, count in ranked:
+        stages = [
+            f"{phase}:{ledger.command_count(mnemonic, phase)}"
+            for phase in ledger.phases()
+            if ledger.command_count(mnemonic, phase)
+        ]
+        lines.append(
+            f"{mnemonic:>10} {count:>12d} {count / total:>6.1%}  "
+            + (" ".join(stages) or "-")
+        )
+    return "\n".join(lines)
+
+
+def inspect_job(job_dir: "str | Path") -> dict:
+    """Load everything inspectable from a job directory.
+
+    Returns a dict with the journal config, the last valid record's
+    stage name and payload, a rehydrated :class:`StatsLedger`, the
+    occupancy records, and the decision log.
+
+    Raises:
+        InputError: the directory holds no readable job journal.
+    """
+    from repro.core.platform import PimAssembler
+    from repro.runtime.checkpoint import JobJournal
+
+    journal = JobJournal(job_dir)
+    try:
+        config = journal.load_config()
+    except JournalError as exc:
+        raise InputError(f"no job journal in {job_dir}: {exc}")
+    latest = journal.latest()
+    if latest is None:
+        return {
+            "config": config,
+            "stage": None,
+            "ledger": StatsLedger(),
+            "subarrays": [],
+            "decisions": journal.decisions(),
+        }
+    ref, payload = latest
+    ledger = StatsLedger()
+    ledger.load_state(payload["platform"]["stats"])
+    pim = PimAssembler.from_state(payload["platform"])
+    return {
+        "config": config,
+        "stage": ref.stage,
+        "ledger": ledger,
+        "subarrays": subarray_utilization(pim),
+        "decisions": journal.decisions(),
+    }
+
+
+def render_job_inspection(
+    job_dir: "str | Path", top_k: int = 8
+) -> str:
+    """The full ``repro inspect`` report for one job directory."""
+    info = inspect_job(job_dir)
+    config = info["config"].get("config", {})
+    lines = [
+        f"job: {job_dir}",
+        f"last journaled stage: {info['stage'] or '<none — no stage completed>'}",
+        f"config: k={config.get('k')} engine={config.get('engine')} "
+        f"min_count={config.get('min_count')} "
+        f"reads={info['config'].get('reads')}",
+        "",
+        "per-stage accounting (simulated device time)",
+        format_stage_table(info["ledger"]),
+        "",
+        f"hottest mnemonics (top {top_k})",
+        format_top_commands(info["ledger"], top_k=top_k),
+        "",
+        "sub-array occupancy",
+        format_subarray_heatmap(info["subarrays"]),
+    ]
+    decisions = info["decisions"]
+    lines += ["", f"retry-ladder decisions: {len(decisions)}"]
+    for decision in decisions:
+        lines.append(
+            f"  {decision.get('stage')}#{decision.get('attempt')} "
+            f"{decision.get('action')} after {decision.get('error')}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,251 @@
+"""Metrics registry: counters, gauges and histograms.
+
+The registry is the quantitative half of the observability layer: while
+spans (:mod:`repro.observability.spans`) answer *when*, metrics answer
+*how much* — command counts per mnemonic, simulated time/energy per
+mnemonic, batch sizes, resilience retries and remaps, checkpoint bytes,
+sub-array occupancy.
+
+Feeding paths
+=============
+
+Existing components never import this module's classes directly; they
+feed metrics through two narrow, off-by-default channels:
+
+* the :class:`Recorder` protocol — :class:`~repro.core.stats.StatsLedger`
+  forwards every :meth:`~repro.core.stats.StatsLedger.record` call to an
+  attached recorder (``None`` by default), preserving the ledger's
+  additive-only functional/timed separation: the registry observes the
+  same event stream, it never becomes a second source of truth;
+* the module-level :func:`inc` / :func:`observe` / :func:`set_gauge`
+  helpers, which no-op unless a registry is activated — the same
+  pattern the span tracer uses, so instrumented hot paths stay free
+  when observability is off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Protocol, runtime_checkable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Recorder",
+    "active_registry",
+    "inc",
+    "observe",
+    "set_gauge",
+]
+
+#: the currently active registry (single-threaded cooperative model)
+_ACTIVE: "MetricsRegistry | None" = None
+
+
+@runtime_checkable
+class Recorder(Protocol):
+    """What a :class:`~repro.core.stats.StatsLedger` forwards events to.
+
+    The protocol is deliberately one method wide: the ledger pushes its
+    raw command events and nothing else, so the stats path needs no
+    knowledge of metric names or aggregation.
+    """
+
+    def on_command(
+        self,
+        command: str,
+        count: int,
+        time_ns: float,
+        energy_nj: float,
+        phase: "str | None",
+    ) -> None:
+        """One ledger record: ``count`` commands, combined time/energy."""
+
+
+class Counter:
+    """Monotonically increasing value (float-valued to carry ns/nJ)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (occupancy, queue depth, configuration)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming distribution with power-of-two buckets.
+
+    Tracks count/sum/min/max exactly plus a coarse shape: bucket ``i``
+    counts observations in ``(2**(i-1), 2**i]`` (bucket 0 is ``<= 1``),
+    enough to tell "many small batches" from "a few huge ones" without
+    storing samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    #: highest bucket exponent; observations beyond 2**30 saturate
+    MAX_BUCKET = 30
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.buckets = [0] * (self.MAX_BUCKET + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        index = 0
+        bound = 1.0
+        while value > bound and index < self.MAX_BUCKET:
+            index += 1
+            bound *= 2.0
+        self.buckets[index] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                f"le_2e{i}": n for i, n in enumerate(self.buckets) if n
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named metric store; also a :class:`Recorder` for a stats ledger."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    # ----- creation / lookup ------------------------------------------------
+
+    def _get(self, name: str, kind):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def get(self, name: str):
+        """The metric registered under ``name`` (``None`` when absent)."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    # ----- Recorder protocol ------------------------------------------------
+
+    def on_command(
+        self,
+        command: str,
+        count: int,
+        time_ns: float,
+        energy_nj: float,
+        phase: "str | None",
+    ) -> None:
+        """Fold one ledger record into the per-mnemonic counters."""
+        self.counter(f"pim.commands.{command}").inc(count)
+        self.counter(f"pim.time_ns.{command}").inc(time_ns)
+        self.counter(f"pim.energy_nj.{command}").inc(energy_nj)
+        self.counter("pim.commands.total").inc(count)
+        self.counter("pim.time_ns.total").inc(time_ns)
+        self.counter("pim.energy_nj.total").inc(energy_nj)
+        if phase is not None:
+            self.counter(f"pim.stage_time_ns.{phase}").inc(time_ns)
+
+    # ----- export -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every metric, sorted by name."""
+        return {
+            name: self._metrics[name].snapshot() for name in self.names()
+        }
+
+    # ----- activation -------------------------------------------------------
+
+    @contextmanager
+    def activate(self) -> Iterator["MetricsRegistry"]:
+        """Install this registry as the module-level helpers' target."""
+        global _ACTIVE
+        previous = _ACTIVE
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = previous
+
+
+def active_registry() -> "MetricsRegistry | None":
+    """The registry currently installed by :meth:`MetricsRegistry.activate`."""
+    return _ACTIVE
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Bump a counter on the active registry (no-op when none)."""
+    if _ACTIVE is not None:
+        _ACTIVE.counter(name).inc(amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the active registry (no-op)."""
+    if _ACTIVE is not None:
+        _ACTIVE.histogram(name).observe(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Write a gauge on the active registry (no-op when none)."""
+    if _ACTIVE is not None:
+        _ACTIVE.gauge(name).set(value)

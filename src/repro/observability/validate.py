@@ -1,0 +1,34 @@
+"""Trace-schema validation CLI: ``python -m repro.observability.validate``.
+
+Exits 0 when every given trace file is well-formed Chrome trace-event
+JSON with strictly nested ``B``/``E`` pairs, 1 otherwise (printing each
+problem).  CI runs this against the smoke trace the hotpath job emits.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.observability.export import validate_trace_file
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    paths = sys.argv[1:] if argv is None else argv
+    if not paths:
+        print("usage: python -m repro.observability.validate TRACE.json ...")
+        return 2
+    failures = 0
+    for path in paths:
+        problems = validate_trace_file(path)
+        if problems:
+            failures += 1
+            print(f"{path}: INVALID")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

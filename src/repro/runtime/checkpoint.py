@@ -36,6 +36,8 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.errors import JournalError
+from repro.observability.metrics import inc, observe
+from repro.observability.spans import event
 
 __all__ = [
     "JobJournal",
@@ -137,6 +139,16 @@ class JobJournal:
             handle.write(line)
             handle.flush()
             os.fsync(handle.fileno())
+        inc("job.checkpoint.bytes", len(data))
+        inc("job.checkpoints")
+        observe("job.checkpoint.record_bytes", len(data))
+        event(
+            "journal.append",
+            lane="job",
+            stage=stage,
+            seq=seq,
+            bytes=len(data),
+        )
         return RecordRef(seq=seq, stage=stage, filename=filename, sha256=digest)
 
     def log_decision(self, decision: dict) -> None:

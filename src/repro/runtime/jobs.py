@@ -51,6 +51,8 @@ from repro.errors import (
     UncorrectableFaultError,
     VerificationError,
 )
+from repro.observability.metrics import inc
+from repro.observability.spans import event, span
 from repro.runtime.checkpoint import (
     JobJournal,
     contigs_from_state,
@@ -481,8 +483,16 @@ class JobRunner:
         while True:
             attempt += 1
             try:
-                self._execute_stage(stage, reads, watchdog)
-                self.journal.append(stage, self._payload(stage))
+                with span(
+                    f"job.attempt.{stage}",
+                    lane="job",
+                    attempt=attempt,
+                    engine=self._runtime.engine,
+                    batch_reads=self._runtime.batch_reads,
+                ):
+                    self._execute_stage(stage, reads, watchdog)
+                with span(f"job.checkpoint.{stage}", lane="job"):
+                    self.journal.append(stage, self._payload(stage))
                 self.report.stages_run.append(stage)
                 return
             except StageTimeoutError as exc:
@@ -498,6 +508,7 @@ class JobRunner:
                 )
                 action = self._degrade(exc)
                 self._decide(stage, attempt, action, exc, backoff)
+                inc("job.retries")
                 if backoff > 0:
                     self._sleep(backoff)
                 self._rollback(entry)
@@ -578,3 +589,12 @@ class JobRunner:
         self.report.final_engine = self._runtime.engine
         self.report.final_batch_reads = self._runtime.batch_reads
         self.journal.log_decision(decision.state_dict())
+        inc(f"job.decisions.{action.split('-')[0]}")
+        event(
+            "job.decision",
+            lane="job",
+            stage=stage,
+            attempt=attempt,
+            action=action,
+            error=decision.error,
+        )

@@ -30,6 +30,7 @@ from typing import Callable, Iterator, Mapping
 from contextlib import contextmanager
 
 from repro.errors import StageTimeoutError
+from repro.observability.spans import event
 
 __all__ = ["Watchdog", "checkpoint", "active_watchdog"]
 
@@ -115,9 +116,21 @@ class Watchdog:
         """Scope a stage budget; nested stages are not supported."""
         self._stage = name
         self._stage_start = self.clock()
+        event(
+            "watchdog.stage.enter",
+            lane="watchdog",
+            stage=name,
+            budget_s=self.stage_budgets.get(name, self.stage_budget_s),
+        )
         try:
             yield
         finally:
+            event(
+                "watchdog.stage.exit",
+                lane="watchdog",
+                stage=name,
+                ticks=self._ticks,
+            )
             self._stage_start = None
             self._stage = "<no stage>"
 
@@ -137,6 +150,14 @@ class Watchdog:
         if self.job_budget_s is not None and self._job_start is not None:
             elapsed = now - self._job_start
             if elapsed > self.job_budget_s:
+                event(
+                    "watchdog.timeout",
+                    lane="watchdog",
+                    stage=self._stage,
+                    scope="job",
+                    budget_s=self.job_budget_s,
+                    elapsed_s=elapsed,
+                )
                 raise StageTimeoutError(
                     self._stage, "job", self.job_budget_s, elapsed
                 )
@@ -144,6 +165,14 @@ class Watchdog:
         if budget is not None and self._stage_start is not None:
             elapsed = now - self._stage_start
             if elapsed > budget:
+                event(
+                    "watchdog.timeout",
+                    lane="watchdog",
+                    stage=self._stage,
+                    scope="stage",
+                    budget_s=budget,
+                    elapsed_s=elapsed,
+                )
                 raise StageTimeoutError(self._stage, "stage", budget, elapsed)
 
     @property

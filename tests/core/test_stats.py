@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.stats import StatsLedger
+from repro.errors import PhaseActiveError, ReproError
 
 
 class TestRecording:
@@ -92,6 +93,37 @@ class TestMergeReset:
         assert a.totals("p").time_ns == pytest.approx(4.0)
         assert a.totals().energy_nj == pytest.approx(6.0)
 
+    def test_merge_refuses_open_phase_on_target(self):
+        a, b = StatsLedger(), StatsLedger()
+        with a.phase("p"):
+            with pytest.raises(PhaseActiveError) as excinfo:
+                a.merge(b)
+        assert "'p'" in str(excinfo.value)
+
+    def test_merge_refuses_open_phase_on_source(self):
+        a, b = StatsLedger(), StatsLedger()
+        with b.phase("q"):
+            with pytest.raises(PhaseActiveError):
+                a.merge(b)
+
+    def test_phase_active_error_is_typed_and_runtime(self):
+        # catchable both as the library family and as the historical builtin
+        assert issubclass(PhaseActiveError, ReproError)
+        assert issubclass(PhaseActiveError, RuntimeError)
+        ledger = StatsLedger()
+        with ledger.phase("p"):
+            with pytest.raises(RuntimeError):
+                ledger.state_dict()
+
+    def test_merge_after_phases_close_succeeds(self):
+        a, b = StatsLedger(), StatsLedger()
+        with a.phase("p"):
+            a.record("X", 1.0, 1.0)
+        with b.phase("p"):
+            b.record("X", 1.0, 1.0)
+        a.merge(b)
+        assert a.totals("p").total_commands == 2
+
     def test_reset(self):
         ledger = StatsLedger()
         ledger.record("X", 1.0, 1.0)
@@ -104,3 +136,55 @@ class TestMergeReset:
             ledger.record("AAP1", 85.0, 0.06)
         text = ledger.summary()
         assert "hashmap" in text and "total" in text
+
+
+class TestSummaryFormatting:
+    def test_summary_lines_carry_units_and_values(self):
+        ledger = StatsLedger()
+        with ledger.phase("hashmap"):
+            ledger.record("AAP1", time_ns=85_000.0, energy_nj=0.5, count=2)
+        lines = ledger.summary().splitlines()
+        # total first, then phases alphabetically
+        assert lines[0].split(":")[0].strip() == "total"
+        assert lines[1].split(":")[0].strip() == "hashmap"
+        for line in lines:
+            assert "us" in line and "nJ" in line and "cmds" in line
+        # 85_000 ns renders as 85.000 us with 2 commands
+        assert "85.000 us" in lines[1]
+        assert "2 cmds" in lines[1]
+
+    def test_summary_empty_ledger_still_reports_total(self):
+        lines = StatsLedger().summary().splitlines()
+        assert len(lines) == 1
+        assert "total" in lines[0]
+        assert "0.000 us" in lines[0]
+
+
+class TestElapsed:
+    def test_elapsed_matches_totals(self):
+        ledger = StatsLedger()
+        with ledger.phase("hashmap"):
+            ledger.record("X", 10.0, 1.0)
+        ledger.record("Y", 5.0, 1.0)
+        assert ledger.elapsed_ns() == ledger.totals().time_ns == 15.0
+        assert ledger.elapsed_ns("hashmap") == 10.0
+        assert ledger.elapsed_ns("missing") == 0.0
+
+
+class TestRecorderHook:
+    def test_events_forward_with_current_phase(self):
+        seen = []
+
+        class Sink:
+            def on_command(self, command, count, time_ns, energy_nj, phase):
+                seen.append((command, count, time_ns, energy_nj, phase))
+
+        ledger = StatsLedger()
+        ledger.attach_recorder(Sink())
+        with ledger.phase("traverse"):
+            ledger.record("SUM", time_ns=7.0, energy_nj=0.2, count=3)
+        ledger.record("MEM_RD", time_ns=1.0, energy_nj=0.1)
+        assert seen == [
+            ("SUM", 3, 7.0, 0.2, "traverse"),
+            ("MEM_RD", 1, 1.0, 0.1, None),
+        ]

@@ -45,6 +45,25 @@ class TestClaims:
         )
         assert "yes" in good.row()
 
+    def test_claim_row_is_well_formed_markdown(self):
+        check = ClaimCheck(
+            claim="speedup", paper_value="11x", measured_value="11.2x", holds=True
+        )
+        row = check.row()
+        assert row.startswith("|") and row.endswith("|")
+        cells = [c.strip() for c in row.strip("|").split("|")]
+        assert cells == ["speedup", "11x", "11.2x", "yes"]
+
+
+class TestClaimTableFormatting:
+    def test_every_claim_renders_a_well_formed_row(self, claims):
+        for check in claims:
+            row = check.row()
+            assert row.count("|") == 5  # 4 cells -> 5 separators
+            cells = [c.strip() for c in row.strip("|").split("|")]
+            assert cells[0] == check.claim
+            assert cells[3] in ("yes", "NO")
+
 
 class TestReport:
     def test_report_contains_every_section(self):

@@ -1,0 +1,95 @@
+"""``repro inspect``: post-hoc accounting from a job journal."""
+
+import pytest
+
+from repro.errors import InputError
+from repro.genome.reads import ReadSimulator
+from repro.genome.reference import synthetic_chromosome
+from repro.observability.inspect import (
+    format_stage_table,
+    format_top_commands,
+    inspect_job,
+    render_job_inspection,
+)
+from repro.runtime.jobs import JobConfig, JobRunner
+
+
+@pytest.fixture(scope="module")
+def reads():
+    reference = synthetic_chromosome(900, seed=21)
+    sim = ReadSimulator(read_length=60, seed=22)
+    return sim.sample(reference, sim.reads_for_coverage(900, 8.0))
+
+
+@pytest.fixture()
+def finished_job(tmp_path, reads):
+    runner = JobRunner(tmp_path / "job", JobConfig(k=13))
+    outcome = runner.run(reads)
+    return tmp_path / "job", runner, outcome
+
+
+class TestInspectJob:
+    def test_missing_journal_raises_input_error(self, tmp_path):
+        with pytest.raises(InputError):
+            inspect_job(tmp_path / "nope")
+
+    def test_rehydrates_ledger_matching_live_run(self, finished_job):
+        job_dir, runner, outcome = finished_job
+        info = inspect_job(job_dir)
+        assert info["stage"] == "result"
+        live = runner._pim.stats
+        rehydrated = info["ledger"]
+        for stage in ("hashmap", "debruijn", "traverse"):
+            assert rehydrated.totals(stage).time_ns == pytest.approx(
+                live.totals(stage).time_ns
+            )
+        assert rehydrated.totals().total_commands == live.totals().total_commands
+
+    def test_occupancy_recovered_from_snapshot(self, finished_job):
+        job_dir, _, _ = finished_job
+        info = inspect_job(job_dir)
+        assert info["subarrays"]
+        assert all(r["rows_used"] > 0 for r in info["subarrays"])
+
+
+class TestRendering:
+    def test_stage_table_rows_and_total(self, finished_job):
+        job_dir, runner, _ = finished_job
+        table = format_stage_table(inspect_job(job_dir)["ledger"])
+        assert "hashmap" in table and "traverse" in table
+        assert "total" in table
+        assert "100.0%" in table
+        # the table's per-stage time is the ledger's own totals
+        hashmap_us = runner._pim.stats.totals("hashmap").time_ns / 1e3
+        assert f"{hashmap_us:.3f}" in table
+
+    def test_top_commands_ranked_by_count(self, finished_job):
+        job_dir, _, _ = finished_job
+        ledger = inspect_job(job_dir)["ledger"]
+        listing = format_top_commands(ledger, top_k=3)
+        lines = [l for l in listing.splitlines()[1:] if l.strip()]
+        assert len(lines) == 3
+        counts = [int(line.split()[1]) for line in lines]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_top_commands_empty_ledger(self):
+        from repro.core.stats import StatsLedger
+
+        assert "no commands" in format_top_commands(StatsLedger())
+
+    def test_full_report(self, finished_job):
+        job_dir, _, _ = finished_job
+        report = render_job_inspection(job_dir)
+        assert "last journaled stage: result" in report
+        assert "per-stage accounting" in report
+        assert "hottest mnemonics" in report
+        assert "sub-array occupancy" in report
+        assert "retry-ladder decisions: 0" in report
+
+    def test_report_on_empty_journal(self, tmp_path):
+        from repro.runtime.checkpoint import JobJournal
+
+        journal = JobJournal(tmp_path / "fresh")
+        journal.create({"config": {"k": 13}, "reads": 0})
+        report = render_job_inspection(tmp_path / "fresh")
+        assert "<none — no stage completed>" in report

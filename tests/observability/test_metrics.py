@@ -1,0 +1,128 @@
+"""Metrics registry: primitives, the Recorder protocol, activation."""
+
+import pytest
+
+from repro.core.stats import StatsLedger
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Recorder,
+    active_registry,
+    inc,
+    observe,
+    set_gauge,
+)
+
+
+class TestPrimitives:
+    def test_counter_monotone(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_overwrites(self):
+        g = Gauge("g")
+        assert g.value is None
+        g.set(5)
+        g.set(2)
+        assert g.value == 2
+
+    def test_histogram_tracks_shape(self):
+        h = Histogram("h")
+        for v in (1, 2, 3, 1000):
+            h.observe(v)
+        assert h.count == 4
+        assert h.min == 1 and h.max == 1000
+        assert h.mean == pytest.approx(1006 / 4)
+        snap = h.snapshot()
+        assert snap["type"] == "histogram"
+        # 1 -> bucket 0 (<=1), 2 -> bucket 1, 3 -> bucket 2, 1000 -> bucket 10
+        assert snap["buckets"] == {"le_2e0": 1, "le_2e1": 1, "le_2e2": 1, "le_2e10": 1}
+
+    def test_histogram_saturates_top_bucket(self):
+        h = Histogram("h")
+        h.observe(2.0**40)
+        assert h.buckets[Histogram.MAX_BUCKET] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_and_kind_mismatch(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        assert reg.counter("x") is c
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        assert reg.get("missing") is None
+
+    def test_registry_satisfies_recorder_protocol(self):
+        assert isinstance(MetricsRegistry(), Recorder)
+
+    def test_on_command_fans_out(self):
+        reg = MetricsRegistry()
+        reg.on_command("AAP1", 3, 120.0, 9.0, "hashmap")
+        reg.on_command("AAP1", 1, 40.0, 3.0, None)
+        assert reg.counter("pim.commands.AAP1").value == 4
+        assert reg.counter("pim.time_ns.AAP1").value == 160.0
+        assert reg.counter("pim.energy_nj.AAP1").value == 12.0
+        assert reg.counter("pim.commands.total").value == 4
+        assert reg.counter("pim.stage_time_ns.hashmap").value == 120.0
+
+    def test_snapshot_is_sorted_and_json_shaped(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(1)
+        reg.histogram("c").observe(2)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b", "c"]
+        assert snap["a"] == {"type": "gauge", "value": 1}
+        assert snap["b"] == {"type": "counter", "value": 1.0}
+
+
+class TestModuleHelpers:
+    def test_inactive_helpers_noop(self):
+        assert active_registry() is None
+        inc("nothing")
+        observe("nothing", 1)
+        set_gauge("nothing", 1)  # must not raise, must not register
+
+    def test_activation_routes_helpers(self):
+        reg = MetricsRegistry()
+        with reg.activate():
+            assert active_registry() is reg
+            inc("jobs", 2)
+            observe("sizes", 5)
+            set_gauge("depth", 3)
+        assert active_registry() is None
+        assert reg.counter("jobs").value == 2
+        assert reg.histogram("sizes").count == 1
+        assert reg.gauge("depth").value == 3
+
+
+class TestLedgerForwarding:
+    def test_ledger_forwards_records_to_recorder(self):
+        reg = MetricsRegistry()
+        ledger = StatsLedger()
+        ledger.attach_recorder(reg)
+        with ledger.phase("hashmap"):
+            ledger.record("AAP2", time_ns=30.0, energy_nj=2.0, count=3)
+        ledger.record("MEM_RD", time_ns=10.0, energy_nj=1.0)
+        assert reg.counter("pim.commands.AAP2").value == 3
+        assert reg.counter("pim.stage_time_ns.hashmap").value == 30.0
+        # the root-phase record carries phase=None -> no stage counter
+        assert reg.get("pim.stage_time_ns.None") is None
+        # the ledger itself is untouched by the mirroring
+        assert ledger.totals().time_ns == 40.0
+
+    def test_detach_stops_forwarding(self):
+        reg = MetricsRegistry()
+        ledger = StatsLedger()
+        ledger.attach_recorder(reg)
+        ledger.record("AAP1", time_ns=1.0, energy_nj=1.0)
+        ledger.attach_recorder(None)
+        ledger.record("AAP1", time_ns=1.0, energy_nj=1.0)
+        assert reg.counter("pim.commands.AAP1").value == 1

@@ -1,0 +1,141 @@
+"""The span tracer: nesting, clocks, lanes, activation."""
+
+import pytest
+
+from repro.observability.spans import (
+    DEFAULT_LANE,
+    Tracer,
+    _NOOP,
+    active_tracer,
+    event,
+    span,
+)
+
+
+class FakeClocks:
+    """Deterministic wall/sim clocks the tests can step explicitly."""
+
+    def __init__(self):
+        self.wall = 0
+        self.sim = 0.0
+
+    def wall_clock(self):
+        return self.wall
+
+    def sim_clock(self):
+        return self.sim
+
+
+@pytest.fixture()
+def clocked():
+    clocks = FakeClocks()
+    tracer = Tracer(sim_clock=clocks.sim_clock, wall_clock=clocks.wall_clock)
+    return tracer, clocks
+
+
+class TestSpanRecording:
+    def test_span_captures_both_clocks(self, clocked):
+        tracer, clocks = clocked
+        clocks.wall, clocks.sim = 100, 5.0
+        with tracer.span("work") as s:
+            clocks.wall, clocks.sim = 160, 25.0
+        assert s.wall_start_ns == 100 and s.wall_end_ns == 160
+        assert s.sim_start_ns == 5.0 and s.sim_end_ns == 25.0
+        assert s.wall_duration_ns == 60
+        assert s.sim_duration_ns == 20.0
+
+    def test_nesting_sets_parent_ids(self, clocked):
+        tracer, _ = clocked
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_child_inherits_lane_unless_overridden(self, clocked):
+        tracer, _ = clocked
+        with tracer.span("stage", lane="hashmap"):
+            with tracer.span("child") as child:
+                pass
+            with tracer.span("other", lane="resilience") as other:
+                pass
+        assert child.lane == "hashmap"
+        assert other.lane == "resilience"
+
+    def test_root_lane_defaults(self, clocked):
+        tracer, _ = clocked
+        with tracer.span("root") as s:
+            pass
+        assert s.lane == DEFAULT_LANE
+
+    def test_attributes_via_kwargs_and_setter(self, clocked):
+        tracer, _ = clocked
+        with tracer.span("s", k=21) as s:
+            s.set_attribute("nodes", 7)
+        assert s.attributes == {"k": 21, "nodes": 7}
+
+    def test_span_closes_on_exception(self, clocked):
+        tracer, clocks = clocked
+        with pytest.raises(RuntimeError):
+            with tracer.span("broken"):
+                clocks.sim = 9.0
+                raise RuntimeError("boom")
+        (s,) = tracer.spans("broken")
+        assert s.finished
+        assert s.sim_end_ns == 9.0
+        assert tracer.current_span is None
+
+    def test_open_span_reports_unfinished(self, clocked):
+        tracer, _ = clocked
+        cm = tracer.span("open")
+        cm.__enter__()
+        (s,) = tracer.spans("open")
+        assert not s.finished
+        with pytest.raises(ValueError):
+            _ = s.sim_duration_ns
+
+    def test_events_record_point_in_time(self, clocked):
+        tracer, clocks = clocked
+        clocks.sim = 42.0
+        with tracer.span("stage", lane="traverse"):
+            tracer.event("tick", detail=1)
+        (e,) = tracer.events("tick")
+        assert e.sim_ns == 42.0
+        assert e.lane == "traverse"  # inherited from the enclosing span
+        assert e.attributes == {"detail": 1}
+
+    def test_lanes_lists_spans_then_events(self, clocked):
+        tracer, _ = clocked
+        with tracer.span("a", lane="hashmap"):
+            pass
+        tracer.event("e", lane="watchdog")
+        assert tracer.lanes() == ["hashmap", "watchdog"]
+
+
+class TestModuleHelpers:
+    def test_inactive_span_is_shared_noop(self):
+        assert active_tracer() is None
+        s = span("anything", lane="job", k=1)
+        assert s is _NOOP
+        with s as inner:
+            inner.set_attribute("ignored", True)  # must not raise
+        assert event("nothing") is None
+
+    def test_activation_routes_helpers(self, clocked):
+        tracer, _ = clocked
+        with tracer.activate():
+            assert active_tracer() is tracer
+            with span("routed", lane="debruijn") as s:
+                pass
+            event("routed.event")
+        assert active_tracer() is None
+        assert tracer.spans("routed")[0] is s
+        assert len(tracer.events("routed.event")) == 1
+
+    def test_activation_restores_previous(self, clocked):
+        tracer, _ = clocked
+        other = Tracer()
+        with tracer.activate():
+            with other.activate():
+                assert active_tracer() is other
+            assert active_tracer() is tracer

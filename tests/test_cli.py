@@ -298,6 +298,101 @@ class TestJobCli:
         ]
 
 
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"pim-assembler {repro.__version__}"
+
+
+class TestObservabilityCli:
+    def test_trace_and_metrics_out_write_valid_files(
+        self, simulated, tmp_path, capsys
+    ):
+        import json
+
+        from repro.observability.export import validate_trace_file
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main(
+            [
+                "assemble",
+                str(simulated / "reads.fq"),
+                "-o",
+                str(tmp_path / "c.fa"),
+                "-k",
+                "15",
+                "--trace-out",
+                str(trace),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"observability: wrote {trace}" in out
+        assert validate_trace_file(trace) == []
+        doc = json.loads(metrics.read_text())
+        assert doc["metrics"]["pim.commands.total"]["value"] > 0
+        assert doc["subarray_heatmap"]
+
+    def test_trace_out_requires_pim_engine(self, simulated, tmp_path, capsys):
+        rc = main(
+            [
+                "assemble",
+                str(simulated / "reads.fq"),
+                "-o",
+                str(tmp_path / "c.fa"),
+                "--engine",
+                "software",
+                "--trace-out",
+                str(tmp_path / "t.json"),
+            ]
+        )
+        assert rc == 2
+        assert "--engine pim" in capsys.readouterr().err
+
+    def test_inspect_renders_job_accounting(self, simulated, tmp_path, capsys):
+        job_dir = tmp_path / "job"
+        rc = main(
+            [
+                "assemble",
+                str(simulated / "reads.fq"),
+                "-o",
+                str(tmp_path / "c.fa"),
+                "-k",
+                "15",
+                "--job-dir",
+                str(job_dir),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["inspect", str(job_dir), "--top-k", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-stage accounting" in out
+        assert "hashmap" in out and "traverse" in out
+        assert "hottest mnemonics (top 3)" in out
+
+    def test_inspect_missing_job_dir_exits_2(self, tmp_path, capsys):
+        rc = main(["inspect", str(tmp_path / "nothing-here")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "no job journal" in err
+
+    def test_inspect_bad_top_k(self, tmp_path, capsys):
+        rc = main(["inspect", str(tmp_path), "--top-k", "0"])
+        assert rc == 2
+        assert "--top-k" in capsys.readouterr().err
+
+
 class TestScaffold:
     def test_scaffolds_fragmented_contigs(self, tmp_path, capsys):
         """Simulate paired reads, hand the CLI two gap-separated
