@@ -1,0 +1,59 @@
+"""Static analysis of the PIM-Assembler reproduction.
+
+Three checkers share one findings model
+(:mod:`repro.analysis.findings`) and one exit-code taxonomy:
+
+* :mod:`repro.analysis.verifier` — dataflow verification of recorded
+  AAP command streams (``repro verify-trace`` and the opt-in
+  :class:`~repro.analysis.verifier.InlineChecker`),
+* :mod:`repro.analysis.lint` — repo invariants enforced over the AST
+  (determinism, hot-path ledger honesty, the error taxonomy),
+* :mod:`repro.analysis.typecheck` — gated strict mypy over the
+  annotated core contracts.
+
+``python -m repro.analysis`` runs all three plus a self-check that
+records and verifies a small seeded pipeline under both execution
+engines.
+"""
+
+from repro.analysis.findings import (
+    EXIT_FINDINGS,
+    EXIT_INPUT,
+    EXIT_OK,
+    EXIT_RUNTIME,
+    Finding,
+    FindingReport,
+    Severity,
+)
+from repro.analysis.lint import lint_tree
+from repro.analysis.tracefile import (
+    TraceDocument,
+    TraceRecorder,
+    load_document,
+    save_document,
+)
+from repro.analysis.typecheck import typecheck
+from repro.analysis.verifier import (
+    InlineChecker,
+    StreamVerifier,
+    verify_document,
+)
+
+__all__ = [
+    "EXIT_FINDINGS",
+    "EXIT_INPUT",
+    "EXIT_OK",
+    "EXIT_RUNTIME",
+    "Finding",
+    "FindingReport",
+    "InlineChecker",
+    "Severity",
+    "StreamVerifier",
+    "TraceDocument",
+    "TraceRecorder",
+    "lint_tree",
+    "load_document",
+    "save_document",
+    "typecheck",
+    "verify_document",
+]

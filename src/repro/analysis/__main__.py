@@ -1,0 +1,82 @@
+"""``python -m repro.analysis`` — the full static-analysis gate.
+
+Runs, in order:
+
+1. the AST lint pass over ``src/repro`` (rules ``L00x``),
+2. the gated mypy check of the curated strict module list (``T001``;
+   reported as skipped when mypy is not installed),
+3. a trace self-check: a small seeded assembly is recorded and
+   verified under both execution engines (rules ``V00x``/``C00x``)
+   and must come back finding-free.
+
+Exit codes follow :mod:`repro.analysis.findings`: 0 clean, 1 findings,
+3 on an internal :class:`~repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.findings import EXIT_RUNTIME, FindingReport
+from repro.analysis.lint import lint_tree
+from repro.analysis.typecheck import typecheck
+from repro.errors import ReproError
+
+
+def _self_check(report: FindingReport) -> dict[str, int]:
+    """Record + verify a seeded pipeline under both engines."""
+    from repro.analysis.tracefile import TraceRecorder
+    from repro.analysis.verifier import verify_document
+    from repro.assembly.pipeline import _sized_device, assemble_with_pim
+    from repro.genome import ReadSimulator, synthetic_chromosome
+
+    entries: dict[str, int] = {}
+    for engine in ("scalar", "bulk"):
+        reference = synthetic_chromosome(300, seed=7)
+        simulator = ReadSimulator(read_length=40, seed=1)
+        reads = simulator.sample(
+            reference, simulator.reads_for_coverage(len(reference), 6)
+        )
+        pim = _sized_device(reads, 11)
+        recorder = TraceRecorder(pim, engine=engine)
+        with recorder:
+            assemble_with_pim(reads, k=11, pim=pim, engine=engine)
+        doc = recorder.document(workload="self-check")
+        report.extend(verify_document(doc, source=f"<self-check:{engine}>"))
+        entries[engine] = len(doc.trace)
+    return entries
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    del argv
+    report = FindingReport()
+
+    lint_report = lint_tree()
+    report.extend(lint_report)
+    print(f"lint: {len(lint_report)} finding(s)")
+
+    type_report, ran = typecheck()
+    report.extend(type_report)
+    if ran:
+        print(f"typecheck: {len(type_report)} finding(s)")
+    else:
+        print("typecheck: SKIPPED (mypy not installed)")
+
+    try:
+        entries = _self_check(report)
+    except ReproError as exc:
+        print(f"trace self-check failed: {exc}", file=sys.stderr)
+        return EXIT_RUNTIME
+    print(
+        "trace self-check: "
+        + ", ".join(f"{eng} ({n} commands)" for eng, n in entries.items())
+    )
+
+    if report.findings:
+        print(report.render(), file=sys.stderr)
+    print(f"total: {len(report)} finding(s)")
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,290 @@
+"""Repo invariant lint: a custom AST pass over ``src/repro``.
+
+The simulator's claims only hold if a handful of repo-wide invariants
+do.  Determinism (paper-grade reproducibility of every table/figure)
+dies the moment a core module consults the wall clock or an unseeded
+RNG; the PIM cost model dies the moment a hot path sneaks a host-side
+``read_row`` round-trip past the ledger; error handling dies the
+moment a raise bypasses the :mod:`repro.errors` taxonomy.  This pass
+enforces them with nothing but :mod:`ast` from the stdlib.
+
+Rules
+=====
+
+=====  ===================================================================
+L001   wall-clock call (``time.time``/``perf_counter``/``monotonic``/
+       ``datetime.now``/...) inside ``core/`` or ``assembly/`` — timing
+       there must come from the cost model, never the host clock
+L002   unseeded RNG inside ``core/`` or ``assembly/``:
+       ``default_rng()`` without a seed, the legacy ``np.random.*``
+       global API, or the stdlib ``random`` module functions
+L003   host-shortcut ``<subarray>.read_row(...)`` round-trip in a hot
+       path outside the allowlist — device state must be read through
+       the controller so the MEM_RD is charged and traced
+L004   a ``raise`` of a raw ``Exception``/``BaseException``/
+       ``RuntimeError``/``MemoryError`` outside ``errors.py`` — use the
+       :class:`~repro.errors.ReproError` taxonomy
+L005   a class defines ``state_dict`` but neither ``from_state`` nor
+       ``load_state`` — checkpoints it writes could never be restored
+=====  ===================================================================
+
+Precise builtin guards (``ValueError``/``TypeError``/``KeyError``/
+``IndexError``/``OverflowError``/``NotImplementedError``/
+``StopIteration``) stay legal: the taxonomy classes deliberately
+inherit them, and argument validation on tiny helpers does not warrant
+a typed class each.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.findings import FindingReport
+
+__all__ = ["lint_file", "lint_tree", "HOT_PATH_MODULES", "READ_ROW_ALLOWLIST"]
+
+#: directories whose modules must be wall-clock- and unseeded-RNG-free
+_DETERMINISTIC_DIRS = ("core", "assembly")
+
+#: wall-clock call chains (dotted suffixes) forbidden in deterministic dirs
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "date.today",
+}
+
+#: legacy numpy global-RNG functions (always implicitly unseeded)
+_LEGACY_NP_RANDOM = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "normal",
+    "uniform",
+    "seed",
+}
+
+#: stdlib ``random`` module functions (module-level ⇒ shared global state)
+_STDLIB_RANDOM = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "seed",
+}
+
+#: modules on the PIM hot path, where a raw ``read_row`` bypasses the ledger
+HOT_PATH_MODULES = (
+    "assembly/hashmap.py",
+    "assembly/pipeline.py",
+    "mapping/adjacency.py",
+    "core/bitplane.py",
+)
+
+#: (module, enclosing function) pairs allowed a raw round-trip.
+#: ``_write_counter`` keeps its host shadow read: the RMW merge needs the
+#: unmodelled neighbouring counter bits of the same physical row, and the
+#: paired ``controller.write_row`` charges the round-trip's traffic.
+READ_ROW_ALLOWLIST = frozenset(
+    {
+        ("assembly/hashmap.py", "_write_counter"),
+    }
+)
+
+#: raising these builtins raw is forbidden outside ``errors.py``
+_FORBIDDEN_RAISES = {
+    "Exception",
+    "BaseException",
+    "RuntimeError",
+    "MemoryError",
+    "OSError",
+    "SystemError",
+}
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Pass(ast.NodeVisitor):
+    def __init__(self, relpath: str, report: FindingReport) -> None:
+        self.relpath = relpath
+        self.report = report
+        self.deterministic = relpath.startswith(
+            tuple(f"{d}/" for d in _DETERMINISTIC_DIRS)
+        )
+        self.hot_path = relpath in HOT_PATH_MODULES
+        self.is_errors_module = relpath == "errors.py"
+        self._func_stack: list[str] = []
+
+    def _flag(self, rule: str, message: str, node: ast.AST) -> None:
+        self.report.add(
+            rule,
+            message,
+            source=f"src/repro/{self.relpath}",
+            location=getattr(node, "lineno", None),
+        )
+
+    # ----- function / class context ----------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.visit_FunctionDef(node)  # type: ignore[arg-type]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        methods = {
+            item.name
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if "state_dict" in methods and not (
+            {"from_state", "load_state"} & methods
+        ):
+            self._flag(
+                "L005",
+                f"class {node.name} defines state_dict but neither "
+                "from_state nor load_state — its checkpoints cannot be "
+                "restored",
+                node,
+            )
+        self.generic_visit(node)
+
+    # ----- calls: wall clock, RNG, read_row round-trips --------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _dotted(node.func)
+        if self.deterministic and chain is not None:
+            tail2 = ".".join(chain.split(".")[-2:])
+            if tail2 in _WALL_CLOCK:
+                self._flag(
+                    "L001",
+                    f"wall-clock call {chain}() in a deterministic module "
+                    "— derive timing from the cost model",
+                    node,
+                )
+            parts = chain.split(".")
+            if chain.endswith("default_rng") and not (node.args or node.keywords):
+                self._flag(
+                    "L002",
+                    "default_rng() without a seed in a deterministic "
+                    "module",
+                    node,
+                )
+            elif (
+                len(parts) >= 2
+                and parts[-2] == "random"
+                and parts[-1] in _LEGACY_NP_RANDOM
+                and parts[0] in ("np", "numpy")
+            ):
+                self._flag(
+                    "L002",
+                    f"legacy global-state RNG {chain}() in a "
+                    "deterministic module — use a seeded Generator",
+                    node,
+                )
+            elif (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in _STDLIB_RANDOM
+            ):
+                self._flag(
+                    "L002",
+                    f"stdlib global-state RNG {chain}() in a "
+                    "deterministic module — use a seeded Generator",
+                    node,
+                )
+        if (
+            self.hot_path
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "read_row"
+        ):
+            receiver = _dotted(node.func.value) or "<expr>"
+            is_controller = receiver.split(".")[-1] in ("controller", "ctrl")
+            func = self._func_stack[-1] if self._func_stack else "<module>"
+            if not is_controller and (
+                (self.relpath, func) not in READ_ROW_ALLOWLIST
+            ):
+                self._flag(
+                    "L003",
+                    f"host-shortcut {receiver}.read_row() in hot path "
+                    f"function {func} bypasses the MEM_RD charge — go "
+                    "through the controller or extend the allowlist",
+                    node,
+                )
+        self.generic_visit(node)
+
+    # ----- raises ----------------------------------------------------------
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        if self.is_errors_module or node.exc is None:
+            self.generic_visit(node)
+            return
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call):
+            name = _dotted(exc.func)
+        elif isinstance(exc, (ast.Name, ast.Attribute)):
+            name = _dotted(exc)
+        if name in _FORBIDDEN_RAISES:
+            self._flag(
+                "L004",
+                f"raise of raw {name} — use the ReproError taxonomy "
+                "(repro.errors)",
+                node,
+            )
+        self.generic_visit(node)
+
+
+def lint_file(path: Path, root: Path, report: FindingReport) -> None:
+    relpath = path.relative_to(root).as_posix()
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:
+        report.add(
+            "L000",
+            f"cannot parse: {exc.msg}",
+            source=f"src/repro/{relpath}",
+            location=exc.lineno,
+        )
+        return
+    _Pass(relpath, report).visit(tree)
+
+
+def lint_tree(root: "Path | str | None" = None) -> FindingReport:
+    """Lint every module under ``src/repro`` (default: this package)."""
+    if root is None:
+        root = Path(__file__).resolve().parent.parent
+    root = Path(root)
+    report = FindingReport()
+    for path in sorted(root.rglob("*.py")):
+        lint_file(path, root, report)
+    return report

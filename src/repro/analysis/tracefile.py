@@ -1,0 +1,244 @@
+"""The on-disk AAP trace document and its recorder.
+
+A *trace document* is the self-contained artefact ``repro
+verify-trace`` consumes: the recorded command stream (with window
+marks), the batched scheduler's charge log, the run's per-mnemonic
+ledger totals, and enough platform context — sub-array geometry, the
+hash-table row layout, the timing constants — for the verifier to
+re-derive every row-designation and cost rule without the platform
+that produced it.
+
+Format (JSON, ``"format": "repro-aap-trace/1"``)::
+
+    {
+      "format":  "repro-aap-trace/1",
+      "engine":  "scalar" | "bulk",
+      "complete": true,          # the command stream covers the full run
+      "cold_start": false,       # data rows assumed initialised at t=0
+      "geometry": {"rows", "cols", "compute_rows", "data_rows"},
+      "layout":  {"kmer_rows", "value_rows", "temp_rows"} | null,
+      "timing":  {"t_ras", "t_rp", "t_rcd", "t_bl", "t_dpu_clk"},
+      "commands": [{"i", "op", "sub", "rows", "payload"?}, ...],
+      "marks":   [[position, label], ...],
+      "charges": [{"op", "sub", "count", "time_ns"}, ...],
+      "flushes": [{"at", "serial_ns", "makespan_ns", "commands"}, ...],
+      "ledger":  {"time_ns", "energy_nj", "commands": {mnemonic: count}},
+      "meta":    {...}
+    }
+
+``complete`` is True for scalar runs (every command traced one by
+one); the bulk engine mutates bit planes directly and charges through
+the batched scheduler, so its documents carry a partial trace and the
+verifier leans on the charge log instead.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.trace import ChargeLog, CommandTrace
+from repro.errors import TraceFormatError
+
+__all__ = [
+    "FORMAT",
+    "TraceDocument",
+    "TraceRecorder",
+    "load_document",
+    "save_document",
+]
+
+FORMAT = "repro-aap-trace/1"
+
+#: timing fields the verifier needs to rebuild latency tables
+_TIMING_FIELDS = ("t_ras", "t_rp", "t_rcd", "t_bl", "t_dpu_clk")
+
+
+@dataclass
+class TraceDocument:
+    """A parsed trace document (see the module docstring for the schema)."""
+
+    engine: str
+    trace: CommandTrace
+    charge_log: ChargeLog
+    geometry: dict[str, int]
+    layout: dict[str, int] | None = None
+    timing: dict[str, float] | None = None
+    ledger: dict[str, Any] | None = None
+    complete: bool = True
+    cold_start: bool = False
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        trace_doc = self.trace.to_json()
+        doc: dict[str, Any] = {
+            "format": FORMAT,
+            "engine": self.engine,
+            "complete": self.complete,
+            "cold_start": self.cold_start,
+            "geometry": dict(self.geometry),
+            "layout": dict(self.layout) if self.layout is not None else None,
+            "timing": dict(self.timing) if self.timing is not None else None,
+            "commands": trace_doc["commands"],
+            "marks": trace_doc["marks"],
+            "ledger": self.ledger,
+            "meta": dict(self.meta),
+        }
+        doc.update(self.charge_log.to_json())
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: Any, source: str = "<trace>") -> "TraceDocument":
+        """Parse a document; every malformation is a typed input error.
+
+        Raises:
+            TraceFormatError: the document is not a trace document
+                (wrong/missing format tag, malformed sections).
+        """
+        if not isinstance(doc, dict):
+            raise TraceFormatError(f"{source}: trace document must be an object")
+        fmt = doc.get("format")
+        if fmt != FORMAT:
+            raise TraceFormatError(
+                f"{source}: unsupported trace format {fmt!r} "
+                f"(expected {FORMAT!r})"
+            )
+        engine = doc.get("engine")
+        if engine not in ("scalar", "bulk"):
+            raise TraceFormatError(
+                f"{source}: engine must be 'scalar' or 'bulk', got {engine!r}"
+            )
+        geometry = doc.get("geometry")
+        if not isinstance(geometry, dict) or not all(
+            isinstance(geometry.get(k), int)
+            for k in ("rows", "cols", "compute_rows", "data_rows")
+        ):
+            raise TraceFormatError(
+                f"{source}: geometry needs integer rows/cols/"
+                "compute_rows/data_rows"
+            )
+        layout = doc.get("layout")
+        if layout is not None:
+            if not isinstance(layout, dict) or not all(
+                isinstance(layout.get(k), int)
+                for k in ("kmer_rows", "value_rows", "temp_rows")
+            ):
+                raise TraceFormatError(
+                    f"{source}: layout needs integer kmer_rows/"
+                    "value_rows/temp_rows"
+                )
+        timing = doc.get("timing")
+        if timing is not None and not isinstance(timing, dict):
+            raise TraceFormatError(f"{source}: timing must be an object")
+        ledger = doc.get("ledger")
+        if ledger is not None and not isinstance(ledger, dict):
+            raise TraceFormatError(f"{source}: ledger must be an object")
+        try:
+            trace = CommandTrace.from_json(doc)
+            charge_log = ChargeLog.from_json(doc)
+        except ValueError as exc:
+            raise TraceFormatError(f"{source}: {exc}") from None
+        meta = doc.get("meta")
+        return cls(
+            engine=engine,
+            trace=trace,
+            charge_log=charge_log,
+            geometry={k: int(v) for k, v in geometry.items()},
+            layout=layout,
+            timing=timing,
+            ledger=ledger,
+            complete=bool(doc.get("complete", engine == "scalar")),
+            cold_start=bool(doc.get("cold_start", False)),
+            meta=meta if isinstance(meta, dict) else {},
+        )
+
+
+def save_document(path: "str | Path", doc: TraceDocument) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc.to_json(), indent=1), encoding="utf-8")
+    return path
+
+
+def load_document(path: "str | Path") -> TraceDocument:
+    """Load and parse a trace document file.
+
+    Raises:
+        TraceFormatError: unreadable file or malformed document.
+    """
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{path} is not JSON: {exc}") from None
+    return TraceDocument.from_json(raw, source=str(path))
+
+
+class TraceRecorder:
+    """Attach trace + charge-log capture to a platform for one run.
+
+    Usage::
+
+        recorder = TraceRecorder(pim, engine="scalar")
+        with recorder:
+            assemble_with_pim(reads, k=k, pim=pim, engine="scalar")
+        doc = recorder.document()
+
+    The recorder snapshots the geometry, the scaled hash-table layout
+    and the timing constants at attach time and folds the run's ledger
+    totals into the document at :meth:`document` time.
+    """
+
+    def __init__(self, pim: Any, engine: str) -> None:
+        if engine not in ("scalar", "bulk"):
+            raise ValueError("engine must be 'scalar' or 'bulk'")
+        self.pim = pim
+        self.engine = engine
+        self.trace = CommandTrace()
+        self.charge_log = ChargeLog()
+
+    def __enter__(self) -> "TraceRecorder":
+        self.pim.controller.attach_trace(self.trace)
+        self.pim.controller.attach_charge_log(self.charge_log)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.pim.controller.attach_trace(None)
+        self.pim.controller.attach_charge_log(None)
+
+    def document(self, **meta: Any) -> TraceDocument:
+        from repro.mapping.kmer_layout import scaled_layout
+
+        sub_geom = self.pim.geometry.bank.mat.subarray
+        layout = scaled_layout(sub_geom)
+        timing = self.pim.controller.timing
+        totals = self.pim.stats.totals()
+        return TraceDocument(
+            engine=self.engine,
+            trace=self.trace,
+            charge_log=self.charge_log,
+            geometry={
+                "rows": int(sub_geom.rows),
+                "cols": int(sub_geom.cols),
+                "compute_rows": int(sub_geom.compute_rows),
+                "data_rows": int(sub_geom.data_rows),
+            },
+            layout={
+                "kmer_rows": layout.kmer_rows,
+                "value_rows": layout.value_rows,
+                "temp_rows": layout.temp_rows,
+            },
+            timing={f: float(getattr(timing, f)) for f in _TIMING_FIELDS},
+            ledger={
+                "time_ns": totals.time_ns,
+                "energy_nj": totals.energy_nj,
+                "commands": {m: int(c) for m, c in totals.commands.items()},
+            },
+            complete=(self.engine == "scalar"),
+            cold_start=False,
+            meta=dict(meta),
+        )

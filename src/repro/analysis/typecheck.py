@@ -1,0 +1,97 @@
+"""Gated strict type checking of the annotated core.
+
+mypy is a dev-only dependency: CI installs it for the static-analysis
+job, but the library itself must import and run on a bare interpreter.
+This wrapper therefore *gates* — when mypy is importable it runs the
+curated strict module list and converts diagnostics into findings
+(rule ``T001``); when it is not, :func:`typecheck` reports a skip and
+zero findings.
+
+The checked list is deliberately narrow: the stable, fully annotated
+contracts other layers build against (the error taxonomy, the ISA
+dataclasses, the cost model, the trace format, and this analysis
+package itself).  The mypy configuration lives in ``pyproject.toml``
+(``[tool.mypy]``); this module only selects the targets.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.findings import FindingReport
+
+__all__ = ["CHECKED_MODULES", "mypy_available", "typecheck"]
+
+#: modules under src/repro held to strict annotations
+CHECKED_MODULES = (
+    "errors.py",
+    "core/isa.py",
+    "core/timing.py",
+    "core/trace.py",
+    "analysis/findings.py",
+    "analysis/tracefile.py",
+    "analysis/verifier.py",
+    "analysis/lint.py",
+    "analysis/typecheck.py",
+)
+
+
+def mypy_available() -> bool:
+    return importlib.util.find_spec("mypy") is not None
+
+
+def typecheck(root: "Path | str | None" = None) -> tuple[FindingReport, bool]:
+    """Run mypy over :data:`CHECKED_MODULES`.
+
+    Returns:
+        ``(report, ran)`` — ``ran`` is False when mypy is not installed
+        (the report is then empty and the caller should say "skipped",
+        not "clean").
+    """
+    if root is None:
+        root = Path(__file__).resolve().parent.parent
+    root = Path(root)
+    report = FindingReport()
+    if not mypy_available():
+        return report, False
+    targets = [str(root / m) for m in CHECKED_MODULES]
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--no-error-summary",
+            "--hide-error-context",
+            *targets,
+        ],
+        capture_output=True,
+        text=True,
+        cwd=str(root.parent.parent),  # repo root, where pyproject.toml lives
+    )
+    for line in proc.stdout.splitlines():
+        # mypy line format: path:line: error: message  [code]
+        parts = line.split(":", 3)
+        if len(parts) < 4 or "error" not in parts[2]:
+            continue
+        path, lineno = parts[0], parts[1]
+        try:
+            location = int(lineno)
+        except ValueError:
+            location = None
+        report.add(
+            "T001",
+            parts[3].strip(),
+            source=path,
+            location=location,
+        )
+    if proc.returncode not in (0, 1):
+        report.add(
+            "T001",
+            "mypy crashed: "
+            + (proc.stderr.strip().splitlines() or ["unknown error"])[-1],
+            source="mypy",
+        )
+    return report, True

@@ -507,6 +507,10 @@ class PimKmerCounter:
         ctrl = self.pim.controller
         engine = ctrl.resilience
         checked = repaired = 0
+        # Scrub repairs legitimately MEM_WR straight into the k-mer
+        # region; the marks tell the trace verifier to suspend its
+        # table-region write rule for this window.
+        ctrl.mark("scrub:begin")
         for index, table in enumerate(self._tables):
             for slot in range(table.occupied):
                 row = table.layout.kmer_row(slot)
@@ -527,6 +531,7 @@ class PimKmerCounter:
                         engine.note_corrected()
                 else:
                     engine.note_uncorrected(table.key, row)
+        ctrl.mark("scrub:end")
         if engine is not None:
             engine.note_scrub(checked, repaired)
         return checked, repaired

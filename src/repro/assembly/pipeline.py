@@ -176,6 +176,9 @@ class PimPipeline:
             k=self.k,
             batch_reads=self.batch_reads,
         ) as stage_span, pim.phase("hashmap"):
+            # window marker: the k-mer-table layout rules are in force
+            # from here until hashmap:end (trace verifier scoping)
+            pim.controller.mark("hashmap:begin")
             counter = PimKmerCounter(pim, self.k, engine=self.engine)
             sequences = (
                 item.sequence if isinstance(item, Read) else item
@@ -201,6 +204,7 @@ class PimPipeline:
                     counter.scrub()
             state.counter = counter
             state.counts = counter.counts()
+            pim.controller.mark("hashmap:end")
             stage_span.set_attribute("kmer_table_size", len(counter))
         return state
 

@@ -6,6 +6,9 @@ The subcommands cover the workflows a downstream user needs:
   on the PIM functional simulator (or the software golden model);
   ``--trace-out``/``--metrics-out`` additionally record the run's span
   timeline (Perfetto-loadable) and metrics snapshot;
+* ``pim-assembler verify-trace`` — dataflow/cost-model verification of
+  AAP trace documents recorded with ``assemble --aap-trace-out``
+  (exit 1 on findings, 2 on an unreadable document);
 * ``pim-assembler inspect`` — post-hoc accounting of a journaled job
   directory (works on finished, crashed and timed-out jobs);
 * ``pim-assembler simulate`` — generate a synthetic reference and a
@@ -105,6 +108,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         help="write the run's metrics snapshot (counters, histograms, "
         "sub-array heatmap) as JSON (--engine pim only)",
+    )
+    assemble.add_argument(
+        "--aap-trace-out",
+        help="record the run's AAP command stream as a verifiable trace "
+        "document for `verify-trace` (--engine pim, no --job-dir)",
+    )
+
+    verify_trace = sub.add_parser(
+        "verify-trace",
+        help="verify recorded AAP trace documents (dataflow, row "
+        "designation, cost-model consistency); exit 1 on findings",
+    )
+    verify_trace.add_argument(
+        "traces",
+        nargs="+",
+        help="trace document(s) written by `assemble --aap-trace-out`",
+    )
+    verify_trace.add_argument(
+        "--max-findings",
+        type=int,
+        default=50,
+        help="cap on findings printed per document (all are counted)",
     )
 
     inspect_cmd = sub.add_parser(
@@ -246,6 +271,13 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         raise InputError("--job-dir requires --engine pim")
     if (args.trace_out or args.metrics_out) and args.engine != "pim":
         raise InputError("--trace-out/--metrics-out require --engine pim")
+    if args.aap_trace_out and args.engine != "pim":
+        raise InputError("--aap-trace-out requires --engine pim")
+    if args.aap_trace_out and args.job_dir:
+        raise InputError(
+            "--aap-trace-out records one in-process run and cannot "
+            "follow a job across resumes; drop --job-dir"
+        )
 
     reads, parse_report = _load_reads(args.reads, strict=not args.lenient)
     if parse_report.quarantined:
@@ -297,6 +329,12 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
                 from repro.assembly.pipeline import _sized_device
 
                 pim = _sized_device(reads, args.k)
+                recorder = None
+                if args.aap_trace_out:
+                    from repro.analysis.tracefile import TraceRecorder
+
+                    recorder = TraceRecorder(pim, engine=args.exec_engine)
+                    stack.enter_context(recorder)
                 outcome = assemble_with_pim(
                     reads,
                     k=args.k,
@@ -305,6 +343,17 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
                     min_contig_length=args.min_contig,
                     engine=args.exec_engine,
                 )
+                if recorder is not None:
+                    from repro.analysis.tracefile import save_document
+
+                    doc = recorder.document(
+                        reads=args.reads, k=args.k, command="assemble"
+                    )
+                    path = save_document(args.aap_trace_out, doc)
+                    print(
+                        f"aap trace: wrote {len(doc.trace)} commands / "
+                        f"{len(doc.charge_log)} charges -> {path}"
+                    )
         if session is not None:
             for path in session.export(
                 trace_path=args.trace_out,
@@ -339,6 +388,37 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
     total = sum(len(c) for c in contigs)
     print(f"{len(contigs)} contigs / {total} bp -> {args.output}")
     return 0
+
+
+def _cmd_verify_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.findings import EXIT_FINDINGS, EXIT_OK
+    from repro.analysis.tracefile import load_document
+    from repro.analysis.verifier import verify_document
+    from repro.errors import InputError
+
+    if args.max_findings < 1:
+        raise InputError(
+            f"--max-findings must be >= 1 (got {args.max_findings})"
+        )
+    total = 0
+    for path in args.traces:
+        doc = load_document(path)
+        report = verify_document(doc, source=path)
+        total += len(report)
+        shown = report.findings[: args.max_findings]
+        for finding in shown:
+            print(str(finding), file=sys.stderr)
+        if len(report) > len(shown):
+            print(
+                f"... {len(report) - len(shown)} more finding(s) in {path}",
+                file=sys.stderr,
+            )
+        status = "clean" if report.ok else f"{len(report)} finding(s)"
+        print(
+            f"{path}: {doc.engine} trace, {len(doc.trace)} commands, "
+            f"{len(doc.charge_log)} charges — {status}"
+        )
+    return EXIT_OK if total == 0 else EXIT_FINDINGS
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -543,6 +623,7 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "assemble": _cmd_assemble,
+        "verify-trace": _cmd_verify_trace,
         "inspect": _cmd_inspect,
         "simulate": _cmd_simulate,
         "scaffold": _cmd_scaffold,

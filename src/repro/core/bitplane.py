@@ -141,7 +141,10 @@ class BulkEngine:
     def __post_init__(self) -> None:
         ctrl = self.pim.controller
         self.scheduler = BatchedAapScheduler(
-            ctrl.ledger, timing=ctrl.timing, energy=ctrl.energy
+            ctrl.ledger,
+            timing=ctrl.timing,
+            energy=ctrl.energy,
+            log=getattr(ctrl, "charge_log", None),
         )
 
     # ----- gating ---------------------------------------------------------
@@ -316,6 +319,9 @@ class BulkEngine:
             bits[s_i.row] = total[i]
         bits[carry_row.row] = total[m]
         sub.sa.load_latch(total[m])  # the MSB TRA leaves its carry latched
+        # scalar equivalence: ripple_add charges one AAP for the
+        # carry-row zeroing (RowClone off the constant row)
+        self.scheduler.charge("AAP1", key, 1)
         self.scheduler.fused_add(key, m)
         if self._verifying() is not None:
             self.charge_verify(2 * m)

@@ -97,6 +97,7 @@ class Controller:
 
     def __post_init__(self) -> None:
         self._trace = None
+        self.charge_log = None
 
     def _apply_faults(
         self, sub, des_row: int, result, mechanism: str
@@ -226,6 +227,30 @@ class Controller:
         :class:`repro.core.trace.CommandTrace` (None detaches)."""
         self._trace = trace
 
+    def attach_charge_log(self, log) -> None:
+        """Feed batched-scheduler charges into a
+        :class:`repro.core.trace.ChargeLog` (None detaches).
+
+        The controller itself never writes the log; it only holds it so
+        every :class:`~repro.core.scheduler.BatchedAapScheduler` built
+        against this controller (the bulk engine's, the Wallace
+        reducer's) can pick it up.
+        """
+        self.charge_log = log
+
+    def mark(self, label: str) -> None:
+        """Drop a window marker into the attached trace, if any.
+
+        Pipeline stages call this around layout-owning windows
+        (``hashmap:begin`` ... ``hashmap:end``, scrub passes) so the
+        trace verifier knows when the k-mer-table row designations are
+        in force.  A no-op without a trace, or with a trace sink that
+        does not track marks.
+        """
+        mark = getattr(self._trace, "mark", None)
+        if mark is not None:
+            mark(label)
+
     def _record_trace(
         self,
         mnemonic: str,
@@ -346,6 +371,7 @@ class Controller:
     def clear_latch(self, subarray_key: tuple[int, int, int]) -> None:
         """Reset the carry latch (precharge-time side effect; free)."""
         self.device.subarray_at(subarray_key).sa.clear_latch()
+        self._record_trace("LATCH_CLR", subarray_key, ())
 
     def write_row(self, des: RowAddress, bits: np.ndarray) -> None:
         """Host write through the global row buffer."""
@@ -392,6 +418,7 @@ class Controller:
             outcome = mat.dpu.and_reduce(bits)
         else:
             outcome = mat.dpu.masked_and_reduce(bits, mask)
+        self._record_trace("DPU", result_row.subarray_key, (result_row.row,))
         self._charge("DPU", self.timing.t_dpu_clk, self.energy.e_dpu_op)
         return bool(outcome)
 
@@ -406,6 +433,7 @@ class Controller:
         bank, mat_index, _ = subarray_key
         mat = self.device.mat_at(bank, mat_index)
         result = mat.dpu.scalar_add(a, b, bits=bits)
+        self._record_trace("DPU", subarray_key, ())
         self._charge("DPU", self.timing.t_dpu_clk, self.energy.e_dpu_op)
         return result
 
@@ -414,6 +442,7 @@ class Controller:
         mat = self.device.mat_at(row.bank, row.mat)
         bits = self.device.subarray_at(row).row_view(row.row)
         count = mat.dpu.popcount(bits)
+        self._record_trace("DPU", row.subarray_key, (row.row,))
         self._charge("DPU", self.timing.t_dpu_clk, self.energy.e_dpu_op)
         return count
 
@@ -731,9 +760,14 @@ class Controller:
             if addr.subarray_key != key:
                 raise ValueError("ripple_add operands must share a sub-array")
         with span("pim.ripple_add", bits=len(a_rows)):
-            sub = self.device.subarray_at(carry_row)
-            sub.write_row(carry_row.row, np.zeros(sub.cols, dtype=np.uint8))
-            sub.sa.clear_latch()
+            # The carry zeroing is a real command (a RowClone off the
+            # constant row), not free controller bookkeeping: trace and
+            # charge it, and trace the latch reset, so a replayed
+            # stream reproduces the adder's starting state.  Both were
+            # silent device pokes before the trace verifier flagged the
+            # replay hole.
+            self.init_row(carry_row, 0)
+            self.clear_latch(carry_row.subarray_key)
             for a_i, b_i, s_i in zip(a_rows, b_rows, sum_rows):
                 self.sum_cycle(a_i, b_i, s_i)
                 self.tra_carry(a_i, b_i, carry_row, carry_row)
@@ -770,7 +804,16 @@ class Controller:
         sub = self.device.subarray_at(des)
         fill = np.full(sub.cols, value, dtype=np.uint8)
         sub.write_row(des.row, fill)
-        self._record_trace("AAP1", des.subarray_key, (des.row, des.row))
+        # Traced as ROW_INIT (carrying the fill value) rather than a
+        # degenerate src==des AAP1: the self-copy form replayed as a
+        # no-op, losing init-to-1 state.  The ledger keeps charging
+        # AAP1 — the hardware cost is exactly one RowClone.
+        self._record_trace(
+            "ROW_INIT",
+            des.subarray_key,
+            (des.row,),
+            payload=np.array([value], dtype=np.uint8),
+        )
         self._charge("AAP1", self.timing.t_aap, self.energy.e_aap_copy)
 
     def not_row(self, src: RowAddress, des: RowAddress) -> np.ndarray:

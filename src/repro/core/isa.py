@@ -165,6 +165,40 @@ class MemRead:
 
 
 @dataclass(frozen=True)
+class RowInit:
+    """Initialise a row to all-0 or all-1.
+
+    Hardware realisation: a RowClone from one of the two reserved
+    constant rows every Ambit-class design keeps — one AAP, charged as
+    such, but traced under its own mnemonic so a replay knows the fill
+    value (a plain ``AAP1`` entry cannot carry it).
+    """
+
+    des: RowAddress
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("init value must be 0 or 1")
+
+    mnemonic = "ROW_INIT"
+
+
+@dataclass(frozen=True)
+class LatchClear:
+    """Reset the SA's carry latch (a precharge-time side effect; free).
+
+    Traced so a command stream is a complete description of latch
+    state: without it, a replayed ``SUM`` could consume a stale carry
+    the original run had cleared.
+    """
+
+    subarray: tuple[int, int, int]
+
+    mnemonic = "LATCH_CLR"
+
+
+@dataclass(frozen=True)
 class DpuOp:
     """A MAT-level DPU operation over one sense-amplifier stripe.
 
@@ -186,5 +220,30 @@ class DpuOp:
 
 
 Instruction = (
-    AapCopy | AapCompute2 | AapCompute3 | SumCycle | MemWrite | MemRead | DpuOp
+    AapCopy
+    | AapCompute2
+    | AapCompute3
+    | SumCycle
+    | MemWrite
+    | MemRead
+    | RowInit
+    | LatchClear
+    | DpuOp
+)
+
+#: Every trace mnemonic the platform can emit, in canonical order.
+#: ``repro.core.timing.command_cost_table`` must price each of these
+#: (tested by ``tests/core/test_isa_costs.py``); the analysis layer
+#: rejects trace documents containing anything else.
+ALL_MNEMONICS: tuple[str, ...] = (
+    "AAP1",
+    "AAP2",
+    "AAP3",
+    "SUM",
+    "LATCH_LD",
+    "LATCH_CLR",
+    "ROW_INIT",
+    "MEM_WR",
+    "MEM_RD",
+    "DPU",
 )

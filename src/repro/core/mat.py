@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.dpu import Dpu
 from repro.core.subarray import SubArray
 from repro.dram.geometry import MatGeometry
+from repro.errors import BufferStateError
 
 
 @dataclass
@@ -38,7 +39,7 @@ class GlobalRowBuffer:
 
     def read(self) -> np.ndarray:
         if not self._valid:
-            raise RuntimeError("global row buffer read before load")
+            raise BufferStateError("global row buffer read before load")
         return self._data.copy()
 
     @property

@@ -175,13 +175,16 @@ class BatchedAapScheduler:
     :func:`repro.core.timing.command_cost_table`.
     """
 
-    def __init__(self, ledger, timing=None, energy=None) -> None:
+    def __init__(self, ledger, timing=None, energy=None, log=None) -> None:
         from repro.core.energy import DEFAULT_ENERGY  # energy imports timing
 
         self.ledger = ledger
         self.timing = timing or DEFAULT_TIMING
         self.energy = energy or DEFAULT_ENERGY
         self.costs = command_cost_table(self.timing, self.energy)
+        #: optional :class:`repro.core.trace.ChargeLog` (duck-typed:
+        #: anything with ``charge()``/``flush()``) fed for audit.
+        self.log = log
         self._busy: dict[tuple, float] = defaultdict(float)
         self._time_ns: Counter = Counter()
         self._energy_nj: Counter = Counter()
@@ -205,6 +208,8 @@ class BatchedAapScheduler:
                 f"no cost model for mnemonic {mnemonic!r}"
             ) from None
         total_ns = count * time_ns
+        if self.log is not None:
+            self.log.charge(mnemonic, subarray_key, count, total_ns)
         self._time_ns[mnemonic] += total_ns
         self._energy_nj[mnemonic] += count * energy_nj
         self._counts[mnemonic] += count
@@ -253,6 +258,8 @@ class BatchedAapScheduler:
         serial = float(sum(self._time_ns.values()))
         makespan = max(self._busy.values(), default=0.0)
         commands = self.pending_commands
+        if self.log is not None and commands:
+            self.log.flush(serial, makespan, commands)
         scale = (makespan / serial) if serial > 0 else 0.0
         for mnemonic, count in self._counts.items():
             self.ledger.record(

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -166,6 +167,13 @@ def command_latency_table(timing: TimingParameters) -> dict:
         "AAP3": timing.t_aap,
         "SUM": timing.t_aap,
         "LATCH_LD": timing.t_ap,
+        # A row init is one RowClone from a reserved constant row; the
+        # stats ledger charges it as AAP1, the trace keeps the mnemonic
+        # (and the fill value) so replay stays faithful.
+        "ROW_INIT": timing.t_aap,
+        # Latch reset rides on the precharge of the surrounding AAP:
+        # no extra command, no extra time.
+        "LATCH_CLR": 0.0,
         "MEM_WR": timing.t_write_row,
         "MEM_RD": timing.t_read_row,
         "DPU": timing.t_dpu_clk,
@@ -173,7 +181,7 @@ def command_latency_table(timing: TimingParameters) -> dict:
 
 
 @lru_cache(maxsize=None)
-def command_cost_table(timing: TimingParameters, energy) -> dict:
+def command_cost_table(timing: TimingParameters, energy: Any) -> dict:
     """Mnemonic -> (latency ns, energy nJ) for one timing/energy pair.
 
     The energy object is ``repro.core.energy.EnergyParameters`` (typed
@@ -188,6 +196,8 @@ def command_cost_table(timing: TimingParameters, energy) -> dict:
         "AAP3": energy.e_tra,
         "SUM": energy.e_sum_cycle,
         "LATCH_LD": energy.e_activate,
+        "ROW_INIT": energy.e_aap_copy,
+        "LATCH_CLR": 0.0,
         "MEM_WR": energy.e_write_row,
         "MEM_RD": energy.e_read_row,
         "DPU": energy.e_dpu_op,

@@ -33,12 +33,13 @@ class TraceEntry:
 
     Attributes:
         index: issue order.
-        mnemonic: command name (``AAP1``, ``AAP2``, ``AAP3``, ``SUM``,
-            ``LATCH_LD``, ``MEM_WR``, ``MEM_RD``, ``DPU``).
+        mnemonic: command name (one of
+            :data:`repro.core.isa.ALL_MNEMONICS`).
         subarray: (bank, mat, subarray) the command targets.
         rows: row operands in issue order (sources first, then the
             destination, where applicable).
-        payload: row data for ``MEM_WR`` commands (bit tuple), else
+        payload: row data for ``MEM_WR`` commands (bit tuple) and the
+            fill value for ``ROW_INIT`` (one-element tuple), else
             ``None`` — exactly the information needed for replay.
     """
 
@@ -60,6 +61,7 @@ class CommandTrace:
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive")
         self._entries: list[TraceEntry] = []
+        self._marks: list[tuple[int, str]] = []
         self._capacity = capacity
 
     def record(
@@ -83,6 +85,20 @@ class CommandTrace:
             )
         )
 
+    def mark(self, label: str) -> None:
+        """Drop a named marker at the current stream position.
+
+        Markers delimit pipeline windows (``hashmap:begin`` /
+        ``scrub:end`` ...) so the trace verifier can scope its
+        layout-region rules to the stage that owns the layout.
+        """
+        self._marks.append((len(self._entries), label))
+
+    @property
+    def marks(self) -> list[tuple[int, str]]:
+        """(position, label) markers; position indexes into entries."""
+        return list(self._marks)
+
     # ----- access ----------------------------------------------------------
 
     def __len__(self) -> int:
@@ -101,12 +117,152 @@ class CommandTrace:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._marks.clear()
 
     # ----- serialisation ------------------------------------------------------
 
     def to_text(self) -> str:
         """Human-readable trace dump, one command per line."""
         return "\n".join(str(e) for e in self._entries)
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form (inverse of :meth:`from_json`)."""
+        commands = []
+        for e in self._entries:
+            cmd: dict = {
+                "op": e.mnemonic,
+                "sub": list(e.subarray),
+                "rows": list(e.rows),
+            }
+            if e.payload is not None:
+                cmd["payload"] = list(e.payload)
+            commands.append(cmd)
+        return {
+            "commands": commands,
+            "marks": [[pos, label] for pos, label in self._marks],
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "CommandTrace":
+        """Rebuild a trace from :meth:`to_json` output.
+
+        Raises:
+            ValueError: on a malformed document (the analysis layer
+                wraps this in its typed ``TraceFormatError``).
+        """
+        trace = cls()
+        commands = doc.get("commands")
+        if not isinstance(commands, list):
+            raise ValueError("trace document: 'commands' missing or not a list")
+        for i, cmd in enumerate(commands):
+            if not isinstance(cmd, dict):
+                raise ValueError(f"trace command #{i}: not an object")
+            try:
+                mnemonic = cmd["op"]
+                subarray = tuple(int(x) for x in cmd["sub"])
+                rows = tuple(int(r) for r in cmd["rows"])
+            except (KeyError, TypeError, ValueError):
+                raise ValueError(
+                    f"trace command #{i}: needs 'op', 'sub', 'rows'"
+                ) from None
+            if not isinstance(mnemonic, str) or len(subarray) != 3:
+                raise ValueError(f"trace command #{i}: malformed op/sub")
+            payload = cmd.get("payload")
+            trace.record(
+                mnemonic,
+                subarray,  # type: ignore[arg-type]
+                rows,
+                np.asarray(payload, dtype=np.uint8) if payload is not None else None,
+            )
+        for j, mark in enumerate(doc.get("marks", [])):
+            try:
+                pos, label = mark
+            except (TypeError, ValueError):
+                raise ValueError(f"trace mark #{j}: expected [pos, label]") from None
+            if not isinstance(label, str):
+                raise ValueError(f"trace mark #{j}: label must be a string")
+            trace._marks.append((int(pos), label))
+        return trace
+
+
+class ChargeLog:
+    """An append-only record of batched-scheduler charges and flushes.
+
+    The bulk engine executes on raw bit planes and *charges* the ledger
+    through :class:`~repro.core.scheduler.BatchedAapScheduler` rather
+    than issuing per-command traces — so for bulk runs this log is the
+    auditable artefact: every ``charge()`` and every ``flush()``
+    boundary, enough for the analysis layer to re-derive the makespan
+    math and cross-check it against the cost tables.
+    """
+
+    def __init__(self) -> None:
+        self._charges: list[tuple[str, tuple[int, ...], int, float]] = []
+        self._flushes: list[tuple[int, float, float, int]] = []
+
+    def charge(
+        self,
+        mnemonic: str,
+        subarray_key: tuple[int, ...],
+        count: int,
+        time_ns: float,
+    ) -> None:
+        self._charges.append((mnemonic, tuple(subarray_key), count, time_ns))
+
+    def flush(self, serial_ns: float, makespan_ns: float, commands: int) -> None:
+        self._flushes.append(
+            (len(self._charges), serial_ns, makespan_ns, commands)
+        )
+
+    @property
+    def charges(self) -> list[tuple[str, tuple[int, ...], int, float]]:
+        return list(self._charges)
+
+    @property
+    def flushes(self) -> list[tuple[int, float, float, int]]:
+        """(charge-position, serial_ns, makespan_ns, commands) per flush."""
+        return list(self._flushes)
+
+    def __len__(self) -> int:
+        return len(self._charges)
+
+    def to_json(self) -> dict:
+        return {
+            "charges": [
+                {"op": m, "sub": list(k), "count": c, "time_ns": t}
+                for m, k, c, t in self._charges
+            ],
+            "flushes": [
+                {"at": at, "serial_ns": s, "makespan_ns": mk, "commands": n}
+                for at, s, mk, n in self._flushes
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "ChargeLog":
+        log = cls()
+        try:
+            for ch in doc.get("charges", []):
+                log._charges.append(
+                    (
+                        str(ch["op"]),
+                        tuple(int(x) for x in ch["sub"]),
+                        int(ch["count"]),
+                        float(ch["time_ns"]),
+                    )
+                )
+            for fl in doc.get("flushes", []):
+                log._flushes.append(
+                    (
+                        int(fl["at"]),
+                        float(fl["serial_ns"]),
+                        float(fl["makespan_ns"]),
+                        int(fl["commands"]),
+                    )
+                )
+        except (KeyError, TypeError, ValueError):
+            raise ValueError("charge-log document: malformed entry") from None
+        return log
 
 
 @dataclass(frozen=True)
@@ -191,6 +347,12 @@ def replay(trace: CommandTrace, controller: "Controller") -> None:
             )
         elif entry.mnemonic == "LATCH_LD":
             controller.load_latch(addr(entry.rows[0]))
+        elif entry.mnemonic == "LATCH_CLR":
+            controller.clear_latch(entry.subarray)
+        elif entry.mnemonic == "ROW_INIT":
+            if entry.payload is None:
+                raise ValueError(f"ROW_INIT entry #{entry.index} lacks payload")
+            controller.init_row(addr(entry.rows[0]), int(entry.payload[0]))
         elif entry.mnemonic == "MEM_WR":
             if entry.payload is None:
                 raise ValueError(f"MEM_WR entry #{entry.index} lacks payload")

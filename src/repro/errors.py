@@ -13,10 +13,13 @@ Hierarchy::
     ├── FaultConfigError(ValueError)      — bad fault/policy parameters
     ├── CapacityError(ValueError)         — device/sub-array capacity exceeded
     ├── PhaseActiveError(RuntimeError)    — ledger op that needs no open phase
+    ├── BufferStateError(RuntimeError)    — GRB read before load
     ├── AllocationError(MemoryError)      — row allocator exhausted
     ├── TableFullError(MemoryError)       — k-mer table region full
     ├── SubarrayQuarantinedError          — touched a quarantined sub-array
     ├── InputError                        — malformed/unusable user input
+    │   └── TraceFormatError              — unparseable AAP trace document
+    ├── TraceHazardError                  — inline checker caught a hazard
     ├── StageTimeoutError                 — a deadline budget expired
     ├── JournalError                      — job journal missing/corrupt/mismatched
     ├── JobFailedError                    — retry ladder exhausted
@@ -50,6 +53,15 @@ class PhaseActiveError(ReproError, RuntimeError):
     """
 
 
+class BufferStateError(ReproError, RuntimeError):
+    """A shared buffer (the MAT's global row buffer) was read before it
+    was loaded.
+
+    Inherits ``RuntimeError`` because the GRB read path historically
+    raised that builtin.
+    """
+
+
 class AllocationError(ReproError, MemoryError):
     """The bump allocator ran out of usable data rows in a sub-array."""
 
@@ -65,7 +77,9 @@ class SubarrayQuarantinedError(ReproError):
         subarray_key: the quarantined ``(bank, mat, subarray)`` triple.
     """
 
-    def __init__(self, subarray_key: tuple[int, int, int], message: str | None = None):
+    def __init__(
+        self, subarray_key: tuple[int, int, int], message: str | None = None
+    ) -> None:
         self.subarray_key = subarray_key
         super().__init__(
             message or f"sub-array {subarray_key} is quarantined"
@@ -77,6 +91,26 @@ class InputError(ReproError):
 
     The CLI maps this family to a one-line message and a clean nonzero
     exit code instead of a traceback.
+    """
+
+
+class TraceFormatError(InputError):
+    """An AAP trace document fails to parse or violates the envelope.
+
+    Distinct from a verifier *finding*: a finding is a hazard in a
+    well-formed command stream (exit code 1 from ``repro
+    verify-trace``); this error means the file is not a trace document
+    at all (exit code 2, like every other :class:`InputError`).
+    """
+
+
+class TraceHazardError(ReproError):
+    """The inline AAP checker caught a hazard at the issuing call site.
+
+    Raised only in the opt-in strict mode of
+    :class:`repro.analysis.verifier.InlineChecker`; the offline
+    ``repro verify-trace`` path reports the same hazards as findings
+    instead of raising.
     """
 
 
@@ -98,7 +132,7 @@ class StageTimeoutError(ReproError):
 
     def __init__(
         self, stage: str, scope: str, budget_s: float, elapsed_s: float
-    ):
+    ) -> None:
         self.stage = stage
         self.scope = scope
         self.budget_s = budget_s
@@ -123,7 +157,9 @@ class JobFailedError(ReproError):
         last_error: the exception that ended the final attempt.
     """
 
-    def __init__(self, stage: str, attempts: int, last_error: BaseException):
+    def __init__(
+        self, stage: str, attempts: int, last_error: BaseException
+    ) -> None:
         self.stage = stage
         self.attempts = attempts
         self.last_error = last_error
@@ -155,7 +191,7 @@ class UncorrectableFaultError(VerificationError):
         subarray_key: tuple[int, int, int],
         mechanism: str,
         attempts: int,
-    ):
+    ) -> None:
         self.subarray_key = subarray_key
         self.mechanism = mechanism
         self.attempts = attempts

@@ -33,6 +33,7 @@ import numpy as np
 from typing import TYPE_CHECKING
 
 from repro.core.isa import RowAddress
+from repro.errors import AllocationError
 from repro.runtime.watchdog import checkpoint
 
 if TYPE_CHECKING:  # import cycle: assembly.pipeline uses this module
@@ -51,7 +52,7 @@ class _ScratchRows:
 
     def take(self) -> RowAddress:
         if not self._free:
-            raise MemoryError(f"scratch sub-array {self.key} exhausted")
+            raise AllocationError(f"scratch sub-array {self.key} exhausted")
         bank, mat, sub = self.key
         return RowAddress(bank=bank, mat=mat, subarray=sub, row=self._free.pop())
 
@@ -213,6 +214,9 @@ def _wallace_column_sum_bulk(
     sched = engine.scheduler
     sched.charge("MEM_WR", subarray_key, len(staged) + zero_planes)
     sched.charge("LATCH_LD", subarray_key, compressions)
+    # scalar equivalence: the final ripple_add zeroes its carry row
+    # with one charged AAP (RowClone off the constant row)
+    sched.charge("AAP1", subarray_key, 1)
     sched.fused_add(subarray_key, compressions + bits_needed)
     sched.charge("MEM_RD", subarray_key, bits_needed + 1)
     if ctrl._verifying() is not None:

@@ -258,6 +258,23 @@ def validate_trace_file(path: "str | Path") -> list[str]:
     return validate_chrome_trace(doc)
 
 
+def validate_trace_report(path: "str | Path"):
+    """Findings-model view of :func:`validate_trace_file`.
+
+    Each schema problem becomes a rule-``X001`` finding in the shared
+    :class:`~repro.analysis.findings.FindingReport` model, so the span
+    validator, the AAP trace verifier and the lint pass report (and
+    exit) through one vocabulary.  The legacy ``list[str]`` API above
+    stays for callers that assert on exact problem strings.
+    """
+    from repro.analysis.findings import FindingReport
+
+    report = FindingReport()
+    for problem in validate_trace_file(path):
+        report.add("X001", problem, source=str(path))
+    return report
+
+
 # ----- metrics snapshot ------------------------------------------------------
 
 

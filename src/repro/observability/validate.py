@@ -1,33 +1,36 @@
 """Trace-schema validation CLI: ``python -m repro.observability.validate``.
 
-Exits 0 when every given trace file is well-formed Chrome trace-event
-JSON with strictly nested ``B``/``E`` pairs, 1 otherwise (printing each
-problem).  CI runs this against the smoke trace the hotpath job emits.
+Exits through the shared static-analysis taxonomy
+(:mod:`repro.analysis.findings`): 0 when every given trace file is
+well-formed Chrome trace-event JSON with strictly nested ``B``/``E``
+pairs, 1 when any file has findings (each printed), 2 on usage errors.
+CI runs this against the smoke trace the hotpath job emits.
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.observability.export import validate_trace_file
+from repro.analysis.findings import EXIT_INPUT, FindingReport
+from repro.observability.export import validate_trace_report
 
 
 def main(argv: "list[str] | None" = None) -> int:
     paths = sys.argv[1:] if argv is None else argv
     if not paths:
         print("usage: python -m repro.observability.validate TRACE.json ...")
-        return 2
-    failures = 0
+        return EXIT_INPUT
+    combined = FindingReport()
     for path in paths:
-        problems = validate_trace_file(path)
-        if problems:
-            failures += 1
+        report = validate_trace_report(path)
+        combined.extend(report)
+        if report.findings:
             print(f"{path}: INVALID")
-            for problem in problems:
-                print(f"  - {problem}")
+            for finding in report:
+                print(f"  - {finding.message}")
         else:
             print(f"{path}: ok")
-    return 1 if failures else 0
+    return combined.exit_code
 
 
 if __name__ == "__main__":

@@ -174,6 +174,22 @@ class JobDecision:
             "batch_reads": self.batch_reads,
         }
 
+    @classmethod
+    def from_state(cls, state: dict) -> "JobDecision":
+        return cls(
+            stage=str(state["stage"]),
+            attempt=int(state["attempt"]),
+            action=str(state["action"]),
+            error=str(state["error"]),
+            backoff_s=float(state["backoff_s"]),
+            engine=str(state["engine"]),
+            batch_reads=(
+                None
+                if state.get("batch_reads") is None
+                else int(state["batch_reads"])
+            ),
+        )
+
 
 @dataclass
 class JobReport:

@@ -1,0 +1,120 @@
+"""The ``verify-trace`` CLI and ``assemble --aap-trace-out`` recording."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def simulated(tmp_path):
+    out = tmp_path / "sim"
+    rc = main(
+        [
+            "simulate",
+            "-o",
+            str(out),
+            "--length",
+            "300",
+            "--coverage",
+            "5",
+            "--read-length",
+            "40",
+            "--seed",
+            "3",
+        ]
+    )
+    assert rc == 0
+    return out
+
+
+@pytest.mark.parametrize("exec_engine", ["scalar", "bulk"])
+def test_assemble_records_verifiable_trace(simulated, tmp_path, exec_engine):
+    trace = tmp_path / f"trace_{exec_engine}.json"
+    rc = main(
+        [
+            "assemble",
+            str(simulated / "reads.fq"),
+            "-o",
+            str(tmp_path / "contigs.fa"),
+            "-k",
+            "13",
+            "--exec-engine",
+            exec_engine,
+            "--aap-trace-out",
+            str(trace),
+        ]
+    )
+    assert rc == 0
+    assert trace.exists()
+    assert main(["verify-trace", str(trace)]) == 0
+
+
+def test_verify_trace_flags_seeded_hazard(simulated, tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    rc = main(
+        [
+            "assemble",
+            str(simulated / "reads.fq"),
+            "-o",
+            str(tmp_path / "contigs.fa"),
+            "-k",
+            "13",
+            "--aap-trace-out",
+            str(trace),
+        ]
+    )
+    assert rc == 0
+    doc = json.loads(trace.read_text())
+    # seed a read of an uninitialised compute row at the stream head
+    compute_row = doc["geometry"]["data_rows"] + 2
+    doc["commands"].insert(
+        0, {"op": "AAP1", "sub": [0, 0, 0], "rows": [compute_row, 5]}
+    )
+    trace.write_text(json.dumps(doc))
+    assert main(["verify-trace", str(trace)]) == 1
+    err = capsys.readouterr().err
+    assert "[V003]" in err
+
+
+def test_verify_trace_rejects_garbage_with_input_exit(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"format": "something-else"}')
+    assert main(["verify-trace", str(bad)]) == 2
+
+
+def test_verify_trace_missing_file_is_input_error(tmp_path):
+    assert main(["verify-trace", str(tmp_path / "absent.json")]) == 2
+
+
+def test_aap_trace_out_requires_pim_engine(simulated, tmp_path):
+    rc = main(
+        [
+            "assemble",
+            str(simulated / "reads.fq"),
+            "-o",
+            str(tmp_path / "contigs.fa"),
+            "--engine",
+            "software",
+            "--aap-trace-out",
+            str(tmp_path / "trace.json"),
+        ]
+    )
+    assert rc == 2
+
+
+def test_aap_trace_out_rejects_job_mode(simulated, tmp_path):
+    rc = main(
+        [
+            "assemble",
+            str(simulated / "reads.fq"),
+            "-o",
+            str(tmp_path / "contigs.fa"),
+            "--job-dir",
+            str(tmp_path / "job"),
+            "--aap-trace-out",
+            str(tmp_path / "trace.json"),
+        ]
+    )
+    assert rc == 2

@@ -1,0 +1,64 @@
+"""The shared findings model."""
+
+from repro.analysis.findings import (
+    EXIT_FINDINGS,
+    EXIT_INPUT,
+    EXIT_OK,
+    EXIT_RUNTIME,
+    Finding,
+    FindingReport,
+    Severity,
+)
+
+
+def test_exit_code_taxonomy_matches_cli():
+    from repro.cli import EXIT_INPUT_ERROR, EXIT_RUNTIME_ERROR
+
+    assert EXIT_OK == 0
+    assert EXIT_FINDINGS == 1
+    assert EXIT_INPUT == EXIT_INPUT_ERROR == 2
+    assert EXIT_RUNTIME == EXIT_RUNTIME_ERROR == 3
+
+
+def test_finding_str_with_location():
+    f = Finding(rule="V003", message="boom", source="trace.json", location=7)
+    assert str(f) == "trace.json:7: error: [V003] boom"
+
+
+def test_finding_str_without_location_or_source():
+    f = Finding(rule="L001", message="clock")
+    assert str(f) == "<input>: error: [L001] clock"
+
+
+def test_empty_report_is_ok_and_exits_zero():
+    report = FindingReport()
+    assert report.ok
+    assert report.exit_code == EXIT_OK
+    assert len(report) == 0
+    assert report.render() == ""
+
+
+def test_error_finding_fails_the_report():
+    report = FindingReport()
+    report.add("V001", "bad")
+    assert not report.ok
+    assert report.exit_code == EXIT_FINDINGS
+    assert report.rules() == {"V001"}
+
+
+def test_warnings_do_not_affect_exit_code():
+    report = FindingReport()
+    report.add("V999", "soft", severity=Severity.WARNING)
+    assert report.ok
+    assert report.exit_code == EXIT_OK
+    assert len(report) == 1
+    assert report.errors() == []
+
+
+def test_extend_merges_in_order():
+    a = FindingReport()
+    a.add("V001", "first")
+    b = FindingReport()
+    b.add("L004", "second")
+    a.extend(b)
+    assert [f.rule for f in a] == ["V001", "L004"]

@@ -1,0 +1,199 @@
+"""The repo-invariant AST lint pass."""
+
+from pathlib import Path
+
+from repro.analysis.findings import FindingReport
+from repro.analysis.lint import lint_file, lint_tree
+
+
+def run_lint(tmp_path: Path, relpath: str, source: str) -> FindingReport:
+    """Lint one crafted module as if it lived at src/repro/<relpath>."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    report = FindingReport()
+    lint_file(path, tmp_path, report)
+    return report
+
+
+def test_real_repo_is_clean():
+    assert lint_tree().render() == ""
+
+
+def test_wall_clock_flagged_in_core(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "core/thing.py",
+        "import time\n\ndef f():\n    return time.perf_counter()\n",
+    )
+    assert report.rules() == {"L001"}
+    assert report.findings[0].location == 4
+
+
+def test_wall_clock_allowed_outside_deterministic_dirs(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "runtime/thing.py",
+        "import time\n\ndef f():\n    return time.monotonic()\n",
+    )
+    assert report.ok
+
+
+def test_unseeded_default_rng_flagged(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "assembly/thing.py",
+        "import numpy as np\n\ndef f():\n    return np.random.default_rng()\n",
+    )
+    assert report.rules() == {"L002"}
+
+
+def test_seeded_default_rng_allowed(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "assembly/thing.py",
+        "import numpy as np\n\ndef f(seed):\n"
+        "    return np.random.default_rng(seed)\n",
+    )
+    assert report.ok
+
+
+def test_legacy_global_rng_flagged(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "core/thing.py",
+        "import numpy as np\n\ndef f():\n    return np.random.randint(4)\n",
+    )
+    assert report.rules() == {"L002"}
+
+
+def test_stdlib_random_flagged(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "core/thing.py",
+        "import random\n\ndef f():\n    return random.random()\n",
+    )
+    assert report.rules() == {"L002"}
+
+
+def test_raw_read_row_flagged_on_hot_path(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "assembly/hashmap.py",
+        "def grab(sub, row):\n    return sub.read_row(row)\n",
+    )
+    assert report.rules() == {"L003"}
+
+
+def test_controller_read_row_allowed_on_hot_path(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "assembly/hashmap.py",
+        "def grab(ctrl, addr):\n    return ctrl.read_row(addr)\n",
+    )
+    assert report.ok
+
+
+def test_allowlisted_function_keeps_its_shadow_read(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "assembly/hashmap.py",
+        "def _write_counter(sub, row):\n    return sub.read_row(row)\n",
+    )
+    assert report.ok
+
+
+def test_read_row_ignored_off_the_hot_path(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "eval/thing.py",
+        "def grab(sub, row):\n    return sub.read_row(row)\n",
+    )
+    assert report.ok
+
+
+def test_raw_runtime_error_raise_flagged(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "core/thing.py",
+        "def f():\n    raise RuntimeError('nope')\n",
+    )
+    assert report.rules() == {"L004"}
+
+
+def test_taxonomy_and_guard_raises_allowed(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "core/thing.py",
+        "from repro.errors import CapacityError\n\n"
+        "def f(n):\n"
+        "    if n < 0:\n"
+        "        raise ValueError('n must be >= 0')\n"
+        "    raise CapacityError('full')\n",
+    )
+    assert report.ok
+
+
+def test_bare_reraise_allowed(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "core/thing.py",
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception:\n"
+        "        raise\n",
+    )
+    assert report.ok
+
+
+def test_errors_module_itself_is_exempt(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "errors.py",
+        "def f():\n    raise RuntimeError('bootstrapping')\n",
+    )
+    assert report.ok
+
+
+def test_state_dict_without_restore_flagged(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "runtime/thing.py",
+        "class Snapshotted:\n"
+        "    def state_dict(self):\n"
+        "        return {}\n",
+    )
+    assert report.rules() == {"L005"}
+
+
+def test_state_dict_with_from_state_allowed(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "runtime/thing.py",
+        "class Snapshotted:\n"
+        "    def state_dict(self):\n"
+        "        return {}\n"
+        "    @classmethod\n"
+        "    def from_state(cls, state):\n"
+        "        return cls()\n",
+    )
+    assert report.ok
+
+
+def test_state_dict_with_load_state_allowed(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "runtime/thing.py",
+        "class Snapshotted:\n"
+        "    def state_dict(self):\n"
+        "        return {}\n"
+        "    def load_state(self, state):\n"
+        "        pass\n",
+    )
+    assert report.ok
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    report = run_lint(tmp_path, "core/broken.py", "def f(:\n")
+    assert report.rules() == {"L000"}

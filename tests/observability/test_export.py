@@ -205,3 +205,40 @@ class TestHeatmap:
 
     def test_format_empty(self):
         assert "no sub-array" in format_subarray_heatmap([])
+
+
+class TestUnifiedFindings:
+    """The span validator reports through the shared findings model."""
+
+    def test_valid_file_yields_empty_report(self, tmp_path):
+        from repro.observability.export import validate_trace_report
+
+        path = write_chrome_trace(tmp_path / "t.json", _tracer_with_run())
+        report = validate_trace_report(path)
+        assert report.ok and report.exit_code == 0
+
+    def test_problems_become_x001_findings(self, tmp_path):
+        import json
+
+        from repro.observability.export import validate_trace_report
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": "nope"}))
+        report = validate_trace_report(path)
+        assert report.rules() == {"X001"}
+        assert report.exit_code == 1
+        assert report.findings[0].source == str(path)
+
+    def test_validate_cli_exit_codes(self, tmp_path, capsys):
+        import json
+
+        from repro.analysis.findings import EXIT_FINDINGS, EXIT_INPUT, EXIT_OK
+        from repro.observability.validate import main
+
+        good = write_chrome_trace(tmp_path / "good.json", _tracer_with_run())
+        assert main([str(good)]) == EXIT_OK
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": "nope"}))
+        assert main([str(bad)]) == EXIT_FINDINGS
+        assert "INVALID" in capsys.readouterr().out
+        assert main([]) == EXIT_INPUT
