@@ -1,0 +1,214 @@
+"""Perf trajectory for the multi-tenant service scheduler.
+
+Measures the service layer's *overhead* — scheduling rounds, admission
+checks, worker handoff — against running the same jobs serially
+through bare ``JobRunner``s, and records the scaling from 1 to N
+workers.  Writes ``BENCH_service.json`` so future scheduler changes
+have a recorded baseline.
+
+The assertable claims (``--check``):
+
+* dispatching through the service must cost < 100% over bare serial
+  runners at 1 worker (the scheduler is bookkeeping, not work);
+* with 2 workers the scheduler must grant 2 jobs inside a single
+  round (the pool genuinely overlaps dispatches) without inflating
+  wall time — the simulator is GIL-bound pure Python, so overlapped
+  threads buy scheduling concurrency, not wall-clock speedup;
+* results are bit-identical to serial execution, whatever the worker
+  count.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+MAX_OVERHEAD_FRACTION = 1.0  # service/serial - 1 at 1 worker, quick sizes
+MAX_CONCURRENCY_PENALTY = 1.5  # 2w wall may not exceed 1.5x the 1w wall
+
+
+def build_jobs(tenants: int, per_tenant: int, genome_bp: int):
+    from repro.genome.reads import ReadSimulator
+    from repro.genome.reference import synthetic_chromosome
+
+    jobs = []
+    for t in range(tenants):
+        for i in range(per_tenant):
+            seed = 1000 + 17 * t + i
+            reference = synthetic_chromosome(genome_bp, seed=seed)
+            sim = ReadSimulator(read_length=40, seed=seed + 1)
+            reads = sim.sample(
+                reference, sim.reads_for_coverage(genome_bp, 6)
+            )
+            jobs.append((f"tenant-{t}", f"job-{i}", list(reads)))
+    return jobs
+
+
+def contigs_of(outcome):
+    return [(c.name, str(c.sequence)) for c in outcome.result.contigs]
+
+
+def bench_serial(jobs, k: int, tmp: Path) -> dict:
+    from repro.runtime.jobs import JobConfig, JobRunner
+
+    config = JobConfig(k=k)
+    start = time.perf_counter()
+    results = {}
+    for tenant, name, reads in jobs:
+        outcome = JobRunner(
+            tmp / "serial" / tenant / name, config, sleep=lambda _s: None
+        ).run(reads)
+        results[f"{tenant}/{name}"] = contigs_of(outcome)
+    return {"wall_s": time.perf_counter() - start, "results": results}
+
+
+def bench_service(jobs, k: int, workers: int, tmp: Path) -> dict:
+    from repro.runtime.jobs import JobConfig
+    from repro.service import AssemblyService, ServiceConfig, TenantQuota
+
+    config = JobConfig(k=k)
+    service = AssemblyService(
+        tmp / f"svc-{workers}",
+        ServiceConfig(
+            workers=workers,
+            default_quota=TenantQuota(max_queued=64, max_in_flight=workers),
+            max_total_queued=256,
+        ),
+        sleep=lambda _s: None,
+    )
+    start = time.perf_counter()
+    for tenant, name, reads in jobs:
+        service.submit(tenant, name, reads, config)
+    report = service.drain()
+    wall = time.perf_counter() - start
+    assert not report.failed and not report.shed
+    results = {
+        f"{t.tenant}/{t.name}": contigs_of(t.outcome)
+        for t in report.completed
+    }
+    per_round: dict = {}
+    for grant in report.grants:
+        per_round[grant.round] = per_round.get(grant.round, 0) + 1
+    return {
+        "wall_s": wall,
+        "rounds": report.rounds,
+        "grants": len(report.grants),
+        "peak_grants_per_round": max(per_round.values()),
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes (CI smoke)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on scheduler overhead, missing concurrency speedup, "
+        "or any divergence from serial results",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_service.json"
+        ),
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    k = 11
+    tenants, per_tenant = (3, 2) if args.quick else (4, 4)
+    genome_bp = 300 if args.quick else 800
+    jobs = build_jobs(tenants, per_tenant, genome_bp)
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        tmp = Path(tmp)
+        serial = bench_serial(jobs, k, tmp)
+        one = bench_service(jobs, k, workers=1, tmp=tmp)
+        two = bench_service(jobs, k, workers=2, tmp=tmp)
+
+    overhead = one["wall_s"] / serial["wall_s"] - 1.0
+    penalty = two["wall_s"] / one["wall_s"]
+    identical = (
+        serial["results"] == one["results"] == two["results"]
+    )
+    record = {
+        "benchmark": "service_throughput",
+        "mode": "quick" if args.quick else "full",
+        "jobs": len(jobs),
+        "tenants": tenants,
+        "serial_wall_s": serial["wall_s"],
+        "service_1w_wall_s": one["wall_s"],
+        "service_2w_wall_s": two["wall_s"],
+        "scheduler_overhead_fraction": overhead,
+        "two_worker_wall_ratio": penalty,
+        "rounds_1w": one["rounds"],
+        "rounds_2w": two["rounds"],
+        "peak_grants_per_round_1w": one["peak_grants_per_round"],
+        "peak_grants_per_round_2w": two["peak_grants_per_round"],
+        "bit_identical_to_serial": identical,
+        "max_overhead_floor": MAX_OVERHEAD_FRACTION,
+        "max_concurrency_penalty": MAX_CONCURRENCY_PENALTY,
+    }
+
+    print(
+        f"{len(jobs)} jobs / {tenants} tenants: serial "
+        f"{serial['wall_s'] * 1e3:7.1f} ms | service(1w) "
+        f"{one['wall_s'] * 1e3:7.1f} ms (overhead {overhead:+.1%}, "
+        f"peak {one['peak_grants_per_round']}/round) | service(2w) "
+        f"{two['wall_s'] * 1e3:7.1f} ms "
+        f"(peak {two['peak_grants_per_round']}/round)"
+    )
+    print(f"bit-identical to serial: {identical}")
+
+    out = Path(args.output)
+    out.write_text(json.dumps(record, indent=2) + "\n", encoding="ascii")
+    print(f"wrote {out}")
+
+    if args.check:
+        failures = []
+        if not identical:
+            failures.append("service results diverged from serial")
+        if overhead > MAX_OVERHEAD_FRACTION:
+            failures.append(
+                f"scheduler overhead {overhead:.1%} > "
+                f"{MAX_OVERHEAD_FRACTION:.0%}"
+            )
+        if one["peak_grants_per_round"] != 1:
+            failures.append(
+                "1 worker granted more than one job in a round "
+                f"({one['peak_grants_per_round']})"
+            )
+        if two["peak_grants_per_round"] < 2:
+            failures.append(
+                "2 workers never overlapped dispatches in a round "
+                f"(peak {two['peak_grants_per_round']})"
+            )
+        if penalty > MAX_CONCURRENCY_PENALTY:
+            failures.append(
+                f"2-worker wall {penalty:.2f}x the 1-worker wall "
+                f"(> {MAX_CONCURRENCY_PENALTY:.1f}x)"
+            )
+        if failures:
+            print("FAIL: " + "; ".join(failures))
+            return 1
+        print(
+            "OK: overhead bounded, workers overlap, results identical"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,10 @@ The subcommands cover the workflows a downstream user needs:
   (exit 1 on findings, 2 on an unreadable document);
 * ``pim-assembler inspect`` — post-hoc accounting of a journaled job
   directory (works on finished, crashed and timed-out jobs);
+* ``pim-assembler serve`` — drive a batch of jobs from a JSON manifest
+  through the multi-tenant assembly service (admission control, fair
+  scheduling, crash-resume, graceful degradation); exit 4 when
+  submissions were shed by admission control;
 * ``pim-assembler simulate`` — generate a synthetic reference and a
   read set (single- or paired-end) for experiments;
 * ``pim-assembler experiments`` — regenerate the paper's tables and
@@ -130,6 +134,33 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=50,
         help="cap on findings printed per document (all are counted)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a batch of assembly jobs through the multi-tenant "
+        "service (per-tenant quotas, fair scheduling, crash-resume, "
+        "graceful degradation); exit 4 if admission shed submissions",
+    )
+    serve.add_argument(
+        "manifest",
+        help="JSON batch manifest: {workers, tenants: {name: quota}, "
+        "jobs: [{tenant, name, reads, k, ...}]} — see docs/ARCHITECTURE.md",
+    )
+    serve.add_argument(
+        "--job-root",
+        help="directory for the per-job journals "
+        "(default: <manifest>.jobs/ next to the manifest)",
+    )
+    serve.add_argument(
+        "--trace-out",
+        help="write the service's span timeline (service lane included) "
+        "as Chrome/Perfetto trace-event JSON",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        help="write the service's metrics snapshot (queue depths, "
+        "per-tenant latency histograms, shed/trip counters) as JSON",
     )
 
     inspect_cmd = sub.add_parser(
@@ -265,6 +296,14 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         raise InputError(f"--min-count must be >= 1 (got {args.min_count})")
     if args.resume and not args.job_dir:
         raise InputError("--resume requires --job-dir")
+    for name, value in (
+        ("--stage-timeout", args.stage_timeout),
+        ("--job-timeout", args.job_timeout),
+    ):
+        if value is not None and value <= 0:
+            raise InputError(
+                f"{name} must be a positive number of seconds (got {value})"
+            )
     if (args.stage_timeout or args.job_timeout) and not args.job_dir:
         raise InputError("--stage-timeout/--job-timeout require --job-dir")
     if args.job_dir and args.engine != "pim":
@@ -419,6 +458,156 @@ def _cmd_verify_trace(args: argparse.Namespace) -> int:
             f"{len(doc.charge_log)} charges — {status}"
         )
     return EXIT_OK if total == 0 else EXIT_FINDINGS
+
+
+def _parse_serve_manifest(path: str) -> dict:
+    """Load and structurally validate a ``serve`` batch manifest."""
+    import json
+
+    from repro.errors import InputError
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise InputError(f"manifest not found: {path}")
+    except OSError as exc:
+        raise InputError(f"cannot open {path}: {exc}")
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise InputError(f"manifest {path} is not valid JSON: {exc}")
+    if not isinstance(manifest, dict):
+        raise InputError(f"manifest {path} must be a JSON object")
+    jobs = manifest.get("jobs")
+    if not isinstance(jobs, list) or not jobs:
+        raise InputError(
+            f"manifest {path} needs a non-empty 'jobs' list"
+        )
+    for i, job in enumerate(jobs):
+        if not isinstance(job, dict):
+            raise InputError(f"manifest job #{i} must be a JSON object")
+        for key in ("tenant", "reads"):
+            if not isinstance(job.get(key), str) or not job.get(key):
+                raise InputError(
+                    f"manifest job #{i} needs a non-empty string {key!r}"
+                )
+    tenants = manifest.get("tenants", {})
+    if not isinstance(tenants, dict):
+        raise InputError(
+            f"manifest {path}: 'tenants' must map tenant -> quota object"
+        )
+    return manifest
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
+    from repro.errors import AdmissionError, InputError
+    from repro.genome.io_fasta import FastaRecord, write_fasta
+    from repro.runtime.jobs import JobConfig
+    from repro.service import AssemblyService, ServiceConfig, TenantQuota
+
+    manifest_path = Path(args.manifest)
+    manifest = _parse_serve_manifest(args.manifest)
+    base = manifest_path.resolve().parent
+
+    def resolved(value: str) -> Path:
+        p = Path(value)
+        return p if p.is_absolute() else base / p
+
+    try:
+        quotas = {
+            tenant: TenantQuota(**entry)
+            for tenant, entry in manifest.get("tenants", {}).items()
+        }
+        config = ServiceConfig(
+            workers=int(manifest.get("workers", 2)),
+            max_total_queued=int(manifest.get("max_total_queued", 64)),
+            max_dispatches=int(manifest.get("max_dispatches", 3)),
+            degrade_engine_depth=manifest.get("degrade_engine_depth"),
+            degrade_batch_depth=manifest.get("degrade_batch_depth"),
+            seed=int(manifest.get("seed", 0)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise InputError(f"manifest {args.manifest}: {exc}")
+
+    job_root = (
+        Path(args.job_root)
+        if args.job_root
+        else manifest_path.with_name(manifest_path.name + ".jobs")
+    )
+    session = None
+    if args.trace_out or args.metrics_out:
+        from repro.observability.session import ObservabilitySession
+
+        session = ObservabilitySession()
+
+    service = AssemblyService(job_root, config, quotas)
+    entries: dict[str, dict] = {}
+    submit_errors = 0
+
+    with ExitStack() as stack:
+        if session is not None:
+            stack.enter_context(session.activate())
+        for i, job in enumerate(manifest["jobs"]):
+            tenant = job["tenant"]
+            name = str(job.get("name") or f"job-{i:03d}")
+            reads_path = resolved(job["reads"])
+            try:
+                job_config = JobConfig(
+                    k=int(job.get("k", 21)),
+                    min_count=int(job.get("min_count", 1)),
+                    min_contig_length=int(job.get("min_contig", 0)),
+                    engine=str(job.get("engine", "scalar")),
+                    resilience=job.get("resilience"),
+                )
+                try:
+                    input_bytes = reads_path.stat().st_size
+                except OSError:
+                    raise InputError(f"reads file not found: {reads_path}")
+                service.submit(
+                    tenant,
+                    name,
+                    lambda p=reads_path: _load_reads(str(p))[0],
+                    job_config,
+                    deadline_s=job.get("deadline_s"),
+                    stage_timeout_s=job.get("stage_timeout_s"),
+                    input_bytes=input_bytes,
+                )
+                entries[f"{tenant}/{name}"] = job
+            except AdmissionError as exc:
+                print(f"shed: {tenant}/{name}: [{exc.reason}] {exc}")
+            except (TypeError, ValueError) as exc:
+                submit_errors += 1
+                print(f"error: {tenant}/{name}: {exc}", file=sys.stderr)
+            except InputError as exc:
+                submit_errors += 1
+                print(f"error: {tenant}/{name}: {exc}", file=sys.stderr)
+        report = service.drain()
+
+    for ticket in report.tickets:
+        line = ticket.describe()
+        job = entries.get(f"{ticket.tenant}/{ticket.name}", {})
+        output = job.get("output")
+        if ticket.outcome is not None and output:
+            out_path = resolved(str(output))
+            contigs = ticket.outcome.result.contigs
+            write_fasta(
+                out_path,
+                [FastaRecord(c.name, str(c.sequence)) for c in contigs],
+            )
+            line += f" -> {out_path}"
+        print(line)
+    print(report)
+    if session is not None:
+        for path in session.export(
+            trace_path=args.trace_out, metrics_path=args.metrics_out
+        ):
+            print(f"observability: wrote {path}")
+    if report.failed or submit_errors:
+        return EXIT_RUNTIME_ERROR
+    if report.shed:
+        return EXIT_ADMISSION
+    return 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -606,6 +795,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 #: exit codes of the typed error families (0 = success)
 EXIT_INPUT_ERROR = 2
 EXIT_RUNTIME_ERROR = 3
+#: admission control shed the work (matches findings.EXIT_ADMISSION)
+EXIT_ADMISSION = 4
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -614,16 +805,19 @@ def main(argv: list[str] | None = None) -> int:
     Typed library errors become one-line ``error: ...`` messages on
     stderr with a stable nonzero exit code — never a traceback:
     :class:`~repro.errors.InputError` exits ``2`` (unusable input),
-    every other :class:`~repro.errors.ReproError` exits ``3`` (e.g. a
+    :class:`~repro.errors.AdmissionError` exits ``4`` (the service shed
+    the work under load — retry later), and every other
+    :class:`~repro.errors.ReproError` exits ``3`` (e.g. a
     :class:`~repro.errors.StageTimeoutError`, after which the job
     journal remains resumable).
     """
-    from repro.errors import InputError, ReproError
+    from repro.errors import AdmissionError, InputError, ReproError
 
     args = _build_parser().parse_args(argv)
     handlers = {
         "assemble": _cmd_assemble,
         "verify-trace": _cmd_verify_trace,
+        "serve": _cmd_serve,
         "inspect": _cmd_inspect,
         "simulate": _cmd_simulate,
         "scaffold": _cmd_scaffold,
@@ -634,6 +828,9 @@ def main(argv: list[str] | None = None) -> int:
     except InputError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_INPUT_ERROR
+    except AdmissionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ADMISSION
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_RUNTIME_ERROR

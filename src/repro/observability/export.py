@@ -39,7 +39,15 @@ __all__ = [
 ]
 
 #: preferred lane ordering (sort index in the viewer); unknown lanes follow
-LANE_ORDER = ("job", "hashmap", "debruijn", "traverse", "resilience", "watchdog")
+LANE_ORDER = (
+    "service",
+    "job",
+    "hashmap",
+    "debruijn",
+    "traverse",
+    "resilience",
+    "watchdog",
+)
 
 _PID = 1
 

@@ -25,6 +25,7 @@ feed metrics through two narrow, off-by-default channels:
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator, Protocol, runtime_checkable
 
@@ -40,8 +41,10 @@ __all__ = [
     "set_gauge",
 ]
 
-#: the currently active registry (single-threaded cooperative model)
-_ACTIVE: "MetricsRegistry | None" = None
+#: per-thread slot for the currently active registry — like the span
+#: tracer, activation is thread-scoped so concurrent service workers
+#: never interleave updates into one unsynchronized registry
+_TLS = threading.local()
 
 
 @runtime_checkable
@@ -218,34 +221,36 @@ class MetricsRegistry:
 
     @contextmanager
     def activate(self) -> Iterator["MetricsRegistry"]:
-        """Install this registry as the module-level helpers' target."""
-        global _ACTIVE
-        previous = _ACTIVE
-        _ACTIVE = self
+        """Install this registry as this thread's helpers' target."""
+        previous = getattr(_TLS, "registry", None)
+        _TLS.registry = self
         try:
             yield self
         finally:
-            _ACTIVE = previous
+            _TLS.registry = previous
 
 
 def active_registry() -> "MetricsRegistry | None":
-    """The registry currently installed by :meth:`MetricsRegistry.activate`."""
-    return _ACTIVE
+    """This thread's registry installed by :meth:`MetricsRegistry.activate`."""
+    return getattr(_TLS, "registry", None)
 
 
 def inc(name: str, amount: float = 1.0) -> None:
     """Bump a counter on the active registry (no-op when none)."""
-    if _ACTIVE is not None:
-        _ACTIVE.counter(name).inc(amount)
+    active = getattr(_TLS, "registry", None)
+    if active is not None:
+        active.counter(name).inc(amount)
 
 
 def observe(name: str, value: float) -> None:
     """Record a histogram observation on the active registry (no-op)."""
-    if _ACTIVE is not None:
-        _ACTIVE.histogram(name).observe(value)
+    active = getattr(_TLS, "registry", None)
+    if active is not None:
+        active.histogram(name).observe(value)
 
 
 def set_gauge(name: str, value: float) -> None:
     """Write a gauge on the active registry (no-op when none)."""
-    if _ACTIVE is not None:
-        _ACTIVE.gauge(name).set(value)
+    active = getattr(_TLS, "registry", None)
+    if active is not None:
+        active.gauge(name).set(value)

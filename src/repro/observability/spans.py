@@ -21,8 +21,10 @@ tracer they cost one global load and return a shared no-op context
 manager, so the instrumented hot paths carry no measurable overhead
 (the contract benchmarked by ``benchmarks/bench_observability_overhead``).
 
-Activation is a context manager over a module-global slot (the
-simulator is single-threaded), mirroring the watchdog's design::
+Activation is a context manager over a *thread-local* slot, mirroring
+the watchdog's design: each service worker thread traces (or doesn't)
+independently, so one tracer's span stack can never be corrupted by a
+concurrent job's nesting::
 
     tracer = Tracer(sim_clock=lambda: ledger.elapsed_ns())
     with tracer.activate():
@@ -32,6 +34,7 @@ simulator is single-threaded), mirroring the watchdog's design::
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -46,8 +49,8 @@ __all__ = [
     "span",
 ]
 
-#: the currently active tracer (single-threaded cooperative model)
-_ACTIVE: "Tracer | None" = None
+#: per-thread slot for the currently active tracer
+_TLS = threading.local()
 
 #: lane a root span lands in when none is given
 DEFAULT_LANE = "job"
@@ -224,19 +227,18 @@ class Tracer:
 
     @contextmanager
     def activate(self) -> Iterator["Tracer"]:
-        """Install this tracer as the process-wide :func:`span` target."""
-        global _ACTIVE
-        previous = _ACTIVE
-        _ACTIVE = self
+        """Install this tracer as this thread's :func:`span` target."""
+        previous = getattr(_TLS, "tracer", None)
+        _TLS.tracer = self
         try:
             yield self
         finally:
-            _ACTIVE = previous
+            _TLS.tracer = previous
 
 
 def active_tracer() -> "Tracer | None":
-    """The tracer currently installed by :meth:`Tracer.activate`."""
-    return _ACTIVE
+    """This thread's tracer installed by :meth:`Tracer.activate`."""
+    return getattr(_TLS, "tracer", None)
 
 
 def span(name: str, lane: "str | None" = None, **attributes):
@@ -244,15 +246,17 @@ def span(name: str, lane: "str | None" = None, **attributes):
 
     The instrumented call sites across the pipeline, job runtime,
     scheduler and controller all route through here, so disabling
-    observability (the default) reduces them to one global check.
+    observability (the default) reduces them to one thread-local check.
     """
-    if _ACTIVE is None:
+    active = getattr(_TLS, "tracer", None)
+    if active is None:
         return _NOOP
-    return _ACTIVE.span(name, lane=lane, **attributes)
+    return active.span(name, lane=lane, **attributes)
 
 
 def event(name: str, lane: "str | None" = None, **attributes) -> "SpanEvent | None":
     """Record an instant event on the active tracer (no-op when none)."""
-    if _ACTIVE is None:
+    active = getattr(_TLS, "tracer", None)
+    if active is None:
         return None
-    return _ACTIVE.event(name, lane=lane, **attributes)
+    return active.event(name, lane=lane, **attributes)

@@ -5,6 +5,7 @@ Layout of a job directory::
     <job>/
       job.json            immutable job configuration (written once)
       MANIFEST            append-only index: "<seq> <stage> <file> <sha256>"
+      MANIFEST.lock       advisory exclusive runner lock (flock)
       records/<file>      one JSON record per journaled stage boundary
       decisions.jsonl     append-only retry/degradation decision log
 
@@ -31,16 +32,23 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator
 
-from repro.errors import JournalError
+try:  # pragma: no cover - POSIX only; the lock degrades to a no-op
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+from repro.errors import JournalError, JournalLockedError
 from repro.observability.metrics import inc, observe
 from repro.observability.spans import event
 
 __all__ = [
     "JobJournal",
+    "JournalLock",
     "RecordRef",
     "graph_state",
     "graph_from_state",
@@ -77,6 +85,63 @@ class RecordRef:
     sha256: str
 
 
+class JournalLock:
+    """Advisory exclusive lock guarding a journal's MANIFEST.
+
+    Two live runners pointed at the same job directory would interleave
+    manifest appends and record writes; the second acquirer gets a
+    typed :class:`~repro.errors.JournalLockedError` instead.  The lock
+    is an ``flock`` on ``MANIFEST.lock``, which the kernel releases
+    when the holding process dies — including ``kill -9`` — so a
+    crashed job never leaves a stale lock behind and stays resumable.
+    On platforms without :mod:`fcntl` the lock degrades to a no-op.
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.path = self.root / "MANIFEST.lock"
+        self._fd: "int | None" = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self) -> None:
+        """Take the lock, or raise :class:`JournalLockedError`."""
+        if self._fd is not None:
+            raise JournalLockedError(
+                str(self.root), f"lock on {self.root} is already held"
+            )
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            self._fd = -1
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            raise JournalLockedError(str(self.root))
+        self._fd = fd
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        if fd >= 0:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    @contextmanager
+    def holding(self) -> Iterator["JournalLock"]:
+        self.acquire()
+        try:
+            yield self
+        finally:
+            self.release()
+
+
 class JobJournal:
     """The on-disk journal of one assembly job."""
 
@@ -86,6 +151,10 @@ class JobJournal:
         self.manifest_path = self.root / "MANIFEST"
         self.config_path = self.root / "job.json"
         self.decisions_path = self.root / "decisions.jsonl"
+
+    def lock(self) -> JournalLock:
+        """A fresh exclusive runner lock for this journal directory."""
+        return JournalLock(self.root)
 
     # ----- creation ---------------------------------------------------------
 

@@ -16,7 +16,8 @@ one job:
   checkpoints inside the hashmap/adjacency/euler loops; the raised
   :class:`~repro.errors.StageTimeoutError` always leaves a resumable
   journal behind;
-* a retry ladder with capped exponential backoff degrades the job the
+* a retry ladder with capped, fingerprint-seeded jittered backoff
+  degrades the job the
   same way :class:`~repro.core.resilience.ResiliencePolicy` degrades an
   op — one level up: **bulk engine → scalar replay → reduced batch
   size → quarantine-and-continue** — rolling the stage back to its
@@ -27,6 +28,7 @@ one job:
 from __future__ import annotations
 
 import hashlib
+import random
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -119,12 +121,26 @@ class JobConfig:
     max_attempts: int = 4
     backoff_base_s: float = 0.05
     backoff_cap_s: float = 2.0
+    #: fractional spread of the seeded backoff jitter: each capped
+    #: exponential delay is scaled by a factor in ``[1-j, 1+j]`` drawn
+    #: from an RNG seeded by the job's input fingerprint, so a fleet of
+    #: concurrent jobs never retries in lockstep yet every single job's
+    #: delays replay exactly from its own identity
+    backoff_jitter: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
             raise ValueError("backoff parameters must be non-negative")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be within [0, 1]")
+        for name, value in (
+            ("stage_timeout_s", self.stage_timeout_s),
+            ("job_timeout_s", self.job_timeout_s),
+        ):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive (got {value})")
         if self.resilience is not None and not isinstance(
             self.resilience, ResiliencePolicy
         ):
@@ -284,6 +300,7 @@ class JobRunner:
         self._runtime = _RuntimeSettings(
             engine=config.engine, batch_reads=config.batch_reads
         )
+        self._backoff_rng: "random.Random | None" = None
         self.report = JobReport(
             job_dir=str(job_dir),
             final_engine=config.engine,
@@ -298,12 +315,22 @@ class JobRunner:
         Raises:
             JournalError: resume requested without (or against a
                 mismatched) journal, or fresh start into an existing one.
+            JournalLockedError: another live runner holds this job
+                directory's exclusive lock (double-resume hazard).
             StageTimeoutError: a deadline expired; the journal still
                 holds the last completed boundary — resume later.
             JobFailedError: the retry ladder was exhausted.
         """
         reads = list(reads)
         fingerprint = reads_fingerprint(reads)
+        # backoff jitter replays deterministically from the job identity
+        self._backoff_rng = random.Random(int(fingerprint[:16], 16))
+        with self.journal.lock().holding():
+            return self._run_locked(reads, fingerprint, resume)
+
+    def _run_locked(
+        self, reads: list, fingerprint: str, resume: bool
+    ) -> JobOutcome:
         record = self._open_journal(reads, fingerprint, resume)
 
         if record is not None and record[0].stage == RESULT_STAGE:
@@ -518,10 +545,7 @@ class JobRunner:
                 if attempt >= self.config.max_attempts:
                     self._decide(stage, attempt, "give-up", exc, 0.0)
                     raise JobFailedError(stage, attempt, exc) from exc
-                backoff = min(
-                    self.config.backoff_cap_s,
-                    self.config.backoff_base_s * (2 ** (attempt - 1)),
-                )
+                backoff = self._backoff(attempt)
                 action = self._degrade(exc)
                 self._decide(stage, attempt, action, exc, backoff)
                 inc("job.retries")
@@ -540,6 +564,25 @@ class JobRunner:
         else:
             with watchdog.stage(stage):
                 runner()
+
+    def _backoff(self, attempt: int) -> float:
+        """Capped exponential delay with seeded, reproducible jitter.
+
+        The exponential ramp is scaled by a factor drawn uniformly from
+        ``[1 - jitter, 1 + jitter]`` on the fingerprint-seeded RNG —
+        concurrent jobs with different inputs spread out instead of
+        retrying in lockstep, while re-running one job replays its
+        exact delay sequence.  The cap bounds the jittered value too.
+        """
+        backoff = min(
+            self.config.backoff_cap_s,
+            self.config.backoff_base_s * (2 ** (attempt - 1)),
+        )
+        jitter = self.config.backoff_jitter
+        if jitter > 0.0 and backoff > 0.0 and self._backoff_rng is not None:
+            backoff *= 1.0 + jitter * (2.0 * self._backoff_rng.random() - 1.0)
+            backoff = min(self.config.backoff_cap_s, backoff)
+        return backoff
 
     def _degrade(self, error: BaseException) -> str:
         """Pick the next ladder rung; mutate the runtime settings.

@@ -11,8 +11,9 @@ valid resume point when the error unwinds.
 
 The poll is designed to be cheap enough for per-k-mer call sites: every
 call bumps a counter, and only every ``stride``-th call reads the
-clock.  Activation is a context manager over a module-global slot (the
-simulator is single-threaded), so deep loops need no plumbing::
+clock.  Activation is a context manager over a *thread-local* slot, so
+deep loops need no plumbing and each service worker thread enforces
+its own job's budgets without cross-talk::
 
     wd = Watchdog(stage_budget_s=30.0)
     with wd.active(), wd.stage("hashmap"):
@@ -25,6 +26,7 @@ every poll *before* the deadline check.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Iterator, Mapping
 from contextlib import contextmanager
@@ -34,19 +36,21 @@ from repro.observability.spans import event
 
 __all__ = ["Watchdog", "checkpoint", "active_watchdog"]
 
-#: the currently active watchdog (single-threaded cooperative model)
-_ACTIVE: "Watchdog | None" = None
+#: per-thread slot for the currently active watchdog — each service
+#: worker thread cancels only its own job
+_TLS = threading.local()
 
 
 def checkpoint() -> None:
     """Cancellation point: cheap no-op unless a watchdog is active."""
-    if _ACTIVE is not None:
-        _ACTIVE.tick()
+    active = getattr(_TLS, "watchdog", None)
+    if active is not None:
+        active.tick()
 
 
 def active_watchdog() -> "Watchdog | None":
-    """The watchdog currently installed by :meth:`Watchdog.active`."""
-    return _ACTIVE
+    """This thread's watchdog installed by :meth:`Watchdog.active`."""
+    return getattr(_TLS, "watchdog", None)
 
 
 class Watchdog:
@@ -96,16 +100,15 @@ class Watchdog:
 
     @contextmanager
     def active(self) -> Iterator["Watchdog"]:
-        """Install this watchdog as the process-wide cancellation target."""
-        global _ACTIVE
-        previous = _ACTIVE
-        _ACTIVE = self
+        """Install this watchdog as this thread's cancellation target."""
+        previous = getattr(_TLS, "watchdog", None)
+        _TLS.watchdog = self
         if self._job_start is None:
             self._job_start = self.clock()
         try:
             yield self
         finally:
-            _ACTIVE = previous
+            _TLS.watchdog = previous
 
     def start_job(self) -> None:
         """(Re)start the whole-job clock; resume carries budgets over."""

@@ -1,0 +1,116 @@
+"""Bounded per-tenant FIFO queues and a round-robin fair arbiter.
+
+The queueing discipline is deliberately simple and analyzable:
+
+* every tenant owns one bounded FIFO — jobs within a tenant run in
+  submission order, and a tenant that floods the service fills *its
+  own* queue, never a shared one;
+* a pointer-based round-robin arbiter (the software twin of migen's
+  ``corelogic.roundrobin`` with the switch policy ``SP_CE``) picks
+  which tenant's head-of-queue job is dispatched next: the grant
+  pointer advances to the next *requesting* tenant strictly after the
+  previously granted one, so with ``T`` tenants requesting, each is
+  granted at least once in any window of ``T`` consecutive grants.
+
+That last property is the service's **fairness bound**: no tenant with
+dispatchable work waits more than ``T`` grants between grants — it is
+asserted by the chaos harness (:mod:`repro.service.chaos`) and the
+scheduler tests, not just documented.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Collection, Deque, Generic, Iterable, TypeVar
+
+__all__ = ["BoundedFifo", "RoundRobinArbiter"]
+
+T = TypeVar("T")
+
+
+class BoundedFifo(Generic[T]):
+    """A FIFO with a hard capacity; the *caller* decides what a full
+    queue means (the admission controller sheds, it never blocks)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1 (got {capacity})")
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def push(self, item: T) -> None:
+        if self.full:
+            raise OverflowError(
+                f"queue is at capacity ({self.capacity}); admission "
+                "control must shed before pushing"
+            )
+        self._items.append(item)
+
+    def requeue(self, item: T) -> None:
+        """Put a popped item back at the *front* (FIFO order preserved).
+
+        Used when a dispatched job must return to its queue (crash or
+        timeout resume): the job was already admitted, so this may
+        transiently exceed ``capacity`` if the tenant refilled its
+        queue while the job ran — admission still sheds new work.
+        """
+        self._items.appendleft(item)
+
+    def peek(self) -> "T | None":
+        return self._items[0] if self._items else None
+
+    def pop(self) -> T:
+        return self._items.popleft()
+
+
+class RoundRobinArbiter:
+    """Pointer-based round-robin over registered tenant slots.
+
+    Mirrors the migen round-robin core: tenants occupy fixed slots in
+    registration order; :meth:`grant` scans cyclically starting *after*
+    the last granted slot and returns the first tenant that is
+    currently requesting.  A tenant that is not requesting is skipped
+    without consuming its turn.
+    """
+
+    def __init__(self, tenants: Iterable[str] = ()) -> None:
+        self._slots: list[str] = []
+        self._index: dict[str, int] = {}
+        # one before slot 0, so the very first scan starts at slot 0
+        self._pointer = -1
+        for tenant in tenants:
+            self.register(tenant)
+
+    def register(self, tenant: str) -> None:
+        """Give ``tenant`` a slot (idempotent; order is first-seen)."""
+        if tenant not in self._index:
+            self._index[tenant] = len(self._slots)
+            self._slots.append(tenant)
+
+    @property
+    def slots(self) -> tuple[str, ...]:
+        return tuple(self._slots)
+
+    def grant(self, requesting: Collection[str]) -> "str | None":
+        """The next requesting tenant after the previous grant, if any."""
+        count = len(self._slots)
+        if count == 0 or not requesting:
+            return None
+        wanted = set(requesting)
+        for step in range(1, count + 1):
+            index = (self._pointer + step) % count
+            tenant = self._slots[index]
+            if tenant in wanted:
+                self._pointer = index
+                return tenant
+        return None

@@ -252,7 +252,11 @@ class TestRetryLadder:
         self, reads, tmp_path, monkeypatch
     ):
         config = JobConfig(
-            k=K, engine="bulk", batch_reads=8, backoff_base_s=0.05
+            k=K,
+            engine="bulk",
+            batch_reads=8,
+            backoff_base_s=0.05,
+            backoff_jitter=0.0,
         )
         self.slept = []
         runner, flaky = self._flaky_runner(tmp_path, config, fail_times=2)
@@ -272,6 +276,7 @@ class TestRetryLadder:
             max_attempts=5,
             backoff_base_s=1.0,
             backoff_cap_s=2.5,
+            backoff_jitter=0.0,
         )
         runner, flaky = self._flaky_runner(tmp_path, config, fail_times=4)
         monkeypatch.setattr(PimPipeline, "run_hashmap", flaky)
@@ -305,6 +310,54 @@ class TestRetryLadder:
         assert [(c.name, str(c.sequence)) for c in out.result.contigs] == [
             (c.name, str(c.sequence)) for c in golden.result.contigs
         ]
+
+    def test_jitter_spreads_but_replays_from_the_job_seed(
+        self, reads, tmp_path, monkeypatch
+    ):
+        """Jittered delays stay in [base*(1-j), cap], and the sequence
+        is a pure function of the input fingerprint: the same job
+        re-run sleeps identically, a different job sleeps differently."""
+        config = JobConfig(
+            k=K,
+            max_attempts=5,
+            backoff_base_s=1.0,
+            backoff_cap_s=16.0,
+            backoff_jitter=0.25,
+        )
+        runner, flaky = self._flaky_runner(tmp_path, config, fail_times=3)
+        monkeypatch.setattr(PimPipeline, "run_hashmap", flaky)
+        runner.run(reads)
+        first = list(self.slept)
+        assert len(first) == 3
+        for attempt, slept in enumerate(first, start=1):
+            base = min(16.0, 1.0 * 2 ** (attempt - 1))
+            assert base * 0.75 <= slept <= min(16.0, base * 1.25)
+        assert first != [1.0, 2.0, 4.0]  # jitter actually moved them
+
+        runner2, flaky2 = self._flaky_runner(
+            tmp_path / "again", config, fail_times=3
+        )
+        monkeypatch.setattr(PimPipeline, "run_hashmap", flaky2)
+        runner2.run(reads)
+        assert self.slept == first  # reproducible from the job seed
+
+        other = make_reads(seed=99)
+        runner3, flaky3 = self._flaky_runner(
+            tmp_path / "other", config, fail_times=3
+        )
+        monkeypatch.setattr(PimPipeline, "run_hashmap", flaky3)
+        runner3.run(other)
+        assert self.slept != first  # different jobs do not lockstep
+
+    def test_jitter_config_is_validated(self):
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            JobConfig(k=K, backoff_jitter=1.5)
+
+    def test_nonpositive_budgets_are_rejected(self):
+        with pytest.raises(ValueError, match="stage_timeout_s"):
+            JobConfig(k=K, stage_timeout_s=0.0)
+        with pytest.raises(ValueError, match="job_timeout_s"):
+            JobConfig(k=K, job_timeout_s=-5.0)
 
     def test_decisions_are_journaled(self, reads, tmp_path, monkeypatch):
         config = JobConfig(k=K, engine="bulk", backoff_base_s=0.0)

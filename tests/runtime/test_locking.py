@@ -1,0 +1,96 @@
+"""The journal's exclusive runner lock (double-resume hazard)."""
+
+import threading
+
+import pytest
+
+from repro.errors import JournalError, JournalLockedError
+from repro.runtime.checkpoint import JournalLock
+from repro.runtime.jobs import JobConfig, JobRunner
+from repro.runtime.watchdog import Watchdog
+
+from .test_jobs import K, make_reads
+
+
+@pytest.fixture(scope="module")
+def reads():
+    return make_reads()
+
+
+class TestJournalLock:
+    def test_is_a_journal_error(self):
+        assert issubclass(JournalLockedError, JournalError)
+
+    def test_conflicts_across_handles(self, tmp_path):
+        first = JournalLock(tmp_path / "job")
+        second = JournalLock(tmp_path / "job")
+        with first.holding():
+            with pytest.raises(JournalLockedError) as info:
+                second.acquire()
+            assert info.value.job_dir == str(tmp_path / "job")
+        # released on exit: the second handle can take it now
+        with second.holding():
+            assert second.held
+
+    def test_reentrant_acquire_is_refused(self, tmp_path):
+        lock = JournalLock(tmp_path / "job")
+        lock.acquire()
+        try:
+            with pytest.raises(JournalLockedError):
+                lock.acquire()
+        finally:
+            lock.release()
+
+
+class TestRunnerLocking:
+    def test_runner_refuses_a_held_journal(self, reads, tmp_path):
+        job_dir = tmp_path / "job"
+        with JournalLock(job_dir).holding():
+            with pytest.raises(JournalLockedError):
+                JobRunner(job_dir, JobConfig(k=K)).run(reads)
+        # the refused attempt left nothing behind; a fresh run works
+        out = JobRunner(job_dir, JobConfig(k=K)).run(reads)
+        assert out.report.completed
+
+    def test_lock_released_after_completion(self, reads, tmp_path):
+        job_dir = tmp_path / "job"
+        JobRunner(job_dir, JobConfig(k=K)).run(reads)
+        again = JobRunner(job_dir, JobConfig(k=K)).resume(reads)
+        assert again.report.resumed_from == "result"
+
+    def test_concurrent_second_runner_is_locked_out(self, reads, tmp_path):
+        """A second live runner on the same --job-dir gets the typed
+        error instead of interleaving journal writes."""
+        job_dir = tmp_path / "job"
+        started = threading.Event()
+        release = threading.Event()
+        errors: list = []
+
+        def stall(ticks):
+            if ticks == 1:
+                started.set()
+                release.wait(timeout=30)
+
+        def victim():
+            try:
+                JobRunner(
+                    job_dir,
+                    JobConfig(k=K),
+                    watchdog=Watchdog(on_tick=stall),
+                ).run(reads)
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        worker = threading.Thread(target=victim)
+        worker.start()
+        try:
+            assert started.wait(timeout=30)
+            with pytest.raises(JournalLockedError):
+                JobRunner(job_dir, JobConfig(k=K)).resume(reads)
+        finally:
+            release.set()
+            worker.join(timeout=60)
+        assert not errors
+        # once the holder finished, resume rehydrates its result
+        out = JobRunner(job_dir, JobConfig(k=K)).resume(reads)
+        assert out.report.resumed_from == "result"

@@ -1,0 +1,37 @@
+"""Shared helpers for the service-layer tests."""
+
+import random
+
+import pytest
+
+from repro.genome.sequence import DnaSequence
+from repro.runtime.jobs import JobConfig, JobRunner
+
+K = 11
+
+
+def make_reads(seed: int = 11, genome_bp: int = 250):
+    rng = random.Random(seed)
+    genome = "".join(rng.choice("ACGT") for _ in range(genome_bp))
+    return [
+        DnaSequence(genome[i : i + 50]) for i in range(0, genome_bp - 50, 11)
+    ]
+
+
+def contigs_of(outcome):
+    return [(c.name, str(c.sequence)) for c in outcome.result.contigs]
+
+
+def baseline_contigs(tmp_path, reads, config: JobConfig):
+    """One undisturbed serial run of the same job."""
+    runner = JobRunner(
+        tmp_path / "baseline" / f"b{abs(hash(str(reads))) % 10**8}",
+        config,
+        sleep=lambda _s: None,
+    )
+    return contigs_of(runner.run(reads))
+
+
+@pytest.fixture()
+def no_sleep():
+    return lambda _s: None

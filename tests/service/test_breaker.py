@@ -1,0 +1,90 @@
+"""The per-tenant circuit breaker: trip, cool down, probe, recover."""
+
+import pytest
+
+from repro.errors import AdmissionError, CircuitOpenError
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def tripped(breaker, at_round=0):
+    for _ in range(breaker.failure_threshold):
+        breaker.on_failure(at_round)
+    assert breaker.state == OPEN
+    return breaker
+
+
+class TestTrip:
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker("t", failure_threshold=3, cooldown_rounds=4)
+        assert breaker.on_failure(0) is False
+        assert breaker.on_failure(0) is False
+        assert breaker.on_failure(0) is True
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker("t", failure_threshold=2, cooldown_rounds=4)
+        breaker.on_failure(0)
+        breaker.on_success()
+        breaker.on_failure(1)
+        assert breaker.state == CLOSED
+
+    def test_open_sheds_submissions_typed(self):
+        breaker = tripped(
+            CircuitBreaker("t", failure_threshold=1, cooldown_rounds=4)
+        )
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.check_submission(1)
+        assert isinstance(info.value, AdmissionError)
+        assert info.value.reason == "breaker-open"
+        assert info.value.retry_after_rounds == 3
+
+    def test_open_holds_dispatch_during_cooldown(self):
+        breaker = tripped(
+            CircuitBreaker("t", failure_threshold=1, cooldown_rounds=4)
+        )
+        assert not breaker.allows_dispatch(1)
+        assert not breaker.allows_dispatch(3)
+
+
+class TestHalfOpen:
+    def test_cooldown_elapses_into_single_probe(self):
+        breaker = tripped(
+            CircuitBreaker("t", failure_threshold=1, cooldown_rounds=4)
+        )
+        assert breaker.allows_dispatch(4)
+        assert breaker.state == HALF_OPEN
+        breaker.on_dispatch()
+        # only one probe outstanding at a time
+        assert not breaker.allows_dispatch(4)
+
+    def test_probe_success_closes(self):
+        breaker = tripped(
+            CircuitBreaker("t", failure_threshold=1, cooldown_rounds=2)
+        )
+        assert breaker.allows_dispatch(2)
+        breaker.on_dispatch()
+        breaker.on_success()
+        assert breaker.state == CLOSED
+        assert breaker.allows_dispatch(2)
+
+    def test_probe_failure_reopens_fresh_cooldown(self):
+        breaker = tripped(
+            CircuitBreaker("t", failure_threshold=1, cooldown_rounds=2)
+        )
+        assert breaker.allows_dispatch(5)
+        breaker.on_dispatch()
+        assert breaker.on_failure(5) is True
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert breaker.retry_after(5) == 2
+        assert not breaker.allows_dispatch(6)
+        assert breaker.allows_dispatch(7)
+
+
+class TestValidation:
+    def test_parameters_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("t", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("t", cooldown_rounds=0)

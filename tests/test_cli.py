@@ -221,6 +221,36 @@ class TestFailurePaths:
         assert rc == 2
         assert "--k" in err
 
+    @pytest.mark.parametrize(
+        "flag,value",
+        [
+            ("--stage-timeout", "0"),
+            ("--stage-timeout", "-3"),
+            ("--job-timeout", "0"),
+            ("--job-timeout", "-0.5"),
+        ],
+    )
+    def test_nonpositive_deadline_budgets_exit_2(
+        self, tmp_path, capsys, flag, value
+    ):
+        reads = tmp_path / "reads.fa"
+        reads.write_text(">r0\nACGTACGTACGTACGT\n")
+        rc, err = self._run(
+            capsys,
+            [
+                "assemble",
+                str(reads),
+                "-o",
+                str(tmp_path / "o.fa"),
+                "--job-dir",
+                str(tmp_path / "job"),
+                flag,
+                value,
+            ],
+        )
+        assert rc == 2
+        assert flag in err and "positive" in err
+
     def test_resume_without_job_dir(self, tmp_path, capsys):
         reads = tmp_path / "reads.fa"
         reads.write_text(">r0\nACGTACGTACGTACGT\n")
@@ -463,6 +493,149 @@ class TestScaffold:
             ]
         )
         assert rc == 2
+
+
+class TestServe:
+    """The multi-tenant batch driver and its exit-code taxonomy."""
+
+    def write_reads(self, tmp_path, seed=11, name="reads.fa"):
+        import random
+
+        rng = random.Random(seed)
+        genome = "".join(rng.choice("ACGT") for _ in range(250))
+        records = [
+            f">r{i}\n{genome[i : i + 50]}"
+            for i in range(0, 200, 11)
+        ]
+        path = tmp_path / name
+        path.write_text("\n".join(records) + "\n")
+        return path
+
+    def write_manifest(self, tmp_path, payload, name="batch.json"):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_batch_completes_exit_0_with_outputs(self, tmp_path, capsys):
+        reads = self.write_reads(tmp_path)
+        manifest = self.write_manifest(
+            tmp_path,
+            {
+                "workers": 2,
+                "jobs": [
+                    {
+                        "tenant": "acme",
+                        "name": "a",
+                        "reads": reads.name,
+                        "k": 11,
+                        "output": "a.fa",
+                    },
+                    {
+                        "tenant": "beta",
+                        "name": "b",
+                        "reads": reads.name,
+                        "k": 11,
+                        "engine": "bulk",
+                        "deadline_s": 600,
+                    },
+                ],
+            },
+        )
+        rc = main(["serve", str(manifest)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert (tmp_path / "a.fa").exists()
+        assert "2/2 completed" in out
+        assert (manifest.parent / "batch.json.jobs").is_dir()
+
+    def test_overload_sheds_typed_and_exits_4(self, tmp_path, capsys):
+        reads = self.write_reads(tmp_path)
+        jobs = [
+            {"tenant": "acme", "name": f"j{i}", "reads": reads.name, "k": 11}
+            for i in range(3)
+        ]
+        manifest = self.write_manifest(
+            tmp_path,
+            {"tenants": {"acme": {"max_queued": 2}}, "jobs": jobs},
+        )
+        rc = main(["serve", str(manifest)])
+        out = capsys.readouterr().out
+        assert rc == 4
+        assert "shed: acme/j2" in out
+        assert "[tenant-queue-full]" in out
+        assert "2/2 completed" in out
+
+    def test_job_failure_exits_3(self, tmp_path, capsys):
+        reads = self.write_reads(tmp_path)
+        manifest = self.write_manifest(
+            tmp_path,
+            {
+                "jobs": [
+                    {"tenant": "a", "reads": reads.name, "k": 11},
+                    {"tenant": "b", "reads": "missing.fq", "k": 11},
+                ]
+            },
+        )
+        rc = main(["serve", str(manifest)])
+        captured = capsys.readouterr()
+        assert rc == 3
+        assert "not found" in captured.err
+
+    @pytest.mark.parametrize(
+        "payload,needle",
+        [
+            ({}, "jobs"),
+            ({"jobs": []}, "jobs"),
+            ({"jobs": [{"tenant": "a"}]}, "reads"),
+            ({"jobs": [{"reads": "r.fa"}]}, "tenant"),
+            ({"jobs": "nope"}, "jobs"),
+        ],
+    )
+    def test_malformed_manifest_exits_2(
+        self, tmp_path, capsys, payload, needle
+    ):
+        manifest = self.write_manifest(tmp_path, payload)
+        rc = main(["serve", str(manifest)])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert needle in err
+        assert "Traceback" not in err
+
+    def test_manifest_not_json_exits_2(self, tmp_path, capsys):
+        manifest = tmp_path / "bad.json"
+        manifest.write_text("{not json")
+        rc = main(["serve", str(manifest)])
+        assert rc == 2
+        assert "JSON" in capsys.readouterr().err
+
+    def test_observability_exports(self, tmp_path, capsys):
+        import json
+
+        reads = self.write_reads(tmp_path)
+        manifest = self.write_manifest(
+            tmp_path,
+            {"jobs": [{"tenant": "a", "reads": reads.name, "k": 11}]},
+        )
+        metrics = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.json"
+        rc = main(
+            [
+                "serve",
+                str(manifest),
+                "--metrics-out",
+                str(metrics),
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        assert rc == 0
+        snapshot = json.loads(metrics.read_text())["metrics"]
+        assert snapshot["service.admitted"]["value"] == 1
+        assert snapshot["service.completed"]["value"] == 1
+        assert snapshot["service.latency_ms.a"]["count"] == 1
+        assert "service" in trace.read_text()
 
 
 class TestExperiments:
