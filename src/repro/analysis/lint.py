@@ -90,12 +90,14 @@ _STDLIB_RANDOM = {
     "seed",
 }
 
-#: modules on the PIM hot path, where a raw ``read_row`` bypasses the ledger
+#: modules on the PIM hot path, where a raw ``read_row`` bypasses the
+#: ledger — and, since the columnar store, silently unpacks words too
 HOT_PATH_MODULES = (
     "assembly/hashmap.py",
     "assembly/pipeline.py",
     "mapping/adjacency.py",
     "core/bitplane.py",
+    "core/storage.py",
 )
 
 #: (module, enclosing function) pairs allowed a raw round-trip.

@@ -46,6 +46,7 @@ import numpy as np
 from repro.core.bitplane import BulkEngine
 from repro.core.isa import RowAddress
 from repro.core.platform import PimAssembler
+from repro.core.storage import pack_rows
 from repro.errors import TableFullError
 from repro.genome.kmer import (
     iter_kmers,
@@ -157,6 +158,11 @@ class PimKmerCounter:
         self._valid_bits = 2 * k
         self._mask = np.zeros(geometry.cols, dtype=np.uint8)
         self._mask[: self._valid_bits] = 1
+        # global sorted key index over all partitions (bulk-path lookup);
+        # rebuilt lazily whenever _slot_keys changes
+        self._index_dirty = True
+        self._idx_keys = np.empty(0, dtype=np.uint64)
+        self._idx_slot = np.empty(0, dtype=np.int64)
 
     # ----- addressing helpers ---------------------------------------------------
 
@@ -251,14 +257,41 @@ class PimKmerCounter:
 
     # ----- the bulk path ---------------------------------------------------------
 
+    def _rebuild_index(self) -> None:
+        """Rebuild the global sorted key index from the slot shadow.
+
+        Partition identity is a pure function of the packed k-mer, so
+        one device-wide sorted array resolves any key to its table slot
+        — the per-partition searches the old bulk planner looped over
+        in Python collapse into a single :func:`np.searchsorted`.
+        """
+        keys = [k for part in self._slot_keys for k in part]
+        slots = [
+            s for part in self._slot_keys for s in range(len(part))
+        ]
+        if keys:
+            arr = np.asarray(keys, dtype=np.uint64)
+            order = np.argsort(arr, kind="stable")
+            self._idx_keys = arr[order]
+            self._idx_slot = np.asarray(slots, dtype=np.int64)[order]
+        else:
+            self._idx_keys = np.empty(0, dtype=np.uint64)
+            self._idx_slot = np.empty(0, dtype=np.int64)
+        self._index_dirty = False
+
     def _add_packed_bulk(self, packed: np.ndarray) -> None:
-        """Batch-insert a round of packed k-mers per sub-array.
+        """Batch-insert a round of packed k-mers across ALL sub-arrays.
 
         The scalar loop's observable behaviour is reproduced exactly:
         slot assignment follows first arrival, scan lengths follow the
         stop-at-first-match protocol, counters saturate per hit, and
         the ledger receives the identical command counts — charged as
         one gang-scheduled batch per round instead of op by op.
+
+        Planning is device-global: one ``np.unique`` over the round,
+        one sorted-index lookup for known keys, one lexsort for
+        first-arrival slot assignment, and packed bit-field
+        gather/scatter for every counter — no per-key Python loops.
         """
         checkpoint()  # per-round cancellation point (bulk hashmap path)
         ctrl = self.pim.controller
@@ -273,160 +306,170 @@ class PimKmerCounter:
             for value in packed.tolist():
                 self._add_packed_scalar(int(value))
             return
-        parts = kmer_partition_array(packed, self.partitions)
-        plans = []
-        for index in np.unique(parts):
-            plan = self._plan_partition(int(index), packed[parts == index])
-            if plan is None:
-                # some partition would raise (table full / counter
-                # overflow) mid-stream; nothing has been applied yet, so
-                # replay the whole round through the scalar path and let
-                # the error fire at the exact arrival — with the exact
-                # partial table state — the golden model produces
-                for value in packed.tolist():
-                    self._add_packed_scalar(int(value))
-                return
-            plans.append(plan)
-        for plan in plans:
-            self._apply_partition(plan)
-        self._bulk.flush()
-
-    def _plan_partition(self, index: int, arr: np.ndarray) -> dict | None:
-        """Resolve one partition's arrival stream without touching state.
-
-        Returns None when the stream would raise mid-batch, so the
-        caller can fall back to the scalar replay before any partition
-        has been mutated or charged.
-        """
-        table = self._tables[index]
-        layout = table.layout
-        n0 = table.occupied
-        existing = self._slot_keys[index]
-
+        n_parts = self.partitions
+        layout = self.layout
         uniq, first_idx, inv = np.unique(
-            arr, return_index=True, return_inverse=True
+            packed, return_index=True, return_inverse=True
         )
-        if existing:
-            ex = np.asarray(existing, dtype=np.uint64)
-            sorter = np.argsort(ex, kind="stable")
-            pos = np.searchsorted(ex[sorter], uniq)
-            pos_c = np.minimum(pos, ex.size - 1)
-            known = ex[sorter][pos_c] == uniq
-            uniq_slot = np.where(known, sorter[pos_c], -1).astype(np.int64)
+        uparts = kmer_partition_array(uniq, n_parts).astype(np.int64)
+
+        # resolve known keys against the global sorted index
+        if self._index_dirty:
+            self._rebuild_index()
+        if self._idx_keys.size:
+            pos = np.minimum(
+                np.searchsorted(self._idx_keys, uniq),
+                self._idx_keys.size - 1,
+            )
+            known = self._idx_keys[pos] == uniq
+            uniq_slot = np.where(known, self._idx_slot[pos], -1)
         else:
+            known = np.zeros(uniq.size, dtype=bool)
             uniq_slot = np.full(uniq.size, -1, dtype=np.int64)
 
-        new_uniq = np.flatnonzero(uniq_slot < 0)
-        n_new = int(new_uniq.size)
-        if n0 + n_new > layout.kmer_rows:
-            return None  # would raise TableFullError mid-stream
+        # new keys claim slots in first-arrival order per partition
+        new_u = np.flatnonzero(~known)
+        occ0 = np.asarray(
+            [t.occupied for t in self._tables], dtype=np.int64
+        )
+        new_per_part = np.bincount(uparts[new_u], minlength=n_parts)
+        if (occ0 + new_per_part > layout.kmer_rows).any():
+            # some partition would raise TableFullError mid-stream;
+            # nothing has been applied yet, so replay the whole round
+            # through the scalar path and let the error fire at the
+            # exact arrival — with the exact partial table state — the
+            # golden model produces
+            for value in packed.tolist():
+                self._add_packed_scalar(int(value))
+            return
+        order = np.lexsort((first_idx[new_u], uparts[new_u]))
+        nu = new_u[order]  # partition-major, arrival-ordered
+        nu_parts = uparts[nu]
+        seg_starts = np.concatenate(
+            ([0], np.cumsum(np.bincount(nu_parts, minlength=n_parts))[:-1])
+        )
+        uniq_slot = uniq_slot.copy()
+        uniq_slot[nu] = occ0[nu_parts] + (
+            np.arange(nu.size, dtype=np.int64) - seg_starts[nu_parts]
+        )
 
-        # new keys claim slots in first-arrival order
-        arrival_order = np.argsort(first_idx[new_uniq], kind="stable")
-        uniq_slot[new_uniq[arrival_order]] = n0 + np.arange(n_new)
+        # per-arrival scan lengths: a miss at insertion slot s scanned
+        # all s occupied rows; a hit at slot s stopped after s + 1 rows
         slots = uniq_slot[inv]
-
-        is_miss = np.zeros(arr.size, dtype=bool)
-        is_miss[first_idx[new_uniq]] = True
-        # a miss at insertion slot s scanned all s occupied rows; a hit
-        # at slot s stopped after s + 1 rows
+        kparts = uparts[inv]
+        is_miss = np.zeros(packed.size, dtype=bool)
+        is_miss[first_idx[new_u]] = True
         scanned = np.where(is_miss, slots, slots + 1)
-        total_scanned = int(scanned.sum())
-        n_miss = int(is_miss.sum())
-        n_hits = int(arr.size - n_miss)
+
+        # instantiate every touched sub-array BEFORE taking any packed
+        # view: store growth reallocates the tensor
+        touched = np.flatnonzero(np.bincount(kparts, minlength=n_parts))
+        subs = {
+            int(p): self.pim.device.subarray_at(self._tables[p].key)
+            for p in touched
+        }
+        store = subs[int(touched[0])].store
+        sslot_of = np.zeros(n_parts, dtype=np.int64)
+        for p, sub in subs.items():
+            sslot_of[p] = sub.slot
 
         # counter evolution: value(key) ends at min(start + hits, max),
         # incrementing (1 DPU add + 1 MEM_WR) only below saturation and
         # reading (1 MEM_RD) on every hit
+        cpr = layout.counters_per_row
+        cbits = layout.counter_bits
+        vrows = layout.value_base + uniq_slot // cpr
+        vbits = (uniq_slot % cpr) * cbits
         occurrences = np.bincount(inv, minlength=uniq.size).astype(np.int64)
         start_vals = np.ones(uniq.size, dtype=np.int64)  # inserts write 1
-        for u in np.flatnonzero(uniq_slot < n0):
-            start_vals[u] = self._counter_value_raw(table, int(uniq_slot[u]))
-        hits_per_key = np.where(uniq_slot < n0, occurrences, occurrences - 1)
+        kn = np.flatnonzero(known)
+        if kn.size:
+            start_vals[kn] = store.read_fields(
+                sslot_of[uparts[kn]], vrows[kn], vbits[kn], cbits
+            )
+        hits_per_key = occurrences - (~known).astype(np.int64)
         final_vals = np.minimum(start_vals + hits_per_key, layout.counter_max)
-        increments = int((final_vals - start_vals).sum())
         if not self.saturating and (
             start_vals + hits_per_key > layout.counter_max
         ).any():
-            return None  # would raise OverflowError mid-stream
-
-        return dict(
-            index=index,
-            arr=arr,
-            n0=n0,
-            n_new=n_new,
-            new_packed=uniq[new_uniq[arrival_order]],
-            uniq_slot=uniq_slot,
-            final_vals=final_vals,
-            scanned=scanned,
-            total_scanned=total_scanned,
-            n_miss=n_miss,
-            n_hits=n_hits,
-            increments=increments,
-        )
-
-    def _apply_partition(self, plan: dict) -> None:
-        """Apply one planned partition batch: state writes + charging."""
-        table = self._tables[plan["index"]]
-        layout = table.layout
-        arr = plan["arr"]
-        n0, n_new = plan["n0"], plan["n_new"]
-        new_packed = plan["new_packed"]
-        uniq_slot, final_vals = plan["uniq_slot"], plan["final_vals"]
-        scanned = plan["scanned"]
+            # would raise OverflowError mid-stream: same scalar replay
+            for value in packed.tolist():
+                self._add_packed_scalar(int(value))
+            return
 
         # ---- functional end state -------------------------------------
-        sub = self.pim.device.subarray_at(table.key)
-        bits = sub.raw_bits
-        if n_new:
-            rows = packed_to_row_bits(new_packed, self.k, self.pim.row_bits)
-            bits[layout.kmer_row(n0) : layout.kmer_row(n0) + n_new] = rows
-        for u in range(uniq_slot.size):
-            self._poke_counter(table, int(uniq_slot[u]), int(final_vals[u]))
-        last_bits = packed_to_row_bits(
-            arr[-1:], self.k, self.pim.row_bits
-        )[0]
-        last_scanned = int(scanned[-1])
-        last_row = (
-            bits[layout.kmer_row(last_scanned - 1)] if last_scanned else None
-        )
-        self._bulk._finish_scan(sub, layout.temp_row(0), last_bits, last_row)
-        table.occupied = n0 + n_new
-        self._slot_keys[plan["index"]].extend(
-            int(v) for v in new_packed.tolist()
-        )
+        new_keys = uniq[nu]
+        for p in touched:
+            lo, hi = seg_starts[p], seg_starts[p] + new_per_part[p]
+            if hi > lo:
+                rows = packed_to_row_bits(
+                    new_keys[lo:hi], self.k, self.pim.row_bits
+                )
+                store.write_rows(
+                    int(sslot_of[p]), int(occ0[p]), np.asarray(rows)
+                )
+        if uniq.size:
+            store.write_fields(
+                sslot_of[uparts], vrows, vbits, cbits, final_vals
+            )
+        # leave each touched sub-array's compute rows as its last
+        # arriving k-mer's scan would (reads happen after the row
+        # writes above: the last scanned row may be a fresh insert)
+        last_pos = np.full(n_parts, -1, dtype=np.int64)
+        np.maximum.at(last_pos, kparts, np.arange(packed.size, dtype=np.int64))
+        for p in touched:
+            pos = int(last_pos[p])
+            q_words = pack_rows(
+                packed_to_row_bits(
+                    packed[pos : pos + 1], self.k, self.pim.row_bits
+                )[0]
+            )
+            last_scanned = int(scanned[pos])
+            last_row_words = (
+                store.row_words(
+                    int(sslot_of[p]), layout.kmer_row(last_scanned - 1)
+                ).copy()
+                if last_scanned
+                else None
+            )
+            self._bulk._finish_scan(
+                subs[int(p)], layout.temp_row(0), q_words, last_row_words
+            )
+        for p in touched:
+            table = self._tables[p]
+            lo, hi = seg_starts[p], seg_starts[p] + new_per_part[p]
+            table.occupied = int(occ0[p] + new_per_part[p])
+            self._slot_keys[p].extend(int(v) for v in new_keys[lo:hi])
+        if nu.size:
+            self._index_dirty = True
 
-        # ---- charging (identical command counts, one gang batch) -------
+        # ---- charging (identical command counts, one gang batch,
+        # ascending partition order as the old per-partition walk) -----
+        arr_p = np.bincount(kparts, minlength=n_parts)
+        miss_p = np.bincount(kparts[is_miss], minlength=n_parts)
+        hits_p = arr_p - miss_p
+        scan_p = np.bincount(
+            kparts, weights=scanned.astype(np.float64), minlength=n_parts
+        ).astype(np.int64)
+        inc_p = np.bincount(
+            uparts,
+            weights=(final_vals - start_vals).astype(np.float64),
+            minlength=n_parts,
+        ).astype(np.int64)
         sched = self._bulk.scheduler
-        key = table.key
-        sched.charge(
-            "MEM_WR", key, arr.size + plan["n_miss"] + plan["increments"]
-        )
-        sched.charge("MEM_RD", key, plan["n_hits"])
-        sched.charge("AAP1", key, arr.size + plan["n_miss"])
-        sched.fused_compare(key, plan["total_scanned"])
-        sched.charge("DPU", key, plan["increments"])
-        if self.pim.controller._verifying() is not None:
-            self._bulk.charge_verify(plan["total_scanned"])
-
-    def _counter_value_raw(self, table: _SubarrayTable, slot: int) -> int:
-        """Uncharged counter read (host-shadow bookkeeping for the bulk
-        path; the modeled ``MEM_RD`` per hit is still charged)."""
-        row, bit = table.layout.value_position(slot)
-        sub = self.pim.device.subarray_at(table.key)
-        field = sub.row_view(row)[bit : bit + table.layout.counter_bits]
-        return int(field @ (1 << np.arange(table.layout.counter_bits)))
-
-    def _poke_counter(
-        self, table: _SubarrayTable, slot: int, value: int
-    ) -> None:
-        """Uncharged counter write of a batch's final value (the bulk
-        path charges the modeled increment commands separately)."""
-        row, bit = table.layout.value_position(slot)
-        sub = self.pim.device.subarray_at(table.key)
-        width = table.layout.counter_bits
-        field = (value >> np.arange(width)) & 1
-        sub.raw_bits[row, bit : bit + width] = field.astype(np.uint8)
+        verifying = ctrl._verifying() is not None
+        for p in touched:
+            key = self._tables[p].key
+            sched.charge(
+                "MEM_WR", key, int(arr_p[p] + miss_p[p] + inc_p[p])
+            )
+            sched.charge("MEM_RD", key, int(hits_p[p]))
+            sched.charge("AAP1", key, int(arr_p[p] + miss_p[p]))
+            sched.fused_compare(key, int(scan_p[p]))
+            sched.charge("DPU", key, int(inc_p[p]))
+            if verifying:
+                self._bulk.charge_verify(int(scan_p[p]))
+        self._bulk.flush()
 
     # ----- table updates ---------------------------------------------------------------
 
@@ -447,6 +490,7 @@ class PimKmerCounter:
         table.occupied += 1
         index = self._tables.index(table)
         self._slot_keys[index].append(packed)
+        self._index_dirty = True
 
     def _increment(self, table: _SubarrayTable, slot: int) -> None:
         """New_freq = PIM_Add(k_mer, 1); MEM_insert(k_mer, New_freq).
@@ -603,4 +647,5 @@ class PimKmerCounter:
         counter._slot_keys = [
             [int(value) for value in keys] for keys in state["slot_keys"]
         ]
+        counter._index_dirty = True
         return counter

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.mat import Mat
+from repro.core.storage import BitPlaneStore
 from repro.dram.geometry import BankGeometry
 
 
@@ -13,6 +14,10 @@ class Bank:
     """One bank of the PIM-Assembler hierarchy."""
 
     geometry: BankGeometry = field(default_factory=BankGeometry)
+    #: the device-wide packed bit store (``None`` in standalone tests)
+    store: "BitPlaneStore | None" = None
+    #: conversion-counter label (``bank<i>`` on a device)
+    label: str = "unbound"
 
     def __post_init__(self) -> None:
         self._mats: dict[int, Mat] = {}
@@ -23,7 +28,9 @@ class Bank:
                 f"MAT index {index} out of range 0..{self.geometry.num_mats - 1}"
             )
         if index not in self._mats:
-            self._mats[index] = Mat(self.geometry.mat)
+            self._mats[index] = Mat(
+                self.geometry.mat, store=self.store, label=self.label
+            )
         return self._mats[index]
 
     @property

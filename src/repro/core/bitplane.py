@@ -7,10 +7,13 @@ controller models each command as an individual Python call, so the
 simulator's wall-clock scales with op count rather than with the
 modeled DRAM cycles.  This module restores the proportionality:
 
-* each sub-array's row region is addressed as one 2-D ``np.uint8``
-  matrix (the :meth:`~repro.core.subarray.SubArray.block_view`
-  bit-plane view), so a compare scan, Hamming profile or popcount over
-  all candidate rows of a query is **one** vectorised NumPy expression;
+* sub-array bits live packed — 64 columns per ``np.uint64`` word — in
+  the device-wide :class:`~repro.core.storage.BitPlaneStore`, so a
+  compare scan, Hamming profile or popcount over all candidate rows of
+  a query is **one** vectorised expression on words (XNOR is
+  ``~(a ^ b)``, popcount is ``np.bitwise_count``), and a whole-bank
+  slab (every sub-array, one row range) is a single basic-indexing
+  view of the store tensor;
 * commands are charged through the
   :class:`~repro.core.scheduler.BatchedAapScheduler`, which coalesces
   independent per-sub-array streams into gang issues and fuses the
@@ -47,8 +50,16 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.isa import RowAddress, SAOp
+from repro.core.isa import RowAddress
 from repro.core.scheduler import BatchedAapScheduler, BatchReport
+from repro.core.storage import (
+    DEFAULT_CHUNK_BYTES,
+    compare_many_packed,
+    hamming_many_packed,
+    pack_rows,
+    unpack_rows,
+    width_mask,
+)
 
 __all__ = [
     "BulkEngine",
@@ -84,21 +95,47 @@ def match_first(
 
 
 def compare_many(
-    queries: np.ndarray, block: np.ndarray, width: int | None = None
+    queries: np.ndarray,
+    block: np.ndarray,
+    width: int | None = None,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
 ) -> np.ndarray:
-    """Boolean match matrix ``(Q, n)`` of many queries against a block."""
+    """Boolean match matrix ``(Q, n)`` of many queries against a block.
+
+    The ``(Q, n, w)`` broadcast is evaluated in query chunks of at most
+    ``chunk_bytes`` so paper-scale batches never materialise a multi-GB
+    intermediate; results are identical to the one-shot expression.
+    """
     q = np.asarray(queries, dtype=np.uint8)
+    b = np.asarray(block, dtype=np.uint8)
     w = q.shape[1] if width is None else width
-    return (block[None, :, :w] == q[:, None, :w]).all(axis=2)
+    bw = b[:, :w]
+    out = np.empty((q.shape[0], b.shape[0]), dtype=bool)
+    step = max(1, chunk_bytes // max(1, b.shape[0] * max(w, 1)))
+    for lo in range(0, q.shape[0], step):
+        qc = q[lo : lo + step, :w]
+        out[lo : lo + step] = (bw[None, :, :] == qc[:, None, :]).all(axis=2)
+    return out
 
 
 def hamming_many(
-    queries: np.ndarray, block: np.ndarray, width: int | None = None
+    queries: np.ndarray,
+    block: np.ndarray,
+    width: int | None = None,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
 ) -> np.ndarray:
-    """Hamming distances ``(Q, n)`` of many queries against a block."""
+    """Hamming distances ``(Q, n)`` of many queries against a block,
+    evaluated in query chunks (see :func:`compare_many`)."""
     q = np.asarray(queries, dtype=np.uint8)
+    b = np.asarray(block, dtype=np.uint8)
     w = q.shape[1] if width is None else width
-    return (block[None, :, :w] != q[:, None, :w]).sum(axis=2)
+    bw = b[:, :w]
+    out = np.empty((q.shape[0], b.shape[0]), dtype=np.int64)
+    step = max(1, chunk_bytes // max(1, b.shape[0] * max(w, 1)))
+    for lo in range(0, q.shape[0], step):
+        qc = q[lo : lo + step, :w]
+        out[lo : lo + step] = (bw[None, :, :] != qc[:, None, :]).sum(axis=2)
+    return out
 
 
 def popcount_rows(block: np.ndarray) -> np.ndarray:
@@ -130,9 +167,9 @@ class BulkEngine:
     """Vectorised execution of the controller's hot paths.
 
     Wraps a platform and mirrors the scalar controller's charging,
-    fault and verify semantics while computing over whole row blocks.
-    The caller-visible results and side effects match the scalar path
-    per the module-level equivalence contract.
+    fault and verify semantics while computing over packed word blocks
+    of the device store.  The caller-visible results and side effects
+    match the scalar path per the module-level equivalence contract.
     """
 
     pim: "object"  # PimAssembler (typed loosely: platform imports core)
@@ -192,11 +229,11 @@ class BulkEngine:
             controller.write_row(temp, q)
             controller.compare_scan(temp, start_row, n_rows, valid_bits)
 
-        but evaluated as one bit-plane expression with one gang-charged
-        batch.  Returns an int64 array of hit offsets (-1 for a miss).
-        Under a detect policy with live fault rates the scalar per-query
-        path is replayed instead (retry draws interleave with scan
-        draws, which no batch draw can reproduce).
+        but evaluated as one packed-word expression with one
+        gang-charged batch.  Returns an int64 array of hit offsets (-1
+        for a miss).  Under a detect policy with live fault rates the
+        scalar per-query path is replayed instead (retry draws
+        interleave with scan draws, which no batch draw can reproduce).
         """
         ctrl = self.pim.controller
         q = np.asarray(queries, dtype=np.uint8)
@@ -221,25 +258,28 @@ class BulkEngine:
             return hits
 
         sub = self.pim.device.subarray_at(temp)
+        store, slot = sub.store, sub.slot
         key = temp.subarray_key
         width = q.shape[1] if valid_bits is None else valid_bits
         count = q.shape[0]
+        q_words = pack_rows(q)
         self.scheduler.charge("MEM_WR", key, count)  # temp inserts
         self.scheduler.charge("AAP1", key, count)  # x1 staging
         if n_rows == 0:
             if count:
-                self._finish_scan(sub, temp.row, q[-1], None)
+                self._finish_scan(sub, temp.row, q_words[-1], None)
             self.flush()
             return np.full(count, -1, dtype=np.int64)
 
-        block = sub.block_view(start_row, start_row + n_rows)
-        matches = compare_many(q, block, width)
+        block = store.block_words(slot, start_row, start_row + n_rows)
+        mask = width_mask(sub.cols, width)
+        matches = compare_many_packed(q_words, block, mask)
         if sampling:
             # one (Q, n) draw == Q consecutive per-scan draws (row-major
             # stream equivalence); only taken when no engine interleaves
             # retry draws between scans
             rate = faults.compute2_rate
-            hamming = hamming_many(q, block, width)
+            hamming = hamming_many_packed(q_words, block, mask)
             p_err = np.where(
                 matches,
                 1.0 - (1.0 - rate) ** width,
@@ -258,28 +298,34 @@ class BulkEngine:
         if count:
             last_block_row = start_row + int(scanned[-1]) - 1
             self._finish_scan(
-                sub, temp.row, q[-1], sub.row_view(last_block_row)
+                sub,
+                temp.row,
+                q_words[-1],
+                store.row_words(slot, last_block_row).copy(),
             )
         self.flush()
         return hits
 
-    def _finish_scan(self, sub, temp_row, query, last_row) -> None:
+    def _finish_scan(self, sub, temp_row, query_words, last_row_words) -> None:
         """Leave the compute rows as the sequential scan would.
 
         temp and x1 hold the last query; when at least one candidate
         was scanned, x2 holds the last scanned row and x3 its XNOR
         against the query (the trailing uncharged rowclone+compute2 of
-        the scalar ``compare_scan``).
+        the scalar ``compare_scan``).  All operands are packed words;
+        the XNOR's complement is tail-masked per the pack boundary
+        rule.
         """
-        bits = sub.raw_bits
-        bits[temp_row] = query
+        store, slot = sub.store, sub.slot
+        store.set_row_words(slot, temp_row, query_words)
         x1 = sub.compute_row(1)
-        bits[x1] = query
-        if last_row is not None:
+        store.set_row_words(slot, x1, query_words)
+        if last_row_words is not None:
             x2 = sub.compute_row(2)
             x3 = sub.compute_row(3)
-            bits[x2] = last_row
-            bits[x3] = sub.sa.compute2(bits[x1], bits[x2], SAOp.XNOR2)
+            store.set_row_words(slot, x2, last_row_words)
+            xnor = ~(query_words ^ last_row_words) & store.col_mask_words
+            store.set_row_words(slot, x3, xnor)
 
     # ----- bulk addition -----------------------------------------------------
 
@@ -292,10 +338,12 @@ class BulkEngine:
     ) -> None:
         """Drop-in bulk replacement for ``controller.ripple_add``.
 
-        The 2-cycles-per-bit carry+sum pairs are evaluated as one
-        integer addition over the bit-plane words and charged as one
-        fused SUM/TRA batch.  Falls back to the scalar controller when
-        sum/TRA fault rates are live (per-op sampling order).
+        The 2-cycles-per-bit carry+sum pairs are evaluated as a
+        carry-propagate sweep directly on the packed plane words
+        (``sum = a ^ b ^ c``, ``c' = (a & b) | (c & (a ^ b))`` per
+        plane — no unpacking) and charged as one fused SUM/TRA batch.
+        Falls back to the scalar controller when sum/TRA fault rates
+        are live (per-op sampling order).
         """
         ctrl = self.pim.controller
         if not self.sampling_free("sum", "tra"):
@@ -310,15 +358,18 @@ class BulkEngine:
             if addr.subarray_key != key:
                 raise ValueError("ripple_add operands must share a sub-array")
         sub = self.pim.device.subarray_at(carry_row)
-        bits = sub.raw_bits
+        store, slot = sub.store, sub.slot
         m = len(a_rows)
-        a_words = planes_to_words(bits[[r.row for r in a_rows]])
-        b_words = planes_to_words(bits[[r.row for r in b_rows]])
-        total = words_to_planes(a_words + b_words, m + 1)
+        a_words = store.tensor[slot, [r.row for r in a_rows]]
+        b_words = store.tensor[slot, [r.row for r in b_rows]]
+        carry = np.zeros(store.words, dtype=np.uint64)
         for i, s_i in enumerate(sum_rows):
-            bits[s_i.row] = total[i]
-        bits[carry_row.row] = total[m]
-        sub.sa.load_latch(total[m])  # the MSB TRA leaves its carry latched
+            x = a_words[i] ^ b_words[i]
+            store.set_row_words(slot, s_i.row, x ^ carry)
+            carry = (a_words[i] & b_words[i]) | (carry & x)
+        store.set_row_words(slot, carry_row.row, carry)
+        # the MSB TRA leaves its carry latched (SA state is unpacked)
+        sub.sa.load_latch(unpack_rows(carry, sub.cols))
         # scalar equivalence: ripple_add charges one AAP for the
         # carry-row zeroing (RowClone off the constant row)
         self.scheduler.charge("AAP1", key, 1)

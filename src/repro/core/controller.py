@@ -77,6 +77,7 @@ from repro.core.resilience import (
     ResilienceEngine,
 )
 from repro.core.stats import StatsLedger
+from repro.core.storage import popcount_words, width_mask
 from repro.core.timing import TimingParameters, DEFAULT_TIMING
 from repro.errors import UncorrectableFaultError
 from repro.observability.spans import span
@@ -602,10 +603,16 @@ class Controller:
         if n_rows == 0:
             return None
 
-        query = sub.read_row(x1)
-        block = sub.read_rows(start_row, start_row + n_rows)
-        width = query.size if valid_bits is None else valid_bits
-        matches = (block[:, :width] == query[:width]).all(axis=1)
+        # Packed-word compare: the query and candidate block stay in
+        # their stored uint64 representation; only the valid columns
+        # participate via the width mask (tail bits are zero anyway).
+        store, slot = sub.store, sub.slot
+        width = sub.cols if valid_bits is None else valid_bits
+        mask = width_mask(sub.cols, width)
+        diff = (
+            store.block_words(slot, start_row, start_row + n_rows) & mask
+        ) ^ (store.row_words(slot, x1) & mask)
+        matches = ~diff.any(axis=1)
         eng = self._verifying()
         if (
             self.faults is not None
@@ -617,7 +624,7 @@ class Controller:
             # flips; a mismatch becomes a false match only when every
             # differing bit flips (probability rate^hamming).
             rate = self.faults.compute2_rate
-            hamming = (block[:, :width] != query[:width]).sum(axis=1)
+            hamming = popcount_words(diff)
             p_err = np.where(
                 matches,
                 1.0 - (1.0 - rate) ** width,

@@ -7,6 +7,7 @@ from typing import Iterator
 
 from repro.core.bank import Bank
 from repro.core.mat import Mat
+from repro.core.storage import BitPlaneStore
 from repro.core.subarray import SubArray
 from repro.core.isa import RowAddress
 from repro.dram.geometry import DeviceGeometry, default_geometry
@@ -14,12 +15,21 @@ from repro.dram.geometry import DeviceGeometry, default_geometry
 
 @dataclass
 class Device:
-    """Top-level memory device with hierarchical, lazy storage."""
+    """Top-level memory device with hierarchical, lazy storage.
+
+    All sub-array bits live in one device-wide
+    :class:`~repro.core.storage.BitPlaneStore` (packed uint64 words);
+    banks/MATs/sub-arrays are navigation handles into it.  The store
+    grows slot-by-slot as sub-arrays are first touched, so laziness is
+    preserved (a default device would otherwise be ~1 GB packed).
+    """
 
     geometry: DeviceGeometry = field(default_factory=default_geometry)
 
     def __post_init__(self) -> None:
         self._banks: dict[int, Bank] = {}
+        sub = self.geometry.bank.mat.subarray
+        self.store = BitPlaneStore(sub.rows, sub.cols)
 
     # ----- navigation ------------------------------------------------------
 
@@ -29,7 +39,9 @@ class Device:
                 f"bank index {index} out of range 0..{self.geometry.num_banks - 1}"
             )
         if index not in self._banks:
-            self._banks[index] = Bank(self.geometry.bank)
+            self._banks[index] = Bank(
+                self.geometry.bank, store=self.store, label=f"bank{index}"
+            )
         return self._banks[index]
 
     def mat_at(self, bank: int, mat: int) -> Mat:

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.dpu import Dpu
+from repro.core.storage import BitPlaneStore
 from repro.core.subarray import SubArray
 from repro.dram.geometry import MatGeometry
 from repro.errors import BufferStateError
@@ -55,6 +56,11 @@ class Mat:
     """One MAT of the PIM-Assembler hierarchy (lazy sub-array storage)."""
 
     geometry: MatGeometry = field(default_factory=MatGeometry)
+    #: the device-wide packed bit store; ``None`` lets each sub-array
+    #: fall back to a private store (standalone MATs in tests)
+    store: "BitPlaneStore | None" = None
+    #: conversion-counter label of the owning bank
+    label: str = "unbound"
 
     def __post_init__(self) -> None:
         self._subarrays: dict[int, SubArray] = {}
@@ -68,7 +74,9 @@ class Mat:
                 f"0..{self.geometry.num_subarrays - 1}"
             )
         if index not in self._subarrays:
-            self._subarrays[index] = SubArray(self.geometry.subarray)
+            self._subarrays[index] = SubArray(
+                self.geometry.subarray, store=self.store, label=self.label
+            )
         return self._subarrays[index]
 
     @property

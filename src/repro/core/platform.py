@@ -364,12 +364,20 @@ class PimAssembler:
         """JSON-serializable snapshot of the whole platform.
 
         Captures everything a bit-identical resume needs: geometry and
-        timing/energy parameters, every *instantiated* sub-array's raw
-        bits and sense-amplifier latch (untouched sub-arrays are
-        all-zero by construction, so laziness survives the round trip),
-        each MAT's global row buffer, the bump-allocator cursors, the
-        stats ledger, and — when attached — the fault model's exact RNG
+        timing/energy parameters, every *instantiated* sub-array's bits
+        and sense-amplifier latch (untouched sub-arrays are all-zero by
+        construction, so laziness survives the round trip), each MAT's
+        global row buffer, the bump-allocator cursors, the stats
+        ledger, and — when attached — the fault model's exact RNG
         stream and the resilience engine's event/degradation state.
+
+        Format 2 (columnar storage): sub-array bits travel as their
+        stored packed uint64 words (little-endian bytes, key
+        ``"words"``), a straight copy out of the device
+        :class:`~repro.core.storage.BitPlaneStore` — restoring is the
+        inverse copy, so ``from_state(s).state_dict() == s`` exactly.
+        :meth:`from_state` still accepts format-1 journals (unpacked
+        ``"bits"``, MSB-first packbits) written before the rewrite.
         """
         import base64
         import dataclasses
@@ -391,8 +399,11 @@ class PimAssembler:
                     subarrays.append(
                         {
                             "key": [bank_idx, mat_idx, sub_idx],
-                            "bits": base64.b64encode(
-                                np.packbits(sub._bits)
+                            "words": base64.b64encode(
+                                np.ascontiguousarray(
+                                    sub.store.tensor[sub.slot],
+                                    dtype="<u8",
+                                ).tobytes()
                             ).decode("ascii"),
                             "latch": base64.b64encode(
                                 np.packbits(sub.sa._latch)
@@ -400,6 +411,7 @@ class PimAssembler:
                         }
                     )
         state = {
+            "format": 2,
             "geometry": {
                 "rows": self.geometry.bank.mat.subarray.rows,
                 "cols": self.geometry.bank.mat.subarray.cols,
@@ -473,11 +485,22 @@ class PimAssembler:
             )
             return np.unpackbits(raw)[:size]
 
+        from repro.core.storage import pack_rows
+
         for entry in state["subarrays"]:
             sub = pim.device.subarray_at(tuple(entry["key"]))
-            sub._bits[:] = unpack(entry["bits"], rows * cols).reshape(
-                rows, cols
-            )
+            if "words" in entry:  # format 2: stored packed words verbatim
+                raw = np.frombuffer(
+                    base64.b64decode(entry["words"].encode("ascii")),
+                    dtype="<u8",
+                )
+                sub.store.tensor[sub.slot] = raw.reshape(rows, -1).astype(
+                    np.uint64
+                )
+            else:  # format 1: unpacked bits, MSB-first packbits
+                sub.store.tensor[sub.slot] = pack_rows(
+                    unpack(entry["bits"], rows * cols).reshape(rows, cols)
+                )
             sub.sa._latch[:] = unpack(entry["latch"], cols)
         for entry in state["grbs"]:
             bank_idx, mat_idx = entry["key"]

@@ -45,7 +45,8 @@ def _as_bits(row: np.ndarray) -> np.ndarray:
     arr = np.asarray(row)
     if arr.dtype != np.uint8:
         arr = arr.astype(np.uint8)
-    if not np.isin(arr, (0, 1)).all():
+    # single-pass max check (see SubArray._check_bits for the micro-bench)
+    if arr.max(initial=0) > 1:
         raise ValueError("rows must contain only 0/1 bits")
     return arr
 

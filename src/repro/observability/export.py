@@ -326,7 +326,13 @@ def subarray_utilization(pim) -> list[dict]:
         for mat_idx, mat in bank._mats.items():
             for sub_idx, sub in mat._subarrays.items():
                 key = (bank_idx, mat_idx, sub_idx)
-                used = int(sub._bits[:data_rows].any(axis=1).sum())
+                # packed occupancy: a row is used iff any stored word
+                # is non-zero (tail bits are zero by invariant)
+                used = int(
+                    sub.store.tensor[sub.slot, :data_rows]
+                    .any(axis=1)
+                    .sum()
+                )
                 used = max(used, int(pim._next_row.get(key, 0)))
                 if used <= 0:
                     continue

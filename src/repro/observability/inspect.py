@@ -110,19 +110,48 @@ def inspect_job(job_dir: "str | Path") -> dict:
             "stage": None,
             "ledger": StatsLedger(),
             "subarrays": [],
+            "storage": None,
             "decisions": journal.decisions(),
         }
     ref, payload = latest
     ledger = StatsLedger()
     ledger.load_state(payload["platform"]["stats"])
     pim = PimAssembler.from_state(payload["platform"])
+    store = pim.device.store
     return {
         "config": config,
         "stage": ref.stage,
         "ledger": ledger,
         "subarrays": subarray_utilization(pim),
+        "storage": {
+            "slots": store.n_slots,
+            "bytes": store.nbytes,
+            "slot_bytes": store.slot_nbytes,
+            "unpacked_slot_bytes": store.unpacked_slot_nbytes,
+        },
         "decisions": journal.decisions(),
     }
+
+
+def _storage_counters(job_dir: "str | Path") -> dict:
+    """Pack/unpack conversion counters from ``metrics.json``, if written.
+
+    The metrics snapshot is optional (observability off means no file);
+    a missing or unreadable file is simply no churn data, not an error.
+    """
+    import json
+
+    path = Path(job_dir) / "metrics.json"
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    out = {}
+    for name, snap in doc.get("metrics", {}).items():
+        if name.startswith(("storage.pack_rows", "storage.unpack_rows")):
+            if snap.get("type") == "counter":
+                out[name] = snap.get("value", 0)
+    return out
 
 
 def render_job_inspection(
@@ -147,6 +176,25 @@ def render_job_inspection(
         "sub-array occupancy",
         format_subarray_heatmap(info["subarrays"]),
     ]
+    storage = info.get("storage")
+    if storage is not None:
+        ratio = storage["slot_bytes"] / storage["unpacked_slot_bytes"]
+        lines += [
+            "",
+            "packed storage (columnar bit-plane store)",
+            f"  slots: {storage['slots']}  backing bytes: {storage['bytes']}"
+            f"  bytes/slot: {storage['slot_bytes']}"
+            f" ({ratio:.3f}x of unpacked {storage['unpacked_slot_bytes']})",
+        ]
+        counters = _storage_counters(job_dir)
+        if counters:
+            lines += [
+                "  pack-boundary churn (rows converted):",
+                *(
+                    f"    {name}: {int(value)}"
+                    for name, value in sorted(counters.items())
+                ),
+            ]
     decisions = info["decisions"]
     lines += ["", f"retry-ladder decisions: {len(decisions)}"]
     for decision in decisions:

@@ -35,11 +35,26 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Recorder",
+    "STORAGE_BYTES",
+    "STORAGE_PACK_ROWS",
+    "STORAGE_SLOTS",
+    "STORAGE_UNPACK_ROWS",
     "active_registry",
     "inc",
     "observe",
     "set_gauge",
 ]
+
+#: gauges/counters the packed bit-plane store feeds
+#: (:class:`repro.core.storage.BitPlaneStore`): backing-tensor bytes,
+#: claimed slots, and rows crossing the pack boundary in each
+#: direction.  Per-bank variants append ``.<label>`` (e.g.
+#: ``storage.pack_rows.bank0``) — boundary churn is the packed-era
+#: performance bug class, so it gets first-class names.
+STORAGE_BYTES = "storage.bytes"
+STORAGE_SLOTS = "storage.slots"
+STORAGE_PACK_ROWS = "storage.pack_rows"
+STORAGE_UNPACK_ROWS = "storage.unpack_rows"
 
 #: per-thread slot for the currently active registry — like the span
 #: tracer, activation is thread-scoped so concurrent service workers

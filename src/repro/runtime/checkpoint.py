@@ -58,7 +58,11 @@ __all__ = [
     "scaffolds_from_state",
 ]
 
-JOURNAL_VERSION = 1
+#: version 2: platform snapshots carry packed uint64 ``"words"``
+#: (columnar storage); version-1 journals (unpacked ``"bits"``) are
+#: still restorable — the platform's ``from_state`` handles both.
+JOURNAL_VERSION = 2
+SUPPORTED_JOURNAL_VERSIONS = (1, 2)
 
 
 def _sha256(data: bytes) -> str:
@@ -184,10 +188,11 @@ class JobJournal:
             config = json.loads(self.config_path.read_text(encoding="ascii"))
         except (ValueError, OSError) as exc:
             raise JournalError(f"unreadable job.json in {self.root}: {exc}")
-        if config.get("journal_version") != JOURNAL_VERSION:
+        if config.get("journal_version") not in SUPPORTED_JOURNAL_VERSIONS:
             raise JournalError(
                 f"journal version {config.get('journal_version')!r} in "
-                f"{self.root} is not supported (expected {JOURNAL_VERSION})"
+                f"{self.root} is not supported "
+                f"(expected one of {SUPPORTED_JOURNAL_VERSIONS})"
             )
         return config
 
