@@ -48,6 +48,7 @@ SCENARIO = ChaosConfig(
         "deadline": 1,
         "corrupt": 1,
         "storm": 1,
+        "bitrot": 2,
     },
 )
 
@@ -117,8 +118,26 @@ def main() -> int:
         mix = summary["injections"]
         assert mix["kill"] >= 1, f"scenario never killed a job: {mix}"
         assert mix["timeout"] >= 1, f"scenario never timed a job out: {mix}"
+        assert mix["bitrot"] >= 1, f"scenario never rotted a job: {mix}"
         assert summary["shed"] >= 1, "overload never forced a typed shed"
         assert summary["completed"] >= 1, "nothing survived to compare"
+        bitrot_jobs = {
+            j.key for j in report.planned if j.injection == "bitrot"
+        }
+        bitrot_done = [
+            t
+            for t in report.service_report.completed
+            if f"{t.tenant}/{t.name}" in bitrot_jobs
+        ]
+        assert bitrot_done, "no bitrot job survived to prove SECDED works"
+        healed = sum(
+            t.outcome.result.integrity.words_corrected for t in bitrot_done
+        )
+        print(
+            f"bitrot: {len(bitrot_done)} job(s) completed under retention "
+            f"rot, {healed} word(s) healed by SECDED scrub, contigs "
+            "bit-identical to baseline"
+        )
         resumed = summary["resumed"]
         print(
             f"audit clean: {summary['completed']} completed "

@@ -578,6 +578,11 @@ class PimKmerCounter:
         ctrl.mark("scrub:end")
         if engine is not None:
             engine.note_scrub(checked, repaired)
+        # one repair stream: table-scrub repairs feed the integrity
+        # counters too, so `inspect` and the ECC metrics agree
+        integrity = self.pim.integrity
+        if integrity is not None:
+            integrity.note_table_scrub(checked, repaired)
         return checked, repaired
 
     # ----- readback --------------------------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.assembly.contigs import Contig, assemble_contigs
 from repro.assembly.debruijn import DeBruijnGraph
 from repro.assembly.hashmap import PimKmerCounter
 from repro.assembly.scaffold import Scaffold, greedy_scaffold
+from repro.core.integrity import IntegrityCounts
 from repro.core.platform import PimAssembler
 from repro.core.resilience import (
     ResilienceEngine,
@@ -69,6 +70,8 @@ class AssemblyResult:
     traverse: PhaseTotals
     #: detect/correct/degrade outcome (None when no policy was active)
     resilience: ResilienceReport | None = field(default=None)
+    #: retention-rot / ECC / scrub outcome (None when no engine attached)
+    integrity: IntegrityCounts | None = field(default=None)
 
     @property
     def total_time_ns(self) -> float:
@@ -184,10 +187,15 @@ class PimPipeline:
                 item.sequence if isinstance(item, Read) else item
                 for item in reads
             )
+            # rot checkpoints: retention windows elapse in *simulated*
+            # time as reads are inserted, so the integrity engine must
+            # get control between inserts — an end-of-stage-only sync
+            # could never corrupt (or protect) the table mid-build
             if self.batch_reads is None:
                 for sequence in sequences:
                     checkpoint()
                     counter.add_sequence(sequence)
+                    pim.integrity_sync()
             else:
                 batch: list[DnaSequence] = []
                 for sequence in sequences:
@@ -195,9 +203,11 @@ class PimPipeline:
                     batch.append(sequence)
                     if len(batch) >= self.batch_reads:
                         counter.add_sequences(batch)
+                        pim.integrity_sync()
                         batch = []
                 if batch:
                     counter.add_sequences(batch)
+                    pim.integrity_sync()
             if self._scrub_active():
                 # bound how long a corrupted slot can poison queries
                 with span("scrub.table"):
@@ -213,6 +223,7 @@ class PimPipeline:
         with span(
             "stage.debruijn", lane="debruijn", min_count=self.min_count
         ) as stage_span, self.pim.phase("debruijn"):
+            self.pim.integrity_sync()
             graph = DeBruijnGraph.from_counts(
                 state.counts, k=self.k, min_count=self.min_count
             )
@@ -235,6 +246,8 @@ class PimPipeline:
             contig_mode=self.contig_mode,
         ) as stage_span:
             with pim.phase("traverse"):
+                # the table is read again below; heal any rot first
+                pim.integrity_sync()
                 if self._scrub_active():
                     # the table is still resident while the graph is walked
                     with span("scrub.table"):
@@ -275,6 +288,11 @@ class PimPipeline:
             resilience=(
                 engine.report(stages=list(STAGE_NAMES))
                 if engine is not None
+                else None
+            ),
+            integrity=(
+                pim.integrity.counts()
+                if pim.integrity is not None
                 else None
             ),
         )

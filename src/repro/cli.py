@@ -71,6 +71,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "bit-plane gangs (same results, much faster simulation)",
     )
     assemble.add_argument(
+        "--ecc",
+        choices=("off", "secded"),
+        help="model retention bit rot in the k-mer store: 'secded' "
+        "protects it with SECDED(72,64) + scrubbing, 'off' leaves the "
+        "rot uncorrected (--engine pim only)",
+    )
+    assemble.add_argument(
+        "--retention-interval-s",
+        type=float,
+        help="simulated refresh window (tREFW) in seconds for the "
+        "retention model (default 0.064; implies --ecc secded unless "
+        "--ecc off is given)",
+    )
+    assemble.add_argument(
         "--correct",
         action="store_true",
         help="run spectral error correction before assembly",
@@ -161,6 +175,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         help="write the service's metrics snapshot (queue depths, "
         "per-tenant latency histograms, shed/trip counters) as JSON",
+    )
+    serve.add_argument(
+        "--ecc",
+        choices=("off", "secded"),
+        help="default data-at-rest protection for every job in the "
+        "batch (a job's manifest entry may override with its own "
+        "'ecc' key)",
+    )
+    serve.add_argument(
+        "--retention-interval-s",
+        type=float,
+        help="default simulated refresh window (tREFW) in seconds for "
+        "the batch (per-job 'retention_interval_s' overrides)",
     )
 
     inspect_cmd = sub.add_parser(
@@ -299,11 +326,14 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
     for name, value in (
         ("--stage-timeout", args.stage_timeout),
         ("--job-timeout", args.job_timeout),
+        ("--retention-interval-s", args.retention_interval_s),
     ):
         if value is not None and value <= 0:
             raise InputError(
                 f"{name} must be a positive number of seconds (got {value})"
             )
+    if (args.ecc or args.retention_interval_s) and args.engine != "pim":
+        raise InputError("--ecc/--retention-interval-s require --engine pim")
     if (args.stage_timeout or args.job_timeout) and not args.job_dir:
         raise InputError("--stage-timeout/--job-timeout require --job-dir")
     if args.job_dir and args.engine != "pim":
@@ -356,6 +386,8 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
                         min_count=args.min_count,
                         min_contig_length=args.min_contig,
                         engine=args.exec_engine,
+                        ecc=args.ecc,
+                        retention_interval_s=args.retention_interval_s,
                         stage_timeout_s=args.stage_timeout,
                         job_timeout_s=args.job_timeout,
                     ),
@@ -368,6 +400,15 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
                 from repro.assembly.pipeline import _sized_device
 
                 pim = _sized_device(reads, args.k)
+                if args.ecc or args.retention_interval_s:
+                    from repro.core.integrity import IntegrityConfig
+
+                    kwargs = {"ecc": args.ecc or "secded"}
+                    if args.retention_interval_s is not None:
+                        kwargs["retention_interval_s"] = (
+                            args.retention_interval_s
+                        )
+                    pim.attach_integrity(IntegrityConfig(**kwargs))
                 recorder = None
                 if args.aap_trace_out:
                     from repro.analysis.tracefile import TraceRecorder
@@ -405,6 +446,14 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
             f"simulated PIM time: {outcome.total_time_ns / 1e6:.2f} ms "
             f"({outcome.hashmap.time_ns / outcome.total_time_ns:.0%} hashmap)"
         )
+        if outcome.integrity is not None:
+            itg = outcome.integrity
+            print(
+                f"integrity: {itg.windows} refresh windows / "
+                f"{itg.flips_injected} upsets / "
+                f"{itg.words_corrected} corrected / "
+                f"{itg.words_uncorrectable} uncorrectable"
+            )
     elif args.engine == "software":
         contigs = assemble(
             reads,
@@ -506,6 +555,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.runtime.jobs import JobConfig
     from repro.service import AssemblyService, ServiceConfig, TenantQuota
 
+    if args.retention_interval_s is not None and args.retention_interval_s <= 0:
+        raise InputError(
+            "--retention-interval-s must be a positive number of seconds "
+            f"(got {args.retention_interval_s})"
+        )
     manifest_path = Path(args.manifest)
     manifest = _parse_serve_manifest(args.manifest)
     base = manifest_path.resolve().parent
@@ -553,12 +607,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             name = str(job.get("name") or f"job-{i:03d}")
             reads_path = resolved(job["reads"])
             try:
+                ecc = job.get("ecc", args.ecc)
+                retention = job.get(
+                    "retention_interval_s", args.retention_interval_s
+                )
                 job_config = JobConfig(
                     k=int(job.get("k", 21)),
                     min_count=int(job.get("min_count", 1)),
                     min_contig_length=int(job.get("min_contig", 0)),
                     engine=str(job.get("engine", "scalar")),
                     resilience=job.get("resilience"),
+                    ecc=None if ecc is None else str(ecc),
+                    retention_interval_s=(
+                        None if retention is None else float(retention)
+                    ),
                 )
                 try:
                     input_bytes = reads_path.stat().st_size

@@ -43,6 +43,10 @@ class EnergyParameters:
         e_row_transfer: moving one 256-bit row between the sub-array and
             the global row buffer (used by MEM read/write, not by bulk
             in-situ ops — this asymmetry is the whole point of PIM).
+        e_refresh: one tRFC refresh burst over the refreshed row group
+            (a gang of row activate/restore cycles; the retention
+            scrubber charges one of these per elapsed tREFI of
+            simulated time).
         p_background_w: standby + refresh + controller power for the
             whole device, watts.
     """
@@ -52,6 +56,7 @@ class EnergyParameters:
     e_sa_addon: float = 0.004
     e_dpu_op: float = 0.002
     e_row_transfer: float = 0.190
+    e_refresh: float = 0.304
     p_background_w: float = 2.0
 
     def __post_init__(self) -> None:
@@ -61,6 +66,7 @@ class EnergyParameters:
             "e_sa_addon",
             "e_dpu_op",
             "e_row_transfer",
+            "e_refresh",
             "p_background_w",
         ):
             if getattr(self, name) < 0:

@@ -246,4 +246,10 @@ ALL_MNEMONICS: tuple[str, ...] = (
     "MEM_WR",
     "MEM_RD",
     "DPU",
+    # refresh / data-at-rest integrity stream (repro.core.integrity);
+    # charged straight through the ledger, never part of AAP programs
+    "REF",
+    "ECC_CHK",
+    "ECC_ENC",
+    "ECC_FIX",
 )

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.controller import Controller
 from repro.core.device import Device
 from repro.core.energy import EnergyParameters, DEFAULT_ENERGY
+from repro.core.integrity import IntegrityConfig, IntegrityEngine
 from repro.core.isa import RowAddress, SAOp
 from repro.core.resilience import ResilienceEngine, ResiliencePolicy
 from repro.core.stats import StatsLedger
@@ -81,6 +82,8 @@ class PimAssembler:
         )
         #: bump allocator: next free data row per sub-array
         self._next_row: dict[tuple[int, int, int], int] = {}
+        #: data-at-rest integrity engine (attach_integrity)
+        self._integrity: IntegrityEngine | None = None
 
     # ----- construction helpers ---------------------------------------------
 
@@ -132,6 +135,49 @@ class PimAssembler:
         engine = ResilienceEngine(policy, stats=self.stats)
         self.controller.resilience = engine
         return engine
+
+    # ----- data-at-rest integrity -----------------------------------------------
+
+    @property
+    def integrity(self) -> IntegrityEngine | None:
+        return self._integrity
+
+    def attach_integrity(self, config: IntegrityConfig) -> IntegrityEngine:
+        """Attach the retention-rot / ECC / refresh-scrub subsystem.
+
+        Enables the SECDED sidecar on the device store (when the config
+        asks for it) and returns the engine (also ``pim.integrity``).
+        The pipeline drives it through :meth:`integrity_sync`.
+        """
+        engine = IntegrityEngine(
+            config,
+            store=self.device.store,
+            stats=self.stats,
+            timing=self.controller.timing,
+            energy=self.controller.energy,
+            slot_keys=self._slot_key_map,
+            resilience=lambda: self.controller.resilience,
+        )
+        self._integrity = engine
+        return engine
+
+    def integrity_sync(self) -> None:
+        """Rot checkpoint: inject elapsed windows, refresh and scrub.
+
+        A no-op without an attached engine, so the pipeline can call it
+        unconditionally at read/stage granularity.
+        """
+        if self._integrity is not None:
+            self._integrity.sync()
+
+    def _slot_key_map(self) -> dict[int, tuple[int, int, int]]:
+        """Store slot -> sub-array key over the instantiated hierarchy."""
+        mapping: dict[int, tuple[int, int, int]] = {}
+        for bank_idx, bank in self.device._banks.items():
+            for mat_idx, mat in bank._mats.items():
+                for sub_idx, sub in mat._subarrays.items():
+                    mapping[sub.slot] = (bank_idx, mat_idx, sub_idx)
+        return mapping
 
     # ----- allocation ----------------------------------------------------------
 
@@ -376,11 +422,17 @@ class PimAssembler:
         ``"words"``), a straight copy out of the device
         :class:`~repro.core.storage.BitPlaneStore` — restoring is the
         inverse copy, so ``from_state(s).state_dict() == s`` exactly.
-        :meth:`from_state` still accepts format-1 journals (unpacked
-        ``"bits"``, MSB-first packbits) written before the rewrite.
+        Each entry also carries a ``"sha256"`` digest of those word
+        bytes: a journal whose resident data rotted (or was tampered
+        with) between write and resume fails restore with a typed
+        :class:`~repro.errors.JournalError` instead of resuming into a
+        wrong answer.  :meth:`from_state` still accepts format-1
+        journals (unpacked ``"bits"``, MSB-first packbits) written
+        before the rewrite, and format-2 entries without digests.
         """
         import base64
         import dataclasses
+        import hashlib
 
         subarrays = []
         grbs = []
@@ -396,15 +448,16 @@ class PimAssembler:
                         }
                     )
                 for sub_idx, sub in mat._subarrays.items():
+                    word_bytes = np.ascontiguousarray(
+                        sub.store.tensor[sub.slot], dtype="<u8"
+                    ).tobytes()
                     subarrays.append(
                         {
                             "key": [bank_idx, mat_idx, sub_idx],
-                            "words": base64.b64encode(
-                                np.ascontiguousarray(
-                                    sub.store.tensor[sub.slot],
-                                    dtype="<u8",
-                                ).tobytes()
-                            ).decode("ascii"),
+                            "words": base64.b64encode(word_bytes).decode(
+                                "ascii"
+                            ),
+                            "sha256": hashlib.sha256(word_bytes).hexdigest(),
                             "latch": base64.b64encode(
                                 np.packbits(sub.sa._latch)
                             ).decode("ascii"),
@@ -440,6 +493,11 @@ class PimAssembler:
                 None
                 if self.controller.resilience is None
                 else self.controller.resilience.state_dict()
+            ),
+            "integrity": (
+                None
+                if self._integrity is None
+                else self._integrity.state_dict()
             ),
         }
         return state
@@ -487,13 +545,26 @@ class PimAssembler:
 
         from repro.core.storage import pack_rows
 
+        import hashlib
+
+        from repro.errors import JournalError
+
         for entry in state["subarrays"]:
             sub = pim.device.subarray_at(tuple(entry["key"]))
             if "words" in entry:  # format 2: stored packed words verbatim
-                raw = np.frombuffer(
-                    base64.b64decode(entry["words"].encode("ascii")),
-                    dtype="<u8",
-                )
+                word_bytes = base64.b64decode(entry["words"].encode("ascii"))
+                expected = entry.get("sha256")
+                if expected is not None:
+                    actual = hashlib.sha256(word_bytes).hexdigest()
+                    if actual != expected:
+                        raise JournalError(
+                            f"sub-array {tuple(entry['key'])} words fail "
+                            f"their integrity digest (stored {expected[:12]}…,"
+                            f" recomputed {actual[:12]}…) — the snapshot "
+                            "rotted or was tampered with; refusing to "
+                            "resume into a corrupt table"
+                        )
+                raw = np.frombuffer(word_bytes, dtype="<u8")
                 sub.store.tensor[sub.slot] = raw.reshape(rows, -1).astype(
                     np.uint64
                 )
@@ -518,6 +589,14 @@ class PimAssembler:
             pim.controller.resilience = ResilienceEngine.from_state(
                 state["resilience"], stats=pim.stats
             )
+        if state.get("integrity") is not None:
+            # reattaching re-enables the SECDED sidecar, which re-encodes
+            # every restored slot; window progress and counters resume
+            engine = pim.attach_integrity(
+                IntegrityConfig.from_state(state["integrity"]["config"])
+            )
+            engine.load_state(state["integrity"])
+            pim.device.store.drain_encoded_rows()  # restore encode is free
         return pim
 
     # ----- bookkeeping -----------------------------------------------------------------

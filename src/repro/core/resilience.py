@@ -381,6 +381,33 @@ class ResilienceEngine:
                 failures=self._failures[subarray_key],
             )
 
+    def mark_weak_row(
+        self, subarray_key: tuple[int, int, int], row: int
+    ) -> bool:
+        """Retire one row as weak without booking an uncorrected event.
+
+        The retention scrubber calls this when a row keeps upsetting
+        *correctably*: ECC healed every hit, so no data was lost and no
+        ``uncorrected`` count is owed — but the row is evidently from
+        the weak-retention population and the allocator should steer
+        around it.  Gated on the remap policy level like the escalation
+        in :meth:`note_uncorrected`.  Returns True when the row was
+        newly retired.
+        """
+        if not self.policy.remap:
+            return False
+        if (subarray_key, row) in self._weak_rows:
+            return False
+        self._weak_rows.add((subarray_key, row))
+        inc("resilience.weak_rows")
+        event(
+            "resilience.weak_row",
+            lane="resilience",
+            subarray=list(subarray_key),
+            row=row,
+        )
+        return True
+
     def note_scrub(self, rows: int, repairs: int = 0) -> None:
         self.ledger.bump("scrubbed_rows", rows)
         inc("resilience.scrubbed_rows", rows)

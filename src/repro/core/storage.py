@@ -249,6 +249,11 @@ class BitPlaneStore:
         self._tensor = np.zeros((0, rows, self.words), dtype=np.uint64)
         self._n_slots = 0
         self._labels: list[str] = []
+        #: optional SECDED sidecar: one code byte per stored word,
+        #: maintained by every mutator once :meth:`enable_ecc` ran
+        self._ecc: "np.ndarray | None" = None
+        self._ecc_encoder = None
+        self._ecc_rows_encoded = 0
 
     # ----- geometry / bookkeeping -----------------------------------------
 
@@ -294,6 +299,13 @@ class BitPlaneStore:
             if slot:
                 grown[:slot] = self._tensor
             self._tensor = grown
+            if self._ecc is not None:
+                grown_ecc = np.zeros(
+                    (capacity, self.rows, self.words), dtype=np.uint8
+                )
+                if slot:
+                    grown_ecc[:slot] = self._ecc
+                self._ecc = grown_ecc
         self._n_slots += 1
         self._labels.append(label)
         set_gauge(STORAGE_BYTES, float(self._tensor.nbytes))
@@ -309,6 +321,55 @@ class BitPlaneStore:
         inc(f"storage.{direction}_rows", n)
         inc(f"storage.{direction}_rows.{self._labels[slot]}", n)
 
+    # ----- SECDED sidecar (repro.core.integrity) ---------------------------
+
+    @property
+    def ecc_enabled(self) -> bool:
+        return self._ecc is not None
+
+    @property
+    def ecc_plane(self) -> np.ndarray:
+        """Live code-byte tensor ``[slot, row, word] -> uint8`` (the
+        scrubber's view); raises when ECC was never enabled."""
+        if self._ecc is None:
+            raise ValueError("ECC sidecar is not enabled on this store")
+        return self._ecc
+
+    def enable_ecc(self, encoder) -> None:
+        """Attach a per-word codec and encode every claimed slot.
+
+        ``encoder`` maps a uint64 word array to a same-shape uint8 code
+        array (see :func:`repro.core.integrity.encode_secded`; passed as
+        a callable so storage stays import-free of the codec).  Idempotent
+        re-enables simply re-encode.  Every later mutator keeps the
+        touched rows' code bytes coherent and tallies the re-encoded
+        rows; the integrity engine drains that tally to charge ECC_ENC
+        work, so sidecar maintenance is never free.
+        """
+        self._ecc_encoder = encoder
+        self._ecc = np.zeros(self._tensor.shape, dtype=np.uint8)
+        if self._n_slots:
+            self._ecc[: self._n_slots] = encoder(self._tensor[: self._n_slots])
+            self._ecc_rows_encoded += self._n_slots * self.rows
+
+    def drain_encoded_rows(self) -> int:
+        """Rows re-encoded since the last drain (for ECC_ENC charging)."""
+        n = self._ecc_rows_encoded
+        self._ecc_rows_encoded = 0
+        return n
+
+    def _reencode_row(self, slot: int, row: int) -> None:
+        if self._ecc is not None:
+            self._ecc[slot, row] = self._ecc_encoder(self._tensor[slot, row])
+            self._ecc_rows_encoded += 1
+
+    def _reencode_rows(self, slot: int, start: int, stop: int) -> None:
+        if self._ecc is not None:
+            self._ecc[slot, start:stop] = self._ecc_encoder(
+                self._tensor[slot, start:stop]
+            )
+            self._ecc_rows_encoded += max(0, stop - start)
+
     # ----- packed word access (bulk kernels) ------------------------------
 
     def row_words(self, slot: int, row: int) -> np.ndarray:
@@ -322,14 +383,23 @@ class BitPlaneStore:
     def set_row_words(self, slot: int, row: int, words: np.ndarray) -> None:
         """Store one row of packed words (caller upholds the tail rule)."""
         self._tensor[self._check_slot(slot), row] = words
+        self._reencode_row(slot, row)
 
     def copy_row(self, slot: int, src: int, des: int) -> None:
         """RowClone: pure word copy, no conversion."""
         t = self._tensor[self._check_slot(slot)]
         t[des] = t[src]
+        if self._ecc is not None:
+            # the clone carries the source's code bytes verbatim —
+            # no re-encode work
+            e = self._ecc[slot]
+            e[des] = e[src]
 
     def clear_slot(self, slot: int) -> None:
         self._tensor[self._check_slot(slot)].fill(0)
+        if self._ecc is not None:
+            # the SECDED code of the all-zero word is zero
+            self._ecc[slot].fill(0)
 
     # ----- unpacked uint8 boundary (controller / host path) ---------------
 
@@ -349,6 +419,7 @@ class BitPlaneStore:
         """Pack one unpacked 0/1 row into storage."""
         self._count("pack", slot, 1)
         self._tensor[self._check_slot(slot), row] = pack_rows(bits)
+        self._reencode_row(slot, row)
 
     def write_rows(self, slot: int, start: int, bits: np.ndarray) -> None:
         """Pack a ``(n, cols)`` unpacked block into rows ``start..``."""
@@ -357,6 +428,7 @@ class BitPlaneStore:
         self._tensor[
             self._check_slot(slot), start : start + arr.shape[0]
         ] = pack_rows(arr)
+        self._reencode_rows(slot, start, start + arr.shape[0])
 
     def snapshot_slot(self, slot: int) -> np.ndarray:
         """Full unpacked ``(rows, cols)`` copy of one slot (debug/tests);
@@ -434,3 +506,9 @@ class BitPlaneStore:
             sh = np.uint64(WORD_BITS) - off[spill]
             np.bitwise_and.at(flat, idx[spill] + 1, ~(fmask >> sh))
             np.bitwise_or.at(flat, idx[spill] + 1, vals[spill] >> sh)
+        if self._ecc is not None:
+            touched = np.unique(s * self.rows + r)
+            su = (touched // self.rows).astype(np.intp)
+            ru = (touched % self.rows).astype(np.intp)
+            self._ecc[su, ru] = self._ecc_encoder(self._tensor[su, ru])
+            self._ecc_rows_encoded += int(touched.size)

@@ -177,6 +177,15 @@ def command_latency_table(timing: TimingParameters) -> dict:
         "MEM_WR": timing.t_write_row,
         "MEM_RD": timing.t_read_row,
         "DPU": timing.t_dpu_clk,
+        # Data-at-rest integrity commands (repro.core.integrity): a
+        # refresh burst blocks the array for tRFC; an ECC syndrome
+        # check reads a codeword row through the SA XOR path (one AAP);
+        # a sidecar re-encode likewise; a correction writes the healed
+        # word back through the row buffer.
+        "REF": timing.t_rfc,
+        "ECC_CHK": timing.t_aap,
+        "ECC_ENC": timing.t_aap,
+        "ECC_FIX": timing.t_write_row,
     }
 
 
@@ -201,5 +210,9 @@ def command_cost_table(timing: TimingParameters, energy: Any) -> dict:
         "MEM_WR": energy.e_write_row,
         "MEM_RD": energy.e_read_row,
         "DPU": energy.e_dpu_op,
+        "REF": energy.e_refresh,
+        "ECC_CHK": energy.e_compute2,
+        "ECC_ENC": energy.e_sum_cycle,
+        "ECC_FIX": energy.e_write_row,
     }
     return {name: (latencies[name], energies[name]) for name in latencies}

@@ -58,6 +58,26 @@ class RetentionModel:
         if not 0.0 <= self.leaky_fraction <= 1.0:
             raise ValueError("leaky_fraction must be within [0, 1]")
 
+    def state_dict(self) -> dict:
+        """JSON-serializable form (journalled with the integrity config)."""
+        return {
+            "main_median_s": self.main_median_s,
+            "main_sigma": self.main_sigma,
+            "leaky_fraction": self.leaky_fraction,
+            "leaky_median_s": self.leaky_median_s,
+            "leaky_sigma": self.leaky_sigma,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RetentionModel":
+        return cls(
+            main_median_s=float(state["main_median_s"]),
+            main_sigma=float(state["main_sigma"]),
+            leaky_fraction=float(state["leaky_fraction"]),
+            leaky_median_s=float(state["leaky_median_s"]),
+            leaky_sigma=float(state["leaky_sigma"]),
+        )
+
     @staticmethod
     def _lognormal_cdf(x: float, median: float, sigma: float) -> float:
         if x <= 0:

@@ -1,13 +1,27 @@
-"""Table I — process-variation study harness.
+"""Reliability studies: Table I process variation + data-at-rest rot.
 
-Thin orchestration over :mod:`repro.dram.variation`: runs the
-Monte-Carlo engine at the paper's variation levels and formats the
-two-column table (TRA vs two-row activation error percentages).
+Two harnesses share this module:
+
+* **Table I** — thin orchestration over :mod:`repro.dram.variation`:
+  runs the Monte-Carlo engine at the paper's variation levels and
+  formats the two-column table (TRA vs two-row activation error
+  percentages).
+* **Integrity sweep** — the data-at-rest ablation: hold an accelerated
+  retention-rot *rate per bit-second* constant and sweep the refresh/
+  scrub interval.  Relaxing the cadence batches more upsets between
+  scrub passes, raising the SECDED double-bit (uncorrectable) odds;
+  over-tightening it is no cure either, because a scrub pass itself
+  costs simulated time (one sub-array row depth of ``ECC_CHK``), so
+  below that duration the refresh clock outruns scrub bandwidth and
+  windows batch anyway.  What must hold at every cadence: SECDED keeps
+  the assembled contigs bit-identical to a zero-fault run while the
+  ECC-off ablation lets rot corrupt them.  ``main`` emits
+  ``BENCH_integrity.json`` (schema ``bench_integrity/1``) for CI.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.dram.variation import (
     TABLE_I_LEVELS,
@@ -82,3 +96,185 @@ def format_table(table: ReliabilityTable) -> str:
             f"   {row.paper_tra:>9.2f} {row.paper_two_row:>11.2f}"
         )
     return "\n".join(lines)
+
+
+# ----- data-at-rest integrity sweep ------------------------------------------
+
+#: refresh/scrub intervals swept (seconds of simulated time)
+INTEGRITY_INTERVALS: "tuple[float, ...]" = (2e-5, 1e-4, 5e-4, 2e-3)
+#: accelerated rot rate: per-bit upset probability per simulated
+#: second, held constant across the sweep (the per-window probability
+#: scales linearly with the window, first-order tail-mass expansion)
+INTEGRITY_UPSETS_PER_BIT_SECOND = 0.15
+
+
+@dataclass(frozen=True)
+class IntegritySweepPoint:
+    """One (interval, ecc) cell of the integrity sweep."""
+
+    retention_interval_s: float
+    ecc: str
+    windows: int
+    flips_injected: int
+    words_corrected: int
+    words_uncorrectable: int
+    #: contigs bit-identical to the zero-fault baseline run
+    contigs_intact: bool
+    time_ns: float
+    energy_nj: float
+
+
+def _sweep_workload(genome_bp: int, coverage: int, seed: int):
+    from repro.genome import ReadSimulator, synthetic_chromosome
+
+    reference = synthetic_chromosome(genome_bp, seed=seed)
+    simulator = ReadSimulator(read_length=50, seed=seed + 1)
+    return simulator.sample(
+        reference, simulator.reads_for_coverage(genome_bp, coverage)
+    )
+
+
+def run_integrity_sweep(
+    intervals: "tuple[float, ...]" = INTEGRITY_INTERVALS,
+    upsets_per_bit_second: float = INTEGRITY_UPSETS_PER_BIT_SECOND,
+    seed: int = 0x5C12B,
+    genome_bp: int = 300,
+    coverage: int = 10,
+    k: int = 13,
+) -> "tuple[IntegritySweepPoint, ...]":
+    """Assemble under accelerated rot at each (interval, ecc) cell.
+
+    The rot *rate* (upsets per bit-second of simulated time) is held
+    constant; only the refresh/scrub cadence varies.  Each cell is a
+    full pipeline run whose contigs are diffed against a zero-fault
+    baseline and whose refresh/ECC work is charged through the ledger.
+    """
+    from repro.assembly.pipeline import _sized_device, assemble_with_pim
+    from repro.core.integrity import IntegrityConfig
+
+    reads = list(_sweep_workload(genome_bp, coverage, seed))
+
+    def run(ecc: str, interval: float, probability: float):
+        pim = _sized_device(reads, k)
+        pim.attach_integrity(
+            IntegrityConfig(
+                ecc=ecc,
+                retention_interval_s=interval,
+                seed=seed,
+                upset_probability=probability,
+            )
+        )
+        result = assemble_with_pim(
+            reads, k=k, pim=pim, min_count=2, engine="scalar"
+        )
+        return result
+
+    baseline = run("secded", intervals[0], 0.0)
+    base_contigs = sorted(str(c.sequence) for c in baseline.contigs)
+
+    points = []
+    for interval in intervals:
+        probability = min(1.0, upsets_per_bit_second * interval)
+        for ecc in ("secded", "off"):
+            result = run(ecc, interval, probability)
+            counts = result.integrity
+            points.append(
+                IntegritySweepPoint(
+                    retention_interval_s=interval,
+                    ecc=ecc,
+                    windows=counts.windows,
+                    flips_injected=counts.flips_injected,
+                    words_corrected=counts.words_corrected,
+                    words_uncorrectable=counts.words_uncorrectable,
+                    contigs_intact=(
+                        sorted(str(c.sequence) for c in result.contigs)
+                        == base_contigs
+                    ),
+                    time_ns=result.total_time_ns,
+                    energy_nj=result.total_energy_nj,
+                )
+            )
+    return tuple(points)
+
+
+def format_integrity_sweep(points: "tuple[IntegritySweepPoint, ...]") -> str:
+    lines = [
+        f"{'interval':>10} {'ecc':>7} {'windows':>8} {'flips':>6} "
+        f"{'corrected':>9} {'uncorr':>7} {'intact':>7}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.retention_interval_s:>10.0e} {p.ecc:>7} {p.windows:>8} "
+            f"{p.flips_injected:>6} {p.words_corrected:>9} "
+            f"{p.words_uncorrectable:>7} {str(p.contigs_intact):>7}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Run the integrity sweep and emit ``BENCH_integrity.json``."""
+    import argparse
+    import json
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        description="data-at-rest integrity sweep (rot vs scrub cadence)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="two intervals instead of four (CI smoke sizing)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_integrity.json",
+        help="where to write the sweep record",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert the sweep's qualitative claims (CI gate)",
+    )
+    args = parser.parse_args(argv)
+
+    intervals = (
+        (INTEGRITY_INTERVALS[1], INTEGRITY_INTERVALS[-1])
+        if args.quick
+        else INTEGRITY_INTERVALS
+    )
+    points = run_integrity_sweep(intervals=intervals)
+    print(format_integrity_sweep(points))
+
+    record = {
+        "schema": "bench_integrity/1",
+        "upsets_per_bit_second": INTEGRITY_UPSETS_PER_BIT_SECOND,
+        "workload": {"genome_bp": 300, "coverage": 10, "k": 13},
+        "sweep": [asdict(p) for p in points],
+    }
+    path = Path(args.output)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {path}")
+
+    if args.check:
+        protected = [p for p in points if p.ecc == "secded"]
+        ablated = [p for p in points if p.ecc == "off"]
+        # rot actually landed in both arms
+        assert all(p.flips_injected > 0 for p in ablated), (
+            "no upsets injected — the sweep measured nothing"
+        )
+        # SECDED + scrub holds the output at every cadence
+        for p in protected:
+            assert p.words_corrected > 0, f"scrub never corrected: {p}"
+            assert p.contigs_intact, f"SECDED lost contigs: {p}"
+        # the ablation is not a no-op: somewhere in the sweep, rot
+        # with no ECC visibly corrupts the assembly
+        assert any(not p.contigs_intact for p in ablated), (
+            "ECC-off never corrupted contigs — raise the rot rate"
+        )
+        print("check: all qualitative claims hold")
+    return 0
+
+
+if __name__ == "__main__":
+    main()

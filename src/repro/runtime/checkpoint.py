@@ -61,6 +61,12 @@ __all__ = [
 #: version 2: platform snapshots carry packed uint64 ``"words"``
 #: (columnar storage); version-1 journals (unpacked ``"bits"``) are
 #: still restorable — the platform's ``from_state`` handles both.
+#: Format-2 snapshots additionally embed a per-sub-array ``"sha256"``
+#: over the word bytes, which ``from_state`` verifies when present:
+#: the manifest hash proves the *record file* arrived intact, the
+#: embedded digest proves the *stored rows inside it* did not rot or
+#: get tampered with between write and resume (JournalError on
+#: mismatch).  Older digest-free records restore without the check.
 JOURNAL_VERSION = 2
 SUPPORTED_JOURNAL_VERSIONS = (1, 2)
 

@@ -114,6 +114,13 @@ class JobConfig:
     resilience: "ResiliencePolicy | str | None" = None
     engine: str = "scalar"
     batch_reads: int | None = None
+    #: data-at-rest protection: ``"secded"`` attaches the retention /
+    #: ECC / scrub engine, ``"off"`` models rot without correction,
+    #: ``None`` leaves the platform untouched (no retention model)
+    ecc: str | None = None
+    #: simulated refresh window (tREFW) in seconds; ``None`` keeps the
+    #: :class:`~repro.core.integrity.IntegrityConfig` default
+    retention_interval_s: float | None = None
     # --- deadline budgets (not identity-relevant) ---
     stage_timeout_s: float | None = None
     job_timeout_s: float | None = None
@@ -141,6 +148,18 @@ class JobConfig:
         ):
             if value is not None and value <= 0:
                 raise ValueError(f"{name} must be positive (got {value})")
+        if self.ecc not in (None, "off", "secded"):
+            raise ValueError(
+                f"ecc must be 'off' or 'secded' (got {self.ecc!r})"
+            )
+        if (
+            self.retention_interval_s is not None
+            and self.retention_interval_s <= 0
+        ):
+            raise ValueError(
+                "retention_interval_s must be positive "
+                f"(got {self.retention_interval_s})"
+            )
         if self.resilience is not None and not isinstance(
             self.resilience, ResiliencePolicy
         ):
@@ -164,7 +183,20 @@ class JobConfig:
             ),
             "engine": self.engine,
             "batch_reads": self.batch_reads,
+            "ecc": self.ecc,
+            "retention_interval_s": self.retention_interval_s,
         }
+
+    def integrity_config(self) -> "IntegrityConfig | None":
+        """The integrity engine this job asks for (``None`` for none)."""
+        if self.ecc is None and self.retention_interval_s is None:
+            return None
+        from repro.core.integrity import IntegrityConfig
+
+        kwargs: dict = {"ecc": self.ecc or "secded"}
+        if self.retention_interval_s is not None:
+            kwargs["retention_interval_s"] = self.retention_interval_s
+        return IntegrityConfig(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -422,6 +454,11 @@ class JobRunner:
             pim = _sized_device(reads, self.config.k)
         if self.config.resilience is not None:
             pim.protect(self.config.resilience)
+        integrity = self.config.integrity_config()
+        if integrity is not None and pim.integrity is None:
+            # a pim_factory may have pre-attached its own engine; the
+            # job config only fills the gap, never overrides it
+            pim.attach_integrity(integrity)
         self._attach(pim, PipelineState())
 
     def _attach(self, pim: PimAssembler, state: PipelineState) -> None:
@@ -514,6 +551,11 @@ class JobRunner:
             resilience=(
                 engine.report(stages=list(STAGE_NAMES))
                 if engine is not None
+                else None
+            ),
+            integrity=(
+                pim.integrity.counts()
+                if pim.integrity is not None
                 else None
             ),
         )

@@ -54,8 +54,18 @@ __all__ = [
     "run_chaos",
 ]
 
-#: injection kinds the harness draws from (weights in ChaosConfig)
-INJECTIONS = ("none", "kill", "timeout", "deadline", "corrupt", "storm")
+#: injection kinds the harness draws from (weights in ChaosConfig);
+#: "bitrot" ships with weight 0 so existing seeded scenarios replay
+#: unchanged — opt in by weighting it (see examples/service_chaos_smoke)
+INJECTIONS = (
+    "none",
+    "kill",
+    "timeout",
+    "deadline",
+    "corrupt",
+    "storm",
+    "bitrot",
+)
 
 
 class ChaosKill(BaseException):
@@ -98,6 +108,7 @@ class ChaosConfig:
             "deadline": 1,
             "corrupt": 1,
             "storm": 2,
+            "bitrot": 0,
         }
     )
 
@@ -241,6 +252,20 @@ class ChaosReport:
                     f"{key}: deadline injection ended as "
                     f"{ticket.failure_kind!r}"
                 )
+            if injection == "bitrot" and ticket.state == COMPLETED:
+                integrity = getattr(
+                    ticket.outcome.result, "integrity", None
+                )
+                if integrity is None or integrity.windows == 0:
+                    problems.append(
+                        f"{key}: completed without the retention model "
+                        "engaged (no refresh windows elapsed)"
+                    )
+                elif integrity.words_uncorrectable:
+                    problems.append(
+                        f"{key}: {integrity.words_uncorrectable} "
+                        "uncorrectable word(s) slipped past SECDED"
+                    )
         return problems
 
     def summary(self) -> dict:
@@ -328,6 +353,33 @@ def _storm_pim_factory(seed: int) -> Callable:
     return make
 
 
+def _bitrot_pim_factory(seed: int) -> Callable:
+    """Platform factory with accelerated retention rot under SECDED.
+
+    The upset probability is orders of magnitude beyond real DRAM so a
+    short chaos job actually exercises the codec; SECDED + scrub must
+    still make the job's contigs indistinguishable from an unrotted
+    run (the rot stream is seeded, so the serial baseline sees the
+    exact same upsets).
+    """
+    from repro.assembly.pipeline import _sized_device
+    from repro.core.integrity import IntegrityConfig
+
+    def make(reads):
+        pim = _sized_device(reads, 11)
+        pim.attach_integrity(
+            IntegrityConfig(
+                ecc="secded",
+                retention_interval_s=1e-4,
+                seed=seed,
+                upset_probability=1e-6,
+            )
+        )
+        return pim
+
+    return make
+
+
 def _corrupt_loader(key: str) -> Callable:
     def load():
         raise InputError(
@@ -374,6 +426,14 @@ def run_chaos(
             factory = _storm_pim_factory(config.seed)
             base_config = JobConfig(
                 k=config.k, engine=config.engine, resilience=storm_policy
+            )
+        elif job.injection == "bitrot":
+            factory = _bitrot_pim_factory(config.seed)
+            base_config = JobConfig(
+                k=config.k,
+                engine=config.engine,
+                ecc="secded",
+                retention_interval_s=1e-4,
             )
         runner = JobRunner(
             root / "baseline" / job.tenant / job.name,
@@ -429,6 +489,14 @@ def run_chaos(
             factory = _storm_pim_factory(config.seed)
             submit_config = JobConfig(
                 k=config.k, engine=config.engine, resilience=storm_policy
+            )
+        elif job.injection == "bitrot":
+            factory = _bitrot_pim_factory(config.seed)
+            submit_config = JobConfig(
+                k=config.k,
+                engine=config.engine,
+                ecc="secded",
+                retention_interval_s=1e-4,
             )
         try:
             service.submit(

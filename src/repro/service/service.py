@@ -799,6 +799,24 @@ class AssemblyService:
             dispatches=ticket.dispatches,
             resumed=ticket.resumed,
         )
+        integrity = getattr(outcome.result, "integrity", None)
+        if integrity is not None:
+            # surface the job's data-at-rest ledger in the service
+            # metrics, so fleet dashboards see rot/repair rates without
+            # opening per-job journals
+            inc("service.ecc.flips", integrity.flips_injected)
+            inc("service.ecc.corrected", integrity.words_corrected)
+            inc("service.ecc.uncorrectable", integrity.words_uncorrectable)
+            event(
+                "service.integrity",
+                lane="service",
+                tenant=ticket.tenant,
+                job=ticket.name,
+                windows=integrity.windows,
+                flips=integrity.flips_injected,
+                corrected=integrity.words_corrected,
+                uncorrectable=integrity.words_uncorrectable,
+            )
 
     def _finish_failure(
         self, ticket: JobTicket, failure_kind: str, error: BaseException

@@ -55,3 +55,45 @@ class TestFormatting:
         for level in TABLE_I_LEVELS:
             assert f"{level:.0f}%" in text
         assert "TRA" in text and "2-Row" in text
+
+
+class TestIntegritySweep:
+    """The data-at-rest sweep: constant rot rate, varying cadence."""
+
+    @pytest.fixture(scope="class")
+    def points(self):
+        from repro.eval.reliability import run_integrity_sweep
+
+        # one cadence, small workload: baseline + secded + off = 3 runs
+        return run_integrity_sweep(
+            intervals=(1e-4,), genome_bp=200, coverage=8
+        )
+
+    def test_shape(self, points):
+        assert [(p.retention_interval_s, p.ecc) for p in points] == [
+            (1e-4, "secded"),
+            (1e-4, "off"),
+        ]
+
+    def test_rot_landed_and_work_was_charged(self, points):
+        for p in points:
+            assert p.flips_injected > 0
+            assert p.windows > 0
+            assert p.time_ns > 0 and p.energy_nj > 0
+
+    def test_protected_arm_holds_contigs(self, points):
+        protected = next(p for p in points if p.ecc == "secded")
+        assert protected.contigs_intact
+        assert protected.words_corrected > 0
+
+    def test_ablated_arm_never_repairs(self, points):
+        ablated = next(p for p in points if p.ecc == "off")
+        assert ablated.words_corrected == 0
+        assert ablated.words_uncorrectable == 0
+
+    def test_format_renders_every_point(self, points):
+        from repro.eval.reliability import format_integrity_sweep
+
+        text = format_integrity_sweep(points)
+        assert "secded" in text and "off" in text
+        assert len(text.splitlines()) == len(points) + 1

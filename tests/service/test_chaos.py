@@ -123,3 +123,38 @@ class TestOverload:
             for t in r.service_report.completed
         }
         assert contigs(first) == contigs(second)
+
+
+class TestBitrotInjection:
+    """Retention rot as a chaos kind: SECDED must carry jobs through."""
+
+    def test_bitrot_jobs_complete_with_the_model_engaged(self, tmp_path):
+        config = ChaosConfig(
+            seed=7,
+            tenants=2,
+            jobs_per_tenant=2,
+            max_queued=4,
+            weights={"none": 1, "bitrot": 3},
+        )
+        report = run_chaos(tmp_path / "bitrot", config)
+        assert report.violations() == []
+        assert report.summary()["injections"]["bitrot"] >= 1
+
+        by_key = {j.key: j for j in report.planned}
+        survived = [
+            t
+            for t in report.service_report.completed
+            if by_key[f"{t.tenant}/{t.name}"].injection == "bitrot"
+        ]
+        assert survived, "no bitrot job completed"
+        for ticket in survived:
+            integrity = ticket.outcome.result.integrity
+            assert integrity is not None
+            assert integrity.windows > 0
+            assert integrity.words_uncorrectable == 0
+
+    def test_default_mixture_leaves_bitrot_out(self):
+        # weight 0 by default keeps every pre-existing seeded scenario
+        # replaying byte-identically
+        plan = build_workload(ChaosConfig(seed=1))
+        assert all(j.injection != "bitrot" for j in plan)

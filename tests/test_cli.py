@@ -657,3 +657,125 @@ class TestExperiments:
         assert rc == 0
         assert (tmp_path / "csv" / "fig3b_throughput.csv").exists()
         assert (tmp_path / "csv" / "fig9_execution.csv").exists()
+
+
+class TestIntegrityCli:
+    """The data-at-rest integrity flags on assemble and serve."""
+
+    def _reads(self, tmp_path, seed=11):
+        import random
+
+        rng = random.Random(seed)
+        genome = "".join(rng.choice("ACGT") for _ in range(250))
+        records = [
+            f">r{i}\n{genome[i : i + 50]}" for i in range(0, 200, 7)
+        ]
+        path = tmp_path / "reads.fa"
+        path.write_text("\n".join(records) + "\n")
+        return path
+
+    def _fails(self, capsys, argv):
+        rc = main(argv)
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("error: ")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+        return captured.err
+
+    @pytest.mark.parametrize("value", ["0", "-0.064"])
+    def test_nonpositive_retention_on_assemble_exits_2(
+        self, tmp_path, capsys, value
+    ):
+        reads = self._reads(tmp_path)
+        err = self._fails(
+            capsys,
+            [
+                "assemble",
+                str(reads),
+                "-o",
+                str(tmp_path / "o.fa"),
+                "--retention-interval-s",
+                value,
+            ],
+        )
+        assert "--retention-interval-s" in err and "positive" in err
+
+    @pytest.mark.parametrize("value", ["0", "-1"])
+    def test_nonpositive_retention_on_serve_exits_2(
+        self, tmp_path, capsys, value
+    ):
+        # validated before the manifest is even opened
+        err = self._fails(
+            capsys,
+            [
+                "serve",
+                str(tmp_path / "batch.json"),
+                "--retention-interval-s",
+                value,
+            ],
+        )
+        assert "--retention-interval-s" in err and "positive" in err
+
+    def test_ecc_requires_pim_engine(self, tmp_path, capsys):
+        reads = self._reads(tmp_path)
+        err = self._fails(
+            capsys,
+            [
+                "assemble",
+                str(reads),
+                "-o",
+                str(tmp_path / "o.fa"),
+                "--engine",
+                "software",
+                "--ecc",
+                "secded",
+            ],
+        )
+        assert "--engine pim" in err
+
+    def test_assemble_reports_integrity_summary(self, tmp_path, capsys):
+        reads = self._reads(tmp_path)
+        out = tmp_path / "o.fa"
+        rc = main(
+            [
+                "assemble",
+                str(reads),
+                "-o",
+                str(out),
+                "-k",
+                "11",
+                "--ecc",
+                "secded",
+                "--retention-interval-s",
+                "1e-4",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "integrity:" in captured.out
+        assert "refresh windows" in captured.out
+        assert read_fasta(out)
+
+    def test_serve_batch_defaults_apply_to_jobs(self, tmp_path, capsys):
+        import json
+
+        reads = self._reads(tmp_path)
+        manifest = tmp_path / "batch.json"
+        manifest.write_text(
+            json.dumps(
+                {"jobs": [{"tenant": "a", "reads": reads.name, "k": 11}]}
+            )
+        )
+        rc = main(
+            [
+                "serve",
+                str(manifest),
+                "--ecc",
+                "secded",
+                "--retention-interval-s",
+                "1e-4",
+            ]
+        )
+        assert rc == 0
+        assert "completed" in capsys.readouterr().out
