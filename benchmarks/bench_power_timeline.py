@@ -1,0 +1,100 @@
+"""Power-timeline conservation and throughput benchmark.
+
+Profiles one synthetic assembly per execution engine through
+:func:`repro.eval.power_profile.run_power_profile` and records:
+
+* the conservation invariant — the power timeline's total energy must
+  equal the stats ledger's total *bit-exactly* (both sides accumulate
+  the identical float sequence) and the binned integral must agree to
+  float-summation tolerance;
+* peak / average / thermal-proxy power per engine;
+* wall-clock cost of profiling (the enabled-path price of the power
+  timeline specifically).
+
+``--check`` turns the conservation invariant into a CI gate: any
+engine whose profile is not conserved fails the run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_power_timeline.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ENGINES = ("scalar", "bulk")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes (CI smoke)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless every engine's profile conserves energy",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_power.json"
+        ),
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.eval.power_profile import (
+        format_power_profiles,
+        run_power_profile,
+    )
+
+    length = 1500 if args.quick else 4000
+    profiles = []
+    walls = {}
+    for engine in ENGINES:
+        start = time.perf_counter()
+        profile = run_power_profile(engine=engine, length=length)
+        walls[engine] = time.perf_counter() - start
+        profiles.append(profile)
+
+    print(format_power_profiles(profiles))
+    for profile in profiles:
+        print(
+            f"{profile.engine:>8}: wall {walls[profile.engine] * 1e3:8.1f} ms, "
+            f"{profile.events} command events, "
+            f"timeline - ledger = "
+            f"{profile.timeline_energy_nj - profile.ledger_energy_nj:.17g} nJ"
+        )
+
+    results = {
+        "benchmark": "power_timeline",
+        "mode": "quick" if args.quick else "full",
+        "params": {"length": length, "engines": list(ENGINES)},
+        "profiles": [
+            {**p.to_dict(), "wall_s": walls[p.engine]} for p in profiles
+        ],
+        "all_conserved": all(p.conserved for p in profiles),
+    }
+    out = Path(args.output)
+    out.write_text(json.dumps(results, indent=2) + "\n", encoding="ascii")
+    print(f"wrote {out}")
+
+    if args.check:
+        broken = [p.engine for p in profiles if not p.conserved]
+        if broken:
+            print(f"FAIL: energy not conserved on engine(s): {broken}")
+            return 1
+        print("OK: timeline energy == ledger energy (bit-exact) on "
+              f"{len(profiles)} engine(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -132,6 +132,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record the run's AAP command stream as a verifiable trace "
         "document for `verify-trace` (--engine pim, no --job-dir)",
     )
+    assemble.add_argument(
+        "--telemetry-out",
+        help="write the run's metrics + power gauges as a Prometheus "
+        "text-format exposition (plus a .json snapshot next to it; "
+        "--engine pim only)",
+    )
 
     verify_trace = sub.add_parser(
         "verify-trace",
@@ -189,13 +195,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="default simulated refresh window (tREFW) in seconds for "
         "the batch (per-job 'retention_interval_s' overrides)",
     )
+    serve.add_argument(
+        "--telemetry-out",
+        help="write (and refresh every scheduler round) a Prometheus "
+        "text-format exposition of the service metrics, SLO burn "
+        "rates and power gauges",
+    )
 
     inspect_cmd = sub.add_parser(
         "inspect",
-        help="per-stage accounting of a journaled job directory "
+        help="per-stage accounting of a journaled job directory, or a "
+        "per-tenant rollup of a whole service root "
         "(works on crashed and timed-out jobs)",
     )
-    inspect_cmd.add_argument("job_dir", help="job directory (from --job-dir)")
+    inspect_cmd.add_argument(
+        "job_dir",
+        help="job directory (from --job-dir) or service root "
+        "(from serve --job-root)",
+    )
     inspect_cmd.add_argument(
         "--top-k",
         type=int,
@@ -338,8 +355,12 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         raise InputError("--stage-timeout/--job-timeout require --job-dir")
     if args.job_dir and args.engine != "pim":
         raise InputError("--job-dir requires --engine pim")
-    if (args.trace_out or args.metrics_out) and args.engine != "pim":
-        raise InputError("--trace-out/--metrics-out require --engine pim")
+    if (
+        args.trace_out or args.metrics_out or args.telemetry_out
+    ) and args.engine != "pim":
+        raise InputError(
+            "--trace-out/--metrics-out/--telemetry-out require --engine pim"
+        )
     if args.aap_trace_out and args.engine != "pim":
         raise InputError("--aap-trace-out requires --engine pim")
     if args.aap_trace_out and args.job_dir:
@@ -369,7 +390,7 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
         from contextlib import ExitStack
 
         session = None
-        if args.trace_out or args.metrics_out:
+        if args.trace_out or args.metrics_out or args.telemetry_out:
             from repro.observability.session import ObservabilitySession
 
             session = ObservabilitySession()
@@ -439,6 +460,7 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
                 trace_path=args.trace_out,
                 metrics_path=args.metrics_out,
                 pim=pim,
+                telemetry_path=args.telemetry_out,
             ):
                 print(f"observability: wrote {path}")
         contigs = outcome.contigs
@@ -544,6 +566,17 @@ def _parse_serve_manifest(path: str) -> dict:
         raise InputError(
             f"manifest {path}: 'tenants' must map tenant -> quota object"
         )
+    slos = manifest.get("slos", {})
+    if not isinstance(slos, dict):
+        raise InputError(
+            f"manifest {path}: 'slos' must map tenant -> objective object"
+        )
+    alerts = manifest.get("alerts", [])
+    if not isinstance(alerts, list):
+        raise InputError(
+            f"manifest {path}: 'alerts' must be a list of rule "
+            "expressions or objects"
+        )
     return manifest
 
 
@@ -584,18 +617,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except (TypeError, ValueError) as exc:
         raise InputError(f"manifest {args.manifest}: {exc}")
 
+    from repro.observability.slo import AlertRule, SloObjective
+
+    slos = [
+        SloObjective.from_manifest(tenant, spec)
+        for tenant, spec in manifest.get("slos", {}).items()
+    ]
+    alert_rules = [
+        AlertRule.from_manifest(spec) for spec in manifest.get("alerts", [])
+    ]
+
     job_root = (
         Path(args.job_root)
         if args.job_root
         else manifest_path.with_name(manifest_path.name + ".jobs")
     )
     session = None
-    if args.trace_out or args.metrics_out:
+    if args.trace_out or args.metrics_out or args.telemetry_out:
         from repro.observability.session import ObservabilitySession
 
         session = ObservabilitySession()
 
-    service = AssemblyService(job_root, config, quotas)
+    service = AssemblyService(
+        job_root,
+        config,
+        quotas,
+        slos=slos,
+        alert_rules=alert_rules,
+        telemetry_path=args.telemetry_out,
+    )
     entries: dict[str, dict] = {}
     submit_errors = 0
 
@@ -660,9 +710,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             line += f" -> {out_path}"
         print(line)
     print(report)
+    for alert in service.alert_events:
+        print(
+            f"alert [{alert.severity}]: {alert.name} "
+            f"({alert.expression}; value={alert.value:g})"
+        )
     if session is not None:
         for path in session.export(
-            trace_path=args.trace_out, metrics_path=args.metrics_out
+            trace_path=args.trace_out,
+            metrics_path=args.metrics_out,
+            telemetry_path=args.telemetry_out,
         ):
             print(f"observability: wrote {path}")
     if report.failed or submit_errors:
@@ -674,11 +731,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.errors import InputError
-    from repro.observability.inspect import render_job_inspection
+    from repro.observability.inspect import render_inspection
 
     if args.top_k < 1:
         raise InputError(f"--top-k must be >= 1 (got {args.top_k})")
-    print(render_job_inspection(args.job_dir, top_k=args.top_k))
+    print(render_inspection(args.job_dir, top_k=args.top_k))
     return 0
 
 

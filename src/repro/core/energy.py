@@ -49,6 +49,11 @@ class EnergyParameters:
             simulated time).
         p_background_w: standby + refresh + controller power for the
             whole device, watts.
+        thermal_tau_ns: time constant of the thermal-proxy filter the
+            power timeline applies over binned power (a DRAM die's
+            thermal mass reacts on the millisecond scale, so a single
+            hot 100 us bin should barely move the proxy while a
+            sustained burn converges to it).
     """
 
     e_activate: float = 0.028
@@ -58,6 +63,7 @@ class EnergyParameters:
     e_row_transfer: float = 0.190
     e_refresh: float = 0.304
     p_background_w: float = 2.0
+    thermal_tau_ns: float = 1_000_000.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -71,6 +77,8 @@ class EnergyParameters:
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+        if self.thermal_tau_ns <= 0:
+            raise ValueError("thermal_tau_ns must be positive")
 
     @property
     def e_aap_copy(self) -> float:

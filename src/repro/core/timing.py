@@ -216,3 +216,17 @@ def command_cost_table(timing: TimingParameters, energy: Any) -> dict:
         "ECC_FIX": energy.e_write_row,
     }
     return {name: (latencies[name], energies[name]) for name in latencies}
+
+
+@lru_cache(maxsize=None)
+def command_energy_table(timing: TimingParameters, energy: Any) -> dict:
+    """Mnemonic -> energy (nJ): the energy column of the cost table.
+
+    Convenience view for consumers that only attribute energy (the
+    power-timeline inspector, ``benchmarks/bench_power_timeline.py``)
+    without re-deriving latencies.
+    """
+    return {
+        name: cost[1]
+        for name, cost in command_cost_table(timing, energy).items()
+    }

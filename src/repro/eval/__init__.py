@@ -13,6 +13,7 @@ module                 paper artefact
 ``memory_wall``        Fig. 11a/11b (MBR / RUR)
 ``workloads``          the micro-benchmark & chr14 job models
 ``tables``             text rendering of every artefact
+``power_profile``      power-timeline profile of both engines
 =====================  ========================================
 """
 
@@ -36,6 +37,12 @@ from repro.eval.memory_wall import (
     MemoryWallPoint,
     MemoryWallStudy,
     run_memory_wall_study,
+)
+from repro.eval.power_profile import (
+    PowerProfile,
+    format_power_profiles,
+    run_power_profile,
+    run_power_profile_sweep,
 )
 from repro.eval.reliability import (
     ReliabilityRow,
@@ -89,6 +96,10 @@ __all__ = [
     "MemoryWallPoint",
     "MemoryWallStudy",
     "run_memory_wall_study",
+    "PowerProfile",
+    "format_power_profiles",
+    "run_power_profile",
+    "run_power_profile_sweep",
     "ReliabilityRow",
     "ReliabilityTable",
     "format_table",

@@ -18,7 +18,16 @@ run on a single timeline:
   of the above around a run (the CLI's ``--trace-out``/
   ``--metrics-out``);
 * :mod:`repro.observability.inspect` — post-hoc ``repro inspect`` of
-  a finished or crashed job directory.
+  a finished or crashed job directory;
+* :mod:`repro.observability.power` — windowed per-lane/per-mnemonic
+  power timeline off the ledger command stream, with a bit-exact
+  conservation invariant against the ledger totals;
+* :mod:`repro.observability.exposition` — zero-dependency Prometheus
+  text-format v0.0.4 writer (the CLI's ``--telemetry-out``);
+* :mod:`repro.observability.slo` — per-tenant SLO objectives, burn
+  rates, and the alert-rule evaluator the serve loop runs each round;
+* :mod:`repro.observability.flightrec` — bounded ring of recent
+  commands/spans/events/alerts, dumped as ``flight.json`` on failure.
 
 Everything is **off by default**: without an active session the
 instrumentation points reduce to one global ``None`` check each, a
@@ -33,6 +42,19 @@ from repro.observability.export import (
     validate_trace_file,
     write_chrome_trace,
     write_metrics,
+)
+from repro.observability.exposition import (
+    render_prometheus,
+    write_exposition,
+)
+from repro.observability.flightrec import FlightRecorder
+from repro.observability.power import PowerTimeline, current_lane, lane_scope
+from repro.observability.slo import (
+    AlertEvaluator,
+    AlertEvent,
+    AlertRule,
+    SloObjective,
+    SloTracker,
 )
 from repro.observability.inspect import (
     format_stage_table,
@@ -56,9 +78,16 @@ from repro.observability.session import (
 from repro.observability.spans import Span, Tracer, active_tracer, event, span
 
 __all__ = [
+    "AlertEvaluator",
+    "AlertEvent",
+    "AlertRule",
+    "FlightRecorder",
     "MetricsRegistry",
     "ObservabilitySession",
+    "PowerTimeline",
     "Recorder",
+    "SloObjective",
+    "SloTracker",
     "Span",
     "Tracer",
     "active_registry",
@@ -66,19 +95,23 @@ __all__ = [
     "active_tracer",
     "chrome_trace",
     "connect_ledger",
+    "current_lane",
     "event",
     "format_stage_table",
     "format_subarray_heatmap",
     "format_top_commands",
     "inc",
     "inspect_job",
+    "lane_scope",
     "observe",
     "render_job_inspection",
+    "render_prometheus",
     "set_gauge",
     "span",
     "subarray_utilization",
     "validate_chrome_trace",
     "validate_trace_file",
     "write_chrome_trace",
+    "write_exposition",
     "write_metrics",
 ]

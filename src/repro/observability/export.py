@@ -69,7 +69,7 @@ def _span_args(span: Span) -> dict:
     return args
 
 
-def chrome_trace(tracer: Tracer) -> dict:
+def chrome_trace(tracer: Tracer, power=None) -> dict:
     """Render a tracer into a Chrome trace-event JSON document.
 
     Only finished spans are exported (a crashed run can leave open
@@ -79,6 +79,12 @@ def chrome_trace(tracer: Tracer) -> dict:
     non-decreasing timestamps — the simulated clock never runs
     backwards, and a child span's interval is contained in its
     parent's by construction of the tracer stack.
+
+    When a :class:`~repro.observability.power.PowerTimeline` is given,
+    its binned series render as Perfetto **counter tracks** (``"C"``
+    phase events on ``tid 0``): one ``power_w`` track for the whole
+    device plus one ``power_w.<lane>`` track per attribution lane,
+    sitting next to the span lanes on the same simulated clock.
     """
     tids = _lane_tids(tracer)
     events: list[dict] = [
@@ -170,6 +176,30 @@ def chrome_trace(tracer: Tracer) -> dict:
     for lane in tids:
         events.extend(sorted(streams[lane], key=lambda e: e["ts"]))
 
+    counter_events = 0
+    if power is not None:
+        counters: list[dict] = []
+        tracks = [("power_w", None)] + [
+            (f"power_w.{lane}", lane) for lane in power.lanes()
+        ]
+        for track_name, lane in tracks:
+            for bin_start_ns, power_w in power.series(lane):
+                counters.append(
+                    {
+                        "name": track_name,
+                        "ph": "C",
+                        "ts": bin_start_ns / 1e3,
+                        "pid": _PID,
+                        "tid": 0,
+                        "args": {"W": power_w},
+                    }
+                )
+        # all counter tracks share tid 0: one ts-sorted stream keeps
+        # the per-(pid, tid) monotonicity contract the validator checks
+        counters.sort(key=lambda e: (e["ts"], e["name"]))
+        events.extend(counters)
+        counter_events = len(counters)
+
     doc = {
         "traceEvents": events,
         "displayTimeUnit": "ns",
@@ -179,23 +209,29 @@ def chrome_trace(tracer: Tracer) -> dict:
             "instant_events": len(tracer.events()),
         },
     }
+    if counter_events:
+        doc["otherData"]["counter_events"] = counter_events
     if dropped:
         doc["otherData"]["unfinished_spans_dropped"] = dropped
     return doc
 
 
-def write_chrome_trace(path: "str | Path", tracer: Tracer) -> Path:
+def write_chrome_trace(path: "str | Path", tracer: Tracer, power=None) -> Path:
     """Serialise the tracer to ``path``; returns the written path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(chrome_trace(tracer), indent=1), encoding="utf-8")
+    path.write_text(
+        json.dumps(chrome_trace(tracer, power=power), indent=1),
+        encoding="utf-8",
+    )
     return path
 
 
 # ----- schema validation -----------------------------------------------------
 
 #: trace-event phases the exporter may legitimately emit
-_ALLOWED_PHASES = {"B", "E", "i", "M"}
+#: (``C`` = counter samples from the power timeline)
+_ALLOWED_PHASES = {"B", "E", "i", "M", "C"}
 
 
 def validate_chrome_trace(doc: dict) -> list[str]:
@@ -238,7 +274,15 @@ def validate_chrome_trace(doc: dict) -> list[str]:
                 f"event #{i}: ts {ts} decreases on pid/tid {key}"
             )
         last_ts[key] = ts
-        if ph == "B":
+        if ph == "C":
+            args = evt.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"event #{i}: counter without args")
+            elif not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(f"event #{i}: non-numeric counter value")
+        elif ph == "B":
             stacks.setdefault(key, []).append(evt.get("name", ""))
         elif ph == "E":
             stack = stacks.get(key, [])

@@ -25,6 +25,7 @@ feed metrics through two narrow, off-by-default channels:
 
 from __future__ import annotations
 
+import math
 import threading
 from contextlib import contextmanager
 from typing import Iterator, Protocol, runtime_checkable
@@ -154,6 +155,39 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by upper-bound interpolation.
+
+        Walks the cumulative bucket counts to the bucket holding the
+        target rank, then interpolates linearly between the bucket's
+        lower and upper bound by rank position, clamped to the exact
+        tracked ``min``/``max``.  With power-of-two buckets the
+        estimate is within a factor of two of the exact sample
+        quantile for positive observations (the property the tests
+        check); ``min``/``max`` clamping makes q=0 / q=1 exact.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        # rank = ceil(q * count), with a tolerance so float noise on an
+        # exact boundary (0.7 * 10 -> 7.000...01) cannot shift a rank
+        rank = max(1, math.ceil(q * self.count - 1e-9))
+        cumulative = 0
+        for index, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            below = cumulative
+            cumulative += n
+            if cumulative >= rank:
+                lower = 0.0 if index == 0 else 2.0 ** (index - 1)
+                upper = 2.0 ** index
+                fraction = (rank - below) / n
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
     def snapshot(self) -> dict:
         return {
             "type": "histogram",
@@ -162,6 +196,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": {
                 f"le_2e{i}": n for i, n in enumerate(self.buckets) if n
             },

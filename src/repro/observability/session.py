@@ -1,8 +1,10 @@
 """One-stop wiring of the observability layer around a run.
 
-:class:`ObservabilitySession` bundles the three pieces — a span
+:class:`ObservabilitySession` bundles the pieces — a span
 :class:`~repro.observability.spans.Tracer`, a
-:class:`~repro.observability.metrics.MetricsRegistry`, and the
+:class:`~repro.observability.metrics.MetricsRegistry`, a
+:class:`~repro.observability.power.PowerTimeline`, a
+:class:`~repro.observability.flightrec.FlightRecorder`, and the
 simulated-clock bridge between them — and activates them together::
 
     session = ObservabilitySession()
@@ -12,17 +14,25 @@ simulated-clock bridge between them — and activates them together::
 
 The simulated clock is fed by the session's own
 :class:`~repro.observability.metrics.Recorder`: every stats-ledger
-record the run charges flows through :meth:`on_command`, which both
-advances the tracer's simulated timestamp and folds the event into the
-registry.  Ledgers connect through :func:`connect_ledger`, which
+record the run charges flows through :meth:`on_command`, which
+advances the tracer's simulated timestamp, folds the event into the
+registry, deposits its energy into the power timeline, and pushes it
+onto the flight-recorder ring.  Ledgers connect through
+:func:`connect_ledger`, which
 :class:`~repro.core.platform.PimAssembler` calls at construction — a
 no-op unless a session is active, so the default simulator keeps its
 zero-instrumentation cost and job resumes (which rebuild the platform
 mid-run) reconnect automatically.
+
+One lock serialises :meth:`on_command`: the multi-tenant service runs
+real worker threads against a single shared session, and the power
+timeline's conservation invariant (bit-exact against the ledger) does
+not survive lost updates.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import ExitStack, contextmanager
 from typing import Iterator
 
@@ -31,7 +41,10 @@ from repro.observability.export import (
     write_chrome_trace,
     write_metrics,
 )
+from repro.observability.exposition import write_exposition
+from repro.observability.flightrec import FlightRecorder
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.power import PowerTimeline, current_lane
 from repro.observability.spans import Tracer
 
 __all__ = ["ObservabilitySession", "active_session", "connect_ledger"]
@@ -41,12 +54,32 @@ _ACTIVE: "ObservabilitySession | None" = None
 
 
 class ObservabilitySession:
-    """Tracer + registry + simulated clock, activated as one unit."""
+    """Tracer + registry + power timeline + flight recorder, as one unit.
 
-    def __init__(self) -> None:
+    Args:
+        power_bin_ns: bin width of the power timeline (simulated ns);
+            ``None`` keeps the default.
+        flight: pass ``False`` to skip the flight recorder (micro-
+            benchmarks measuring the enabled path without ring pushes).
+    """
+
+    def __init__(
+        self,
+        power_bin_ns: "float | None" = None,
+        flight: bool = True,
+    ) -> None:
         self.registry = MetricsRegistry()
         self._sim_time_ns = 0.0
         self.tracer = Tracer(sim_clock=lambda: self._sim_time_ns)
+        self.power = (
+            PowerTimeline(bin_ns=power_bin_ns)
+            if power_bin_ns is not None
+            else PowerTimeline()
+        )
+        self.flight = FlightRecorder() if flight else None
+        if self.flight is not None:
+            self.tracer.listener = self.flight
+        self._lock = threading.Lock()
 
     # ----- the Recorder fed to every connected StatsLedger -------------------
 
@@ -58,9 +91,32 @@ class ObservabilitySession:
         energy_nj: float,
         phase: "str | None",
     ) -> None:
-        """Advance the simulated clock and mirror the event as metrics."""
-        self._sim_time_ns += time_ns
-        self.registry.on_command(command, count, time_ns, energy_nj, phase)
+        """Advance the simulated clock and fan the event out.
+
+        Lane attribution happens here (thread-local
+        :func:`~repro.observability.power.lane_scope`, falling back to
+        the ledger phase) so the power timeline and the flight ring
+        agree on who burned the energy.
+        """
+        lane = current_lane()
+        if lane is None:
+            lane = phase if phase is not None else "job"
+        with self._lock:
+            self._sim_time_ns += time_ns
+            self.registry.on_command(command, count, time_ns, energy_nj, phase)
+            self.power.on_command(
+                command, count, time_ns, energy_nj, phase, lane=lane
+            )
+            if self.flight is not None:
+                self.flight.on_command(
+                    command,
+                    count,
+                    time_ns,
+                    energy_nj,
+                    phase,
+                    sim_ns=self._sim_time_ns,
+                    lane=lane,
+                )
 
     @property
     def sim_time_ns(self) -> float:
@@ -82,6 +138,14 @@ class ObservabilitySession:
                 yield self
             finally:
                 _ACTIVE = previous
+
+    # ----- failure handling --------------------------------------------------
+
+    def dump_flight(self, job_dir, reason: str):
+        """Dump the flight rings into ``job_dir`` (no-op without rings)."""
+        if self.flight is None:
+            return None
+        return self.flight.dump(job_dir, reason)
 
     # ----- export -----------------------------------------------------------
 
@@ -105,18 +169,46 @@ class ObservabilitySession:
         trace_path: "str | None" = None,
         metrics_path: "str | None" = None,
         pim=None,
+        telemetry_path: "str | None" = None,
     ) -> list[str]:
         """Write the requested artefacts; returns the written paths."""
         written: list[str] = []
         heatmap = self.snapshot_platform(pim) if pim is not None else []
+        self.power.publish_gauges(self.registry)
         if trace_path:
-            written.append(str(write_chrome_trace(trace_path, self.tracer)))
+            written.append(
+                str(write_chrome_trace(trace_path, self.tracer,
+                                       power=self.power))
+            )
         if metrics_path:
-            extra = {"subarray_heatmap": heatmap} if heatmap else None
+            extra: dict = {"power": self.power.summary()}
+            if heatmap:
+                extra["subarray_heatmap"] = heatmap
             written.append(
                 str(write_metrics(metrics_path, self.registry, extra=extra))
             )
+        if telemetry_path:
+            written.append(
+                str(
+                    write_exposition(
+                        telemetry_path,
+                        self.registry,
+                        extra={"power": self.power.summary()},
+                    )
+                )
+            )
         return written
+
+    def write_telemetry(self, telemetry_path) -> str:
+        """Periodic exposition write (the serve loop's per-round hook)."""
+        self.power.publish_gauges(self.registry)
+        return str(
+            write_exposition(
+                telemetry_path,
+                self.registry,
+                extra={"power": self.power.summary()},
+            )
+        )
 
 
 def active_session() -> "ObservabilitySession | None":

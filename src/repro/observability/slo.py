@@ -1,0 +1,366 @@
+"""SLO objectives, burn-rate tracking, and the alert-rule evaluator.
+
+The serve manifest can now declare *service-level objectives* per
+tenant (a latency bound at a quantile, with an error budget) and
+*alert rules* over the metrics registry.  Every scheduler round the
+:class:`AlertEvaluator` re-evaluates the rules; a rule crossing its
+threshold emits a typed :class:`AlertEvent` into the span trace (lane
+``"slo"``), the metrics registry (``alerts.fired.<name>`` counters),
+the service audit log and the flight recorder.
+
+Alert-rule grammar (one rule per string)::
+
+    <expr> <op> <number>
+
+    expr  := <metric-name>            value of a counter/gauge
+           | rate(<metric-name>)      delta since the last evaluation
+           | burn_rate(<tenant>)      SLO budget burn rate for tenant
+    op    := > | >= | < | <= | ==
+
+Examples: ``service.failed.total >= 1``,
+``rate(service.shed.total) > 10``, ``burn_rate(genomics-a) > 2``.
+
+Rules are **edge-triggered**: an alert fires when its condition
+transitions from false to true and re-arms when the condition clears,
+so a persistently bad metric yields one event per excursion rather
+than one per round.  Evaluation is pure over the registry and the SLO
+tracker — deterministic under the seeded chaos harness, which is what
+lets tests assert "this rule fires exactly here".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import InputError
+from repro.observability.metrics import Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "AlertEvaluator",
+    "AlertEvent",
+    "AlertRule",
+    "SloObjective",
+    "SloTracker",
+]
+
+#: trace lane alert events render in
+SLO_LANE = "slo"
+
+_OPS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+}
+
+_RULE_RE = re.compile(
+    r"^\s*(?P<fn>rate|burn_rate)?\s*"
+    r"(?:\(\s*(?P<arg>[^()\s]+)\s*\)|(?P<metric>[^()\s]+))\s*"
+    r"(?P<op>>=|<=|==|>|<)\s*"
+    r"(?P<value>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One tenant's latency objective.
+
+    Attributes:
+        tenant: tenant name (matches the serve manifest key).
+        latency_ms: the bound the tenant's jobs should finish within.
+        quantile: the quantile the bound applies to (0.95 = p95).
+        error_budget: tolerated fraction of jobs violating the bound;
+            burn rate 1.0 means the budget is being consumed exactly
+            at the tolerated pace, >1 means faster.
+    """
+
+    tenant: str
+    latency_ms: float
+    quantile: float = 0.95
+    error_budget: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.latency_ms <= 0:
+            raise InputError("slo latency_ms must be positive")
+        if not 0.0 < self.quantile < 1.0:
+            raise InputError("slo quantile must be in (0, 1)")
+        if not 0.0 < self.error_budget <= 1.0:
+            raise InputError("slo error_budget must be in (0, 1]")
+
+    @classmethod
+    def from_manifest(cls, tenant: str, spec: Mapping) -> "SloObjective":
+        """Build from a serve-manifest ``slos`` entry (dict of knobs)."""
+        if not isinstance(spec, Mapping):
+            raise InputError(f"slo for tenant {tenant!r} must be an object")
+        unknown = set(spec) - {"latency_ms", "quantile", "error_budget"}
+        if unknown:
+            raise InputError(
+                f"slo for tenant {tenant!r}: unknown keys {sorted(unknown)}"
+            )
+        if "latency_ms" not in spec:
+            raise InputError(f"slo for tenant {tenant!r} needs latency_ms")
+        return cls(
+            tenant=tenant,
+            latency_ms=float(spec["latency_ms"]),
+            quantile=float(spec.get("quantile", 0.95)),
+            error_budget=float(spec.get("error_budget", 0.1)),
+        )
+
+
+class SloTracker:
+    """Counts per-tenant objective violations and derives burn rates."""
+
+    def __init__(self, objectives: "list[SloObjective] | None" = None) -> None:
+        self.objectives: dict[str, SloObjective] = {
+            o.tenant: o for o in (objectives or [])
+        }
+        self._total: dict[str, int] = {}
+        self._violations: dict[str, int] = {}
+
+    def observe(
+        self, tenant: str, latency_ms: float, ok: bool = True,
+        registry: "MetricsRegistry | None" = None,
+    ) -> bool:
+        """Record one finished job; returns True when it violated.
+
+        A job violates its tenant's SLO when it failed outright or
+        exceeded the latency bound.  Tenants without an objective are
+        ignored (returns False).
+        """
+        objective = self.objectives.get(tenant)
+        if objective is None:
+            return False
+        violated = (not ok) or latency_ms > objective.latency_ms
+        self._total[tenant] = self._total.get(tenant, 0) + 1
+        if violated:
+            self._violations[tenant] = self._violations.get(tenant, 0) + 1
+        if registry is not None:
+            registry.counter(f"slo.jobs.{tenant}").inc()
+            if violated:
+                registry.counter(f"slo.violations.{tenant}").inc()
+            registry.gauge(f"slo.burn_rate.{tenant}").set(
+                self.burn_rate(tenant)
+            )
+        return violated
+
+    def burn_rate(self, tenant: str) -> float:
+        """Violation fraction over the error budget (0 when untracked)."""
+        objective = self.objectives.get(tenant)
+        total = self._total.get(tenant, 0)
+        if objective is None or total == 0:
+            return 0.0
+        fraction = self._violations.get(tenant, 0) / total
+        return fraction / objective.error_budget
+
+    def snapshot(self) -> dict:
+        """Per-tenant rollup for the audit log / service report."""
+        return {
+            tenant: {
+                "latency_ms": objective.latency_ms,
+                "quantile": objective.quantile,
+                "error_budget": objective.error_budget,
+                "jobs": self._total.get(tenant, 0),
+                "violations": self._violations.get(tenant, 0),
+                "burn_rate": self.burn_rate(tenant),
+            }
+            for tenant, objective in sorted(self.objectives.items())
+        }
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One alert firing: which rule, what it saw, when."""
+
+    name: str
+    expression: str
+    severity: str
+    value: float
+    threshold: float
+    round_index: "int | None" = None
+    sim_ns: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "alert",
+            "name": self.name,
+            "expression": self.expression,
+            "severity": self.severity,
+            "value": self.value,
+            "threshold": self.threshold,
+            "round": self.round_index,
+            "sim_ns": self.sim_ns,
+        }
+
+
+@dataclass
+class AlertRule:
+    """One parsed threshold/rate/burn-rate rule (see module grammar)."""
+
+    name: str
+    expression: str
+    kind: str  # "threshold" | "rate" | "burn_rate"
+    subject: str  # metric name or tenant
+    op: str
+    threshold: float
+    severity: str = "warning"
+    _last: "float | None" = field(default=None, repr=False)
+    _active: bool = field(default=False, repr=False)
+
+    @classmethod
+    def parse(
+        cls,
+        expression: str,
+        name: "str | None" = None,
+        severity: str = "warning",
+    ) -> "AlertRule":
+        match = _RULE_RE.match(expression)
+        if match is None:
+            raise InputError(
+                f"cannot parse alert rule {expression!r} "
+                "(expected '<metric> <op> <number>', 'rate(<metric>) ...' "
+                "or 'burn_rate(<tenant>) ...')"
+            )
+        fn = match.group("fn")
+        arg = match.group("arg")
+        metric = match.group("metric")
+        if fn is not None and arg is None:
+            raise InputError(
+                f"alert rule {expression!r}: {fn} needs parentheses"
+            )
+        if fn is None and arg is not None:
+            raise InputError(
+                f"alert rule {expression!r}: parentheses without rate/"
+                "burn_rate"
+            )
+        kind = "threshold" if fn is None else fn
+        subject = metric if fn is None else arg
+        assert subject is not None
+        return cls(
+            name=name or expression.strip(),
+            expression=expression.strip(),
+            kind=kind,
+            subject=subject,
+            op=match.group("op"),
+            threshold=float(match.group("value")),
+            severity=severity,
+        )
+
+    @classmethod
+    def from_manifest(cls, spec) -> "AlertRule":
+        """Build from a serve-manifest ``alerts`` entry (string or dict)."""
+        if isinstance(spec, str):
+            return cls.parse(spec)
+        if isinstance(spec, Mapping):
+            unknown = set(spec) - {"name", "expr", "severity"}
+            if unknown:
+                raise InputError(
+                    f"alert rule: unknown keys {sorted(unknown)}"
+                )
+            if "expr" not in spec:
+                raise InputError("alert rule object needs an 'expr' key")
+            return cls.parse(
+                str(spec["expr"]),
+                name=spec.get("name"),
+                severity=str(spec.get("severity", "warning")),
+            )
+        raise InputError("alert rule must be a string or an object")
+
+    # ----- evaluation --------------------------------------------------------
+
+    def _read(self, registry: MetricsRegistry, slo: "SloTracker | None") -> float:
+        if self.kind == "burn_rate":
+            return slo.burn_rate(self.subject) if slo is not None else 0.0
+        metric = registry.get(self.subject)
+        if metric is None:
+            current = 0.0
+        elif isinstance(metric, Histogram):
+            current = float(metric.count)
+        elif isinstance(metric, Gauge):
+            current = float(metric.value or 0.0)
+        else:
+            current = float(metric.value)
+        if self.kind == "rate":
+            previous = self._last
+            self._last = current
+            return 0.0 if previous is None else current - previous
+        return current
+
+    def evaluate(
+        self,
+        registry: MetricsRegistry,
+        slo: "SloTracker | None" = None,
+        round_index: "int | None" = None,
+        sim_ns: float = 0.0,
+    ) -> "AlertEvent | None":
+        """Edge-triggered check; an event only on a false→true crossing."""
+        value = self._read(registry, slo)
+        holds = _OPS[self.op](value, self.threshold)
+        if holds and not self._active:
+            self._active = True
+            return AlertEvent(
+                name=self.name,
+                expression=self.expression,
+                severity=self.severity,
+                value=value,
+                threshold=self.threshold,
+                round_index=round_index,
+                sim_ns=sim_ns,
+            )
+        if not holds:
+            self._active = False
+        return None
+
+
+class AlertEvaluator:
+    """Evaluates a rule set each round and fans events out everywhere."""
+
+    def __init__(
+        self,
+        rules: list[AlertRule],
+        registry: MetricsRegistry,
+        slo: "SloTracker | None" = None,
+        tracer=None,
+        flight=None,
+        audit=None,
+    ) -> None:
+        self.rules = list(rules)
+        self.registry = registry
+        self.slo = slo
+        self.tracer = tracer
+        self.flight = flight
+        #: callable(dict) appending to the service audit log, if any
+        self.audit = audit
+        self.fired: list[AlertEvent] = []
+
+    def evaluate(
+        self, round_index: "int | None" = None, sim_ns: float = 0.0
+    ) -> list[AlertEvent]:
+        """One evaluation sweep; returns (and records) new firings."""
+        events: list[AlertEvent] = []
+        for rule in self.rules:
+            fired = rule.evaluate(
+                self.registry, self.slo, round_index, sim_ns
+            )
+            if fired is None:
+                continue
+            events.append(fired)
+            self.fired.append(fired)
+            self.registry.counter("alerts.fired.total").inc()
+            self.registry.counter(f"alerts.fired.{fired.name}").inc()
+            if self.tracer is not None:
+                self.tracer.event(
+                    f"alert.{fired.name}",
+                    lane=SLO_LANE,
+                    severity=fired.severity,
+                    value=fired.value,
+                    threshold=fired.threshold,
+                    expression=fired.expression,
+                )
+            if self.flight is not None:
+                self.flight.on_alert(fired)
+            if self.audit is not None:
+                self.audit(fired.to_dict())
+        return events

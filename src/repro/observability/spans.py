@@ -152,6 +152,10 @@ class Tracer:
         self._events: list[SpanEvent] = []
         self._stack: list[Span] = []
         self._next_id = 1
+        #: optional sink notified of span closes and instant events —
+        #: the flight recorder's feed (duck-typed: ``on_span_close`` /
+        #: ``on_event``); ``None`` keeps recording allocation-free
+        self.listener = None
 
     # ----- recording --------------------------------------------------------
 
@@ -181,6 +185,8 @@ class Tracer:
             self._stack.pop()
             record.wall_end_ns = self.wall_clock()
             record.sim_end_ns = float(self.sim_clock())
+            if self.listener is not None:
+                self.listener.on_span_close(record)
 
     def event(self, name: str, lane: "str | None" = None, **attributes) -> SpanEvent:
         """Record one instant event (defaults to the current span's lane)."""
@@ -195,6 +201,8 @@ class Tracer:
             attributes=dict(attributes),
         )
         self._events.append(record)
+        if self.listener is not None:
+            self.listener.on_event(record)
         return record
 
     # ----- access -----------------------------------------------------------

@@ -47,6 +47,7 @@ from repro.core.resilience import ResiliencePolicy
 from repro.errors import (
     JobFailedError,
     JournalError,
+    ReproError,
     StageTimeoutError,
     SubarrayQuarantinedError,
     TableFullError,
@@ -54,6 +55,7 @@ from repro.errors import (
     VerificationError,
 )
 from repro.observability.metrics import inc
+from repro.observability.session import active_session
 from repro.observability.spans import event, span
 from repro.runtime.checkpoint import (
     JobJournal,
@@ -357,8 +359,20 @@ class JobRunner:
         fingerprint = reads_fingerprint(reads)
         # backoff jitter replays deterministically from the job identity
         self._backoff_rng = random.Random(int(fingerprint[:16], 16))
-        with self.journal.lock().holding():
-            return self._run_locked(reads, fingerprint, resume)
+        try:
+            with self.journal.lock().holding():
+                return self._run_locked(reads, fingerprint, resume)
+        except ReproError as exc:
+            # leave a post-mortem: the observability session's flight
+            # recorder (when one is active) dumps its rings of recent
+            # commands/spans/events next to the journal
+            session = active_session()
+            if session is not None:
+                session.dump_flight(
+                    self.journal.root,
+                    reason=f"{type(exc).__name__}: {exc}",
+                )
+            raise
 
     def _run_locked(
         self, reads: list, fingerprint: str, resume: bool

@@ -28,6 +28,7 @@ the same storms, the same kill ticks, the same verdict.
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -142,6 +143,8 @@ class ChaosReport:
         submit_errors: list,
         baselines: dict,
         root: Path,
+        session=None,
+        alert_events: "list | None" = None,
     ) -> None:
         self.config = config
         self.planned: list[PlannedJob] = planned
@@ -151,6 +154,11 @@ class ChaosReport:
         #: job key -> baseline contigs [(name, sequence), ...]
         self.baselines: dict[str, list] = baselines
         self.root = root
+        #: the observability session active during the service half
+        #: (``None`` when the run was untraced)
+        self.session = session
+        #: alert firings collected by the service's evaluator
+        self.alert_events: list = list(alert_events or [])
 
     # ----- the audit --------------------------------------------------------
 
@@ -265,6 +273,20 @@ class ChaosReport:
                     problems.append(
                         f"{key}: {integrity.words_uncorrectable} "
                         "uncorrectable word(s) slipped past SECDED"
+                    )
+
+        # 7. with observability on: every kill/timeout that actually
+        #    disturbed a dispatched job left a flight-recorder dump
+        if self.session is not None and self.session.flight is not None:
+            for key, ticket in tickets.items():
+                if by_key[key].injection not in ("kill", "timeout"):
+                    continue
+                if ticket.dispatches == 0:
+                    continue
+                if not (Path(ticket.job_dir) / "flight.json").is_file():
+                    problems.append(
+                        f"{key}: {by_key[key].injection} injection left "
+                        "no flight-recorder dump"
                     )
         return problems
 
@@ -397,6 +419,10 @@ def run_chaos(
     root: "str | Path",
     config: "ChaosConfig | None" = None,
     sleep: "Callable[[float], None] | None" = None,
+    session=None,
+    slos: "list | None" = None,
+    alert_rules: "list | None" = None,
+    telemetry_path: "str | Path | None" = None,
 ) -> ChaosReport:
     """Build, disturb, drain and audit one chaos scenario.
 
@@ -406,6 +432,13 @@ def run_chaos(
         config: scenario knobs (seeded defaults when omitted).
         sleep: injectable backoff sleeper (tests pass a no-op so the
             retry ladder replays without wall-clock delays).
+        session: optional
+            :class:`~repro.observability.ObservabilitySession`
+            activated around the *service* half only — the serial
+            baselines stay untraced, so per-tenant power attribution
+            covers exactly what the service dispatched.
+        slos / alert_rules / telemetry_path: forwarded to
+            :class:`~repro.service.service.AssemblyService`.
     """
     config = config or ChaosConfig()
     root = Path(root)
@@ -456,8 +489,34 @@ def run_chaos(
             seed=config.seed,
         ),
         sleep=sleeper,
+        slos=slos,
+        alert_rules=alert_rules,
+        telemetry_path=telemetry_path,
     )
 
+    activation = session.activate() if session is not None else nullcontext()
+    with activation:
+        service_report, submit_errors = _submit_and_drain(
+            service, planned, config
+        )
+    return ChaosReport(
+        config=config,
+        planned=planned,
+        service_report=service_report,
+        submit_errors=submit_errors,
+        baselines=baselines,
+        root=root,
+        session=session,
+        alert_events=service.alert_events,
+    )
+
+
+def _submit_and_drain(
+    service: AssemblyService, planned: list, config: ChaosConfig
+) -> tuple:
+    """Submit the whole plan and drain it (the disturbed half of the run)."""
+    job_config = JobConfig(k=config.k, engine=config.engine)
+    storm_policy = "detect-retry-remap"
     submit_errors: list[tuple] = []
     for job in planned:
         submit_config = job_config
@@ -514,12 +573,4 @@ def run_chaos(
             # admission sheds are recorded inside the service report
             pass
 
-    service_report = service.drain()
-    return ChaosReport(
-        config=config,
-        planned=planned,
-        service_report=service_report,
-        submit_errors=submit_errors,
-        baselines=baselines,
-        root=root,
-    )
+    return service.drain(), submit_errors

@@ -31,11 +31,21 @@ needs between "a job" and "heavy traffic":
 Everything the scheduler decides is observable: queue-depth gauges,
 per-tenant latency histograms, shed/trip/degrade counters and a
 ``service`` lane of span events feed the PR 4 observability layer when
-a registry/tracer is active on the scheduling thread.
+a registry/tracer is active on the scheduling thread.  On top of that
+sits the health surface of PR 9: per-tenant **SLO objectives** with
+burn-rate tracking, an **alert-rule evaluator** run once per
+scheduling round, a JSONL **audit log** at ``<root>/audit.jsonl``
+(sheds, failures, breaker trips, alert firings, the drain summary), a
+periodic Prometheus **exposition** rewrite when a telemetry path is
+configured, per-tenant energy attribution via
+:func:`~repro.observability.power.lane_scope` around each worker, and
+**flight-recorder dumps** into the job dir on failures and breaker
+trips.
 """
 
 from __future__ import annotations
 
+import json
 import queue as queue_mod
 import random
 import threading
@@ -50,8 +60,16 @@ from repro.errors import (
     ReproError,
     StageTimeoutError,
 )
-from repro.observability.metrics import inc, observe, set_gauge
-from repro.observability.spans import event, span
+from repro.observability.metrics import (
+    active_registry,
+    inc,
+    observe,
+    set_gauge,
+)
+from repro.observability.power import lane_scope
+from repro.observability.session import active_session
+from repro.observability.slo import AlertEvaluator, AlertRule, SloObjective, SloTracker
+from repro.observability.spans import active_tracer, event, span
 from repro.runtime.checkpoint import JobJournal
 from repro.runtime.jobs import JobConfig, JobOutcome, JobRunner
 from repro.runtime.watchdog import Watchdog
@@ -325,6 +343,13 @@ class AssemblyService:
         clock: monotonic-seconds source for latency/deadline tracking
             (injectable for tests).
         sleep: passed through to job runners' retry backoff.
+        slos: per-tenant latency objectives (burn rates tracked, fed
+            to ``burn_rate(...)`` alert rules).
+        alert_rules: rules evaluated once per scheduling round when a
+            metrics registry is active on the scheduling thread.
+        telemetry_path: when set, the Prometheus exposition is
+            rewritten (atomically) here every ``telemetry_every_rounds``
+            rounds and once more when the drain finishes.
     """
 
     def __init__(
@@ -334,6 +359,10 @@ class AssemblyService:
         quotas: "Mapping[str, TenantQuota] | None" = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        slos: "list[SloObjective] | None" = None,
+        alert_rules: "list[AlertRule] | None" = None,
+        telemetry_path: "str | Path | None" = None,
+        telemetry_every_rounds: int = 1,
     ) -> None:
         self.root = Path(root)
         self.config = config or ServiceConfig()
@@ -356,6 +385,16 @@ class AssemblyService:
         self._done: "queue_mod.Queue[JobTicket]" = queue_mod.Queue()
         self._round = 0
         self._rng = random.Random(self.config.seed)
+        self.slo = SloTracker(slos)
+        self._alert_rules = list(alert_rules or [])
+        self._evaluator: "AlertEvaluator | None" = None
+        self.telemetry_path = (
+            Path(telemetry_path) if telemetry_path is not None else None
+        )
+        if telemetry_every_rounds < 1:
+            raise ValueError("telemetry_every_rounds must be >= 1")
+        self._telemetry_every = telemetry_every_rounds
+        self.audit_path = self.root / "audit.jsonl"
 
     # ----- tenant state -----------------------------------------------------
 
@@ -467,6 +506,7 @@ class AssemblyService:
         self._names[tenant].add(name)
         self._tickets.append(ticket)
         inc("service.admitted")
+        self._audit({"kind": "admit", "tenant": tenant, "job": name})
         self._publish_depth(tenant)
         event(
             "service.admit",
@@ -489,6 +529,15 @@ class AssemblyService:
         )
         inc(f"service.shed.{exc.reason}")
         inc("service.shed.total")
+        self._audit(
+            {
+                "kind": "shed",
+                "tenant": tenant,
+                "job": name,
+                "reason": exc.reason,
+                "message": str(exc),
+            }
+        )
         event(
             "service.shed",
             lane="service",
@@ -521,8 +570,14 @@ class AssemblyService:
                 elif not dispatched:
                     # nothing running, nothing dispatchable: the round
                     # advance itself is the progress (cooldown/backoff)
+                    self._end_round()
                     continue
-        return self.report()
+                self._end_round()
+        report = self.report()
+        self._audit({"kind": "drain-summary", **report.summary(),
+                     "slo": self.slo.snapshot()})
+        self._write_telemetry(force=True)
+        return report
 
     def report(self) -> ServiceReport:
         return ServiceReport(
@@ -696,6 +751,60 @@ class AssemblyService:
             stage_budget_s=ticket.request.stage_timeout_s,
         )
 
+    # ----- health surface (SLO / alerts / audit / telemetry) ----------------
+
+    def _audit(self, record: dict) -> None:
+        """Append one JSONL record to the service audit log (best effort:
+        an unwritable root must not take the scheduler down)."""
+        try:
+            self.audit_path.parent.mkdir(parents=True, exist_ok=True)
+            with self.audit_path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps({"round": self._round, **record},
+                                        default=str) + "\n")
+        except OSError:
+            pass
+
+    def _end_round(self) -> None:
+        """Per-round health work: evaluate alert rules, refresh telemetry."""
+        registry = active_registry()
+        if self._alert_rules and registry is not None:
+            if self._evaluator is None or self._evaluator.registry is not registry:
+                session = active_session()
+                self._evaluator = AlertEvaluator(
+                    self._alert_rules,
+                    registry,
+                    slo=self.slo,
+                    tracer=active_tracer(),
+                    flight=session.flight if session is not None else None,
+                    audit=self._audit,
+                )
+            session = active_session()
+            self._evaluator.evaluate(
+                round_index=self._round,
+                sim_ns=session.sim_time_ns if session is not None else 0.0,
+            )
+        self._write_telemetry()
+
+    def _write_telemetry(self, force: bool = False) -> None:
+        if self.telemetry_path is None:
+            return
+        if not force and self._round % self._telemetry_every:
+            return
+        session = active_session()
+        if session is not None:
+            session.write_telemetry(self.telemetry_path)
+        else:
+            registry = active_registry()
+            if registry is not None:
+                from repro.observability.exposition import write_exposition
+
+                write_exposition(self.telemetry_path, registry)
+
+    @property
+    def alert_events(self) -> list:
+        """Every alert fired so far (empty without rules/registry)."""
+        return list(self._evaluator.fired) if self._evaluator else []
+
     # ----- execution (worker threads) ---------------------------------------
 
     def _worker(
@@ -703,16 +812,19 @@ class AssemblyService:
     ) -> None:
         """Runs in a worker thread; communicates only via the ticket's
         ``_result`` slot and the done queue (the scheduler thread owns
-        all shared state)."""
+        all shared state).  The tenant-named lane scope attributes every
+        ledger record the job charges to the tenant in the power
+        timeline."""
         try:
-            runner = JobRunner(
-                ticket.job_dir,
-                ticket.effective_config,
-                pim_factory=ticket.request.pim_factory,
-                watchdog=watchdog,
-                sleep=self._sleep,
-            )
-            outcome = runner.run(ticket.request.reads, resume=resume)
+            with lane_scope(ticket.tenant):
+                runner = JobRunner(
+                    ticket.job_dir,
+                    ticket.effective_config,
+                    pim_factory=ticket.request.pim_factory,
+                    watchdog=watchdog,
+                    sleep=self._sleep,
+                )
+                outcome = runner.run(ticket.request.reads, resume=resume)
             ticket._result = ("completed", outcome, None)
         except StageTimeoutError as exc:
             ticket._result = ("timeout", None, exc)
@@ -734,6 +846,13 @@ class AssemblyService:
         assert ticket._result is not None
         kind, outcome, error = ticket._result
         ticket._result = None
+        if kind in ("timeout", "crashed"):
+            # post-mortem for every watchdog kill / process death, even
+            # when the job later resumes successfully: the latest dump
+            # for a job dir wins
+            self._dump_flight(
+                ticket, f"{kind}: {type(error).__name__}: {error}"
+            )
         if kind == "completed":
             self._finish_success(ticket, outcome)
         elif kind in ("timeout", "crashed"):
@@ -778,6 +897,11 @@ class AssemblyService:
             delay_rounds=delay,
         )
 
+    def _dump_flight(self, ticket: JobTicket, reason: str) -> None:
+        session = active_session()
+        if session is not None:
+            session.dump_flight(ticket.job_dir, reason)
+
     def _finish_success(self, ticket: JobTicket, outcome: JobOutcome) -> None:
         ticket.state = COMPLETED
         ticket.outcome = outcome
@@ -787,9 +911,21 @@ class AssemblyService:
         ticket.end_ts = self._clock()
         self._breakers[ticket.tenant].on_success()
         inc("service.completed")
+        latency_ms = (ticket.end_ts - ticket.submit_ts) * 1e3
+        self.slo.observe(
+            ticket.tenant, latency_ms, ok=True, registry=active_registry()
+        )
         observe(
             f"service.latency_ms.{ticket.tenant}",
-            (ticket.end_ts - ticket.submit_ts) * 1e3,
+            latency_ms,
+        )
+        self._audit(
+            {
+                "kind": "job-completed",
+                "tenant": ticket.tenant,
+                "job": ticket.name,
+                "latency_ms": latency_ms,
+            }
         )
         event(
             "service.complete",
@@ -836,11 +972,37 @@ class AssemblyService:
                 tenant=ticket.tenant,
                 job=ticket.name,
             )
+            self._audit(
+                {
+                    "kind": "breaker-trip",
+                    "tenant": ticket.tenant,
+                    "job": ticket.name,
+                }
+            )
+            self._dump_flight(
+                ticket, f"breaker-trip after {failure_kind}: {ticket.error}"
+            )
+        else:
+            self._dump_flight(ticket, f"{failure_kind}: {ticket.error}")
         inc(f"service.failed.{failure_kind}")
         inc("service.failed.total")
+        latency_ms = (ticket.end_ts - ticket.submit_ts) * 1e3
+        self.slo.observe(
+            ticket.tenant, latency_ms, ok=False, registry=active_registry()
+        )
         observe(
             f"service.latency_ms.{ticket.tenant}",
-            (ticket.end_ts - ticket.submit_ts) * 1e3,
+            latency_ms,
+        )
+        self._audit(
+            {
+                "kind": "job-failed",
+                "tenant": ticket.tenant,
+                "job": ticket.name,
+                "failure_kind": failure_kind,
+                "latency_ms": latency_ms,
+                "error": ticket.error,
+            }
         )
         event(
             "service.fail",

@@ -1,0 +1,166 @@
+"""Prometheus exposition writer + its schema validator, round-trip."""
+
+import os
+
+import pytest
+
+from repro.observability.exposition import (
+    render_prometheus,
+    sanitize_metric_name,
+    write_exposition,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.validate import validate_exposition_file
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("service.completed").inc(7)
+    registry.counter("pim.commands.AAP2").inc(123)
+    registry.gauge("power.peak_w").set(2.125)
+    registry.gauge("queue.depth.tenant-a").set(0)
+    hist = registry.histogram("service.latency_ms.tenant-a")
+    for value in (0.5, 3.0, 3.0, 17.0, 250.0):
+        hist.observe(value)
+    return registry
+
+
+class TestSanitize:
+    def test_dots_flatten(self):
+        assert sanitize_metric_name("a.b.c") == "a_b_c"
+
+    def test_illegal_chars_replaced(self):
+        assert sanitize_metric_name("rate(x) > 1") == "rate_x____1"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("9lives").startswith("_")
+
+
+class TestRender:
+    def test_counters_and_gauges(self):
+        text = render_prometheus(_populated_registry())
+        assert "# TYPE service_completed counter" in text
+        assert "service_completed 7" in text
+        assert "# TYPE power_peak_w gauge" in text
+        assert "power_peak_w 2.125" in text
+        # the dotted original rides in HELP for reverse mapping
+        assert "# HELP power_peak_w repro gauge power.peak_w" in text
+
+    def test_histogram_expansion(self):
+        text = render_prometheus(_populated_registry())
+        flat = "service_latency_ms_tenant_a"
+        assert f'{flat}_bucket{{le="+Inf"}} 5' in text
+        assert f"{flat}_count 5" in text
+        assert f"{flat}_sum 273.5" in text
+        assert f"# TYPE {flat}_p95 gauge" in text
+
+    def test_nonempty_render_has_trailing_newline(self):
+        assert render_prometheus(_populated_registry()).endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_round_trip_validates_clean(self, tmp_path):
+        path = tmp_path / "telemetry.prom"
+        write_exposition(path, _populated_registry())
+        assert validate_exposition_file(path) == []
+
+    def test_unset_gauge_skipped(self):
+        registry = MetricsRegistry()
+        registry.gauge("never.set")
+        assert render_prometheus(registry) == ""
+
+
+class TestAtomicWrite:
+    def test_no_temp_residue(self, tmp_path):
+        path = tmp_path / "t.prom"
+        write_exposition(path, _populated_registry())
+        write_exposition(path, _populated_registry())  # overwrite
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["t.prom"]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "t.prom"
+        write_exposition(path, _populated_registry())
+        assert path.is_file()
+
+    def test_json_companion_with_extra(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.prom"
+        write_exposition(
+            path, _populated_registry(), extra={"power": {"events": 3}}
+        )
+        doc = json.loads((tmp_path / "t.prom.json").read_text())
+        assert doc["power"] == {"events": 3}
+        assert doc["metrics"]["service.completed"]["value"] == 7
+
+    def test_failed_write_leaves_old_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "t.prom"
+        write_exposition(path, _populated_registry())
+        before = path.read_text()
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            write_exposition(path, MetricsRegistry())
+        assert path.read_text() == before
+        # and the temp file was cleaned up
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["t.prom"]
+
+
+class TestValidator:
+    def test_flags_sample_without_type(self, tmp_path):
+        path = tmp_path / "bad.prom"
+        path.write_text("orphan_metric 3\n")
+        problems = validate_exposition_file(path)
+        assert any("without a # TYPE" in p for p in problems)
+
+    def test_flags_noncumulative_buckets(self, tmp_path):
+        path = tmp_path / "bad.prom"
+        path.write_text(
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 9\n"
+            "h_count 5\n"
+        )
+        problems = validate_exposition_file(path)
+        assert any("not cumulative" in p for p in problems)
+
+    def test_flags_missing_inf_bucket(self, tmp_path):
+        path = tmp_path / "bad.prom"
+        path.write_text(
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            "h_sum 9\n"
+            "h_count 5\n"
+        )
+        problems = validate_exposition_file(path)
+        assert any("+Inf" in p for p in problems)
+
+    def test_flags_duplicate_sample(self, tmp_path):
+        path = tmp_path / "bad.prom"
+        path.write_text("# TYPE c counter\nc 1\nc 2\n")
+        problems = validate_exposition_file(path)
+        assert any("duplicate" in p for p in problems)
+
+    def test_flags_bad_value(self, tmp_path):
+        path = tmp_path / "bad.prom"
+        path.write_text("# TYPE c counter\nc banana\n")
+        problems = validate_exposition_file(path)
+        assert any("bad sample value" in p for p in problems)
+
+    def test_missing_file_is_a_problem(self, tmp_path):
+        problems = validate_exposition_file(tmp_path / "nope.prom")
+        assert problems and "cannot load" in problems[0]
+
+    def test_cli_dispatches_on_suffix(self, tmp_path, capsys):
+        from repro.observability.validate import main
+
+        good = tmp_path / "ok.prom"
+        write_exposition(good, _populated_registry())
+        assert main([str(good)]) == 0
+        assert "ok" in capsys.readouterr().out

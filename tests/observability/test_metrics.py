@@ -126,3 +126,79 @@ class TestLedgerForwarding:
         ledger.attach_recorder(None)
         ledger.record("AAP1", time_ns=1.0, energy_nj=1.0)
         assert reg.counter("pim.commands.AAP1").value == 1
+
+
+class TestHistogramQuantiles:
+    """Property tests: bucket-interpolated quantiles vs exact ones."""
+
+    @staticmethod
+    def _exact_quantile(samples, q):
+        import math
+
+        ordered = sorted(samples)
+        rank = max(1, math.ceil(q * len(ordered) - 1e-9))
+        return ordered[rank - 1]
+
+    def test_empty_histogram_is_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(-0.1)
+
+    def test_single_observation_every_quantile(self):
+        h = Histogram("h")
+        h.observe(37.0)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == 37.0  # clamped to min == max
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+    def test_within_factor_two_of_exact(self, seed, q):
+        """Power-of-two buckets guarantee a 2x accuracy envelope for
+        values above the first bucket bound (1.0)."""
+        import random
+
+        rng = random.Random(seed)
+        samples = [rng.uniform(1.0, 5000.0) for _ in range(500)]
+        h = Histogram("h")
+        for value in samples:
+            h.observe(value)
+        exact = self._exact_quantile(samples, q)
+        estimate = h.quantile(q)
+        assert exact / 2.0 <= estimate <= exact * 2.0
+
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_monotone_in_q(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        h = Histogram("h")
+        for _ in range(300):
+            h.observe(rng.expovariate(1 / 50.0))
+        quantiles = [h.quantile(q / 20.0) for q in range(21)]
+        assert quantiles == sorted(quantiles)
+
+    def test_clamped_to_observed_range(self):
+        h = Histogram("h")
+        for value in (10.0, 11.0, 12.0):
+            h.observe(value)
+        assert h.quantile(0.0) >= h.min
+        assert h.quantile(1.0) <= h.max
+
+    def test_identical_samples_recovered_exactly(self):
+        h = Histogram("h")
+        for _ in range(100):
+            h.observe(100.0)
+        for q in (0.5, 0.95, 0.99):
+            assert h.quantile(q) == 100.0
+
+    def test_snapshot_carries_quantiles(self):
+        h = Histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            h.observe(value)
+        snap = h.snapshot()
+        assert set(snap) >= {"p50", "p95", "p99"}
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]

@@ -1,0 +1,196 @@
+"""SLO objectives, burn rates, alert-rule parsing and evaluation."""
+
+import pytest
+
+from repro.errors import InputError
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.slo import (
+    AlertEvaluator,
+    AlertRule,
+    SloObjective,
+    SloTracker,
+)
+
+
+class TestSloObjective:
+    def test_from_manifest_defaults(self):
+        slo = SloObjective.from_manifest("acme", {"latency_ms": 500})
+        assert slo.tenant == "acme"
+        assert slo.latency_ms == 500.0
+        assert slo.quantile == 0.95
+        assert slo.error_budget == 0.1
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            {},  # missing latency_ms
+            {"latency_ms": 0},
+            {"latency_ms": -5},
+            {"latency_ms": 100, "quantile": 1.5},
+            {"latency_ms": 100, "error_budget": 0},
+            {"latency_ms": 100, "surprise": 1},
+            "not an object",
+        ],
+    )
+    def test_bad_manifest_specs(self, spec):
+        with pytest.raises(InputError):
+            SloObjective.from_manifest("acme", spec)
+
+
+class TestSloTracker:
+    def test_burn_rate_counts_violations(self):
+        tracker = SloTracker(
+            [SloObjective("acme", latency_ms=100.0, error_budget=0.5)]
+        )
+        assert tracker.observe("acme", 50.0) is False
+        assert tracker.observe("acme", 150.0) is True  # too slow
+        assert tracker.observe("acme", 50.0, ok=False) is True  # failed
+        # 2 violations / 3 jobs / 0.5 budget
+        assert tracker.burn_rate("acme") == pytest.approx(2 / 3 / 0.5)
+
+    def test_unknown_tenant_ignored(self):
+        tracker = SloTracker()
+        assert tracker.observe("ghost", 1e9) is False
+        assert tracker.burn_rate("ghost") == 0.0
+
+    def test_registry_counters_updated(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker([SloObjective("acme", latency_ms=100.0)])
+        tracker.observe("acme", 500.0, registry=registry)
+        assert registry.counter("slo.jobs.acme").value == 1
+        assert registry.counter("slo.violations.acme").value == 1
+        assert registry.gauge("slo.burn_rate.acme").value == pytest.approx(
+            1 / 0.1
+        )
+
+    def test_snapshot_shape(self):
+        tracker = SloTracker([SloObjective("acme", latency_ms=100.0)])
+        tracker.observe("acme", 10.0)
+        snap = tracker.snapshot()
+        assert snap["acme"]["jobs"] == 1
+        assert snap["acme"]["violations"] == 0
+
+
+class TestAlertRuleParsing:
+    def test_threshold_rule(self):
+        rule = AlertRule.parse("service.failed.total >= 1")
+        assert rule.kind == "threshold"
+        assert rule.subject == "service.failed.total"
+        assert rule.op == ">="
+        assert rule.threshold == 1.0
+
+    def test_rate_rule(self):
+        rule = AlertRule.parse("rate(service.shed.total) > 10")
+        assert rule.kind == "rate"
+        assert rule.subject == "service.shed.total"
+
+    def test_burn_rate_rule(self):
+        rule = AlertRule.parse("burn_rate(acme) > 2.5")
+        assert rule.kind == "burn_rate"
+        assert rule.subject == "acme"
+        assert rule.threshold == 2.5
+
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "",
+            "just-a-metric",
+            "metric >",
+            "metric > banana",
+            "rate service.x > 1",  # rate without parens
+            "(service.x) > 1",  # parens without rate
+            "metric ~ 1",
+        ],
+    )
+    def test_rejects_malformed(self, expression):
+        with pytest.raises(InputError):
+            AlertRule.parse(expression)
+
+    def test_from_manifest_string_and_dict(self):
+        plain = AlertRule.from_manifest("m > 1")
+        assert plain.name == "m > 1"
+        rich = AlertRule.from_manifest(
+            {"name": "shed-storm", "expr": "rate(s) > 5", "severity": "page"}
+        )
+        assert rich.name == "shed-storm"
+        assert rich.severity == "page"
+        with pytest.raises(InputError):
+            AlertRule.from_manifest({"expr": "m > 1", "oops": True})
+        with pytest.raises(InputError):
+            AlertRule.from_manifest({"name": "no-expr"})
+        with pytest.raises(InputError):
+            AlertRule.from_manifest(42)
+
+
+class TestEdgeTriggering:
+    def test_fires_once_until_cleared(self):
+        registry = MetricsRegistry()
+        rule = AlertRule.parse("depth > 2")
+        registry.gauge("depth").set(5)
+        assert rule.evaluate(registry) is not None
+        assert rule.evaluate(registry) is None  # still high: no re-fire
+        registry.gauge("depth").set(1)
+        assert rule.evaluate(registry) is None  # cleared: re-arms
+        registry.gauge("depth").set(9)
+        assert rule.evaluate(registry) is not None  # fires again
+
+    def test_rate_rule_first_evaluation_is_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("shed").inc(100)
+        rule = AlertRule.parse("rate(shed) > 5")
+        assert rule.evaluate(registry) is None  # no previous sample
+        registry.counter("shed").inc(10)
+        fired = rule.evaluate(registry)
+        assert fired is not None
+        assert fired.value == pytest.approx(10.0)
+
+    def test_missing_metric_reads_zero(self):
+        rule = AlertRule.parse("nope < 1")
+        fired = rule.evaluate(MetricsRegistry())
+        assert fired is not None  # 0 < 1 holds
+        assert fired.value == 0.0
+
+
+class TestAlertEvaluator:
+    def test_fanout_to_registry_flight_and_audit(self):
+        from repro.observability.flightrec import FlightRecorder
+        from repro.observability.spans import Tracer
+
+        registry = MetricsRegistry()
+        registry.counter("service.failed.total").inc()
+        tracer = Tracer(sim_clock=lambda: 0.0)
+        flight = FlightRecorder()
+        audit_log = []
+        evaluator = AlertEvaluator(
+            [AlertRule.parse("service.failed.total >= 1", name="failures")],
+            registry,
+            tracer=tracer,
+            flight=flight,
+            audit=audit_log.append,
+        )
+        events = evaluator.evaluate(round_index=3, sim_ns=42.0)
+        assert [e.name for e in events] == ["failures"]
+        assert evaluator.fired == events
+        assert registry.counter("alerts.fired.total").value == 1
+        assert registry.counter("alerts.fired.failures").value == 1
+        assert audit_log[0]["kind"] == "alert"
+        assert audit_log[0]["round"] == 3
+        assert flight.snapshot("x")["alerts"][0]["name"] == "failures"
+        assert any(
+            e.name == "alert.failures" for e in tracer.events()
+        )
+
+    def test_burn_rate_rule_with_tracker(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker(
+            [SloObjective("acme", latency_ms=10.0, error_budget=0.1)]
+        )
+        tracker.observe("acme", 100.0)  # violation -> burn rate 10
+        evaluator = AlertEvaluator(
+            [AlertRule.parse("burn_rate(acme) > 1", name="burn")],
+            registry,
+            slo=tracker,
+        )
+        events = evaluator.evaluate()
+        assert [e.name for e in events] == ["burn"]
+        assert events[0].value == pytest.approx(10.0)

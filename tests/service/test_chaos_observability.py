@@ -1,0 +1,110 @@
+"""Chaos + observability: telemetry survives a deliberately hostile run.
+
+A seeded chaos scenario runs under an active ObservabilitySession with
+per-tenant SLOs and alert rules.  The assertions below are the PR's
+acceptance criteria: per-tenant power attribution sums to the service
+total, kills/timeouts leave flight dumps behind, the telemetry file
+validates, and at least one alert fires deterministically.
+"""
+
+import math
+
+import pytest
+
+from repro.observability.flightrec import FLIGHT_FILENAME
+from repro.observability.session import ObservabilitySession
+from repro.observability.slo import AlertRule, SloObjective
+from repro.observability.validate import validate_exposition_file
+from repro.service.chaos import ChaosConfig, run_chaos
+
+
+@pytest.fixture(scope="module")
+def observed_chaos(tmp_path_factory):
+    root = tmp_path_factory.mktemp("chaos-obs")
+    config = ChaosConfig(seed=2020)
+    session = ObservabilitySession()
+    slos = [
+        SloObjective(tenant, latency_ms=600_000.0)
+        for tenant in config.tenant_names()
+    ]
+    rules = [
+        AlertRule.parse("service.completed >= 1", name="progress"),
+        AlertRule.parse("service.breaker.trips >= 100", name="meltdown"),
+    ]
+    telemetry = root / "telemetry.prom"
+    report = run_chaos(
+        root,
+        config,
+        session=session,
+        slos=slos,
+        alert_rules=rules,
+        telemetry_path=telemetry,
+    )
+    return report, session, telemetry
+
+
+class TestChaosTelemetry:
+    def test_no_violations_with_session_attached(self, observed_chaos):
+        report, _, _ = observed_chaos
+        assert report.violations() == []
+
+    def test_lane_sums_conserve_service_total(self, observed_chaos):
+        """Per-tenant energy attribution sums to the timeline total.
+
+        fsum tolerance, not bit-exact: lanes accumulate in a different
+        order than the global total.
+        """
+        report, session, _ = observed_chaos
+        lane_sum = math.fsum(session.power.lane_energy_nj.values())
+        assert lane_sum == pytest.approx(
+            session.power.total_energy_nj, rel=1e-9
+        )
+        # every tenant that completed work owns a lane
+        tenants = {t.tenant for t in report.service_report.completed}
+        assert tenants <= set(session.power.lanes())
+
+    def test_timeline_integral_conserves(self, observed_chaos):
+        _, session, _ = observed_chaos
+        assert session.power.integral_nj() == pytest.approx(
+            session.power.total_energy_nj, rel=1e-9, abs=1e-6
+        )
+        assert session.power.total_energy_nj > 0
+
+    def test_kills_and_timeouts_leave_flight_dumps(self, observed_chaos):
+        report, session, _ = observed_chaos
+        disturbed = [
+            job
+            for job in report.planned
+            if job.injection in ("kill", "timeout")
+        ]
+        assert disturbed, "seed produced a tame scenario"
+        dumps = list(
+            (report.root / "service").glob(f"*/*/{FLIGHT_FILENAME}")
+        )
+        assert dumps, "no flight dump survived the chaos run"
+        assert session.flight.dumps >= len(dumps) > 0
+
+    def test_progress_alert_fires_deterministically(self, observed_chaos):
+        report, _, _ = observed_chaos
+        names = [event.name for event in report.alert_events]
+        assert "progress" in names
+        assert "meltdown" not in names
+
+    def test_telemetry_file_validates(self, observed_chaos):
+        _, _, telemetry = observed_chaos
+        assert telemetry.is_file()
+        assert validate_exposition_file(telemetry) == []
+        text = telemetry.read_text()
+        assert "alerts_fired_progress 1" in text
+        assert "slo_burn_rate" in text
+
+    def test_slo_counters_cover_every_finished_job(self, observed_chaos):
+        report, session, _ = observed_chaos
+        finished = len(report.service_report.completed) + len(
+            report.service_report.failed
+        )
+        observed = sum(
+            session.registry.counter(f"slo.jobs.{t}").value
+            for t in {j.tenant for j in report.planned}
+        )
+        assert observed == finished

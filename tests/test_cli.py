@@ -779,3 +779,211 @@ class TestIntegrityCli:
         )
         assert rc == 0
         assert "completed" in capsys.readouterr().out
+
+
+class TestTelemetryCli:
+    """--telemetry-out on assemble/serve, and inspect on both shapes."""
+
+    def write_reads(self, tmp_path, seed=11, name="reads.fa"):
+        import random
+
+        rng = random.Random(seed)
+        genome = "".join(rng.choice("ACGT") for _ in range(250))
+        records = [
+            f">r{i}\n{genome[i : i + 50]}" for i in range(0, 200, 11)
+        ]
+        path = tmp_path / name
+        path.write_text("\n".join(records) + "\n")
+        return path
+
+    def write_manifest(self, tmp_path, payload, name="batch.json"):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_assemble_telemetry_out_validates(self, simulated, tmp_path, capsys):
+        from repro.observability.validate import validate_exposition_file
+
+        telemetry = tmp_path / "telemetry.prom"
+        rc = main(
+            [
+                "assemble",
+                str(simulated / "reads.fq"),
+                "-o",
+                str(tmp_path / "contigs.fa"),
+                "-k",
+                "15",
+                "--telemetry-out",
+                str(telemetry),
+            ]
+        )
+        assert rc == 0
+        assert "observability: wrote" in capsys.readouterr().out
+        assert validate_exposition_file(telemetry) == []
+        text = telemetry.read_text()
+        assert "power_peak_w" in text
+        assert "pim_commands_total" in text
+        # the JSON companion carries the power summary
+        import json
+
+        doc = json.loads((tmp_path / "telemetry.prom.json").read_text())
+        assert doc["power"]["total_energy_nj"] > 0
+        assert doc["power"]["events"] > 0
+
+    def test_telemetry_out_requires_pim_engine(self, simulated, tmp_path, capsys):
+        rc = main(
+            [
+                "assemble",
+                str(simulated / "reads.fq"),
+                "-o",
+                str(tmp_path / "c.fa"),
+                "--engine",
+                "software",
+                "--telemetry-out",
+                str(tmp_path / "t.prom"),
+            ]
+        )
+        assert rc == 2
+        assert "--telemetry-out" in capsys.readouterr().err
+
+    def test_serve_slos_alerts_telemetry(self, tmp_path, capsys):
+        from repro.observability.validate import validate_exposition_file
+
+        reads = self.write_reads(tmp_path)
+        manifest = self.write_manifest(
+            tmp_path,
+            {
+                "workers": 2,
+                "slos": {"acme": {"latency_ms": 600000}},
+                "alerts": [
+                    "service.completed >= 1",
+                    {
+                        "name": "budget-burn",
+                        "expr": "burn_rate(acme) > 1",
+                        "severity": "page",
+                    },
+                ],
+                "jobs": [
+                    {"tenant": "acme", "name": "a", "reads": reads.name,
+                     "k": 11},
+                    {"tenant": "beta", "name": "b", "reads": reads.name,
+                     "k": 11},
+                ],
+            },
+        )
+        telemetry = tmp_path / "svc.prom"
+        rc = main(
+            ["serve", str(manifest), "--telemetry-out", str(telemetry)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "alert [warning]: service.completed >= 1" in out
+        assert validate_exposition_file(telemetry) == []
+        text = telemetry.read_text()
+        assert "slo_burn_rate_acme" in text
+        assert "alerts_fired_total 1" in text
+        # the scheduler audited its drain into the job root
+        job_root = manifest.parent / "batch.json.jobs"
+        assert (job_root / "audit.jsonl").is_file()
+
+    def test_serve_rejects_bad_alert_rule(self, tmp_path, capsys):
+        reads = self.write_reads(tmp_path)
+        manifest = self.write_manifest(
+            tmp_path,
+            {
+                "alerts": ["not a rule"],
+                "jobs": [
+                    {"tenant": "acme", "name": "a", "reads": reads.name}
+                ],
+            },
+        )
+        rc = main(["serve", str(manifest)])
+        assert rc == 2
+        assert "alert rule" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_slo(self, tmp_path, capsys):
+        reads = self.write_reads(tmp_path)
+        manifest = self.write_manifest(
+            tmp_path,
+            {
+                "slos": {"acme": {"latency_ms": -1}},
+                "jobs": [
+                    {"tenant": "acme", "name": "a", "reads": reads.name}
+                ],
+            },
+        )
+        rc = main(["serve", str(manifest)])
+        assert rc == 2
+
+    def test_inspect_service_root_rollup(self, tmp_path, capsys):
+        reads = self.write_reads(tmp_path)
+        manifest = self.write_manifest(
+            tmp_path,
+            {
+                "workers": 2,
+                "slos": {"acme": {"latency_ms": 600000}},
+                "jobs": [
+                    {"tenant": "acme", "name": "a", "reads": reads.name,
+                     "k": 11},
+                    {"tenant": "beta", "name": "b", "reads": reads.name,
+                     "k": 11},
+                ],
+            },
+        )
+        assert main(["serve", str(manifest)]) == 0
+        capsys.readouterr()
+        job_root = manifest.parent / "batch.json.jobs"
+        rc = main(["inspect", str(job_root)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "per-tenant rollup" in out
+        assert "acme" in out and "beta" in out
+        assert "power (top energy mnemonics, all journaled jobs)" in out
+        assert "slo[acme]" in out
+
+    def test_inspect_job_dir_has_power_section(self, tmp_path, capsys):
+        reads = self.write_reads(tmp_path)
+        manifest = self.write_manifest(
+            tmp_path,
+            {
+                "jobs": [
+                    {"tenant": "acme", "name": "a", "reads": reads.name,
+                     "k": 11}
+                ]
+            },
+        )
+        assert main(["serve", str(manifest)]) == 0
+        capsys.readouterr()
+        job_dir = manifest.parent / "batch.json.jobs" / "acme" / "a"
+        rc = main(["inspect", str(job_dir)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "power (top energy mnemonics)" in out
+        assert "average power:" in out
+
+    def test_inspect_renders_flight_dump(self, tmp_path, capsys):
+        from repro.observability.flightrec import FlightRecorder
+
+        reads = self.write_reads(tmp_path)
+        manifest = self.write_manifest(
+            tmp_path,
+            {
+                "jobs": [
+                    {"tenant": "acme", "name": "a", "reads": reads.name,
+                     "k": 11}
+                ]
+            },
+        )
+        assert main(["serve", str(manifest)]) == 0
+        capsys.readouterr()
+        job_dir = manifest.parent / "batch.json.jobs" / "acme" / "a"
+        flight = FlightRecorder()
+        flight.on_command("AAP1", 1, 5.0, 2.0, "hashmap", sim_ns=1.0)
+        flight.dump(job_dir, reason="synthetic post-mortem")
+        rc = main(["inspect", str(job_dir)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "flight recorder dump" in out
+        assert "synthetic post-mortem" in out
