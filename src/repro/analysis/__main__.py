@@ -7,7 +7,9 @@ Runs, in order:
    reported as skipped when mypy is not installed),
 3. a trace self-check: a small seeded assembly is recorded and
    verified under both execution engines (rules ``V00x``/``C00x``)
-   and must come back finding-free.
+   and must come back finding-free; the scalar stream is additionally
+   run through the verified trace optimizer, whose rewrite must be
+   proven equivalent (``E00x``) and re-verify finding-free.
 
 Exit codes follow :mod:`repro.analysis.findings`: 0 clean, 1 findings,
 3 on an internal :class:`~repro.errors.ReproError`.
@@ -44,6 +46,20 @@ def _self_check(report: FindingReport) -> dict[str, int]:
         doc = recorder.document(workload="self-check")
         report.extend(verify_document(doc, source=f"<self-check:{engine}>"))
         entries[engine] = len(doc.trace)
+        if engine == "scalar":
+            from repro.analysis.optimizer import optimize_document
+
+            # already verified above — skip the optimizer's own pass
+            result = optimize_document(
+                doc, source=f"<self-check:{engine}:opt>", verify_input=False
+            )
+            report.extend(result.report)
+            report.extend(
+                verify_document(
+                    result.document, source=f"<self-check:{engine}:opt>"
+                )
+            )
+            entries[f"{engine}-optimized"] = len(result.document.trace)
     return entries
 
 

@@ -93,6 +93,16 @@ class Finding:
             where = f"{where}:{self.location}"
         return f"{where}: {self.severity}: [{self.rule}] {self.message}"
 
+    def to_json(self) -> dict:
+        """JSON-serialisable form (CI and external tooling consume it)."""
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "source": self.source,
+            "location": self.location,
+        }
+
 
 @dataclass
 class FindingReport:
@@ -139,6 +149,18 @@ class FindingReport:
     def render(self) -> str:
         """One finding per line, stable order, ready for stderr."""
         return "\n".join(str(f) for f in self.findings)
+
+    def to_json(self) -> dict:
+        """Machine-readable form: findings plus the summary the exit
+        code is derived from, so consumers never re-implement the
+        severity → exit mapping."""
+        return {
+            "findings": [f.to_json() for f in self.findings],
+            "errors": len(self.errors()),
+            "warnings": len(self.findings) - len(self.errors()),
+            "ok": self.ok,
+            "exit_code": self.exit_code,
+        }
 
     def __len__(self) -> int:
         return len(self.findings)

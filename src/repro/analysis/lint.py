@@ -26,6 +26,11 @@ L004   a ``raise`` of a raw ``Exception``/``BaseException``/
        :class:`~repro.errors.ReproError` taxonomy
 L005   a class defines ``state_dict`` but neither ``from_state`` nor
        ``load_state`` — checkpoints it writes could never be restored
+L006   a mutable default argument (``[]``/``{}``/``set()``/... in a
+       ``def`` signature) — shared across calls, a classic aliasing
+       bug; or module-level ``np.random`` usage anywhere under
+       ``src/repro`` — import-time touches of the global RNG defeat
+       per-run seeding even outside the deterministic directories
 =====  ===================================================================
 
 Precise builtin guards (``ValueError``/``TypeError``/``KeyError``/
@@ -110,6 +115,9 @@ READ_ROW_ALLOWLIST = frozenset(
     }
 )
 
+#: zero-argument constructor calls that make a default argument mutable
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
+
 #: raising these builtins raw is forbidden outside ``errors.py``
 _FORBIDDEN_RAISES = {
     "Exception",
@@ -155,6 +163,24 @@ class _Pass(ast.NodeVisitor):
     # ----- function / class context ----------------------------------------
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        for default in (*node.args.defaults, *node.args.kw_defaults):
+            if default is None:
+                continue
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_FACTORIES
+            ):
+                mutable = True
+            if mutable:
+                self._flag(
+                    "L006",
+                    f"mutable default argument in {node.name}() — the "
+                    "object is shared across calls; default to None and "
+                    "construct inside the body",
+                    default,
+                )
         self._func_stack.append(node.name)
         self.generic_visit(node)
         self._func_stack.pop()
@@ -242,6 +268,29 @@ class _Pass(ast.NodeVisitor):
                     "through the controller or extend the allowlist",
                     node,
                 )
+        self.generic_visit(node)
+
+    # ----- attributes: module-level global-RNG touches ---------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if not self._func_stack:
+            chain = _dotted(node)
+            if chain is not None:
+                parts = chain.split(".")
+                if (
+                    len(parts) >= 2
+                    and parts[0] in ("np", "numpy")
+                    and parts[1] == "random"
+                ):
+                    self._flag(
+                        "L006",
+                        f"module-level {chain} usage — touching the "
+                        "global numpy RNG at import time defeats per-run "
+                        "seeding; use a seeded Generator inside a "
+                        "function",
+                        node,
+                    )
+                    return  # don't double-flag nested sub-attributes
         self.generic_visit(node)
 
     # ----- raises ----------------------------------------------------------

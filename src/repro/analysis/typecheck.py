@@ -34,6 +34,8 @@ CHECKED_MODULES = (
     "analysis/findings.py",
     "analysis/tracefile.py",
     "analysis/verifier.py",
+    "analysis/equiv.py",
+    "analysis/optimizer.py",
     "analysis/lint.py",
     "analysis/typecheck.py",
 )

@@ -8,7 +8,13 @@ The subcommands cover the workflows a downstream user needs:
   timeline (Perfetto-loadable) and metrics snapshot;
 * ``pim-assembler verify-trace`` — dataflow/cost-model verification of
   AAP trace documents recorded with ``assemble --aap-trace-out``
-  (exit 1 on findings, 2 on an unreadable document);
+  (exit 1 on findings, 2 on an unreadable document; ``--json`` for
+  machine-readable findings);
+* ``pim-assembler optimize-trace`` — verified peephole optimisation of
+  a recorded trace document: dead-write elimination, copy propagation,
+  redundant-precharge removal and cross-sub-array gang merging, every
+  rewrite proven observationally equivalent by the symbolic checker
+  before the optimised document is written;
 * ``pim-assembler inspect`` — post-hoc accounting of a journaled job
   directory (works on finished, crashed and timed-out jobs);
 * ``pim-assembler serve`` — drive a batch of jobs from a JSON manifest
@@ -133,6 +139,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "document for `verify-trace` (--engine pim, no --job-dir)",
     )
     assemble.add_argument(
+        "--aap-opt",
+        action="store_true",
+        help="optimise the recorded AAP stream (verified peephole "
+        "passes + gang merge), replay it on a fresh device and assert "
+        "the final row state bit-identical (--engine pim, "
+        "--exec-engine scalar, no --job-dir/--ecc)",
+    )
+    assemble.add_argument(
         "--telemetry-out",
         help="write the run's metrics + power gauges as a Prometheus "
         "text-format exposition (plus a .json snapshot next to it; "
@@ -154,6 +168,35 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=50,
         help="cap on findings printed per document (all are counted)",
+    )
+    verify_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON report on stdout instead "
+        "of the human-readable text (findings, counts, exit mapping)",
+    )
+
+    optimize_trace = sub.add_parser(
+        "optimize-trace",
+        help="optimise a recorded AAP trace document with translation-"
+        "validated peephole passes; exit 1 when the input has findings "
+        "or the equivalence checker rejects the rewrite",
+    )
+    optimize_trace.add_argument(
+        "trace",
+        help="trace document written by `assemble --aap-trace-out`",
+    )
+    optimize_trace.add_argument(
+        "-o",
+        "--output",
+        help="where to write the optimised document "
+        "(default: <trace>.opt.json)",
+    )
+    optimize_trace.add_argument(
+        "--no-gang-merge",
+        action="store_true",
+        help="skip the cross-sub-array gang scheduling pass (keep the "
+        "original command interleaving)",
     )
 
     serve = sub.add_parser(
@@ -368,6 +411,24 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
             "--aap-trace-out records one in-process run and cannot "
             "follow a job across resumes; drop --job-dir"
         )
+    if args.aap_opt:
+        if args.engine != "pim":
+            raise InputError("--aap-opt requires --engine pim")
+        if args.exec_engine != "scalar":
+            raise InputError(
+                "--aap-opt requires --exec-engine scalar (the bulk "
+                "engine records a partial stream, not a program)"
+            )
+        if args.job_dir:
+            raise InputError(
+                "--aap-opt records one in-process run and cannot "
+                "follow a job across resumes; drop --job-dir"
+            )
+        if args.ecc or args.retention_interval_s:
+            raise InputError(
+                "--aap-opt cannot optimise integrity-instrumented "
+                "streams (REF/ECC commands carry no peephole semantics)"
+            )
 
     reads, parse_report = _load_reads(args.reads, strict=not args.lenient)
     if parse_report.quarantined:
@@ -431,7 +492,7 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
                         )
                     pim.attach_integrity(IntegrityConfig(**kwargs))
                 recorder = None
-                if args.aap_trace_out:
+                if args.aap_trace_out or args.aap_opt:
                     from repro.analysis.tracefile import TraceRecorder
 
                     recorder = TraceRecorder(pim, engine=args.exec_engine)
@@ -445,16 +506,19 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
                     engine=args.exec_engine,
                 )
                 if recorder is not None:
-                    from repro.analysis.tracefile import save_document
-
                     doc = recorder.document(
                         reads=args.reads, k=args.k, command="assemble"
                     )
-                    path = save_document(args.aap_trace_out, doc)
-                    print(
-                        f"aap trace: wrote {len(doc.trace)} commands / "
-                        f"{len(doc.charge_log)} charges -> {path}"
-                    )
+                    if args.aap_trace_out:
+                        from repro.analysis.tracefile import save_document
+
+                        path = save_document(args.aap_trace_out, doc)
+                        print(
+                            f"aap trace: wrote {len(doc.trace)} commands / "
+                            f"{len(doc.charge_log)} charges -> {path}"
+                        )
+                    if args.aap_opt:
+                        _replay_aap_opt(doc, reads, args.k, pim)
         if session is not None:
             for path in session.export(
                 trace_path=args.trace_out,
@@ -501,6 +565,8 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify_trace(args: argparse.Namespace) -> int:
+    import json
+
     from repro.analysis.findings import EXIT_FINDINGS, EXIT_OK
     from repro.analysis.tracefile import load_document
     from repro.analysis.verifier import verify_document
@@ -511,10 +577,22 @@ def _cmd_verify_trace(args: argparse.Namespace) -> int:
             f"--max-findings must be >= 1 (got {args.max_findings})"
         )
     total = 0
+    documents = []
     for path in args.traces:
         doc = load_document(path)
         report = verify_document(doc, source=path)
         total += len(report)
+        if args.json:
+            documents.append(
+                {
+                    "path": path,
+                    "engine": doc.engine,
+                    "commands": len(doc.trace),
+                    "charges": len(doc.charge_log),
+                    **report.to_json(),
+                }
+            )
+            continue
         shown = report.findings[: args.max_findings]
         for finding in shown:
             print(str(finding), file=sys.stderr)
@@ -528,7 +606,138 @@ def _cmd_verify_trace(args: argparse.Namespace) -> int:
             f"{path}: {doc.engine} trace, {len(doc.trace)} commands, "
             f"{len(doc.charge_log)} charges — {status}"
         )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "documents": documents,
+                    "total_findings": total,
+                    "ok": total == 0,
+                },
+                indent=1,
+            )
+        )
     return EXIT_OK if total == 0 else EXIT_FINDINGS
+
+
+def _replay_aap_opt(doc, reads, k: int, pim) -> None:
+    """Optimise the recorded stream, replay it, assert state identity.
+
+    Raises:
+        ReproError: the equivalence checker rejected the rewrite, or
+            the replayed final row state diverged from the original run
+            (both indicate an optimiser bug — the run's own results are
+            unaffected).
+    """
+    from repro.analysis.optimizer import optimize_document
+    from repro.analysis.verifier import _doc_timing
+    from repro.assembly.pipeline import _sized_device
+    from repro.core.scheduler import charge_stream, replay_optimized
+    from repro.errors import ReproError
+
+    result = optimize_document(doc, source="<assemble>")
+    for finding in result.report:
+        print(str(finding), file=sys.stderr)
+    if not result.ok:
+        raise ReproError(
+            "aap-opt: the equivalence checker rejected the optimised "
+            "stream (see findings above)"
+        )
+    savings = result.savings
+    fresh = _sized_device(reads, k)
+    replay_report = replay_optimized(result.document, fresh.controller)
+    keys = list(pim.device.subarray_keys())
+    diverged = [
+        key
+        for key in keys
+        if not (
+            pim.device.subarray_at(key).snapshot()
+            == fresh.device.subarray_at(key).snapshot()
+        ).all()
+    ]
+    if diverged:
+        raise ReproError(
+            f"aap-opt: optimised replay diverged from the original run "
+            f"on {len(diverged)} of {len(keys)} sub-array(s)"
+        )
+    timing = _doc_timing(doc)
+    before = charge_stream(doc.trace, timing=timing)
+    after = charge_stream(result.document.trace, timing=timing)
+    cmd = savings["commands"]
+    print(
+        f"aap-opt: {cmd['before']} -> {cmd['after']} commands "
+        f"(-{cmd['reduction']:.1%}), "
+        f"energy -{savings['energy_nj']['reduction']:.1%}, "
+        f"{replay_report.gang_slots} gang slots covering "
+        f"{replay_report.ganged_commands} commands"
+    )
+    print(
+        f"aap-opt: replay bit-identical on {len(keys)} sub-array(s); "
+        f"coalesced makespan {before.makespan_ns / 1e3:.1f} -> "
+        f"{after.makespan_ns / 1e3:.1f} us"
+    )
+
+
+def _cmd_optimize_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.findings import EXIT_FINDINGS, EXIT_OK
+    from repro.analysis.optimizer import optimize_document
+    from repro.analysis.tracefile import load_document, save_document
+    from repro.analysis.verifier import _doc_timing, verify_document
+    from repro.core.scheduler import charge_stream
+
+    doc = load_document(args.trace)
+    result = optimize_document(
+        doc, source=args.trace, gang_merge=not args.no_gang_merge
+    )
+    for finding in result.report:
+        print(str(finding), file=sys.stderr)
+    if not result.ok:
+        print(
+            f"{args.trace}: rewrite REJECTED — nothing written "
+            "(the original document is untouched)"
+        )
+        return EXIT_FINDINGS
+
+    out = args.output or f"{args.trace}.opt.json"
+    recheck = verify_document(result.document, source=out)
+    if not recheck.ok:
+        for finding in recheck.findings:
+            print(str(finding), file=sys.stderr)
+        print(
+            f"{args.trace}: optimised stream fails re-verification — "
+            "nothing written"
+        )
+        return EXIT_FINDINGS
+    path = save_document(out, result.document)
+
+    if result.identity:
+        print(
+            f"{args.trace}: returned unchanged "
+            f"({len(doc.trace)} commands) -> {path}"
+        )
+        return EXIT_OK if result.report.ok else EXIT_FINDINGS
+
+    savings = result.savings
+    cmd = savings["commands"]
+    energy = savings["energy_nj"]
+    gangs = savings["gangs"]
+    timing = _doc_timing(doc)
+    before = charge_stream(doc.trace, timing=timing)
+    after = charge_stream(result.document.trace, timing=timing)
+    print(
+        f"{args.trace}: {cmd['before']} -> {cmd['after']} commands "
+        f"(-{cmd['reduction']:.1%}), "
+        f"energy {energy['before']:.0f} -> {energy['after']:.0f} nJ "
+        f"(-{energy['reduction']:.1%}), "
+        f"{gangs['slots']} gang slots covering {gangs['commands']} "
+        "commands"
+    )
+    print(
+        f"{args.trace}: equivalence proven, re-verification clean; "
+        f"coalesced makespan {before.makespan_ns / 1e3:.1f} -> "
+        f"{after.makespan_ns / 1e3:.1f} us -> {path}"
+    )
+    return EXIT_OK if result.report.ok else EXIT_FINDINGS
 
 
 def _parse_serve_manifest(path: str) -> dict:
@@ -936,6 +1145,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "assemble": _cmd_assemble,
         "verify-trace": _cmd_verify_trace,
+        "optimize-trace": _cmd_optimize_trace,
         "serve": _cmd_serve,
         "inspect": _cmd_inspect,
         "simulate": _cmd_simulate,

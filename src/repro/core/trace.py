@@ -306,6 +306,63 @@ def analyse(trace: CommandTrace) -> TraceAnalysis:
     )
 
 
+def replay_entry(entry: TraceEntry, controller: "Controller") -> bool:
+    """Re-issue one recorded command; returns False when skipped.
+
+    ``MEM_RD`` and ``DPU`` entries are observations (they do not mutate
+    array state) and are skipped.
+
+    Raises:
+        ValueError: on a mnemonic replay does not understand.
+    """
+    from repro.core.isa import RowAddress, SAOp
+
+    bank, mat, sub = entry.subarray
+
+    def addr(row: int) -> RowAddress:
+        return RowAddress(bank=bank, mat=mat, subarray=sub, row=row)
+
+    if entry.mnemonic == "AAP1":
+        controller.copy(addr(entry.rows[0]), addr(entry.rows[1]))
+    elif entry.mnemonic == "AAP2":
+        controller.compute2(
+            addr(entry.rows[0]),
+            addr(entry.rows[1]),
+            addr(entry.rows[2]),
+            SAOp.XNOR2,
+        )
+    elif entry.mnemonic == "AAP3":
+        controller.tra_carry(
+            addr(entry.rows[0]),
+            addr(entry.rows[1]),
+            addr(entry.rows[2]),
+            addr(entry.rows[3]),
+        )
+    elif entry.mnemonic == "SUM":
+        controller.sum_cycle(
+            addr(entry.rows[0]), addr(entry.rows[1]), addr(entry.rows[2])
+        )
+    elif entry.mnemonic == "LATCH_LD":
+        controller.load_latch(addr(entry.rows[0]))
+    elif entry.mnemonic == "LATCH_CLR":
+        controller.clear_latch(entry.subarray)
+    elif entry.mnemonic == "ROW_INIT":
+        if entry.payload is None:
+            raise ValueError(f"ROW_INIT entry #{entry.index} lacks payload")
+        controller.init_row(addr(entry.rows[0]), int(entry.payload[0]))
+    elif entry.mnemonic == "MEM_WR":
+        if entry.payload is None:
+            raise ValueError(f"MEM_WR entry #{entry.index} lacks payload")
+        controller.write_row(
+            addr(entry.rows[0]), np.array(entry.payload, dtype=np.uint8)
+        )
+    elif entry.mnemonic in ("MEM_RD", "DPU"):
+        return False
+    else:
+        raise ValueError(f"cannot replay mnemonic {entry.mnemonic!r}")
+    return True
+
+
 def replay(trace: CommandTrace, controller: "Controller") -> None:
     """Re-issue a recorded trace against a (fresh) controller.
 
@@ -317,49 +374,5 @@ def replay(trace: CommandTrace, controller: "Controller") -> None:
     Raises:
         ValueError: on a mnemonic replay does not understand.
     """
-    from repro.core.isa import RowAddress, SAOp
-
     for entry in trace:
-        bank, mat, sub = entry.subarray
-
-        def addr(row: int) -> RowAddress:
-            return RowAddress(bank=bank, mat=mat, subarray=sub, row=row)
-
-        if entry.mnemonic == "AAP1":
-            controller.copy(addr(entry.rows[0]), addr(entry.rows[1]))
-        elif entry.mnemonic == "AAP2":
-            controller.compute2(
-                addr(entry.rows[0]),
-                addr(entry.rows[1]),
-                addr(entry.rows[2]),
-                SAOp.XNOR2,
-            )
-        elif entry.mnemonic == "AAP3":
-            controller.tra_carry(
-                addr(entry.rows[0]),
-                addr(entry.rows[1]),
-                addr(entry.rows[2]),
-                addr(entry.rows[3]),
-            )
-        elif entry.mnemonic == "SUM":
-            controller.sum_cycle(
-                addr(entry.rows[0]), addr(entry.rows[1]), addr(entry.rows[2])
-            )
-        elif entry.mnemonic == "LATCH_LD":
-            controller.load_latch(addr(entry.rows[0]))
-        elif entry.mnemonic == "LATCH_CLR":
-            controller.clear_latch(entry.subarray)
-        elif entry.mnemonic == "ROW_INIT":
-            if entry.payload is None:
-                raise ValueError(f"ROW_INIT entry #{entry.index} lacks payload")
-            controller.init_row(addr(entry.rows[0]), int(entry.payload[0]))
-        elif entry.mnemonic == "MEM_WR":
-            if entry.payload is None:
-                raise ValueError(f"MEM_WR entry #{entry.index} lacks payload")
-            controller.write_row(
-                addr(entry.rows[0]), np.array(entry.payload, dtype=np.uint8)
-            )
-        elif entry.mnemonic in ("MEM_RD", "DPU"):
-            continue
-        else:
-            raise ValueError(f"cannot replay mnemonic {entry.mnemonic!r}")
+        replay_entry(entry, controller)

@@ -118,3 +118,151 @@ def test_aap_trace_out_rejects_job_mode(simulated, tmp_path):
         ]
     )
     assert rc == 2
+
+
+def test_verify_trace_json_output(simulated, tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    rc = main(
+        [
+            "assemble",
+            str(simulated / "reads.fq"),
+            "-o",
+            str(tmp_path / "contigs.fa"),
+            "-k",
+            "13",
+            "--aap-trace-out",
+            str(trace),
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    assert main(["verify-trace", "--json", str(trace)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["total_findings"] == 0
+    (document,) = payload["documents"]
+    assert document["engine"] == "scalar"
+    assert document["findings"] == []
+    assert document["commands"] > 0
+
+
+def test_verify_trace_json_reports_findings(simulated, tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    rc = main(
+        [
+            "assemble",
+            str(simulated / "reads.fq"),
+            "-o",
+            str(tmp_path / "contigs.fa"),
+            "-k",
+            "13",
+            "--aap-trace-out",
+            str(trace),
+        ]
+    )
+    assert rc == 0
+    doc = json.loads(trace.read_text())
+    compute_row = doc["geometry"]["data_rows"] + 2
+    doc["commands"].insert(
+        0, {"op": "AAP1", "sub": [0, 0, 0], "rows": [compute_row, 5]}
+    )
+    trace.write_text(json.dumps(doc))
+    capsys.readouterr()
+    assert main(["verify-trace", "--json", str(trace)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    rules = {f["rule"] for f in payload["documents"][0]["findings"]}
+    assert "V003" in rules
+
+
+def test_optimize_trace_reduces_and_reverifies(simulated, tmp_path):
+    trace = tmp_path / "trace.json"
+    rc = main(
+        [
+            "assemble",
+            str(simulated / "reads.fq"),
+            "-o",
+            str(tmp_path / "contigs.fa"),
+            "-k",
+            "13",
+            "--aap-trace-out",
+            str(trace),
+        ]
+    )
+    assert rc == 0
+    out = tmp_path / "trace.opt.json"
+    assert main(["optimize-trace", str(trace), "-o", str(out)]) == 0
+    assert out.exists()
+    before = json.loads(trace.read_text())
+    after = json.loads(out.read_text())
+    assert len(after["commands"]) < len(before["commands"])
+    assert after["meta"]["aap_opt"]["justifications_total"] > 0
+    assert after["meta"]["gangs"]
+    # the optimised stream must be finding-free under the verifier
+    assert main(["verify-trace", str(out)]) == 0
+
+
+def test_optimize_trace_bulk_document_is_identity(simulated, tmp_path, capsys):
+    trace = tmp_path / "trace_bulk.json"
+    rc = main(
+        [
+            "assemble",
+            str(simulated / "reads.fq"),
+            "-o",
+            str(tmp_path / "contigs.fa"),
+            "-k",
+            "13",
+            "--exec-engine",
+            "bulk",
+            "--aap-trace-out",
+            str(trace),
+        ]
+    )
+    assert rc == 0
+    out = tmp_path / "trace_bulk.opt.json"
+    assert main(["optimize-trace", str(trace), "-o", str(out)]) == 0
+    err = capsys.readouterr().err
+    assert "[O001]" in err
+    before = json.loads(trace.read_text())
+    after = json.loads(out.read_text())
+    assert len(after["commands"]) == len(before["commands"])
+    assert main(["verify-trace", str(out)]) == 0
+
+
+def test_optimize_trace_garbage_is_input_error(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"format": "something-else"}')
+    assert main(["optimize-trace", str(bad)]) == 2
+
+
+def test_assemble_aap_opt_replays_bit_identical(simulated, tmp_path, capsys):
+    rc = main(
+        [
+            "assemble",
+            str(simulated / "reads.fq"),
+            "-o",
+            str(tmp_path / "contigs.fa"),
+            "-k",
+            "13",
+            "--aap-opt",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "replay bit-identical" in out
+    assert (tmp_path / "contigs.fa").exists()
+
+
+def test_aap_opt_requires_scalar_exec_engine(simulated, tmp_path):
+    rc = main(
+        [
+            "assemble",
+            str(simulated / "reads.fq"),
+            "-o",
+            str(tmp_path / "contigs.fa"),
+            "--exec-engine",
+            "bulk",
+            "--aap-opt",
+        ]
+    )
+    assert rc == 2

@@ -197,3 +197,51 @@ def test_state_dict_with_load_state_allowed(tmp_path):
 def test_syntax_error_reported_not_raised(tmp_path):
     report = run_lint(tmp_path, "core/broken.py", "def f(:\n")
     assert report.rules() == {"L000"}
+
+
+def test_mutable_default_argument_flagged(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "eval/thing.py",
+        "def f(items=[]):\n    return items\n",
+    )
+    assert report.rules() == {"L006"}
+
+
+def test_mutable_factory_default_flagged(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "eval/thing.py",
+        "def f(cache=dict(), *, seen=set()):\n    return cache, seen\n",
+    )
+    assert report.rules() == {"L006"}
+    assert len(report.findings) == 2
+
+
+def test_immutable_defaults_allowed(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "eval/thing.py",
+        "def f(a=None, b=(), c=0, d='x'):\n    return a, b, c, d\n",
+    )
+    assert report.ok
+
+
+def test_module_level_np_random_flagged(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "eval/thing.py",
+        "import numpy as np\n\n_RNG = np.random.default_rng(0)\n",
+    )
+    assert report.rules() == {"L006"}
+    assert report.findings[0].location == 3
+
+
+def test_np_random_inside_function_not_l006(tmp_path):
+    report = run_lint(
+        tmp_path,
+        "eval/thing.py",
+        "import numpy as np\n\ndef f(seed):\n"
+        "    return np.random.default_rng(seed)\n",
+    )
+    assert report.ok

@@ -1,0 +1,231 @@
+"""The translation-validated trace optimizer (rules ``O00x``)."""
+
+import dataclasses
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.equiv import check_equivalence
+from repro.analysis.optimizer import (
+    DEFAULT_PASSES,
+    PassStats,
+    TraceOptimizer,
+    optimize_document,
+)
+from repro.analysis.tracefile import TraceDocument, TraceRecorder
+from repro.analysis.verifier import verify_document
+from repro.assembly.pipeline import _sized_device, assemble_with_pim
+from repro.core.trace import ChargeLog, CommandTrace
+from repro.genome import ReadSimulator, synthetic_chromosome
+
+GEOMETRY = {"rows": 32, "cols": 64, "compute_rows": 8, "data_rows": 24}
+SUB = (0, 0, 0)
+
+
+def make_doc(build, engine="scalar", complete=True):
+    trace = CommandTrace()
+    build(trace)
+    return TraceDocument(
+        engine=engine,
+        trace=trace,
+        charge_log=ChargeLog(),
+        geometry=dict(GEOMETRY),
+        complete=complete,
+    )
+
+
+def signature(doc):
+    """Everything observable about a document's command stream."""
+    return (
+        [(e.mnemonic, e.subarray, e.rows, e.payload) for e in doc.trace],
+        list(doc.trace.marks),
+        doc.meta.get("gangs"),
+    )
+
+
+# --------------------------------------------------------------------------
+# seeded corpus
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def corpus_doc():
+    reference = synthetic_chromosome(140, seed=5)
+    simulator = ReadSimulator(read_length=30, seed=2)
+    reads = simulator.sample(
+        reference, simulator.reads_for_coverage(len(reference), 4)
+    )
+    pim = _sized_device(reads, 9)
+    recorder = TraceRecorder(pim, engine="scalar")
+    with recorder:
+        assemble_with_pim(reads, k=9, pim=pim, engine="scalar")
+    return recorder.document(workload="optimizer-corpus")
+
+
+@pytest.fixture(scope="module")
+def corpus_result(corpus_doc):
+    result = optimize_document(corpus_doc, source="<corpus>")
+    assert result.ok
+    return result
+
+
+def test_optimization_reduces_and_reverifies(corpus_doc, corpus_result):
+    assert not corpus_result.identity
+    savings = corpus_result.savings
+    assert savings["commands"]["after"] < savings["commands"]["before"]
+    assert savings["energy_nj"]["after"] < savings["energy_nj"]["before"]
+    # the rewritten document must sail through the full verifier
+    report = verify_document(corpus_result.document, source="<optimized>")
+    assert report.render() == ""
+
+
+def test_ledger_recomputed_for_rewritten_stream(corpus_doc, corpus_result):
+    before = corpus_doc.ledger
+    after = corpus_result.document.ledger
+    assert after is not None
+    assert after["energy_nj"] < before["energy_nj"]
+    assert after["time_ns"] < before["time_ns"]
+
+
+def test_optimization_is_idempotent(corpus_result):
+    again = optimize_document(corpus_result.document, source="<again>")
+    assert again.ok
+    assert signature(again.document) == signature(corpus_result.document)
+    assert again.savings["commands"]["reduction"] == 0.0
+
+
+def test_pass_ordering_does_not_change_the_result(corpus_doc, corpus_result):
+    expected = signature(corpus_result.document)
+    for perm in itertools.permutations(DEFAULT_PASSES):
+        result = TraceOptimizer(passes=perm, verify_input=False).optimize(
+            corpus_doc, source="<perm>"
+        )
+        assert result.ok
+        assert signature(result.document) == expected
+
+
+def test_justifications_recorded_in_meta(corpus_result):
+    opt_meta = corpus_result.document.meta["aap_opt"]
+    assert opt_meta["justifications_total"] > 0
+    assert opt_meta["justifications"]
+    names = {p["name"] for p in opt_meta["passes"]}
+    assert {"copy_propagation", "dead_write", "redundant_init"} <= names
+
+
+# --------------------------------------------------------------------------
+# degradation-to-identity paths
+# --------------------------------------------------------------------------
+
+
+def test_o001_partial_bulk_document_is_identity():
+    doc = make_doc(
+        lambda t: t.record("MEM_RD", SUB, (3,)),
+        engine="bulk",
+        complete=False,
+    )
+    result = optimize_document(doc, source="<bulk>")
+    assert result.ok
+    assert result.identity
+    assert result.document is doc
+    assert "O001" in result.report.rules()
+
+
+def test_o003_unmodelled_mnemonic_is_identity():
+    def build(trace):
+        trace.record("AAP1", SUB, (2, 10))
+        trace.record("REF", SUB, ())
+
+    result = optimize_document(make_doc(build), source="<ref>")
+    assert result.ok
+    assert result.identity
+    assert "O003" in result.report.rules()
+
+
+def test_o002_refuses_broken_input():
+    # an AAP1 reading an uninitialised compute row is a V003 error; the
+    # optimizer must refuse rather than launder the broken program
+    compute_row = GEOMETRY["data_rows"] + 2
+    doc = make_doc(lambda t: t.record("AAP1", SUB, (compute_row, 5)))
+    result = optimize_document(doc, source="<broken>")
+    assert result.ok is False
+    assert "O002" in result.report.rules()
+    assert result.document is doc
+
+
+# --------------------------------------------------------------------------
+# misfiring passes: the judge must reject each sabotaged rewrite
+# --------------------------------------------------------------------------
+
+
+def bad_dead_write(tokens):
+    """A 'liveness' pass that also drops live MEM_WR/ROW_INIT writes."""
+    kept = [
+        t
+        for t in tokens
+        if not (t[0] == "entry" and t[1].mnemonic in ("MEM_WR", "ROW_INIT"))
+    ]
+    return kept, PassStats(name="bad_dead_write", removed=len(tokens) - len(kept))
+
+
+def bad_copy_propagation(tokens):
+    """A 'copy propagation' that reverses copy direction instead."""
+    out = []
+    rewritten = 0
+    for token in tokens:
+        if token[0] == "entry" and token[1].mnemonic == "AAP1":
+            entry = token[1]
+            src, des = entry.rows
+            if src < des:
+                entry = dataclasses.replace(entry, rows=(des, src))
+                rewritten += 1
+            out.append(("entry", entry))
+        else:
+            out.append(token)
+    return out, PassStats(name="bad_copy_propagation", rewritten=rewritten)
+
+
+def bad_redundant_init(tokens):
+    """An 'init removal' that drops every LATCH_CLR, redundant or not."""
+    kept = [
+        t
+        for t in tokens
+        if not (t[0] == "entry" and t[1].mnemonic == "LATCH_CLR")
+    ]
+    return kept, PassStats(
+        name="bad_redundant_init", removed=len(tokens) - len(kept)
+    )
+
+
+@pytest.mark.parametrize(
+    "bad_pass", [bad_dead_write, bad_copy_propagation, bad_redundant_init]
+)
+def test_judge_rejects_misfiring_pass(corpus_doc, bad_pass):
+    optimizer = TraceOptimizer(
+        passes=[bad_pass], verify_input=False, gang_merge=False
+    )
+    result = optimizer.optimize(corpus_doc, source="<sabotage>")
+    assert result.ok is False
+    # the rewrite is rejected: the caller gets the untouched original,
+    # the refuted stream is preserved for debugging
+    assert result.document is corpus_doc
+    assert result.rejected is not None
+    assert result.report.rules() & {"E001", "E002", "E003"}
+
+
+def test_judge_rejects_corrupted_gang_annotation(corpus_doc, corpus_result):
+    doc = corpus_result.document
+    gangs = [list(g) for g in doc.meta.get("gangs", [])]
+    assert gangs, "corpus optimization should produce gang slots"
+    gangs[0][1] += 1  # stretch the first gang over a non-member command
+    tampered = dataclasses.replace(
+        doc, meta={**doc.meta, "gangs": gangs}
+    )
+    report = check_equivalence(corpus_doc, tampered, source="<tampered>")
+    assert "E005" in report.rules()
+
+
+def test_payload_survives_round_trip(corpus_result):
+    doc = corpus_result.document
+    rebuilt = TraceDocument.from_json(doc.to_json(), source="<round-trip>")
+    assert signature(rebuilt) == signature(doc)
